@@ -1,0 +1,80 @@
+//! NBD wire benchmarks over loopback TCP: per-request latency and
+//! throughput of the served-chain deployment path.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vmi_blockdev::{BlockDev, MemDev, SharedDev, SparseDev};
+use vmi_nbd::{NbdClient, NbdServer};
+use vmi_qcow::{CreateOpts, QcowImage};
+
+fn bench_raw_roundtrip(c: &mut Criterion) {
+    let srv = NbdServer::start("127.0.0.1:0").unwrap();
+    srv.add_export("raw", Arc::new(MemDev::with_len(64 << 20)), false);
+    let client = NbdClient::connect(&srv.addr().to_string(), "raw").unwrap();
+
+    let mut g = c.benchmark_group("nbd_raw_read");
+    for size in [4096usize, 65536] {
+        g.throughput(Throughput::Bytes(size as u64));
+        let mut buf = vec![0u8; size];
+        let mut off = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                client.read_at(&mut buf, off).unwrap();
+                off = (off + size as u64) % ((64 << 20) - size as u64);
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("nbd_raw_write");
+    g.throughput(Throughput::Bytes(4096));
+    let buf = vec![7u8; 4096];
+    let mut off = 0u64;
+    g.bench_function("4096", |b| {
+        b.iter(|| {
+            client.write_at(&buf, off).unwrap();
+            off = (off + 4096) % ((64 << 20) - 4096);
+        })
+    });
+    g.finish();
+}
+
+fn bench_served_chain(c: &mut Criterion) {
+    // base ← warm cache ← CoW served over NBD: the full deployment path.
+    let base: SharedDev = Arc::new(SparseDev::with_len(64 << 20));
+    let cache = QcowImage::create(
+        Arc::new(SparseDev::new()),
+        CreateOpts::cache(64 << 20, "b", 64 << 20),
+        Some(base),
+    )
+    .unwrap();
+    let mut warm = vec![0u8; 1 << 20];
+    for i in 0..32u64 {
+        cache.read_at(&mut warm, i << 20).unwrap();
+    }
+    let cow = QcowImage::create(
+        Arc::new(SparseDev::new()),
+        CreateOpts::cow(64 << 20, "c"),
+        Some(cache as SharedDev),
+    )
+    .unwrap();
+    let srv = NbdServer::start("127.0.0.1:0").unwrap();
+    srv.add_image("vm", cow);
+    let client = NbdClient::connect(&srv.addr().to_string(), "vm").unwrap();
+
+    let mut g = c.benchmark_group("nbd_chain_read_16k");
+    g.throughput(Throughput::Bytes(16 * 1024));
+    let mut buf = vec![0u8; 16 * 1024];
+    let mut off = 0u64;
+    g.bench_function("warm_cache_over_wire", |b| {
+        b.iter(|| {
+            client.read_at(&mut buf, off).unwrap();
+            off = (off + 16 * 1024) % (32 << 20);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_raw_roundtrip, bench_served_chain);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Microbenchmarks of the qcow image-format hot paths, including the
+//! paper's central design choice: 512 B vs 64 KiB cache cluster size
+//! (§5.1: "the frequency of lookups does not affect the booting time").
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vmi_blockdev::{BlockDev, MemDev, SharedDev, SparseDev};
+use vmi_qcow::{CreateOpts, QcowImage};
+
+const VSIZE: u64 = 256 << 20;
+
+fn warm_image(cluster_bits: u32, data: u64) -> Arc<QcowImage> {
+    let base: SharedDev = Arc::new(SparseDev::with_len(VSIZE));
+    let cache = QcowImage::create(
+        Arc::new(SparseDev::new()),
+        CreateOpts::cache(VSIZE, "b", VSIZE / 2).with_cluster_bits(cluster_bits),
+        Some(base),
+    )
+    .unwrap();
+    let mut buf = vec![0u8; 1 << 20];
+    let mut off = 0;
+    while off < data {
+        cache.read_at(&mut buf, off).unwrap(); // CoR-fills 1 MiB
+        off += 1 << 20;
+    }
+    cache
+}
+
+/// Warm-hit read path: the dominant operation of every warm boot.
+fn bench_warm_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("warm_read_16k");
+    g.throughput(Throughput::Bytes(16 * 1024));
+    for cluster_bits in [9u32, 12, 16] {
+        let img = warm_image(cluster_bits, 32 << 20);
+        let mut buf = vec![0u8; 16 * 1024];
+        let mut off = 0u64;
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("cluster_{}B", 1u64 << cluster_bits)),
+            &cluster_bits,
+            |b, _| {
+                b.iter(|| {
+                    img.read_at(&mut buf, off).unwrap();
+                    off = (off + 16 * 1024) % (32 << 20);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Cold copy-on-read fill path (fetch + allocate + fill, per 16 KiB).
+fn bench_cor_fill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cor_fill_16k");
+    g.throughput(Throughput::Bytes(16 * 1024));
+    for cluster_bits in [9u32, 16] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("cluster_{}B", 1u64 << cluster_bits)),
+            &cluster_bits,
+            |b, &bits| {
+                b.iter_batched(
+                    || {
+                        let base: SharedDev = Arc::new(SparseDev::with_len(VSIZE));
+                        QcowImage::create(
+                            Arc::new(SparseDev::new()),
+                            CreateOpts::cache(VSIZE, "b", VSIZE / 2).with_cluster_bits(bits),
+                            Some(base),
+                        )
+                        .unwrap()
+                    },
+                    |img| {
+                        let mut buf = vec![0u8; 16 * 1024];
+                        for i in 0..64u64 {
+                            img.read_at(&mut buf, i * 16 * 1024).unwrap();
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Guest-write path through a CoW layer (allocate + RMW merge).
+fn bench_cow_writes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cow_write_8k");
+    g.throughput(Throughput::Bytes(8 * 1024));
+    g.bench_function("fresh_clusters", |b| {
+        b.iter_batched(
+            || {
+                let base: SharedDev = Arc::new(SparseDev::with_len(VSIZE));
+                QcowImage::create(
+                    Arc::new(SparseDev::new()),
+                    CreateOpts::cow(VSIZE, "b"),
+                    Some(base),
+                )
+                .unwrap()
+            },
+            |img| {
+                let buf = vec![7u8; 8 * 1024];
+                for i in 0..64u64 {
+                    img.write_at(&buf, i * 65536).unwrap();
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+/// Image creation (header + L1 write) across cluster sizes — the cost of
+/// `qemu-img create` for a cache (§4.4 step one).
+fn bench_create(c: &mut Criterion) {
+    let mut g = c.benchmark_group("create_cache_image");
+    for cluster_bits in [9u32, 16] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("cluster_{}B", 1u64 << cluster_bits)),
+            &cluster_bits,
+            |b, &bits| {
+                b.iter(|| {
+                    let base: SharedDev = Arc::new(SparseDev::with_len(8 << 30));
+                    QcowImage::create(
+                        Arc::new(SparseDev::new()),
+                        CreateOpts::cache(8 << 30, "b", 200 << 20).with_cluster_bits(bits),
+                        Some(base),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Three-layer chain read (CoW → cache → base) vs direct cache read:
+/// the per-layer recursion overhead.
+fn bench_chain_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain_depth_read_4k");
+    g.throughput(Throughput::Bytes(4096));
+    let cache = warm_image(9, 8 << 20);
+    let mut buf = vec![0u8; 4096];
+    g.bench_function("cache_direct", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            cache.read_at(&mut buf, off).unwrap();
+            off = (off + 4096) % (8 << 20);
+        })
+    });
+    let cow = QcowImage::create(
+        Arc::new(MemDev::new()),
+        CreateOpts::cow(VSIZE, "cache"),
+        Some(cache.clone() as SharedDev),
+    )
+    .unwrap();
+    g.bench_function("through_cow_layer", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            cow.read_at(&mut buf, off).unwrap();
+            off = (off + 4096) % (8 << 20);
+        })
+    });
+    g.finish();
+}
+
+/// L2-table cache sizing: a bounded cache trades memory for table re-reads
+/// on wide random workloads (QEMU's `l2-cache-size` trade-off).
+fn bench_l2_cache_limit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("l2_cache_limit_random_4k");
+    g.throughput(Throughput::Bytes(4096));
+    for limit in [Some(16usize), Some(256), None] {
+        let img = warm_image(9, 32 << 20);
+        img.set_l2_cache_limit(limit);
+        let mut buf = vec![0u8; 4096];
+        let mut i = 0u64;
+        let label = limit.map(|l| l.to_string()).unwrap_or_else(|| "unbounded".into());
+        g.bench_with_input(BenchmarkId::from_parameter(label), &limit, |b, _| {
+            b.iter(|| {
+                // Pseudo-random offsets across the warmed 32 MiB.
+                let off = (i.wrapping_mul(2654435761) % ((32 << 20) - 4096)) & !511;
+                i += 1;
+                img.read_at(&mut buf, off).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_warm_reads,
+    bench_cor_fill,
+    bench_cow_writes,
+    bench_create,
+    bench_chain_depth,
+    bench_l2_cache_limit
+);
+criterion_main!(benches);

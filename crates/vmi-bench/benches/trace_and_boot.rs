@@ -1,0 +1,81 @@
+//! Benchmarks of the workload substrate (trace generation/analysis) and of
+//! single simulated boots per deployment mode — the building blocks whose
+//! cost dominates the figure harness.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmi_cluster::{run_experiment, ExperimentConfig, Mode, Placement, WarmStore};
+use vmi_sim::NetSpec;
+use vmi_trace::VmiProfile;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    for p in [VmiProfile::tiny_test(), VmiProfile::debian_6_0_7(), VmiProfile::centos_6_3()] {
+        g.bench_with_input(BenchmarkId::from_parameter(p.name.clone()), &p, |b, p| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                vmi_trace::generate(p, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_analysis(c: &mut Criterion) {
+    let trace = vmi_trace::generate(&VmiProfile::centos_6_3(), 1);
+    let mut g = c.benchmark_group("trace_analysis");
+    g.bench_function("unique_read_bytes_centos", |b| {
+        b.iter(|| vmi_trace::unique_read_bytes(&trace))
+    });
+    g.bench_function("summarize_centos", |b| b.iter(|| vmi_trace::summarize(&trace)));
+    g.finish();
+}
+
+fn bench_single_boot_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("single_boot");
+    g.sample_size(10);
+    let store = WarmStore::new();
+    let quota = 16 << 20;
+    for (label, mode) in [
+        ("qcow2", Mode::Qcow2),
+        ("cold_512", Mode::ColdCache { placement: Placement::ComputeMem, quota, cluster_bits: 9 }),
+        ("cold_64k", Mode::ColdCache { placement: Placement::ComputeMem, quota, cluster_bits: 16 }),
+        ("warm_512", Mode::WarmCache { placement: Placement::ComputeDisk, quota, cluster_bits: 9 }),
+    ] {
+        let cfg = ExperimentConfig {
+            nodes: 1,
+            vmis: 1,
+            profile: VmiProfile::tiny_test(),
+            net: NetSpec::gbe_1(),
+            mode,
+            seed: 42,
+            warm_store: Some(store.clone()),
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| run_experiment(cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_warm_prep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("warm_cache_prep");
+    g.sample_size(10);
+    let p = VmiProfile::tiny_test();
+    let trace = Arc::new(vmi_trace::generate(&p, 1));
+    g.bench_function("tiny_512B", |b| {
+        b.iter(|| vmi_cluster::prepare_warm_cache(&p, &trace, 16 << 20, 9).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_trace_analysis,
+    bench_single_boot_modes,
+    bench_warm_prep
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! `calib` — ad-hoc calibration probe: prints resource-level detail for a
+//! few canonical configurations so model constants can be sanity-checked
+//! against the paper's magnitudes. Not part of the reproduction surface.
+
+use vmi_cluster::{run_experiment, ExperimentConfig, Mode, Placement, WarmStore};
+use vmi_sim::NetSpec;
+use vmi_trace::{VmiProfile, MIB};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let nodes: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let vmis: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let store = WarmStore::new();
+    let quota = 120 * MIB;
+    let configs: Vec<(&str, Mode, NetSpec)> = vec![
+        ("qcow2/1GbE", Mode::Qcow2, NetSpec::gbe_1()),
+        ("qcow2/IB", Mode::Qcow2, NetSpec::ib_32g()),
+        (
+            "warm-cdisk/1GbE",
+            Mode::WarmCache { placement: Placement::ComputeDisk, quota, cluster_bits: 9 },
+            NetSpec::gbe_1(),
+        ),
+        (
+            "warm-cmem/1GbE",
+            Mode::WarmCache { placement: Placement::ComputeMem, quota, cluster_bits: 9 },
+            NetSpec::gbe_1(),
+        ),
+        (
+            "warm-smem/IB",
+            Mode::WarmCache { placement: Placement::StorageMem, quota, cluster_bits: 9 },
+            NetSpec::ib_32g(),
+        ),
+        (
+            "cold-cmem/1GbE",
+            Mode::ColdCache { placement: Placement::ComputeMem, quota, cluster_bits: 9 },
+            NetSpec::gbe_1(),
+        ),
+    ];
+    for (label, mode, net) in configs {
+        let cfg = ExperimentConfig {
+            nodes,
+            vmis,
+            profile: VmiProfile::centos_6_3(),
+            net,
+            mode,
+            seed: 42,
+            warm_store: Some(store.clone()),
+        };
+        let out = run_experiment(&cfg).unwrap();
+        let io = out.outcomes.iter().map(|o| o.io_wait_ns).sum::<u64>() as f64
+            / out.outcomes.len() as f64
+            / 1e9;
+        println!(
+            "{label:>16}: boot {:6.2}s  io-wait {io:6.2}s  nic {:7.1} MB ({} msgs)  sdisk r={} ops {} seeks {:.1}s busy  pcache {:?}",
+            out.mean_boot_secs(),
+            out.storage_traffic_mb(),
+            out.storage_nic.messages,
+            out.storage_disk.read_ops,
+            out.storage_disk.seeks,
+            out.storage_disk.busy_ns as f64 / 1e9,
+            out.storage_page_cache,
+        );
+    }
+}

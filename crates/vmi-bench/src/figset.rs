@@ -1,0 +1,204 @@
+//! Figure/table data structures, text rendering, and result persistence.
+//!
+//! Every evaluation artifact is a [`Figure`] (a set of labelled series over
+//! a numeric x axis) or a [`TableData`] (labelled rows). The harness prints
+//! the same rows the paper plots and saves machine-readable copies under
+//! `results/`.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// One (x, y) point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Point {
+    /// Independent variable (e.g. #nodes, #VMIs, cache quota in MB).
+    pub x: f64,
+    /// Measured value (e.g. mean boot time in seconds, traffic in MB).
+    pub y: f64,
+}
+
+/// One labelled curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label (matches the paper's legends).
+    pub label: String,
+    /// Points in ascending x order.
+    pub points: Vec<Point>,
+}
+
+/// A reproduced figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Identifier, e.g. `"fig2"`.
+    pub id: String,
+    /// Human title (from the paper's caption).
+    pub title: String,
+    /// x axis label.
+    pub x_label: String,
+    /// y axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Render as an aligned text table: one row per x, one column per series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup();
+        let width = self.series.iter().map(|s| s.label.len()).max().unwrap_or(8).max(10);
+        out.push_str(&format!("{:>12}", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!("  {:>width$}", s.label, width = width));
+        }
+        out.push('\n');
+        for x in xs {
+            out.push_str(&format!("{x:>12.0}"));
+            for s in &self.series {
+                match s.points.iter().find(|p| (p.x - x).abs() < 1e-9) {
+                    Some(p) => out.push_str(&format!("  {:>width$.2}", p.y, width = width)),
+                    None => out.push_str(&format!("  {:>width$}", "-", width = width)),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write `<id>.json` and `<id>.csv` into `dir`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let json = serde_json::to_string_pretty(self).expect("figure serializes");
+        std::fs::write(dir.join(format!("{}.json", self.id)), json)?;
+        let mut csv = std::fs::File::create(dir.join(format!("{}.csv", self.id)))?;
+        writeln!(csv, "series,x,y")?;
+        for s in &self.series {
+            for p in &s.points {
+                writeln!(csv, "{},{},{}", s.label, p.x, p.y)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A reproduced table.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableData {
+    /// Identifier, e.g. `"table1"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableData {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write `<id>.json` and `<id>.csv` into `dir`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let json = serde_json::to_string_pretty(self).expect("table serializes");
+        std::fs::write(dir.join(format!("{}.json", self.id)), json)?;
+        let mut csv = std::fs::File::create(dir.join(format!("{}.csv", self.id)))?;
+        writeln!(csv, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            writeln!(csv, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_fig() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "test".into(),
+            x_label: "# nodes".into(),
+            y_label: "seconds".into(),
+            series: vec![
+                Series {
+                    label: "QCOW2".into(),
+                    points: vec![Point { x: 1.0, y: 20.0 }, Point { x: 64.0, y: 110.0 }],
+                },
+                Series { label: "Warm".into(), points: vec![Point { x: 1.0, y: 19.5 }] },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_aligns_and_marks_gaps() {
+        let r = sample_fig().render();
+        assert!(r.contains("QCOW2"));
+        assert!(r.contains("110.00"));
+        assert!(r.contains('-'), "missing point rendered as dash");
+    }
+
+    #[test]
+    fn save_writes_json_and_csv() {
+        let dir = std::env::temp_dir().join(format!("vmi-figset-{}", std::process::id()));
+        sample_fig().save(&dir).unwrap();
+        let json = std::fs::read_to_string(dir.join("figX.json")).unwrap();
+        assert!(json.contains("\"QCOW2\""));
+        let csv = std::fs::read_to_string(dir.join("figX.csv")).unwrap();
+        assert!(csv.starts_with("series,x,y"));
+        assert!(csv.contains("QCOW2,1,20"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn table_render_and_save() {
+        let t = TableData {
+            id: "table1".into(),
+            title: "Read working set".into(),
+            columns: vec!["VMI".into(), "Size".into()],
+            rows: vec![vec!["CentOS 6.3".into(), "85.2 MB".into()]],
+        };
+        let r = t.render();
+        assert!(r.contains("CentOS 6.3"));
+        let dir = std::env::temp_dir().join(format!("vmi-figset-t-{}", std::process::id()));
+        t.save(&dir).unwrap();
+        assert!(dir.join("table1.csv").exists());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,585 @@
+//! One builder per evaluation artifact: every figure and table in §2 and §5
+//! of the paper, regenerated from the simulated cluster.
+//!
+//! Each builder runs the same experiment grid the paper reports and returns
+//! the series with the paper's legend labels. `Scale::Paper` uses the full
+//! CentOS workload and 64 nodes; `Scale::Smoke` shrinks everything so the
+//! whole suite runs in seconds (used by tests and CI).
+
+use std::sync::Arc;
+
+use vmi_blockdev::Result;
+use vmi_cluster::{
+    run_experiment, ExperimentConfig, ExperimentOutcome, Mode, Placement, WarmStore,
+};
+use vmi_sim::NetSpec;
+use vmi_trace::{VmiProfile, MIB};
+
+use crate::figset::{Figure, Point, Series, TableData};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's grid: CentOS, up to 64 nodes / 64 VMIs.
+    Paper,
+    /// A seconds-fast smoke grid for tests.
+    Smoke,
+}
+
+/// Cluster-size sweep used by Figs. 2/11 (and the #VMI sweep of 3/12/14).
+fn grid(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Paper => vec![1, 4, 8, 16, 32, 64],
+        Scale::Smoke => vec![1, 2, 4],
+    }
+}
+
+fn profile(scale: Scale) -> VmiProfile {
+    match scale {
+        Scale::Paper => VmiProfile::centos_6_3(),
+        Scale::Smoke => VmiProfile::tiny_test(),
+    }
+}
+
+/// Quota sweep for the cache-creation micro-benchmarks (Figs. 8/9/10), MB.
+fn quota_grid_mb(scale: Scale) -> Vec<u64> {
+    match scale {
+        Scale::Paper => vec![10, 20, 40, 60, 80, 100, 120, 140],
+        Scale::Smoke => vec![1, 2, 4],
+    }
+}
+
+/// A quota comfortably larger than the CentOS warm working set, used by the
+/// scaling figures (the paper's caches are "full" there).
+pub fn full_quota(scale: Scale) -> u64 {
+    match scale {
+        Scale::Paper => 120 * MIB,
+        Scale::Smoke => 8 * MIB,
+    }
+}
+
+/// The paper's final cache cluster size: 512 B (§5.1).
+pub const CACHE_CLUSTER_BITS: u32 = 9;
+
+fn cfg(
+    scale: Scale,
+    nodes: usize,
+    vmis: usize,
+    net: NetSpec,
+    mode: Mode,
+    store: &Arc<WarmStore>,
+) -> ExperimentConfig {
+    ExperimentConfig {
+        nodes,
+        vmis,
+        profile: profile(scale),
+        net,
+        mode,
+        seed: 42,
+        warm_store: Some(store.clone()),
+    }
+}
+
+fn series_over<F>(label: &str, xs: &[usize], mut run: F) -> Result<Series>
+where
+    F: FnMut(usize) -> Result<f64>,
+{
+    let mut points = Vec::with_capacity(xs.len());
+    for &x in xs {
+        points.push(Point { x: x as f64, y: run(x)? });
+    }
+    Ok(Series { label: label.into(), points })
+}
+
+fn boot_secs(out: &ExperimentOutcome) -> f64 {
+    out.mean_boot_secs()
+}
+
+// ---------------------------------------------------------------------
+// §2 baseline figures
+// ---------------------------------------------------------------------
+
+/// Fig. 2: booting one VMI on 1..64 nodes simultaneously, QCOW2 over both
+/// networks. 1 GbE rises linearly past ~8 nodes; InfiniBand stays flat.
+pub fn fig2(scale: Scale) -> Result<Figure> {
+    let store = WarmStore::new();
+    let xs = grid(scale);
+    let mut series = Vec::new();
+    for net in [NetSpec::ib_32g(), NetSpec::gbe_1()] {
+        series.push(series_over(&format!("QCOW2 - {}", net.label()), &xs, |n| {
+            Ok(boot_secs(&run_experiment(&cfg(scale, n, 1, net, Mode::Qcow2, &store))?))
+        })?);
+    }
+    Ok(Figure {
+        id: "fig2".into(),
+        title: "Booting time, single VMI, scaling the number of nodes".into(),
+        x_label: "# nodes".into(),
+        y_label: "Booting time (second)".into(),
+        series,
+    })
+}
+
+/// Fig. 3: 64 nodes booting from 1..64 distinct VMIs, QCOW2 over both
+/// networks. Boot time rises with #VMIs on *both* networks: the storage
+/// node's disk is the bottleneck.
+pub fn fig3(scale: Scale) -> Result<Figure> {
+    let store = WarmStore::new();
+    let nodes = *grid(scale).last().unwrap();
+    let xs = grid(scale);
+    let mut series = Vec::new();
+    for net in [NetSpec::ib_32g(), NetSpec::gbe_1()] {
+        series.push(series_over(&format!("QCOW2 - {}", net.label()), &xs, |v| {
+            Ok(boot_secs(&run_experiment(&cfg(scale, nodes, v, net, Mode::Qcow2, &store))?))
+        })?);
+    }
+    Ok(Figure {
+        id: "fig3".into(),
+        title: format!("Booting time, {nodes} nodes, scaling the number of VMIs"),
+        x_label: "# VMIs".into(),
+        y_label: "Booting time (second)".into(),
+        series,
+    })
+}
+
+// ---------------------------------------------------------------------
+// §5.1 cache-creation micro-benchmarks (1 storage + 1 compute node, 1 GbE)
+// ---------------------------------------------------------------------
+
+/// Fig. 8: boot time vs cache quota for warm cache, cold cache created in
+/// memory, cold cache created on disk (synchronous writes), and QCOW2.
+pub fn fig8(scale: Scale) -> Result<Figure> {
+    let store = WarmStore::new();
+    let net = NetSpec::gbe_1();
+    let quotas = quota_grid_mb(scale);
+    let run_mode = |mode: Mode| -> Result<f64> {
+        Ok(boot_secs(&run_experiment(&cfg(scale, 1, 1, net, mode, &store))?))
+    };
+    let mut warm = Vec::new();
+    let mut cold_mem = Vec::new();
+    let mut cold_disk = Vec::new();
+    for &q in &quotas {
+        let quota = q * MIB;
+        warm.push(Point {
+            x: q as f64,
+            y: run_mode(Mode::WarmCache {
+                placement: Placement::ComputeDisk,
+                quota,
+                cluster_bits: CACHE_CLUSTER_BITS,
+            })?,
+        });
+        cold_mem.push(Point {
+            x: q as f64,
+            y: run_mode(Mode::ColdCache {
+                placement: Placement::ComputeMem,
+                quota,
+                cluster_bits: CACHE_CLUSTER_BITS,
+            })?,
+        });
+        cold_disk.push(Point {
+            x: q as f64,
+            y: run_mode(Mode::ColdCache {
+                placement: Placement::ComputeDisk,
+                quota,
+                cluster_bits: CACHE_CLUSTER_BITS,
+            })?,
+        });
+    }
+    let qcow = run_mode(Mode::Qcow2)?;
+    Ok(Figure {
+        id: "fig8".into(),
+        title: "Cache creation overhead with increasing cache quota".into(),
+        x_label: "Cache size (MB)".into(),
+        y_label: "Booting time (second)".into(),
+        series: vec![
+            Series { label: "Warm cache".into(), points: warm },
+            Series { label: "Cold cache - on mem".into(), points: cold_mem },
+            Series { label: "Cold cache - on disk".into(), points: cold_disk },
+            Series {
+                label: "QCOW2".into(),
+                points: quotas.iter().map(|&q| Point { x: q as f64, y: qcow }).collect(),
+            },
+        ],
+    })
+}
+
+/// Fig. 9: observed traffic at the storage node vs cache quota, for warm and
+/// cold caches at 512 B and 64 KiB cluster sizes, against QCOW2. The cold
+/// 64 KiB cache moves *more* data than QCOW2 (cluster-granularity read
+/// amplification); 512 B clusters fix it.
+pub fn fig9(scale: Scale) -> Result<Figure> {
+    let store = WarmStore::new();
+    let net = NetSpec::gbe_1();
+    let quotas = quota_grid_mb(scale);
+    let traffic = |mode: Mode| -> Result<f64> {
+        Ok(run_experiment(&cfg(scale, 1, 1, net, mode, &store))?.storage_traffic_mb())
+    };
+    let mut series = Vec::new();
+    for (cluster_bits, cl_label) in [(9u32, "512B"), (16u32, "64KB")] {
+        for warm in [true, false] {
+            let mut pts = Vec::new();
+            for &q in &quotas {
+                let quota = q * MIB;
+                let mode = if warm {
+                    Mode::WarmCache { placement: Placement::ComputeMem, quota, cluster_bits }
+                } else {
+                    Mode::ColdCache { placement: Placement::ComputeMem, quota, cluster_bits }
+                };
+                pts.push(Point { x: q as f64, y: traffic(mode)? });
+            }
+            series.push(Series {
+                label: format!(
+                    "{} cache - cluster = {cl_label}",
+                    if warm { "Warm" } else { "Cold" }
+                ),
+                points: pts,
+            });
+        }
+    }
+    let qcow = traffic(Mode::Qcow2)?;
+    series.push(Series {
+        label: "QCOW2".into(),
+        points: quotas.iter().map(|&q| Point { x: q as f64, y: qcow }).collect(),
+    });
+    Ok(Figure {
+        id: "fig9".into(),
+        title: "Observed traffic at the storage node with increasing cache quota".into(),
+        x_label: "Cache size (MB)".into(),
+        y_label: "Transferred data from storage node (MB)".into(),
+        series,
+    })
+}
+
+/// Fig. 10: the final arrangement (cold cache on memory, 512 B clusters):
+/// boot time and transfer size vs quota for warm/cold/QCOW2. Returns the
+/// boot-time figure and the transfer-size figure.
+pub fn fig10(scale: Scale) -> Result<(Figure, Figure)> {
+    let store = WarmStore::new();
+    let net = NetSpec::gbe_1();
+    let quotas = quota_grid_mb(scale);
+    let run = |mode: Mode| -> Result<(f64, f64)> {
+        let out = run_experiment(&cfg(scale, 1, 1, net, mode, &store))?;
+        Ok((boot_secs(&out), out.storage_traffic_mb()))
+    };
+    let mut boot_series: Vec<Series> = Vec::new();
+    let mut tx_series: Vec<Series> = Vec::new();
+    for (label, warm) in [("Warm cache", true), ("Cold cache", false)] {
+        let mut boot_pts = Vec::new();
+        let mut tx_pts = Vec::new();
+        for &q in &quotas {
+            let quota = q * MIB;
+            let mode = if warm {
+                Mode::WarmCache {
+                    placement: Placement::ComputeMem,
+                    quota,
+                    cluster_bits: CACHE_CLUSTER_BITS,
+                }
+            } else {
+                Mode::ColdCache {
+                    placement: Placement::ComputeMem,
+                    quota,
+                    cluster_bits: CACHE_CLUSTER_BITS,
+                }
+            };
+            let (b, t) = run(mode)?;
+            boot_pts.push(Point { x: q as f64, y: b });
+            tx_pts.push(Point { x: q as f64, y: t });
+        }
+        boot_series.push(Series { label: format!("{label} - boot time"), points: boot_pts });
+        tx_series.push(Series { label: format!("{label} - tx size"), points: tx_pts });
+    }
+    let (qb, qt) = run(Mode::Qcow2)?;
+    boot_series.push(Series {
+        label: "QCOW2 - boot time".into(),
+        points: quotas.iter().map(|&q| Point { x: q as f64, y: qb }).collect(),
+    });
+    tx_series.push(Series {
+        label: "QCOW2 - tx size".into(),
+        points: quotas.iter().map(|&q| Point { x: q as f64, y: qt }).collect(),
+    });
+    Ok((
+        Figure {
+            id: "fig10-boot".into(),
+            title: "Final arrangement for cache creation (boot time)".into(),
+            x_label: "Cache size (MB)".into(),
+            y_label: "Booting time (second)".into(),
+            series: boot_series,
+        },
+        Figure {
+            id: "fig10-tx".into(),
+            title: "Final arrangement for cache creation (transferred data)".into(),
+            x_label: "Cache size (MB)".into(),
+            y_label: "Transferred data (MB)".into(),
+            series: tx_series,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------
+// §5.3 scaling figures
+// ---------------------------------------------------------------------
+
+/// Fig. 11: single VMI, scaling nodes over 1 GbE with caches on the compute
+/// nodes: warm ≈ single-VM boot time; cold ≈ QCOW2.
+pub fn fig11(scale: Scale) -> Result<Figure> {
+    let store = WarmStore::new();
+    let net = NetSpec::gbe_1();
+    let xs = grid(scale);
+    let quota = full_quota(scale);
+    let warm = series_over("Warm cache", &xs, |n| {
+        Ok(boot_secs(&run_experiment(&cfg(
+            scale,
+            n,
+            1,
+            net,
+            Mode::WarmCache {
+                placement: Placement::ComputeDisk,
+                quota,
+                cluster_bits: CACHE_CLUSTER_BITS,
+            },
+            &store,
+        ))?))
+    })?;
+    let cold = series_over("Cold cache", &xs, |n| {
+        Ok(boot_secs(&run_experiment(&cfg(
+            scale,
+            n,
+            1,
+            net,
+            Mode::ColdCache {
+                placement: Placement::ComputeMem,
+                quota,
+                cluster_bits: CACHE_CLUSTER_BITS,
+            },
+            &store,
+        ))?))
+    })?;
+    let qcow = series_over("QCOW2", &xs, |n| {
+        Ok(boot_secs(&run_experiment(&cfg(scale, n, 1, net, Mode::Qcow2, &store))?))
+    })?;
+    Ok(Figure {
+        id: "fig11".into(),
+        title: "Caching a single VMI at compute nodes over a 1GbE".into(),
+        x_label: "# nodes".into(),
+        y_label: "Booting time (second)".into(),
+        series: vec![warm, cold, qcow],
+    })
+}
+
+/// Figs. 12 and 14 share their sweep shape: 64 nodes, scaling #VMIs, three
+/// modes, one figure per network.
+fn vmi_scaling_figure(
+    scale: Scale,
+    id: &str,
+    title_prefix: &str,
+    net: NetSpec,
+    cache_placement: Placement,
+) -> Result<Figure> {
+    let store = WarmStore::new();
+    let nodes = *grid(scale).last().unwrap();
+    let xs = grid(scale);
+    let quota = full_quota(scale);
+    // The cold flow for storage memory is the Fig. 13 create-and-transfer
+    // flow; for compute placement it is the Fig. 7 final arrangement.
+    let cold_placement = match cache_placement {
+        Placement::StorageMem => Placement::StorageMem,
+        _ => Placement::ComputeMem,
+    };
+    let warm = series_over("Warm cache", &xs, |v| {
+        Ok(boot_secs(&run_experiment(&cfg(
+            scale,
+            nodes,
+            v,
+            net,
+            Mode::WarmCache { placement: cache_placement, quota, cluster_bits: CACHE_CLUSTER_BITS },
+            &store,
+        ))?))
+    })?;
+    let cold = series_over("Cold cache", &xs, |v| {
+        Ok(boot_secs(&run_experiment(&cfg(
+            scale,
+            nodes,
+            v,
+            net,
+            Mode::ColdCache { placement: cold_placement, quota, cluster_bits: CACHE_CLUSTER_BITS },
+            &store,
+        ))?))
+    })?;
+    let qcow = series_over("QCOW2", &xs, |v| {
+        Ok(boot_secs(&run_experiment(&cfg(scale, nodes, v, net, Mode::Qcow2, &store))?))
+    })?;
+    Ok(Figure {
+        id: id.into(),
+        title: format!("{title_prefix} - {} nodes - Network = {}", nodes, net.label()),
+        x_label: "# VMIs".into(),
+        y_label: "Booting time (second)".into(),
+        series: vec![warm, cold, qcow],
+    })
+}
+
+/// Fig. 12: caching many VMIs at the compute nodes' disk, both networks.
+/// Returns (1 GbE figure, 32 Gb IB figure).
+pub fn fig12(scale: Scale) -> Result<(Figure, Figure)> {
+    Ok((
+        vmi_scaling_figure(
+            scale,
+            "fig12-1gbe",
+            "Caching many VMIs at the compute nodes' disk",
+            NetSpec::gbe_1(),
+            Placement::ComputeDisk,
+        )?,
+        vmi_scaling_figure(
+            scale,
+            "fig12-ib",
+            "Caching many VMIs at the compute nodes' disk",
+            NetSpec::ib_32g(),
+            Placement::ComputeDisk,
+        )?,
+    ))
+}
+
+/// Fig. 14: caching many VMIs on the storage node's memory, both networks.
+/// Returns (1 GbE figure, 32 Gb IB figure).
+pub fn fig14(scale: Scale) -> Result<(Figure, Figure)> {
+    Ok((
+        vmi_scaling_figure(
+            scale,
+            "fig14-1gbe",
+            "Caching many VMIs on the storage node's memory",
+            NetSpec::gbe_1(),
+            Placement::StorageMem,
+        )?,
+        vmi_scaling_figure(
+            scale,
+            "fig14-ib",
+            "Caching many VMIs on the storage node's memory",
+            NetSpec::ib_32g(),
+            Placement::StorageMem,
+        )?,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Tables and the §6 placement comparison
+// ---------------------------------------------------------------------
+
+/// Table 1: read working-set size of the three VMIs.
+pub fn table1(scale: Scale) -> TableData {
+    let profiles = match scale {
+        Scale::Paper => VmiProfile::paper_profiles(),
+        Scale::Smoke => vec![VmiProfile::tiny_test()],
+    };
+    let rows = profiles
+        .iter()
+        .map(|p| {
+            let trace = vmi_trace::generate(p, 1);
+            let unique = vmi_trace::unique_read_bytes(&trace);
+            vec![p.name.clone(), format!("{:.1} MB", unique as f64 / MIB as f64)]
+        })
+        .collect();
+    TableData {
+        id: "table1".into(),
+        title: "Read working set size of various VMIs for booting the VM".into(),
+        columns: vec!["VMI".into(), "Size of unique reads".into()],
+        rows,
+    }
+}
+
+/// Table 2: warm-cache file size (512 B clusters, ample quota) per VMI —
+/// slightly larger than Table 1 due to image metadata.
+pub fn table2(scale: Scale) -> Result<TableData> {
+    let profiles = match scale {
+        Scale::Paper => VmiProfile::paper_profiles(),
+        Scale::Smoke => vec![VmiProfile::tiny_test()],
+    };
+    let mut rows = Vec::new();
+    for p in &profiles {
+        let trace = vmi_trace::generate(p, 1);
+        let quota = p.unique_read_bytes * 2 + 64 * MIB;
+        let warm =
+            vmi_cluster::prepare_warm_cache(p, &trace, quota, CACHE_CLUSTER_BITS)?;
+        rows.push(vec![p.name.clone(), format!("{:.0} MB", warm.file_size as f64 / MIB as f64)]);
+    }
+    Ok(TableData {
+        id: "table2".into(),
+        title: "Cache quota necessary for various VMIs (cluster = 512 B)".into(),
+        columns: vec!["VMI".into(), "Warm cache size".into()],
+        rows,
+    })
+}
+
+/// §6: warm-cache boot time, compute-node disk vs storage-node memory over
+/// the fast network — the paper reports ≤ 1 % difference.
+pub fn sec6(scale: Scale) -> Result<TableData> {
+    let store = WarmStore::new();
+    let nodes = *grid(scale).last().unwrap();
+    let quota = full_quota(scale);
+    let net = NetSpec::ib_32g();
+    let mut secs = Vec::new();
+    for placement in [Placement::ComputeDisk, Placement::StorageMem] {
+        let out = run_experiment(&cfg(
+            scale,
+            nodes,
+            1,
+            net,
+            Mode::WarmCache { placement, quota, cluster_bits: CACHE_CLUSTER_BITS },
+            &store,
+        ))?;
+        secs.push(boot_secs(&out));
+    }
+    let diff_pct = 100.0 * (secs[0] - secs[1]).abs() / secs[1].max(1e-9);
+    Ok(TableData {
+        id: "sec6".into(),
+        title: format!(
+            "Warm-cache placement comparison over {} ({} nodes, 1 VMI)",
+            net.label(),
+            nodes
+        ),
+        columns: vec!["Cache placement".into(), "Mean boot time (s)".into()],
+        rows: vec![
+            vec!["Compute node disk".into(), format!("{:.2}", secs[0])],
+            vec!["Storage node memory".into(), format!("{:.2}", secs[1])],
+            vec!["Difference".into(), format!("{diff_pct:.1} %")],
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_fig2_shapes() {
+        let f = fig2(Scale::Smoke).unwrap();
+        assert_eq!(f.series.len(), 2);
+        assert_eq!(f.series[0].points.len(), 3);
+        // All boot times positive.
+        assert!(f.series.iter().all(|s| s.points.iter().all(|p| p.y > 0.0)));
+    }
+
+    #[test]
+    fn smoke_table1_matches_profile() {
+        let t = table1(Scale::Smoke);
+        assert_eq!(t.rows.len(), 1);
+        assert!(t.rows[0][1].contains("2.0 MB"));
+    }
+
+    #[test]
+    fn smoke_table2_exceeds_table1() {
+        let t = table2(Scale::Smoke).unwrap();
+        let mb: f64 = t.rows[0][1].trim_end_matches(" MB").parse().unwrap();
+        assert!(mb >= 2.0, "cache file must be at least the working set: {mb}");
+    }
+
+    #[test]
+    fn smoke_fig9_has_five_series() {
+        let f = fig9(Scale::Smoke).unwrap();
+        assert_eq!(f.series.len(), 5);
+    }
+
+    #[test]
+    fn smoke_sec6_reports_difference() {
+        let t = sec6(Scale::Smoke).unwrap();
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.rows[2][1].contains('%'));
+    }
+}

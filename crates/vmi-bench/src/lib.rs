@@ -1,0 +1,22 @@
+//! # vmi-bench — reproduction harness for every table and figure
+//!
+//! [`figures`] holds one builder per evaluation artifact (Figs. 2, 3, 8–12,
+//! 14; Tables 1–2; the §6 placement comparison); [`figset`] holds the data
+//! model, text rendering and `results/` persistence. The `figures` binary
+//! is the command-line entry point:
+//!
+//! ```text
+//! figures --all            # regenerate everything (paper scale)
+//! figures fig2 fig9        # specific artifacts
+//! figures --smoke table1   # seconds-fast reduced scale
+//! ```
+
+pub mod ablations;
+pub mod figset;
+pub mod figures;
+
+pub use figset::{Figure, Point, Series, TableData};
+pub use figures::{
+    fig10, fig11, fig12, fig14, fig2, fig3, fig8, fig9, full_quota, sec6, table1, table2, Scale,
+    CACHE_CLUSTER_BITS,
+};

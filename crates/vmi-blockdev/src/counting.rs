@@ -1,0 +1,258 @@
+//! I/O accounting decorator.
+//!
+//! The paper's Figures 9 and 10 plot "observed traffic at the storage node"
+//! against cache quota. [`CountingDev`] wraps any device and transparently
+//! records operation counts, byte totals, and request-size histograms so an
+//! experiment can wrap the storage-node export and read the traffic off the
+//! counters afterwards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{BlockDev, Result, SharedDev};
+
+/// Histogram of request sizes in power-of-two buckets `[2^k, 2^(k+1))`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeHistogram {
+    buckets: [u64; 33],
+}
+
+impl Default for SizeHistogram {
+    fn default() -> Self {
+        Self { buckets: [0; 33] }
+    }
+}
+
+impl SizeHistogram {
+    fn record(&mut self, len: usize) {
+        let bucket = if len == 0 { 0 } else { (usize::BITS - (len).leading_zeros()) as usize };
+        self.buckets[bucket.min(32)] += 1;
+    }
+
+    /// Count of requests whose size falls in `[2^k, 2^(k+1))`.
+    pub fn bucket(&self, k: usize) -> u64 {
+        self.buckets.get(k).copied().unwrap_or(0)
+    }
+
+    /// Total requests recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Count of requests with size `<= limit` (approximated at bucket
+    /// granularity: buckets entirely at or below `limit`).
+    pub fn at_or_below(&self, limit: usize) -> u64 {
+        let mut sum = 0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            // Bucket k holds sizes in [2^(k-1)+1 .. 2^k] roughly; use upper bound 2^k.
+            let upper = 1u64.checked_shl(k as u32).unwrap_or(u64::MAX);
+            if upper <= limit as u64 {
+                sum += c;
+            }
+        }
+        sum
+    }
+}
+
+/// Live counters shared by a [`CountingDev`] and its observers.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    read_bytes: AtomicU64,
+    write_bytes: AtomicU64,
+    flushes: AtomicU64,
+    read_hist: Mutex<SizeHistogram>,
+    write_hist: Mutex<SizeHistogram>,
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    /// Number of read operations.
+    pub reads: u64,
+    /// Number of write operations.
+    pub writes: u64,
+    /// Total bytes read.
+    pub read_bytes: u64,
+    /// Total bytes written.
+    pub write_bytes: u64,
+    /// Number of flush operations.
+    pub flushes: u64,
+    /// Request-size histogram for reads.
+    pub read_hist: SizeHistogram,
+    /// Request-size histogram for writes.
+    pub write_hist: SizeHistogram,
+}
+
+impl IoStatsSnapshot {
+    /// Total transferred bytes in both directions — the paper's "observed
+    /// traffic" metric.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+}
+
+impl IoStats {
+    fn record_read(&self, len: usize) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.read_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        self.read_hist.lock().record(len);
+    }
+
+    fn record_write(&self, len: usize) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.write_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        self.write_hist.lock().record(len);
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            read_hist: self.read_hist.lock().clone(),
+            write_hist: self.write_hist.lock().clone(),
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.read_bytes.store(0, Ordering::Relaxed);
+        self.write_bytes.store(0, Ordering::Relaxed);
+        self.flushes.store(0, Ordering::Relaxed);
+        *self.read_hist.lock() = SizeHistogram::default();
+        *self.write_hist.lock() = SizeHistogram::default();
+    }
+}
+
+/// Transparent I/O-accounting wrapper around any [`BlockDev`].
+pub struct CountingDev {
+    inner: SharedDev,
+    stats: Arc<IoStats>,
+}
+
+impl CountingDev {
+    /// Wrap `inner`, creating fresh counters.
+    pub fn new(inner: SharedDev) -> Self {
+        Self { inner, stats: Arc::new(IoStats::default()) }
+    }
+
+    /// Wrap `inner`, recording into an existing shared `stats` (so multiple
+    /// devices — e.g. every export of one storage node — aggregate into a
+    /// single set of counters).
+    pub fn with_stats(inner: SharedDev, stats: Arc<IoStats>) -> Self {
+        Self { inner, stats }
+    }
+
+    /// Handle to the live counters.
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &SharedDev {
+        &self.inner
+    }
+}
+
+impl BlockDev for CountingDev {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        self.inner.read_at(buf, off)?;
+        self.stats.record_read(buf.len());
+        Ok(())
+    }
+
+    fn write_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        self.inner.write_at(buf, off)?;
+        self.stats.record_write(buf.len());
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.inner.flush()?;
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!("counting({})", self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDev;
+
+    #[test]
+    fn counts_reads_writes_flushes() {
+        let dev = CountingDev::new(Arc::new(MemDev::new()));
+        dev.write_at(&[0u8; 512], 0).unwrap();
+        dev.write_at(&[0u8; 4096], 512).unwrap();
+        let mut buf = [0u8; 1024];
+        dev.read_at(&mut buf, 0).unwrap();
+        dev.flush().unwrap();
+        let s = dev.stats().snapshot();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.write_bytes, 4608);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.read_bytes, 1024);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.total_bytes(), 5632);
+    }
+
+    #[test]
+    fn failed_ops_are_not_counted() {
+        let dev = CountingDev::new(Arc::new(MemDev::with_len(4)));
+        let mut buf = [0u8; 8];
+        assert!(dev.read_at(&mut buf, 0).is_err());
+        assert_eq!(dev.stats().snapshot().reads, 0);
+    }
+
+    #[test]
+    fn shared_stats_aggregate_across_devices() {
+        let stats = Arc::new(IoStats::default());
+        let a = CountingDev::with_stats(Arc::new(MemDev::new()), Arc::clone(&stats));
+        let b = CountingDev::with_stats(Arc::new(MemDev::new()), Arc::clone(&stats));
+        a.write_at(&[1; 100], 0).unwrap();
+        b.write_at(&[2; 200], 0).unwrap();
+        assert_eq!(stats.snapshot().write_bytes, 300);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = SizeHistogram::default();
+        h.record(512);
+        h.record(512);
+        h.record(65536);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.bucket(10), 2); // 512 -> bucket 10 (2^9..2^10]
+        assert_eq!(h.bucket(17), 1); // 65536 -> bucket 17
+        assert_eq!(h.at_or_below(1024), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let dev = CountingDev::new(Arc::new(MemDev::new()));
+        dev.write_at(&[0; 64], 0).unwrap();
+        dev.stats().reset();
+        let s = dev.stats().snapshot();
+        assert_eq!(s, IoStatsSnapshot::default());
+    }
+}

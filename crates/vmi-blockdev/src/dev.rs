@@ -1,0 +1,199 @@
+//! The [`BlockDev`] trait: the storage interface everything else targets.
+
+use std::sync::Arc;
+
+use crate::{BlockError, Result};
+
+/// A shareable handle to any block device.
+pub type SharedDev = Arc<dyn BlockDev>;
+
+/// A half-open byte range `[start, end)` on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ByteRange {
+    /// First byte of the range.
+    pub start: u64,
+    /// One past the last byte of the range.
+    pub end: u64,
+}
+
+impl ByteRange {
+    /// Construct the range `[start, start + len)`.
+    pub fn at(start: u64, len: u64) -> Self {
+        Self { start, end: start + len }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// `true` if the range covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Intersection with another range, if non-empty.
+    pub fn intersect(&self, other: &ByteRange) -> Option<ByteRange> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then_some(ByteRange { start, end })
+    }
+}
+
+/// A byte-addressable, growable storage device.
+///
+/// Semantics (shared by all implementations and relied upon by `vmi-qcow`):
+///
+/// * `read_at` within `[0, len())` fills the buffer exactly; a read that
+///   extends past `len()` fails with `OutOfBounds` — callers that want
+///   zero-fill-past-EOF semantics (e.g. reading a cluster that was allocated
+///   but only partially written by a growing image file) use
+///   [`BlockDev::read_at_zero_pad`].
+/// * `write_at` may extend the device: writing past the current end grows it
+///   (like a POSIX file), unless the device is fixed-size or read-only.
+/// * `flush` orders prior writes before subsequent observation by crash-
+///   consistency-sensitive callers; memory devices treat it as a no-op.
+///
+/// Implementations take `&self` and are internally synchronized, so a device
+/// can sit in an `Arc` referenced by several image layers at once.
+pub trait BlockDev: Send + Sync {
+    /// Read exactly `buf.len()` bytes starting at `off`.
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()>;
+
+    /// Write all of `buf` at `off`, growing the device if needed.
+    fn write_at(&self, buf: &[u8], off: u64) -> Result<()>;
+
+    /// Current device length in bytes.
+    fn len(&self) -> u64;
+
+    /// `true` when the device currently holds zero bytes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resize the device. Growing exposes zero bytes; shrinking discards.
+    fn set_len(&self, len: u64) -> Result<()>;
+
+    /// Durably order prior writes (no-op for memory devices).
+    fn flush(&self) -> Result<()>;
+
+    /// Read, zero-padding any portion that lies past the current end.
+    ///
+    /// Returns the number of bytes that came from the device (the rest of
+    /// the buffer was zeroed).
+    fn read_at_zero_pad(&self, buf: &mut [u8], off: u64) -> Result<usize> {
+        let len = self.len();
+        if off >= len {
+            buf.fill(0);
+            return Ok(0);
+        }
+        let avail = ((len - off) as usize).min(buf.len());
+        self.read_at(&mut buf[..avail], off)?;
+        buf[avail..].fill(0);
+        Ok(avail)
+    }
+
+    /// A short human-readable description (medium type), for diagnostics.
+    fn describe(&self) -> String {
+        "blockdev".to_string()
+    }
+
+    /// Runtime-type hook: formats layered on top of `BlockDev` (e.g. the
+    /// qcow image type) override this to let chain-walking code recover the
+    /// concrete type from a `SharedDev`. Plain media return `None`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+impl<T: BlockDev + ?Sized> BlockDev for Arc<T> {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        (**self).read_at(buf, off)
+    }
+    fn write_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        (**self).write_at(buf, off)
+    }
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+    fn set_len(&self, len: u64) -> Result<()> {
+        (**self).set_len(len)
+    }
+    fn flush(&self) -> Result<()> {
+        (**self).flush()
+    }
+    fn read_at_zero_pad(&self, buf: &mut [u8], off: u64) -> Result<usize> {
+        (**self).read_at_zero_pad(buf, off)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        (**self).as_any()
+    }
+}
+
+/// Validate an access `[off, off+len)` against a device length, producing the
+/// standard `OutOfBounds` error on violation. Helper for implementations.
+pub(crate) fn check_bounds(off: u64, len: usize, dev_len: u64) -> Result<()> {
+    let end = off
+        .checked_add(len as u64)
+        .ok_or_else(|| BlockError::out_of_bounds(off, len, dev_len))?;
+    if end > dev_len {
+        return Err(BlockError::out_of_bounds(off, len, dev_len));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDev;
+
+    #[test]
+    fn byte_range_basics() {
+        let r = ByteRange::at(10, 5);
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+        assert_eq!(r.intersect(&ByteRange::at(12, 10)), Some(ByteRange { start: 12, end: 15 }));
+        assert_eq!(r.intersect(&ByteRange::at(15, 1)), None);
+        assert!(ByteRange::at(3, 0).is_empty());
+    }
+
+    #[test]
+    fn check_bounds_rejects_overflow() {
+        assert!(check_bounds(u64::MAX - 1, 16, u64::MAX).is_err());
+        assert!(check_bounds(0, 16, 16).is_ok());
+        assert!(check_bounds(1, 16, 16).is_err());
+    }
+
+    #[test]
+    fn zero_pad_read_splits_correctly() {
+        let dev = MemDev::new();
+        dev.write_at(&[7u8; 8], 0).unwrap();
+        let mut buf = [1u8; 16];
+        let n = dev.read_at_zero_pad(&mut buf, 4).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(&buf[..4], &[7; 4]);
+        assert_eq!(&buf[4..], &[0; 12]);
+    }
+
+    #[test]
+    fn zero_pad_read_entirely_past_end() {
+        let dev = MemDev::with_len(8);
+        let mut buf = [9u8; 4];
+        let n = dev.read_at_zero_pad(&mut buf, 100).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(buf, [0; 4]);
+    }
+
+    #[test]
+    fn arc_dyn_delegates() {
+        let dev: SharedDev = Arc::new(MemDev::new());
+        dev.write_at(b"abc", 0).unwrap();
+        assert_eq!(dev.len(), 3);
+        let mut b = [0u8; 3];
+        dev.read_at(&mut b, 0).unwrap();
+        assert_eq!(&b, b"abc");
+    }
+}

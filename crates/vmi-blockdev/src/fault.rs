@@ -1,0 +1,204 @@
+//! Deterministic failure injection for tests.
+//!
+//! The cache read path must degrade gracefully when the cache fill fails
+//! mid-boot (quota space errors are the designed case; transient I/O errors
+//! the undesigned one). [`FaultDev`] lets tests fail the Nth read or write
+//! deterministically, or fail every operation touching a byte range.
+
+use parking_lot::Mutex;
+
+use crate::{BlockDev, BlockError, BlockErrorKind, ByteRange, Result, SharedDev};
+
+/// Which operation class a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Fail reads only.
+    Read,
+    /// Fail writes only.
+    Write,
+    /// Fail both reads and writes.
+    Any,
+}
+
+/// A programmed fault.
+#[derive(Debug, Clone)]
+pub enum FaultPlan {
+    /// Fail the `n`th matching operation (0-based) counted *from the moment
+    /// the plan is armed*, once.
+    NthOp {
+        /// Which op class counts toward and triggers the fault.
+        site: FaultSite,
+        /// 0-based index (among matching ops after arming) to fail.
+        n: u64,
+        /// Error kind to return.
+        kind: BlockErrorKind,
+    },
+    /// Fail every matching operation that intersects `range`.
+    Range {
+        /// Which op class the fault applies to.
+        site: FaultSite,
+        /// Byte range that triggers the fault.
+        range: ByteRange,
+        /// Error kind to return.
+        kind: BlockErrorKind,
+    },
+}
+
+impl FaultPlan {
+    fn site(&self) -> FaultSite {
+        match self {
+            FaultPlan::NthOp { site, .. } | FaultPlan::Range { site, .. } => *site,
+        }
+    }
+
+    fn matches_site(&self, is_read: bool) -> bool {
+        matches!(
+            (self.site(), is_read),
+            (FaultSite::Any, _) | (FaultSite::Read, true) | (FaultSite::Write, false)
+        )
+    }
+}
+
+/// One armed plan plus its private progress counter.
+#[derive(Debug)]
+struct Armed {
+    plan: FaultPlan,
+    matched: u64,
+}
+
+/// Fault-injecting decorator around any [`BlockDev`].
+pub struct FaultDev {
+    inner: SharedDev,
+    plans: Mutex<Vec<Armed>>,
+}
+
+impl FaultDev {
+    /// Wrap `inner` with no faults programmed.
+    pub fn new(inner: SharedDev) -> Self {
+        Self { inner, plans: Mutex::new(Vec::new()) }
+    }
+
+    /// Program a fault. Faults are checked in insertion order; `NthOp`
+    /// counting starts at this call.
+    pub fn inject(&self, plan: FaultPlan) {
+        self.plans.lock().push(Armed { plan, matched: 0 });
+    }
+
+    /// Remove all programmed faults.
+    pub fn clear(&self) {
+        self.plans.lock().clear();
+    }
+
+    fn check(&self, is_read: bool, off: u64, len: usize) -> Result<()> {
+        let mut plans = self.plans.lock();
+        let mut fired: Option<(usize, BlockErrorKind, u64)> = None;
+        for (i, armed) in plans.iter_mut().enumerate() {
+            if !armed.plan.matches_site(is_read) {
+                continue;
+            }
+            match &armed.plan {
+                FaultPlan::NthOp { n, kind, .. } => {
+                    let seq = armed.matched;
+                    armed.matched += 1;
+                    if seq == *n {
+                        fired = Some((i, *kind, seq));
+                        break;
+                    }
+                }
+                FaultPlan::Range { range, kind, .. } => {
+                    let op = ByteRange::at(off, len as u64);
+                    if range.intersect(&op).is_some() {
+                        return Err(BlockError::new(*kind, "injected range fault"));
+                    }
+                }
+            }
+        }
+        if let Some((i, kind, seq)) = fired {
+            plans.remove(i); // one-shot
+            return Err(BlockError::new(kind, format!("injected fault at op #{seq}")));
+        }
+        Ok(())
+    }
+}
+
+impl BlockDev for FaultDev {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        self.check(true, off, buf.len())?;
+        self.inner.read_at(buf, off)
+    }
+
+    fn write_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        self.check(false, off, buf.len())?;
+        self.inner.write_at(buf, off)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    fn describe(&self) -> String {
+        format!("fault({})", self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDev;
+    use std::sync::Arc;
+
+    #[test]
+    fn nth_read_fails_once() {
+        let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
+        dev.inject(FaultPlan::NthOp { site: FaultSite::Read, n: 1, kind: BlockErrorKind::Injected });
+        let mut buf = [0u8; 8];
+        assert!(dev.read_at(&mut buf, 0).is_ok()); // #0
+        assert!(dev.read_at(&mut buf, 0).is_err()); // #1 fires
+        assert!(dev.read_at(&mut buf, 0).is_ok()); // one-shot: cleared
+    }
+
+    #[test]
+    fn writes_do_not_consume_read_sequence() {
+        let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
+        dev.inject(FaultPlan::NthOp { site: FaultSite::Read, n: 0, kind: BlockErrorKind::Injected });
+        dev.write_at(&[1; 8], 0).unwrap(); // unaffected
+        let mut buf = [0u8; 8];
+        assert!(dev.read_at(&mut buf, 0).is_err());
+    }
+
+    #[test]
+    fn range_fault_fires_on_overlap_only() {
+        let dev = FaultDev::new(Arc::new(MemDev::with_len(1024)));
+        dev.inject(FaultPlan::Range {
+            site: FaultSite::Write,
+            range: ByteRange::at(100, 50),
+            kind: BlockErrorKind::Io,
+        });
+        assert!(dev.write_at(&[0; 10], 0).is_ok());
+        assert!(dev.write_at(&[0; 10], 95).is_err()); // overlaps [100,150)
+        assert!(dev.write_at(&[0; 10], 150).is_ok()); // adjacent, no overlap
+        let mut buf = [0u8; 64];
+        assert!(dev.read_at(&mut buf, 100).is_ok(), "read site not armed");
+    }
+
+    #[test]
+    fn clear_removes_all_plans() {
+        let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
+        dev.inject(FaultPlan::Range {
+            site: FaultSite::Any,
+            range: ByteRange::at(0, 64),
+            kind: BlockErrorKind::Io,
+        });
+        dev.clear();
+        let mut buf = [0u8; 8];
+        assert!(dev.read_at(&mut buf, 0).is_ok());
+    }
+}

@@ -1,0 +1,176 @@
+//! Real-file backend, used by the `vmi-img` CLI and file-based tests.
+
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::dev::check_bounds;
+use crate::{BlockDev, BlockError, Result};
+
+/// A block device backed by a host file.
+///
+/// Uses positioned I/O (`pread`/`pwrite`) so concurrent accesses through a
+/// shared handle do not interfere; the logical length is cached in an atomic
+/// and kept in sync with the file's metadata on growth.
+#[derive(Debug)]
+pub struct FileDev {
+    file: Mutex<File>,
+    len: AtomicU64,
+    path: PathBuf,
+    read_only: bool,
+}
+
+impl FileDev {
+    /// Create (or truncate) a file of length zero at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Self { file: Mutex::new(file), len: AtomicU64::new(0), path, read_only: false })
+    }
+
+    /// Open an existing file read-write.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_inner(path, false)
+    }
+
+    /// Open an existing file read-only, mirroring QEMU's default flag for
+    /// backing images (paper §4.3).
+    pub fn open_read_only(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_inner(path, true)
+    }
+
+    fn open_inner(path: impl AsRef<Path>, read_only: bool) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(!read_only).open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(Self { file: Mutex::new(file), len: AtomicU64::new(len), path, read_only })
+    }
+
+    /// The path this device was opened at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether the device rejects writes.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+}
+
+impl BlockDev for FileDev {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        check_bounds(off, buf.len(), self.len())?;
+        let file = self.file.lock();
+        file.read_exact_at(buf, off)?;
+        Ok(())
+    }
+
+    fn write_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        if self.read_only {
+            return Err(BlockError::read_only(format!("{}", self.path.display())));
+        }
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let file = self.file.lock();
+        file.write_all_at(buf, off)?;
+        let end = off + buf.len() as u64;
+        self.len.fetch_max(end, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len.load(Ordering::SeqCst)
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        if self.read_only {
+            return Err(BlockError::read_only(format!("{}", self.path.display())));
+        }
+        let file = self.file.lock();
+        file.set_len(len)?;
+        self.len.store(len, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        if self.read_only {
+            return Ok(());
+        }
+        let file = self.file.lock();
+        file.sync_data()?;
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!("file({})", self.path.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockErrorKind;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("vmi-blockdev-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{}", name, std::process::id()))
+    }
+
+    #[test]
+    fn create_write_reopen_read() {
+        let p = tmp("rw");
+        {
+            let dev = FileDev::create(&p).unwrap();
+            dev.write_at(b"hello file", 3).unwrap();
+            dev.flush().unwrap();
+            assert_eq!(dev.len(), 13);
+        }
+        let dev = FileDev::open(&p).unwrap();
+        assert_eq!(dev.len(), 13);
+        let mut buf = [0u8; 10];
+        dev.read_at(&mut buf, 3).unwrap();
+        assert_eq!(&buf, b"hello file");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn read_only_rejects_writes() {
+        let p = tmp("ro");
+        FileDev::create(&p).unwrap().write_at(b"x", 0).unwrap();
+        let dev = FileDev::open_read_only(&p).unwrap();
+        assert!(dev.is_read_only());
+        let err = dev.write_at(b"y", 0).unwrap_err();
+        assert_eq!(err.kind(), BlockErrorKind::ReadOnly);
+        assert_eq!(dev.set_len(0).unwrap_err().kind(), BlockErrorKind::ReadOnly);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn set_len_truncates() {
+        let p = tmp("trunc");
+        let dev = FileDev::create(&p).unwrap();
+        dev.write_at(&[9u8; 100], 0).unwrap();
+        dev.set_len(10).unwrap();
+        assert_eq!(dev.len(), 10);
+        let mut buf = [0u8; 10];
+        dev.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [9u8; 10]);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn open_missing_file_is_io_error() {
+        let err = FileDev::open("/nonexistent/vmi/file").unwrap_err();
+        assert_eq!(err.kind(), BlockErrorKind::Io);
+    }
+}

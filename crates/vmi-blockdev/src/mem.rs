@@ -1,0 +1,135 @@
+//! Contiguous in-memory device — models `tmpfs` and node RAM.
+
+use parking_lot::RwLock;
+
+use crate::dev::check_bounds;
+use crate::{BlockDev, Result};
+
+/// A heap-backed block device.
+///
+/// This is the "memory" medium of the paper: caches created on compute-node
+/// memory to keep cache writes off the boot critical path (§5.1, Fig. 7),
+/// and the storage node's `tmpfs` exports (§5). Writes past the current end
+/// grow the buffer, zero-filling any gap, like a POSIX file.
+#[derive(Debug, Default)]
+pub struct MemDev {
+    data: RwLock<Vec<u8>>,
+}
+
+impl MemDev {
+    /// An empty device of length zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zero-filled device of `len` bytes.
+    pub fn with_len(len: u64) -> Self {
+        Self { data: RwLock::new(vec![0; len as usize]) }
+    }
+
+    /// A device initialized with `content`.
+    pub fn from_vec(content: Vec<u8>) -> Self {
+        Self { data: RwLock::new(content) }
+    }
+
+    /// Clone out the full contents (test/diagnostic helper).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.read().clone()
+    }
+}
+
+impl BlockDev for MemDev {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        let data = self.data.read();
+        check_bounds(off, buf.len(), data.len() as u64)?;
+        let off = off as usize;
+        buf.copy_from_slice(&data[off..off + buf.len()]);
+        Ok(())
+    }
+
+    fn write_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let mut data = self.data.write();
+        let end = off as usize + buf.len();
+        if end > data.len() {
+            data.resize(end, 0);
+        }
+        let off = off as usize;
+        data[off..end].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.data.read().len() as u64
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.data.write().resize(len as usize, 0);
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!("mem({} B)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockErrorKind;
+
+    #[test]
+    fn write_grows_and_zero_fills_gap() {
+        let dev = MemDev::new();
+        dev.write_at(b"xy", 10).unwrap();
+        assert_eq!(dev.len(), 12);
+        let mut buf = [1u8; 12];
+        dev.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf[..10], &[0; 10]);
+        assert_eq!(&buf[10..], b"xy");
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        let dev = MemDev::with_len(4);
+        let mut buf = [0u8; 8];
+        let err = dev.read_at(&mut buf, 0).unwrap_err();
+        assert_eq!(err.kind(), BlockErrorKind::OutOfBounds);
+    }
+
+    #[test]
+    fn empty_write_is_noop_even_past_end() {
+        let dev = MemDev::new();
+        dev.write_at(&[], 1000).unwrap();
+        assert_eq!(dev.len(), 0);
+        assert!(dev.is_empty());
+    }
+
+    #[test]
+    fn set_len_shrinks_and_grows() {
+        let dev = MemDev::from_vec(vec![5; 8]);
+        dev.set_len(4).unwrap();
+        assert_eq!(dev.to_vec(), vec![5; 4]);
+        dev.set_len(6).unwrap();
+        assert_eq!(dev.to_vec(), vec![5, 5, 5, 5, 0, 0]);
+    }
+
+    #[test]
+    fn overwrite_in_place() {
+        let dev = MemDev::from_vec(vec![0; 8]);
+        dev.write_at(&[1, 2, 3], 2).unwrap();
+        assert_eq!(dev.to_vec(), vec![0, 0, 1, 2, 3, 0, 0, 0]);
+        assert_eq!(dev.len(), 8);
+    }
+
+    #[test]
+    fn describe_mentions_medium() {
+        assert!(MemDev::new().describe().starts_with("mem("));
+    }
+}

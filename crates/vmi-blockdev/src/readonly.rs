@@ -1,0 +1,87 @@
+//! Read-only enforcement decorator.
+//!
+//! QEMU opens backing images read-only by default; the paper's cache
+//! extension needed a "flag dance" (open RW, detect non-cache, re-open RO,
+//! §4.3). [`ReadOnlyDev`] is how our stack expresses the RO side of that
+//! protocol: base images are wrapped before being handed to an image chain,
+//! making immutability a type-level/runtime-enforced property rather than a
+//! convention.
+
+use crate::{BlockDev, BlockError, Result, SharedDev};
+
+/// Wrapper that rejects every mutation with a `ReadOnly` error.
+pub struct ReadOnlyDev {
+    inner: SharedDev,
+}
+
+impl ReadOnlyDev {
+    /// Wrap `inner` in a read-only view.
+    pub fn new(inner: SharedDev) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped device (still read-write through this reference's own
+    /// methods — holders of the `ReadOnlyDev` cannot reach it mutably via
+    /// the trait).
+    pub fn inner(&self) -> &SharedDev {
+        &self.inner
+    }
+}
+
+impl BlockDev for ReadOnlyDev {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        self.inner.read_at(buf, off)
+    }
+
+    fn write_at(&self, _buf: &[u8], _off: u64) -> Result<()> {
+        Err(BlockError::read_only("write to read-only device"))
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn set_len(&self, _len: u64) -> Result<()> {
+        Err(BlockError::read_only("resize of read-only device"))
+    }
+
+    fn flush(&self) -> Result<()> {
+        // Flushing a read-only view is a harmless no-op.
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!("ro({})", self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockErrorKind, MemDev};
+    use std::sync::Arc;
+
+    #[test]
+    fn reads_pass_through_writes_fail() {
+        let mem = Arc::new(MemDev::new());
+        mem.write_at(b"base image", 0).unwrap();
+        let ro = ReadOnlyDev::new(mem.clone());
+        let mut buf = [0u8; 10];
+        ro.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"base image");
+        assert_eq!(ro.write_at(b"x", 0).unwrap_err().kind(), BlockErrorKind::ReadOnly);
+        assert_eq!(ro.set_len(0).unwrap_err().kind(), BlockErrorKind::ReadOnly);
+        assert!(ro.flush().is_ok());
+        // The underlying device is untouched.
+        assert_eq!(mem.to_vec(), b"base image");
+    }
+
+    #[test]
+    fn len_tracks_inner() {
+        let mem = Arc::new(MemDev::with_len(42));
+        let ro = ReadOnlyDev::new(mem.clone());
+        assert_eq!(ro.len(), 42);
+        mem.set_len(100).unwrap();
+        assert_eq!(ro.len(), 100);
+    }
+}

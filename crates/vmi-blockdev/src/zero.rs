@@ -1,0 +1,78 @@
+//! Null device: reads as zeroes, swallows writes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{BlockDev, Result};
+
+/// A device of fixed logical size whose content is all zeroes.
+///
+/// Used as a stand-in base image when an experiment only cares about I/O
+/// volume and timing, not data content, and as the cheapest possible
+/// multi-GiB "pristine disk".
+#[derive(Debug, Default)]
+pub struct ZeroDev {
+    len: AtomicU64,
+}
+
+impl ZeroDev {
+    /// A zero device of `len` bytes.
+    pub fn new(len: u64) -> Self {
+        Self { len: AtomicU64::new(len) }
+    }
+}
+
+impl BlockDev for ZeroDev {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        crate::dev::check_bounds(off, buf.len(), self.len())?;
+        buf.fill(0);
+        Ok(())
+    }
+
+    fn write_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        // Accept and discard; grow logical length like a file would.
+        let end = off + buf.len() as u64;
+        self.len.fetch_max(end, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len.load(Ordering::SeqCst)
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.len.store(len, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!("zero({} B)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_zero_within_bounds() {
+        let dev = ZeroDev::new(100);
+        let mut buf = [7u8; 10];
+        dev.read_at(&mut buf, 90).unwrap();
+        assert_eq!(buf, [0; 10]);
+        assert!(dev.read_at(&mut buf, 95).is_err());
+    }
+
+    #[test]
+    fn writes_discard_but_grow() {
+        let dev = ZeroDev::new(10);
+        dev.write_at(&[1; 5], 20).unwrap();
+        assert_eq!(dev.len(), 25);
+        let mut buf = [9u8; 5];
+        dev.read_at(&mut buf, 20).unwrap();
+        assert_eq!(buf, [0; 5], "writes are discarded");
+    }
+}

@@ -1,0 +1,188 @@
+//! Cache pools with quota and LRU eviction.
+//!
+//! §3.4: "One of the other tasks of a cache-aware scheduler should be the
+//! eviction of VMI caches whenever the allocated cache space is full for a
+//! new VMI cache. This can be a policy such as LRU at the node or cloud
+//! level." A [`CachePool`] tracks the cache images stored on one medium
+//! (a compute node's cache partition, or the storage node's memory) and
+//! evicts least-recently-used entries to admit new ones.
+
+use std::collections::HashMap;
+
+/// Logical clock for recency (supplied by the caller; any monotone counter
+/// or simulated time works).
+pub type Stamp = u64;
+
+/// One stored cache image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Size of the cache image file in bytes.
+    pub size: u64,
+    /// Last time this cache was used to boot a VM.
+    pub last_used: Stamp,
+}
+
+/// A bounded pool of cache images keyed by VMI name.
+#[derive(Debug, Clone)]
+pub struct CachePool {
+    capacity: u64,
+    used: u64,
+    entries: HashMap<String, CacheEntry>,
+}
+
+impl CachePool {
+    /// A pool holding at most `capacity` bytes of cache images.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, used: 0, entries: HashMap::new() }
+    }
+
+    /// Bytes currently stored.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Pool capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Whether a cache for `vmi` is present.
+    pub fn contains(&self, vmi: &str) -> bool {
+        self.entries.contains_key(vmi)
+    }
+
+    /// Mark a cache as used now (a VM booted from it).
+    pub fn touch(&mut self, vmi: &str, now: Stamp) -> bool {
+        match self.entries.get_mut(vmi) {
+            Some(e) => {
+                e.last_used = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Admit a cache of `size` bytes, evicting LRU entries as needed.
+    /// Returns the names evicted, or `Err(())` if `size` exceeds capacity
+    /// outright (nothing is changed in that case).
+    #[allow(clippy::result_unit_err)]
+    pub fn admit(&mut self, vmi: impl Into<String>, size: u64, now: Stamp) -> Result<Vec<String>, ()> {
+        if size > self.capacity {
+            return Err(());
+        }
+        let vmi = vmi.into();
+        // Replacing an existing entry frees its space first.
+        if let Some(old) = self.entries.remove(&vmi) {
+            self.used -= old.size;
+        }
+        let mut evicted = Vec::new();
+        while self.used + size > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(name, e)| (e.last_used, name.as_str().to_owned()))
+                .map(|(name, _)| name.clone())
+                .expect("used > 0 implies entries exist");
+            let e = self.entries.remove(&victim).unwrap();
+            self.used -= e.size;
+            evicted.push(victim);
+        }
+        self.used += size;
+        self.entries.insert(vmi, CacheEntry { size, last_used: now });
+        Ok(evicted)
+    }
+
+    /// Remove a cache explicitly (VMI deregistered / base image changed —
+    /// immutability means a changed base invalidates its caches, §3).
+    pub fn remove(&mut self, vmi: &str) -> Option<CacheEntry> {
+        let e = self.entries.remove(vmi)?;
+        self.used -= e.size;
+        Some(e)
+    }
+
+    /// Names currently stored, most recently used first.
+    pub fn names_by_recency(&self) -> Vec<String> {
+        let mut v: Vec<(&String, &CacheEntry)> = self.entries.iter().collect();
+        v.sort_by(|a, b| b.1.last_used.cmp(&a.1.last_used).then(a.0.cmp(b.0)));
+        v.into_iter().map(|(n, _)| n.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_within_capacity() {
+        let mut p = CachePool::new(300);
+        assert_eq!(p.admit("a", 100, 1), Ok(vec![]));
+        assert_eq!(p.admit("b", 100, 2), Ok(vec![]));
+        assert_eq!(p.used(), 200);
+        assert!(p.contains("a"));
+    }
+
+    #[test]
+    fn lru_eviction_on_pressure() {
+        let mut p = CachePool::new(250);
+        p.admit("a", 100, 1).unwrap();
+        p.admit("b", 100, 2).unwrap();
+        p.touch("a", 3); // b is now LRU
+        let evicted = p.admit("c", 100, 4).unwrap();
+        assert_eq!(evicted, vec!["b".to_string()]);
+        assert!(p.contains("a") && p.contains("c") && !p.contains("b"));
+    }
+
+    #[test]
+    fn oversized_admit_rejected_without_change() {
+        let mut p = CachePool::new(100);
+        p.admit("a", 60, 1).unwrap();
+        assert!(p.admit("huge", 150, 2).is_err());
+        assert!(p.contains("a"));
+        assert_eq!(p.used(), 60);
+    }
+
+    #[test]
+    fn replacing_entry_frees_old_space() {
+        let mut p = CachePool::new(200);
+        p.admit("a", 150, 1).unwrap();
+        // Re-admit with a different size: no eviction of others needed.
+        p.admit("a", 180, 2).unwrap();
+        assert_eq!(p.used(), 180);
+    }
+
+    #[test]
+    fn multiple_evictions_for_one_admit() {
+        let mut p = CachePool::new(400);
+        p.admit("a", 100, 1).unwrap();
+        p.admit("b", 100, 2).unwrap();
+        p.admit("c", 100, 3).unwrap();
+        let evicted = p.admit("d", 250, 4).unwrap();
+        assert_eq!(evicted, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(p.used(), 100 + 250); // c + d
+        assert!(p.contains("c") && p.contains("d"));
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut p = CachePool::new(100);
+        p.admit("a", 80, 1).unwrap();
+        assert!(p.remove("a").is_some());
+        assert_eq!(p.used(), 0);
+        assert!(p.remove("a").is_none());
+    }
+
+    #[test]
+    fn recency_listing() {
+        let mut p = CachePool::new(1000);
+        p.admit("a", 10, 5).unwrap();
+        p.admit("b", 10, 9).unwrap();
+        p.admit("c", 10, 7).unwrap();
+        assert_eq!(p.names_by_recency(), vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn touch_missing_returns_false() {
+        let mut p = CachePool::new(10);
+        assert!(!p.touch("ghost", 1));
+    }
+}

@@ -1,0 +1,448 @@
+//! End-to-end boot experiments: the harness every figure is generated from.
+//!
+//! One [`ExperimentConfig`] describes a point on a paper graph: how many
+//! compute nodes boot simultaneously, from how many distinct VMIs, over
+//! which network, with which deployment [`Mode`]. [`run_experiment`] builds
+//! the whole simulated cluster (storage node, NFS exports, per-node image
+//! chains), replays every boot on the shared timeline, and reports boot
+//! times plus the storage-side traffic/disk counters the paper plots.
+
+use std::sync::Arc;
+
+use vmi_blockdev::{BlockDev, Result, SharedDev, SparseDev};
+use vmi_qcow::QcowImage;
+use vmi_remote::{MountOpts, NfsMount};
+use vmi_sim::{DiskStats, LinkStats, NetSpec, SimWorld};
+use vmi_trace::{BootTrace, VmiProfile};
+
+use crate::deploy::{build_chain, prepare_warm_cache, ChainSpec, Mode, Placement, WarmCache};
+use crate::node::{ComputeNode, StorageNode};
+use crate::vm::{run_boots, BootStats, VmOutcome, VmRun};
+
+/// Memoizes warm-cache preparation across experiment points: warming a
+/// CentOS cache is an offline boot replay, and a figure sweep re-uses the
+/// same `(profile, trace seed, quota, cluster)` warm cache at every x value.
+#[derive(Default)]
+pub struct WarmStore {
+    map: parking_lot::Mutex<WarmMap>,
+}
+
+/// Key: (profile name, trace seed, quota, cluster_bits).
+type WarmMap = std::collections::HashMap<(String, u64, u64, u32), Arc<WarmCache>>;
+
+impl std::fmt::Debug for WarmStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WarmStore({} entries)", self.map.lock().len())
+    }
+}
+
+impl WarmStore {
+    /// An empty store.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Fetch or build the warm cache for `(profile, trace, quota, bits)`.
+    pub fn get_or_prepare(
+        &self,
+        profile: &VmiProfile,
+        trace: &BootTrace,
+        quota: u64,
+        cluster_bits: u32,
+    ) -> Result<Arc<WarmCache>> {
+        let key = (profile.name.clone(), trace.seed, quota, cluster_bits);
+        if let Some(w) = self.map.lock().get(&key) {
+            return Ok(w.clone());
+        }
+        let w = Arc::new(prepare_warm_cache(profile, trace, quota, cluster_bits)?);
+        self.map.lock().insert(key, w.clone());
+        Ok(w)
+    }
+}
+
+/// One experiment point.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Number of compute nodes, each booting one VM simultaneously.
+    pub nodes: usize,
+    /// Number of distinct VMIs; node `i` boots VMI `i % vmis`.
+    pub vmis: usize,
+    /// Boot workload.
+    pub profile: VmiProfile,
+    /// Interconnect between storage and compute nodes.
+    pub net: NetSpec,
+    /// Deployment mode.
+    pub mode: Mode,
+    /// Master seed (drives the per-VMI trace seeds).
+    pub seed: u64,
+    /// Optional shared warm-cache memo (figure sweeps reuse warm-ups).
+    pub warm_store: Option<Arc<WarmStore>>,
+}
+
+impl ExperimentConfig {
+    /// A convenience constructor with the paper's defaults: CentOS profile,
+    /// 1 GbE, QCOW2 baseline.
+    pub fn new(nodes: usize, vmis: usize) -> Self {
+        Self {
+            nodes,
+            vmis,
+            profile: VmiProfile::centos_6_3(),
+            net: NetSpec::gbe_1(),
+            mode: Mode::Qcow2,
+            seed: 42,
+            warm_store: None,
+        }
+    }
+}
+
+/// Everything measured at one experiment point.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Per-VM results (boot times include cache transfer where the paper
+    /// includes it).
+    pub outcomes: Vec<VmOutcome>,
+    /// Aggregate boot statistics.
+    pub stats: BootStats,
+    /// Storage-node NIC counters — "observed traffic at the storage node"
+    /// (Figs. 9/10).
+    pub storage_nic: LinkStats,
+    /// Storage-node disk counters (the Fig. 3 bottleneck).
+    pub storage_disk: DiskStats,
+    /// Storage page-cache (hits, misses).
+    pub storage_page_cache: (u64, u64),
+    /// Per-VM cache image file size after the boot, if a cache was used.
+    pub cache_file_sizes: Vec<u64>,
+}
+
+impl ExperimentOutcome {
+    /// Mean boot time in seconds (the y axis of every boot-time figure).
+    pub fn mean_boot_secs(&self) -> f64 {
+        self.stats.mean_secs()
+    }
+
+    /// Total bytes that crossed the storage NIC, in MB (Fig. 9/10's y axis).
+    pub fn storage_traffic_mb(&self) -> f64 {
+        self.storage_nic.bytes as f64 / 1e6
+    }
+}
+
+/// Trace seed for VMI `v` under master seed `seed`: stable and distinct.
+pub fn vmi_seed(seed: u64, v: usize) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(v as u64 * 7919 + 1)
+}
+
+/// Run one experiment point. Deterministic for a given config.
+pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
+    assert!(cfg.nodes >= 1, "need at least one compute node");
+    assert!((1..=cfg.nodes).contains(&cfg.vmis), "vmis must be in 1..=nodes");
+
+    let world = SimWorld::new();
+    let mut storage = StorageNode::new(&world, cfg.net);
+
+    // Per-VMI traces and base exports.
+    let traces: Vec<Arc<BootTrace>> = (0..cfg.vmis)
+        .map(|v| Arc::new(vmi_trace::generate(&cfg.profile, vmi_seed(cfg.seed, v))))
+        .collect();
+    let base_exports: Vec<_> =
+        (0..cfg.vmis).map(|_| storage.create_base_vmi(cfg.profile.virtual_size)).collect();
+
+    // Warm caches (offline warm-up per VMI), and tmpfs exports for the
+    // storage-memory placement.
+    let warm: Vec<Option<Arc<WarmCache>>> = match cfg.mode {
+        Mode::WarmCache { quota, cluster_bits, .. } => (0..cfg.vmis)
+            .map(|v| match &cfg.warm_store {
+                Some(store) => {
+                    store.get_or_prepare(&cfg.profile, &traces[v], quota, cluster_bits).map(Some)
+                }
+                None => prepare_warm_cache(&cfg.profile, &traces[v], quota, cluster_bits)
+                    .map(|w| Some(Arc::new(w))),
+            })
+            .collect::<Result<_>>()?,
+        _ => (0..cfg.vmis).map(|_| None).collect(),
+    };
+    let warm_exports: Vec<_> = match cfg.mode {
+        Mode::WarmCache { placement: Placement::StorageMem, .. } => warm
+            .iter()
+            .map(|w| {
+                let container = w.as_ref().expect("warm prepared").container.clone();
+                Some(storage.export_on_tmpfs(container as SharedDev))
+            })
+            .collect(),
+        _ => (0..cfg.vmis).map(|_| None).collect(),
+    };
+
+    // For the Fig. 13 cold flow, only the *first* node per VMI creates and
+    // transfers the cache; the rest run plain QCOW2 (§5.3.2).
+    let cold_storage_mem =
+        matches!(cfg.mode, Mode::ColdCache { placement: Placement::StorageMem, .. });
+
+    let mut vms: Vec<VmRun> = Vec::with_capacity(cfg.nodes);
+    let mut chains: Vec<Arc<QcowImage>> = Vec::with_capacity(cfg.nodes);
+    let mut creator: Vec<bool> = vec![false; cfg.nodes];
+    let mut seen_vmi = vec![false; cfg.vmis];
+
+    #[allow(clippy::needless_range_loop)] // i indexes three parallel tables
+    for i in 0..cfg.nodes {
+        let v = i % cfg.vmis;
+        let mut node = ComputeNode::new(&world, i);
+        let base_dev: SharedDev =
+            NfsMount::new(base_exports[v].clone(), storage.nic, MountOpts::default());
+
+        let mut mode = cfg.mode;
+        if cold_storage_mem {
+            if seen_vmi[v] {
+                mode = Mode::Qcow2; // non-creators proceed with normal QCOW2
+            } else {
+                seen_vmi[v] = true;
+                creator[i] = true;
+            }
+        }
+
+        let (cache_dev, cache_read_only): (Option<SharedDev>, bool) = match mode {
+            Mode::Qcow2 => (None, false),
+            Mode::ColdCache { placement, .. } => {
+                let fresh: SharedDev = Arc::new(SparseDev::new());
+                let dev = match placement {
+                    // The final arrangement (Fig. 7): cold caches are built
+                    // in compute-node memory. The storage-memory flow also
+                    // creates locally in memory first (Fig. 13).
+                    Placement::ComputeMem | Placement::StorageMem => node.mem_file(fresh),
+                    // The slow variant of Fig. 8: synchronous writes to the
+                    // local disk sit on the boot critical path.
+                    Placement::ComputeDisk => node.disk_file(fresh, true),
+                };
+                (Some(dev), false)
+            }
+            Mode::WarmCache { placement, .. } => {
+                let w = warm[v].as_ref().expect("warm prepared");
+                match placement {
+                    Placement::ComputeDisk => {
+                        (Some(node.disk_file(Arc::new(w.container.fork()), false)), false)
+                    }
+                    Placement::ComputeMem => {
+                        (Some(node.mem_file(Arc::new(w.container.fork()))), false)
+                    }
+                    Placement::StorageMem => {
+                        let exp = warm_exports[v].as_ref().expect("tmpfs export").clone();
+                        let mount: SharedDev =
+                            NfsMount::new(exp, storage.nic, MountOpts::default());
+                        (Some(mount), true)
+                    }
+                }
+            }
+        };
+
+        let cow_dev = node.disk_file(Arc::new(SparseDev::new()), false);
+
+        // Chain creation is part of the measured boot (the paper times from
+        // "invoking KVM").
+        world.begin_op(0);
+        let chain = build_chain(ChainSpec {
+            mode,
+            profile: &cfg.profile,
+            base_dev,
+            cache_dev,
+            cow_dev,
+            cache_read_only,
+        })?;
+        let setup_ns = world.end_op();
+
+        chains.push(chain.clone());
+        vms.push(VmRun { chain: chain as SharedDev, trace: traces[v].clone(), start_at: 0, setup_ns });
+    }
+
+    let mut outcomes = run_boots(&world, vms)?;
+
+    // Fig. 13/14 cold flow: add the cache transfer (compute memory →
+    // storage tmpfs) to the creator's boot time.
+    if cold_storage_mem {
+        let mut order: Vec<usize> = (0..cfg.nodes).filter(|&i| creator[i]).collect();
+        order.sort_by_key(|&i| outcomes[i].done_at);
+        for i in order {
+            let size = cache_layer_file_size(&chains[i]).unwrap_or(0);
+            let done = world.bulk_transfer(storage.nic, outcomes[i].done_at, size);
+            let extra = done - outcomes[i].done_at;
+            outcomes[i].done_at = done;
+            outcomes[i].boot_ns += extra;
+            outcomes[i].io_wait_ns += extra;
+        }
+    }
+
+    let cache_file_sizes =
+        chains.iter().filter_map(cache_layer_file_size).collect::<Vec<_>>();
+
+    Ok(ExperimentOutcome {
+        stats: BootStats::from(&outcomes),
+        outcomes,
+        storage_nic: world.link_stats(storage.nic),
+        storage_disk: world.disk_stats(storage.disk),
+        storage_page_cache: world.cache_stats(storage.page_cache),
+        cache_file_sizes,
+    })
+}
+
+/// File size of the cache layer under a CoW top image, if any.
+fn cache_layer_file_size(chain: &Arc<QcowImage>) -> Option<u64> {
+    let backing = chain.backing()?;
+    let q = backing.as_any()?.downcast_ref::<QcowImage>()?;
+    q.is_cache().then(|| q.file_size())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(nodes: usize, vmis: usize, mode: Mode, net: NetSpec) -> ExperimentConfig {
+        ExperimentConfig {
+            nodes,
+            vmis,
+            profile: VmiProfile::tiny_test(),
+            net,
+            mode,
+            seed: 7,
+            warm_store: None,
+        }
+    }
+
+    const QUOTA: u64 = 16 << 20;
+
+    #[test]
+    fn qcow2_single_node_runs() {
+        let out = run_experiment(&tiny(1, 1, Mode::Qcow2, NetSpec::gbe_1())).unwrap();
+        assert_eq!(out.outcomes.len(), 1);
+        // Boot time ≈ think (100 ms) + I/O; sanity bounds.
+        let secs = out.mean_boot_secs();
+        assert!(secs > 0.09 && secs < 5.0, "boot {secs}s");
+        assert!(out.storage_nic.bytes > 0);
+    }
+
+    #[test]
+    fn warm_cache_eliminates_storage_traffic() {
+        let mode =
+            Mode::WarmCache { placement: Placement::ComputeDisk, quota: QUOTA, cluster_bits: 9 };
+        let out = run_experiment(&tiny(2, 1, mode, NetSpec::gbe_1())).unwrap();
+        assert_eq!(out.storage_nic.bytes, 0, "fully warm local caches never hit the network");
+        assert_eq!(out.cache_file_sizes.len(), 2);
+    }
+
+    #[test]
+    fn warm_faster_than_qcow2_on_saturated_net() {
+        // The tiny profile moves only ~3 MB per boot, so saturating a real
+        // 1 GbE at 8 nodes is impossible; use a scaled-down pipe with the
+        // same *relative* pressure as 64 × CentOS over 1 GbE.
+        let slow = NetSpec { bw_bps: 4_000_000, latency_ns: 120_000, per_msg_ns: 15_000, discipline: vmi_sim::LinkDiscipline::Fifo };
+        let nodes = 8;
+        let q = run_experiment(&tiny(nodes, 1, Mode::Qcow2, slow)).unwrap();
+        let w = run_experiment(&tiny(
+            nodes,
+            1,
+            Mode::WarmCache { placement: Placement::ComputeDisk, quota: QUOTA, cluster_bits: 9 },
+            slow,
+        ))
+        .unwrap();
+        assert!(
+            w.mean_boot_secs() < 0.5 * q.mean_boot_secs(),
+            "warm {} !≪ qcow2 {}",
+            w.mean_boot_secs(),
+            q.mean_boot_secs()
+        );
+    }
+
+    #[test]
+    fn cold_cache_traffic_at_least_qcow2_with_big_clusters() {
+        let q = run_experiment(&tiny(1, 1, Mode::Qcow2, NetSpec::gbe_1())).unwrap();
+        let c64 = run_experiment(&tiny(
+            1,
+            1,
+            Mode::ColdCache { placement: Placement::ComputeMem, quota: QUOTA, cluster_bits: 16 },
+            NetSpec::gbe_1(),
+        ))
+        .unwrap();
+        let c512 = run_experiment(&tiny(
+            1,
+            1,
+            Mode::ColdCache { placement: Placement::ComputeMem, quota: QUOTA, cluster_bits: 9 },
+            NetSpec::gbe_1(),
+        ))
+        .unwrap();
+        // Fig. 9: 64 KiB cold cache amplifies traffic; 512 B does not.
+        assert!(
+            c64.storage_traffic_mb() > 1.2 * q.storage_traffic_mb(),
+            "cold-64K {} !> qcow2 {}",
+            c64.storage_traffic_mb(),
+            q.storage_traffic_mb()
+        );
+        assert!(
+            c512.storage_traffic_mb() < 1.15 * q.storage_traffic_mb(),
+            "cold-512B {} too high vs qcow2 {}",
+            c512.storage_traffic_mb(),
+            q.storage_traffic_mb()
+        );
+    }
+
+    #[test]
+    fn cold_on_disk_slower_than_cold_in_mem() {
+        let disk = run_experiment(&tiny(
+            1,
+            1,
+            Mode::ColdCache { placement: Placement::ComputeDisk, quota: QUOTA, cluster_bits: 9 },
+            NetSpec::gbe_1(),
+        ))
+        .unwrap();
+        let mem = run_experiment(&tiny(
+            1,
+            1,
+            Mode::ColdCache { placement: Placement::ComputeMem, quota: QUOTA, cluster_bits: 9 },
+            NetSpec::gbe_1(),
+        ))
+        .unwrap();
+        assert!(
+            disk.mean_boot_secs() > 1.3 * mem.mean_boot_secs(),
+            "sync disk writes must hurt: disk {} vs mem {}",
+            disk.mean_boot_secs(),
+            mem.mean_boot_secs()
+        );
+    }
+
+    #[test]
+    fn warm_storage_mem_avoids_storage_disk() {
+        let out = run_experiment(&tiny(
+            4,
+            2,
+            Mode::WarmCache { placement: Placement::StorageMem, quota: QUOTA, cluster_bits: 9 },
+            NetSpec::ib_32g(),
+        ))
+        .unwrap();
+        assert_eq!(out.storage_disk.read_ops, 0, "warm tmpfs caches bypass the disk");
+        assert!(out.storage_nic.bytes > 0, "but the data still crosses the network");
+    }
+
+    #[test]
+    fn cold_storage_mem_has_one_creator_per_vmi() {
+        let out = run_experiment(&tiny(
+            4,
+            2,
+            Mode::ColdCache { placement: Placement::StorageMem, quota: QUOTA, cluster_bits: 9 },
+            NetSpec::ib_32g(),
+        ))
+        .unwrap();
+        // Two creators (one per VMI) carry the cache transfer; two run plain
+        // QCOW2. Cache layers exist only on creators.
+        assert_eq!(out.cache_file_sizes.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_outcome() {
+        let cfg = tiny(3, 2, Mode::Qcow2, NetSpec::gbe_1());
+        let a = run_experiment(&cfg).unwrap();
+        let b = run_experiment(&cfg).unwrap();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.storage_nic, b.storage_nic);
+    }
+
+    #[test]
+    #[should_panic(expected = "vmis must be in")]
+    fn rejects_more_vmis_than_nodes() {
+        let _ = run_experiment(&tiny(2, 3, Mode::Qcow2, NetSpec::gbe_1()));
+    }
+}

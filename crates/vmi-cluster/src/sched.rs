@@ -1,0 +1,221 @@
+//! Cache-aware cloud scheduling (§3.4).
+//!
+//! The paper lists OpenNebula's scheduler goals — *packing*, *striping*,
+//! *load-aware mapping* — and argues a cache-aware scheduler "should be
+//! allocation of VMs to nodes with an existing warm cache. This heuristic
+//! can be used in conjunction with any of the above desired strategies."
+//!
+//! [`Scheduler::place`] implements exactly that: the base policy ranks
+//! candidate nodes; the cache-aware overlay first narrows the candidates to
+//! nodes holding a warm cache for the requested VMI whenever any such node
+//! has capacity.
+
+use crate::cachepool::{CachePool, Stamp};
+
+/// Base placement strategy (the OpenNebula options of §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Minimize the number of nodes in use: prefer the most-loaded node
+    /// with free capacity.
+    Packing,
+    /// Spread VMs: prefer the least-loaded node.
+    Striping,
+    /// Prefer the node with the lowest load metric (a separately reported
+    /// utilization, e.g. CPU), not just VM count.
+    LoadAware,
+}
+
+/// Scheduler's view of one compute node.
+#[derive(Debug)]
+pub struct NodeState {
+    /// Stable node identifier.
+    pub id: usize,
+    /// VMs currently running.
+    pub running_vms: usize,
+    /// Maximum VMs the node can host.
+    pub capacity: usize,
+    /// Reported load in [0, 1] (only consulted by [`Policy::LoadAware`]).
+    pub load: f64,
+    /// The node's local VMI-cache pool.
+    pub caches: CachePool,
+}
+
+impl NodeState {
+    /// A node with `capacity` VM slots and `cache_bytes` of cache space.
+    pub fn new(id: usize, capacity: usize, cache_bytes: u64) -> Self {
+        Self { id, running_vms: 0, capacity, load: 0.0, caches: CachePool::new(cache_bytes) }
+    }
+
+    /// Whether another VM fits.
+    pub fn has_room(&self) -> bool {
+        self.running_vms < self.capacity
+    }
+}
+
+/// The placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementDecision {
+    /// Chosen node id.
+    pub node: usize,
+    /// Whether the chosen node holds a warm cache for the VMI.
+    pub cache_hit: bool,
+}
+
+/// A cache-aware scheduler over a fleet of nodes.
+#[derive(Debug)]
+pub struct Scheduler {
+    policy: Policy,
+    /// When `true`, prefer warm-cache nodes (the §3.4 heuristic).
+    cache_aware: bool,
+}
+
+impl Scheduler {
+    /// Build a scheduler.
+    pub fn new(policy: Policy, cache_aware: bool) -> Self {
+        Self { policy, cache_aware }
+    }
+
+    /// Place one VM booting from `vmi`. Updates the chosen node's VM count
+    /// and cache recency. Returns `None` when no node has room.
+    pub fn place(
+        &self,
+        nodes: &mut [NodeState],
+        vmi: &str,
+        now: Stamp,
+    ) -> Option<PlacementDecision> {
+        let candidates: Vec<usize> =
+            (0..nodes.len()).filter(|&i| nodes[i].has_room()).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        // Cache-aware narrowing: "allocation of VMs to nodes with an
+        // existing warm cache … in conjunction with any of the above".
+        let narrowed: Vec<usize> = if self.cache_aware {
+            let warm: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| nodes[i].caches.contains(vmi))
+                .collect();
+            if warm.is_empty() {
+                candidates
+            } else {
+                warm
+            }
+        } else {
+            candidates
+        };
+        let best = *narrowed
+            .iter()
+            .min_by(|&&a, &&b| self.rank(&nodes[a]).partial_cmp(&self.rank(&nodes[b])).unwrap())
+            .expect("narrowed nonempty");
+        let node = &mut nodes[best];
+        node.running_vms += 1;
+        let cache_hit = node.caches.touch(vmi, now);
+        Some(PlacementDecision { node: node.id, cache_hit })
+    }
+
+    /// Lower rank = preferred.
+    fn rank(&self, n: &NodeState) -> (f64, usize) {
+        match self.policy {
+            // Packing prefers fuller nodes (but never full ones — filtered).
+            Policy::Packing => (-(n.running_vms as f64), n.id),
+            Policy::Striping => (n.running_vms as f64, n.id),
+            Policy::LoadAware => (n.load, n.id),
+        }
+    }
+
+    /// Release one VM slot on `node` (VM terminated).
+    pub fn release(nodes: &mut [NodeState], node: usize) {
+        if let Some(n) = nodes.iter_mut().find(|n| n.id == node) {
+            n.running_vms = n.running_vms.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> Vec<NodeState> {
+        (0..n).map(|i| NodeState::new(i, 4, 1000)).collect()
+    }
+
+    #[test]
+    fn striping_spreads() {
+        let s = Scheduler::new(Policy::Striping, false);
+        let mut nodes = fleet(3);
+        let picks: Vec<usize> =
+            (0..6).map(|t| s.place(&mut nodes, "v", t).unwrap().node).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn packing_fills_one_node_first() {
+        let s = Scheduler::new(Policy::Packing, false);
+        let mut nodes = fleet(3);
+        let picks: Vec<usize> =
+            (0..5).map(|t| s.place(&mut nodes, "v", t).unwrap().node).collect();
+        assert_eq!(picks, vec![0, 0, 0, 0, 1], "node 0 fills to capacity 4 first");
+    }
+
+    #[test]
+    fn load_aware_prefers_idle() {
+        let s = Scheduler::new(Policy::LoadAware, false);
+        let mut nodes = fleet(2);
+        nodes[0].load = 0.9;
+        nodes[1].load = 0.1;
+        assert_eq!(s.place(&mut nodes, "v", 0).unwrap().node, 1);
+    }
+
+    #[test]
+    fn cache_aware_overrides_base_order() {
+        let s = Scheduler::new(Policy::Striping, true);
+        let mut nodes = fleet(3);
+        nodes[2].caches.admit("centos", 100, 0).unwrap();
+        // Striping alone would pick node 0; cache awareness narrows to node 2.
+        let d = s.place(&mut nodes, "centos", 1).unwrap();
+        assert_eq!(d.node, 2);
+        assert!(d.cache_hit);
+    }
+
+    #[test]
+    fn cache_aware_falls_back_when_no_warm_node() {
+        let s = Scheduler::new(Policy::Striping, true);
+        let mut nodes = fleet(2);
+        let d = s.place(&mut nodes, "unknown", 1).unwrap();
+        assert_eq!(d.node, 0);
+        assert!(!d.cache_hit);
+    }
+
+    #[test]
+    fn cache_aware_ignores_full_warm_nodes() {
+        let s = Scheduler::new(Policy::Striping, true);
+        let mut nodes = fleet(2);
+        nodes[1].caches.admit("v", 100, 0).unwrap();
+        nodes[1].running_vms = 4; // full
+        let d = s.place(&mut nodes, "v", 1).unwrap();
+        assert_eq!(d.node, 0, "full warm node cannot take the VM");
+        assert!(!d.cache_hit);
+    }
+
+    #[test]
+    fn returns_none_when_cluster_full() {
+        let s = Scheduler::new(Policy::Packing, true);
+        let mut nodes = fleet(1);
+        for t in 0..4 {
+            assert!(s.place(&mut nodes, "v", t).is_some());
+        }
+        assert!(s.place(&mut nodes, "v", 9).is_none());
+    }
+
+    #[test]
+    fn release_frees_a_slot() {
+        let s = Scheduler::new(Policy::Packing, false);
+        let mut nodes = fleet(1);
+        for t in 0..4 {
+            s.place(&mut nodes, "v", t).unwrap();
+        }
+        Scheduler::release(&mut nodes, 0);
+        assert!(s.place(&mut nodes, "v", 10).is_some());
+    }
+}

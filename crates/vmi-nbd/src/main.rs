@@ -1,0 +1,113 @@
+//! `vmi-nbd` — serve image files over NBD.
+//!
+//! ```text
+//! vmi-nbd serve --addr 127.0.0.1:10809 NAME=PATH [NAME=PATH ...]
+//! ```
+//!
+//! Each `PATH` is opened with its backing chain (the §4.3 flag dance) and
+//! exported under `NAME`. Caches opened through a chain keep warming as
+//! clients read. Ctrl-C to stop.
+
+use std::sync::Arc;
+
+use vmi_nbd::NbdServer;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("serve") {
+        eprintln!("usage: vmi-nbd serve [--addr HOST:PORT] [--ro] NAME=PATH ...");
+        std::process::exit(2);
+    }
+    let mut addr = "127.0.0.1:10809".to_string();
+    let mut read_only = false;
+    let mut exports: Vec<(String, String)> = Vec::new();
+    let mut iter = args[1..].iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = iter.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--addr needs a value");
+                    std::process::exit(2);
+                })
+            }
+            "--ro" => read_only = true,
+            spec => match spec.split_once('=') {
+                Some((name, path)) => exports.push((name.to_string(), path.to_string())),
+                None => {
+                    eprintln!("export spec must be NAME=PATH, got {spec:?}");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if exports.is_empty() {
+        eprintln!("no exports given");
+        std::process::exit(2);
+    }
+
+    let server = match NbdServer::start(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    for (name, path) in &exports {
+        match vmi_img_open(path, read_only) {
+            Ok(dev) => {
+                server.add_export(name.clone(), dev, read_only);
+                println!("exported {name} <- {path}");
+            }
+            Err(e) => {
+                eprintln!("open {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("serving on {} — attach with: nbd-client or NbdClient::connect", server.addr());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Open `path` as an image chain if it parses as one, else as a raw file.
+fn vmi_img_open(
+    path: &str,
+    read_only: bool,
+) -> vmi_blockdev::Result<vmi_blockdev::SharedDev> {
+    let p = std::path::Path::new(path);
+    let raw: vmi_blockdev::SharedDev = if read_only {
+        Arc::new(vmi_blockdev::FileDev::open_read_only(p)?)
+    } else {
+        Arc::new(vmi_blockdev::FileDev::open(p)?)
+    };
+    if vmi_qcow::Header::decode(raw.as_ref() as &dyn vmi_blockdev::BlockDev).is_ok() {
+        // Image file: open with its chain via the directory resolver.
+        let resolver = vmi_img_resolver(p);
+        let name = p
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| vmi_blockdev::BlockError::unsupported("bad path"))?;
+        Ok(vmi_qcow::open_chain(&resolver, name, read_only)? as vmi_blockdev::SharedDev)
+    } else {
+        Ok(raw)
+    }
+}
+
+fn vmi_img_resolver(path: &std::path::Path) -> impl vmi_qcow::DevResolver {
+    struct R(std::path::PathBuf);
+    impl vmi_qcow::DevResolver for R {
+        fn resolve(&self, name: &str) -> vmi_blockdev::Result<vmi_blockdev::SharedDev> {
+            let p = if std::path::Path::new(name).is_absolute() {
+                std::path::PathBuf::from(name)
+            } else {
+                self.0.join(name)
+            };
+            match vmi_blockdev::FileDev::open(&p) {
+                Ok(d) => Ok(Arc::new(d)),
+                Err(_) => Ok(Arc::new(vmi_blockdev::FileDev::open_read_only(&p)?)),
+            }
+        }
+    }
+    R(path.parent().unwrap_or(std::path::Path::new(".")).to_path_buf())
+}

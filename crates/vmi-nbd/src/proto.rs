@@ -1,0 +1,218 @@
+//! NBD wire-protocol constants and framing helpers (fixed-newstyle
+//! handshake + simple replies), per the canonical protocol document
+//! <https://github.com/NetworkBlockDevice/nbd/blob/master/doc/proto.md>.
+
+use std::io::{Read, Write};
+
+use vmi_blockdev::{BlockError, Result};
+
+/// `NBDMAGIC` — first 8 bytes of the server greeting.
+pub const NBDMAGIC: u64 = 0x4e42_444d_4147_4943;
+/// `IHAVEOPT` — second 8 bytes of the greeting, and the option-request magic.
+pub const IHAVEOPT: u64 = 0x4948_4156_454F_5054;
+/// Option *reply* magic.
+pub const OPT_REPLY_MAGIC: u64 = 0x0003_e889_0455_65a9;
+/// Transmission request magic.
+pub const REQUEST_MAGIC: u32 = 0x2560_9513;
+/// Transmission (simple) reply magic.
+pub const SIMPLE_REPLY_MAGIC: u32 = 0x6744_6698;
+
+/// Handshake flag: fixed-newstyle negotiation.
+pub const NBD_FLAG_FIXED_NEWSTYLE: u16 = 1 << 0;
+/// Handshake flag: omit the 124-byte zero pad after export info.
+pub const NBD_FLAG_NO_ZEROES: u16 = 1 << 1;
+
+/// Client handshake flag mirror of [`NBD_FLAG_FIXED_NEWSTYLE`].
+pub const NBD_FLAG_C_FIXED_NEWSTYLE: u32 = 1 << 0;
+/// Client handshake flag mirror of [`NBD_FLAG_NO_ZEROES`].
+pub const NBD_FLAG_C_NO_ZEROES: u32 = 1 << 1;
+
+/// Option: bind to an export and enter transmission.
+pub const NBD_OPT_EXPORT_NAME: u32 = 1;
+/// Option: abort the session.
+pub const NBD_OPT_ABORT: u32 = 2;
+/// Option: list export names.
+pub const NBD_OPT_LIST: u32 = 3;
+
+/// Option-reply type: acknowledged.
+pub const NBD_REP_ACK: u32 = 1;
+/// Option-reply type: one export-name item.
+pub const NBD_REP_SERVER: u32 = 2;
+/// Option-reply error: unsupported option.
+pub const NBD_REP_ERR_UNSUP: u32 = 0x8000_0001;
+/// Option-reply error: unknown export.
+pub const NBD_REP_ERR_UNKNOWN: u32 = 0x8000_0006;
+
+/// Transmission flag: this export has flags (always set).
+pub const NBD_FLAG_HAS_FLAGS: u16 = 1 << 0;
+/// Transmission flag: export is read-only.
+pub const NBD_FLAG_READ_ONLY: u16 = 1 << 1;
+/// Transmission flag: `FLUSH` is supported.
+pub const NBD_FLAG_SEND_FLUSH: u16 = 1 << 2;
+/// Transmission flag: `TRIM` is supported.
+pub const NBD_FLAG_SEND_TRIM: u16 = 1 << 5;
+
+/// Command: read.
+pub const NBD_CMD_READ: u16 = 0;
+/// Command: write.
+pub const NBD_CMD_WRITE: u16 = 1;
+/// Command: disconnect.
+pub const NBD_CMD_DISC: u16 = 2;
+/// Command: flush.
+pub const NBD_CMD_FLUSH: u16 = 3;
+/// Command: trim (discard).
+pub const NBD_CMD_TRIM: u16 = 4;
+
+/// POSIX-style error codes carried in replies.
+pub const NBD_EIO: u32 = 5;
+/// Invalid argument (out-of-range request).
+pub const NBD_EINVAL: u32 = 22;
+/// No space (cache quota exhausted surfaces as this).
+pub const NBD_ENOSPC: u32 = 28;
+/// Operation not permitted (write to read-only export).
+pub const NBD_EPERM: u32 = 1;
+
+/// One parsed transmission request header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Command flags (unused by this implementation).
+    pub flags: u16,
+    /// Command type (`NBD_CMD_*`).
+    pub ty: u16,
+    /// Opaque client handle echoed in the reply.
+    pub handle: u64,
+    /// Byte offset.
+    pub offset: u64,
+    /// Byte length.
+    pub length: u32,
+}
+
+/// Read exactly `n` bytes.
+pub fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<()> {
+    r.read_exact(buf).map_err(|e| BlockError::new(vmi_blockdev::BlockErrorKind::Io, format!("nbd read: {e}")))
+}
+
+/// Write all bytes.
+pub fn write_all(w: &mut impl Write, buf: &[u8]) -> Result<()> {
+    w.write_all(buf).map_err(|e| BlockError::new(vmi_blockdev::BlockErrorKind::Io, format!("nbd write: {e}")))
+}
+
+/// Read a big-endian u16.
+pub fn read_u16(r: &mut impl Read) -> Result<u16> {
+    let mut b = [0u8; 2];
+    read_exact(r, &mut b)?;
+    Ok(u16::from_be_bytes(b))
+}
+
+/// Read a big-endian u32.
+pub fn read_u32(r: &mut impl Read) -> Result<u32> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b)?;
+    Ok(u32::from_be_bytes(b))
+}
+
+/// Read a big-endian u64.
+pub fn read_u64(r: &mut impl Read) -> Result<u64> {
+    let mut b = [0u8; 8];
+    read_exact(r, &mut b)?;
+    Ok(u64::from_be_bytes(b))
+}
+
+/// Parse one transmission request header (after its magic).
+pub fn read_request(r: &mut impl Read) -> Result<Request> {
+    let magic = read_u32(r)?;
+    if magic != REQUEST_MAGIC {
+        return Err(BlockError::corrupt(format!("bad request magic {magic:#x}")));
+    }
+    Ok(Request {
+        flags: read_u16(r)?,
+        ty: read_u16(r)?,
+        handle: read_u64(r)?,
+        offset: read_u64(r)?,
+        length: read_u32(r)?,
+    })
+}
+
+/// Serialize one transmission request header.
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<()> {
+    let mut b = Vec::with_capacity(28);
+    b.extend_from_slice(&REQUEST_MAGIC.to_be_bytes());
+    b.extend_from_slice(&req.flags.to_be_bytes());
+    b.extend_from_slice(&req.ty.to_be_bytes());
+    b.extend_from_slice(&req.handle.to_be_bytes());
+    b.extend_from_slice(&req.offset.to_be_bytes());
+    b.extend_from_slice(&req.length.to_be_bytes());
+    write_all(w, &b)
+}
+
+/// Write a simple reply header.
+pub fn write_simple_reply(w: &mut impl Write, error: u32, handle: u64) -> Result<()> {
+    let mut b = Vec::with_capacity(16);
+    b.extend_from_slice(&SIMPLE_REPLY_MAGIC.to_be_bytes());
+    b.extend_from_slice(&error.to_be_bytes());
+    b.extend_from_slice(&handle.to_be_bytes());
+    write_all(w, &b)
+}
+
+/// Read a simple reply header; returns (error, handle).
+pub fn read_simple_reply(r: &mut impl Read) -> Result<(u32, u64)> {
+    let magic = read_u32(r)?;
+    if magic != SIMPLE_REPLY_MAGIC {
+        return Err(BlockError::corrupt(format!("bad reply magic {magic:#x}")));
+    }
+    Ok((read_u32(r)?, read_u64(r)?))
+}
+
+/// Write one option reply (server → client during negotiation).
+pub fn write_option_reply(
+    w: &mut impl Write,
+    option: u32,
+    reply_type: u32,
+    payload: &[u8],
+) -> Result<()> {
+    let mut b = Vec::with_capacity(20 + payload.len());
+    b.extend_from_slice(&OPT_REPLY_MAGIC.to_be_bytes());
+    b.extend_from_slice(&option.to_be_bytes());
+    b.extend_from_slice(&reply_type.to_be_bytes());
+    b.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    b.extend_from_slice(payload);
+    write_all(w, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request { flags: 0, ty: NBD_CMD_READ, handle: 0xDEAD, offset: 4096, length: 512 };
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        assert_eq!(buf.len(), 28);
+        let back = read_request(&mut &buf[..]).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn simple_reply_roundtrip() {
+        let mut buf = Vec::new();
+        write_simple_reply(&mut buf, NBD_ENOSPC, 77).unwrap();
+        let (err, handle) = read_simple_reply(&mut &buf[..]).unwrap();
+        assert_eq!(err, NBD_ENOSPC);
+        assert_eq!(handle, 77);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let buf = [0u8; 28];
+        assert!(read_request(&mut &buf[..]).is_err());
+        assert!(read_simple_reply(&mut &buf[..16]).is_err());
+    }
+
+    #[test]
+    fn magics_match_spec() {
+        // Spot-check the protocol constants against their ASCII identities.
+        assert_eq!(&NBDMAGIC.to_be_bytes(), b"NBDMAGIC");
+        assert_eq!(&IHAVEOPT.to_be_bytes(), b"IHAVEOPT");
+    }
+}

@@ -1,0 +1,319 @@
+//! The NBD server: export any [`BlockDev`] — in particular an opened
+//! `vmi-qcow` cache chain — to standard NBD clients over TCP.
+//!
+//! This is the deployment shape the paper's architecture maps onto today:
+//! a storage node keeps warm cache images in memory and *serves* them as
+//! network block devices; compute nodes attach and boot. The server speaks
+//! fixed-newstyle negotiation (`NBD_OPT_EXPORT_NAME`, `LIST`, `ABORT`) and
+//! the simple transmission phase (`READ`/`WRITE`/`FLUSH`/`TRIM`/`DISC`).
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vmi_blockdev::{BlockErrorKind, Result, SharedDev};
+use vmi_qcow::QcowImage;
+
+use crate::proto::*;
+
+/// One served export.
+struct Export {
+    dev: SharedDev,
+    read_only: bool,
+}
+
+/// A running NBD server.
+///
+/// Exports are looked up by name at `NBD_OPT_EXPORT_NAME` time; each client
+/// connection is handled on its own thread. Drop the handle (or call
+/// [`NbdServer::shutdown`]) to stop accepting; live connections finish
+/// their current request and exit on the next read.
+pub struct NbdServer {
+    addr: SocketAddr,
+    exports: Arc<Mutex<HashMap<String, Arc<Export>>>>,
+    stop: Arc<AtomicBool>,
+    served_requests: Arc<AtomicU64>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NbdServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and start
+    /// accepting in a background thread.
+    pub fn start(addr: &str) -> Result<Self> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| vmi_blockdev::BlockError::new(BlockErrorKind::Io, format!("bind: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| vmi_blockdev::BlockError::new(BlockErrorKind::Io, e.to_string()))?;
+        listener.set_nonblocking(true).ok();
+        let exports: Arc<Mutex<HashMap<String, Arc<Export>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let accept_thread = {
+            let exports = exports.clone();
+            let stop = stop.clone();
+            let served = served.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(false).ok();
+                            stream.set_nodelay(true).ok();
+                            let exports = exports.clone();
+                            let served = served.clone();
+                            std::thread::spawn(move || {
+                                let _ = handle_connection(stream, &exports, &served);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(Self {
+            addr: local,
+            exports,
+            stop,
+            served_requests: served,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Register `dev` under `name`.
+    pub fn add_export(&self, name: impl Into<String>, dev: SharedDev, read_only: bool) {
+        self.exports.lock().insert(name.into(), Arc::new(Export { dev, read_only }));
+    }
+
+    /// Register an opened image chain under `name` (the usual case: a CoW
+    /// or cache chain served to a booting VM).
+    pub fn add_image(&self, name: impl Into<String>, img: Arc<QcowImage>) {
+        let ro = img.is_read_only();
+        self.add_export(name, img as SharedDev, ro);
+    }
+
+    /// Remove an export; existing connections keep their handle.
+    pub fn remove_export(&self, name: &str) -> bool {
+        self.exports.lock().remove(name).is_some()
+    }
+
+    /// Total transmission requests served across all connections.
+    pub fn served_requests(&self) -> u64 {
+        self.served_requests.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting new connections.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NbdServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Per-connection state machine: handshake → option haggling → transmission.
+fn handle_connection(
+    stream: TcpStream,
+    exports: &Mutex<HashMap<String, Arc<Export>>>,
+    served: &AtomicU64,
+) -> Result<()> {
+    let mut r = BufReader::new(stream.try_clone().map_err(io_err)?);
+    let mut w = BufWriter::new(stream);
+
+    // --- handshake ------------------------------------------------------
+    write_all(&mut w, &NBDMAGIC.to_be_bytes())?;
+    write_all(&mut w, &IHAVEOPT.to_be_bytes())?;
+    write_all(&mut w, &(NBD_FLAG_FIXED_NEWSTYLE | NBD_FLAG_NO_ZEROES).to_be_bytes())?;
+    w.flush().map_err(io_err)?;
+    let client_flags = read_u32(&mut r)?;
+    let no_zeroes = client_flags & NBD_FLAG_C_NO_ZEROES != 0;
+
+    // --- option haggling --------------------------------------------------
+    let export: Arc<Export> = loop {
+        let magic = read_u64(&mut r)?;
+        if magic != IHAVEOPT {
+            return Err(vmi_blockdev::BlockError::corrupt("bad option magic"));
+        }
+        let option = read_u32(&mut r)?;
+        let len = read_u32(&mut r)? as usize;
+        if len > 4096 {
+            return Err(vmi_blockdev::BlockError::corrupt("oversized option"));
+        }
+        let mut payload = vec![0u8; len];
+        read_exact(&mut r, &mut payload)?;
+        match option {
+            NBD_OPT_EXPORT_NAME => {
+                let name = String::from_utf8_lossy(&payload).to_string();
+                let Some(export) = exports.lock().get(&name).cloned() else {
+                    // EXPORT_NAME has no error reply path: drop the session.
+                    return Err(vmi_blockdev::BlockError::unsupported(format!(
+                        "unknown export {name:?}"
+                    )));
+                };
+                // Export info: size + transmission flags (+ pad).
+                write_all(&mut w, &export.dev.len().to_be_bytes())?;
+                let mut flags = NBD_FLAG_HAS_FLAGS | NBD_FLAG_SEND_FLUSH | NBD_FLAG_SEND_TRIM;
+                if export.read_only {
+                    flags |= NBD_FLAG_READ_ONLY;
+                }
+                write_all(&mut w, &flags.to_be_bytes())?;
+                if !no_zeroes {
+                    write_all(&mut w, &[0u8; 124])?;
+                }
+                w.flush().map_err(io_err)?;
+                break export;
+            }
+            NBD_OPT_LIST => {
+                let names: Vec<String> = exports.lock().keys().cloned().collect();
+                for name in names {
+                    let mut item = (name.len() as u32).to_be_bytes().to_vec();
+                    item.extend_from_slice(name.as_bytes());
+                    write_option_reply(&mut w, option, NBD_REP_SERVER, &item)?;
+                }
+                write_option_reply(&mut w, option, NBD_REP_ACK, &[])?;
+                w.flush().map_err(io_err)?;
+            }
+            NBD_OPT_ABORT => {
+                write_option_reply(&mut w, option, NBD_REP_ACK, &[])?;
+                w.flush().map_err(io_err)?;
+                return Ok(());
+            }
+            _ => {
+                write_option_reply(&mut w, option, NBD_REP_ERR_UNSUP, &[])?;
+                w.flush().map_err(io_err)?;
+            }
+        }
+    };
+
+    // --- transmission ------------------------------------------------------
+    let mut data = Vec::new();
+    loop {
+        let req = read_request(&mut r)?;
+        served.fetch_add(1, Ordering::Relaxed);
+        match req.ty {
+            NBD_CMD_DISC => return Ok(()),
+            NBD_CMD_READ => {
+                if req.offset + req.length as u64 > export.dev.len() {
+                    write_simple_reply(&mut w, NBD_EINVAL, req.handle)?;
+                } else {
+                    data.resize(req.length as usize, 0);
+                    match export.dev.read_at(&mut data, req.offset) {
+                        Ok(()) => {
+                            write_simple_reply(&mut w, 0, req.handle)?;
+                            write_all(&mut w, &data)?;
+                        }
+                        Err(e) => write_simple_reply(&mut w, errno(&e), req.handle)?,
+                    }
+                }
+            }
+            NBD_CMD_WRITE => {
+                data.resize(req.length as usize, 0);
+                read_exact(&mut r, &mut data)?;
+                let err = if export.read_only {
+                    NBD_EPERM
+                } else {
+                    match export.dev.write_at(&data, req.offset) {
+                        Ok(()) => 0,
+                        Err(e) => errno(&e),
+                    }
+                };
+                write_simple_reply(&mut w, err, req.handle)?;
+            }
+            NBD_CMD_FLUSH => {
+                let err = match export.dev.flush() {
+                    Ok(()) => 0,
+                    Err(e) => errno(&e),
+                };
+                write_simple_reply(&mut w, err, req.handle)?;
+            }
+            NBD_CMD_TRIM => {
+                // TRIM maps to image discard when the export is an image;
+                // raw devices acknowledge without action.
+                let err = match export
+                    .dev
+                    .as_any()
+                    .and_then(|a| a.downcast_ref::<QcowImage>())
+                {
+                    Some(img) if !export.read_only => {
+                        match img.discard(req.offset, req.length as u64) {
+                            Ok(_) => 0,
+                            Err(e) => errno(&e),
+                        }
+                    }
+                    Some(_) => NBD_EPERM,
+                    None => 0,
+                };
+                write_simple_reply(&mut w, err, req.handle)?;
+            }
+            _ => {
+                write_simple_reply(&mut w, NBD_EINVAL, req.handle)?;
+            }
+        }
+        w.flush().map_err(io_err)?;
+    }
+}
+
+fn errno(e: &vmi_blockdev::BlockError) -> u32 {
+    match e.kind() {
+        BlockErrorKind::NoSpace => NBD_ENOSPC,
+        BlockErrorKind::ReadOnly => NBD_EPERM,
+        BlockErrorKind::OutOfBounds => NBD_EINVAL,
+        _ => NBD_EIO,
+    }
+}
+
+fn io_err(e: std::io::Error) -> vmi_blockdev::BlockError {
+    vmi_blockdev::BlockError::new(BlockErrorKind::Io, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmi_blockdev::{BlockDev, MemDev};
+
+    #[test]
+    fn server_binds_and_lists_exports() {
+        let mut srv = NbdServer::start("127.0.0.1:0").unwrap();
+        srv.add_export("disk0", Arc::new(MemDev::with_len(1 << 20)), false);
+        assert!(srv.addr().port() > 0);
+        assert!(srv.remove_export("disk0"));
+        assert!(!srv.remove_export("disk0"));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn add_image_marks_read_only() {
+        let srv = NbdServer::start("127.0.0.1:0").unwrap();
+        let dev: SharedDev = Arc::new(MemDev::new());
+        {
+            let img = vmi_qcow::QcowImage::create(
+                dev.clone(),
+                vmi_qcow::CreateOpts::plain(1 << 20),
+                None,
+            )
+            .unwrap();
+            img.close().unwrap();
+        }
+        let img = vmi_qcow::QcowImage::open(dev, None, true).unwrap();
+        srv.add_image("ro-img", img);
+        assert!(srv.exports.lock().get("ro-img").unwrap().read_only);
+        // BlockDev::len is visible through the export.
+        assert_eq!(srv.exports.lock().get("ro-img").unwrap().dev.len(), 1 << 20);
+    }
+}

@@ -1,0 +1,378 @@
+//! Image-chain construction: the `qemu-img` workflows of §4.4 and the
+//! backing-file "flag dance" of §4.3.
+//!
+//! With plain QCOW2 the deployment flow is: create a CoW image backed by the
+//! base, boot from the CoW image. With VMI caches there is one more step:
+//! first create a *cache* image (quota, 512 B clusters) backed by the base,
+//! then create the CoW image backed by the cache (Fig. 4). This module
+//! automates both flows over an abstract [`DevResolver`] so the same code
+//! works on host files, in-memory media and simulator-instrumented devices.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vmi_blockdev::{BlockDev, BlockError, MemDev, ReadOnlyDev, Result, SharedDev};
+
+use crate::header::Header;
+use crate::image::{CreateOpts, QcowImage};
+
+/// Maps a backing-file *name* (as stored in a header) to a container device.
+///
+/// This stands in for the filesystem/NFS namespace: the cluster layer
+/// registers each image file under its name (local path or NFS path) and
+/// chains resolve through it.
+pub trait DevResolver {
+    /// Resolve `name` to the device holding that image file.
+    fn resolve(&self, name: &str) -> Result<SharedDev>;
+}
+
+/// A simple in-memory name → device map (the test/simulation namespace).
+#[derive(Default)]
+pub struct MapResolver {
+    map: Mutex<HashMap<String, SharedDev>>,
+}
+
+impl MapResolver {
+    /// An empty namespace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `dev` under `name`, replacing any previous registration.
+    pub fn insert(&self, name: impl Into<String>, dev: SharedDev) {
+        self.map.lock().insert(name.into(), dev);
+    }
+
+    /// Remove a registration, returning the device if it existed.
+    pub fn remove(&self, name: &str) -> Option<SharedDev> {
+        self.map.lock().remove(name)
+    }
+
+    /// Register a fresh empty [`MemDev`] under `name` and return it.
+    pub fn create_mem(&self, name: impl Into<String>) -> SharedDev {
+        let dev: SharedDev = Arc::new(MemDev::new());
+        self.insert(name, dev.clone());
+        dev
+    }
+
+    /// Names currently registered (sorted, for deterministic iteration).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.map.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl DevResolver for MapResolver {
+    fn resolve(&self, name: &str) -> Result<SharedDev> {
+        self.map
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BlockError::unsupported(format!("unknown backing file {name:?}")))
+    }
+}
+
+/// Open the image stored under `name`, recursively opening its backing
+/// chain, applying the §4.3 permission dance at every level:
+///
+/// > "we first open the backing image with read and write permissions, and
+/// > then if we detect that the image is not a cache image, we re-open the
+/// > image with read-only permission."
+///
+/// The top-level image is opened read-write unless `read_only`. Backing
+/// levels are opened read-write only when they are cache images (they need
+/// write permission for copy-on-read warming); everything else is wrapped
+/// read-only.
+pub fn open_chain(
+    resolver: &dyn DevResolver,
+    name: &str,
+    read_only: bool,
+) -> Result<Arc<QcowImage>> {
+    let dev = resolver.resolve(name)?;
+    open_chain_dev(resolver, dev, read_only, 0)
+}
+
+/// Depth guard: a backing loop would otherwise recurse forever.
+const MAX_CHAIN_DEPTH: usize = 16;
+
+fn open_chain_dev(
+    resolver: &dyn DevResolver,
+    dev: SharedDev,
+    read_only: bool,
+    depth: usize,
+) -> Result<Arc<QcowImage>> {
+    if depth > MAX_CHAIN_DEPTH {
+        return Err(BlockError::corrupt("backing chain too deep (loop?)"));
+    }
+    let header = Header::decode(dev.as_ref() as &dyn BlockDev)?;
+    let backing: Option<SharedDev> = match &header.backing_file {
+        None => None,
+        Some(bname) => {
+            let bdev = resolver.resolve(bname)?;
+            // The flag dance: peek at the backing header to decide RW vs RO.
+            // A raw (non-image) backing device is treated as a base: RO.
+            match Header::decode(bdev.as_ref() as &dyn BlockDev) {
+                Ok(bh) if bh.is_cache() => {
+                    // Cache backing: opened read-write so CoR can warm it.
+                    Some(open_chain_dev(resolver, bdev, false, depth + 1)? as SharedDev)
+                }
+                Ok(_) => {
+                    // Plain image backing: "re-open … with read-only".
+                    Some(open_chain_dev(resolver, bdev, true, depth + 1)? as SharedDev)
+                }
+                Err(_) => {
+                    // Raw base content (not our format): read-only view.
+                    Some(Arc::new(ReadOnlyDev::new(bdev)) as SharedDev)
+                }
+            }
+        }
+    };
+    QcowImage::open(dev, backing, read_only)
+}
+
+/// Create the classic two-layer arrangement: `base ← CoW` (§2, Fig. 1).
+/// Returns the opened CoW image ready to hand to a VM.
+pub fn create_cow_chain(
+    resolver: &dyn DevResolver,
+    base_name: &str,
+    cow_dev: SharedDev,
+    virtual_size: u64,
+) -> Result<Arc<QcowImage>> {
+    let base = open_backing(resolver, base_name)?;
+    QcowImage::create(cow_dev, CreateOpts::cow(virtual_size, base_name), Some(base))
+}
+
+/// Create the paper's three-layer arrangement (§4.4):
+/// `base ← cache(quota, 512 B clusters) ← CoW`.
+///
+/// Step 1: "qemu-img is invoked with a cache quota and pointing to the base
+/// image as its backing file." Step 2: "qemu-img is invoked with no cache
+/// quota and pointing to the cache image as its backing file."
+#[allow(clippy::too_many_arguments)] // mirrors the §4.4 qemu-img invocation
+pub fn create_cached_chain(
+    resolver: &dyn DevResolver,
+    base_name: &str,
+    cache_name: &str,
+    cache_dev: SharedDev,
+    cow_dev: SharedDev,
+    virtual_size: u64,
+    quota: u64,
+    cache_cluster_bits: u32,
+) -> Result<Arc<QcowImage>> {
+    let base = open_backing(resolver, base_name)?;
+    let cache = QcowImage::create(
+        cache_dev,
+        CreateOpts::cache(virtual_size, base_name, quota).with_cluster_bits(cache_cluster_bits),
+        Some(base),
+    )?;
+    QcowImage::create(
+        cow_dev,
+        CreateOpts::cow(virtual_size, cache_name),
+        Some(cache as SharedDev),
+    )
+}
+
+/// Create a CoW image on top of an *existing, already-warm* cache image
+/// registered under `cache_name` (the warm-boot flow: "With a warm cache,
+/// there is obviously no need to invoke qemu-img for creating the cache").
+pub fn create_cow_over_cache(
+    resolver: &dyn DevResolver,
+    cache_name: &str,
+    cow_dev: SharedDev,
+    virtual_size: u64,
+) -> Result<Arc<QcowImage>> {
+    let cache = open_chain(resolver, cache_name, false)?;
+    if !cache.is_cache() {
+        return Err(BlockError::unsupported(format!("{cache_name:?} is not a cache image")));
+    }
+    QcowImage::create(
+        cow_dev,
+        CreateOpts::cow(virtual_size, cache_name),
+        Some(cache as SharedDev),
+    )
+}
+
+/// Resolve and open `name` as a backing layer: our image chains opened with
+/// the flag dance, raw devices wrapped read-only.
+fn open_backing(resolver: &dyn DevResolver, name: &str) -> Result<SharedDev> {
+    let dev = resolver.resolve(name)?;
+    match Header::decode(dev.as_ref() as &dyn BlockDev) {
+        Ok(h) if h.is_cache() => Ok(open_chain(resolver, name, false)? as SharedDev),
+        Ok(_) => Ok(open_chain(resolver, name, true)? as SharedDev),
+        Err(_) => Ok(Arc::new(ReadOnlyDev::new(dev)) as SharedDev),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    fn setup_base(resolver: &MapResolver, name: &str, size: u64) -> Arc<QcowImage> {
+        let dev = resolver.create_mem(name);
+        QcowImage::create(dev, CreateOpts::plain(size), None).unwrap()
+    }
+
+    #[test]
+    fn map_resolver_basics() {
+        let r = MapResolver::new();
+        assert!(r.resolve("x").is_err());
+        let d = r.create_mem("x");
+        d.write_at(b"z", 0).unwrap();
+        assert_eq!(r.resolve("x").unwrap().len(), 1);
+        assert_eq!(r.names(), vec!["x".to_string()]);
+        assert!(r.remove("x").is_some());
+        assert!(r.resolve("x").is_err());
+    }
+
+    #[test]
+    fn cow_chain_over_qcow_base() {
+        let r = MapResolver::new();
+        let base = setup_base(&r, "base.img", 8 * MB);
+        base.write_at(&[0xC3; 1000], 5000).unwrap();
+        base.close().unwrap();
+        drop(base);
+        let cow = create_cow_chain(&r, "base.img", Arc::new(MemDev::new()), 8 * MB).unwrap();
+        let mut buf = [0u8; 1000];
+        cow.read_at(&mut buf, 5000).unwrap();
+        assert_eq!(buf, [0xC3; 1000]);
+    }
+
+    #[test]
+    fn cow_chain_over_raw_base() {
+        let r = MapResolver::new();
+        let raw = r.create_mem("raw.img");
+        raw.set_len(8 * MB).unwrap();
+        raw.write_at(&[0x11; 100], 0).unwrap();
+        let cow = create_cow_chain(&r, "raw.img", Arc::new(MemDev::new()), 8 * MB).unwrap();
+        let mut buf = [0u8; 100];
+        cow.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [0x11; 100]);
+        // Guest write must not reach the raw base.
+        cow.write_at(&[0x22; 100], 0).unwrap();
+        let mut raw_buf = [0u8; 100];
+        raw.read_at(&mut raw_buf, 0).unwrap();
+        assert_eq!(raw_buf, [0x11; 100]);
+    }
+
+    #[test]
+    fn cached_chain_cold_then_warm() {
+        let r = MapResolver::new();
+        let base = setup_base(&r, "base.img", 8 * MB);
+        base.write_at(&[0x77; 4096], 100 * 1024).unwrap();
+        base.close().unwrap();
+        drop(base);
+
+        let cache_dev = r.create_mem("cache.img");
+        // Cold boot: full three-layer create.
+        {
+            let cow = create_cached_chain(
+                &r,
+                "base.img",
+                "cache.img",
+                cache_dev.clone(),
+                Arc::new(MemDev::new()),
+                8 * MB,
+                4 * MB,
+                9,
+            )
+            .unwrap();
+            let mut buf = [0u8; 4096];
+            cow.read_at(&mut buf, 100 * 1024).unwrap();
+            assert_eq!(buf, [0x77; 4096]);
+            // Dropping the chain closes the cache and persists `used`.
+        }
+        // Warm boot: new CoW over the existing cache; the read must be
+        // served without touching the base.
+        let base_before = {
+            let h = Header::decode(r.resolve("base.img").unwrap().as_ref() as &dyn BlockDev);
+            h.is_ok()
+        };
+        assert!(base_before);
+        let cow2 =
+            create_cow_over_cache(&r, "cache.img", Arc::new(MemDev::new()), 8 * MB).unwrap();
+        let mut buf = [0u8; 4096];
+        cow2.read_at(&mut buf, 100 * 1024).unwrap();
+        assert_eq!(buf, [0x77; 4096]);
+        // The cache layer below reports a pure hit.
+        let cache_layer = cow2.backing().unwrap();
+        // (stats live on the QcowImage; reach it via describe as a sanity
+        // check that the layer is a cache)
+        assert!(cache_layer.describe().contains("cache"));
+    }
+
+    #[test]
+    fn open_chain_flag_dance_reopens_plain_backing_read_only() {
+        let r = MapResolver::new();
+        let base = setup_base(&r, "base.img", 4 * MB);
+        base.close().unwrap();
+        drop(base);
+        let cow_dev = r.create_mem("cow.img");
+        create_cow_chain(&r, "base.img", cow_dev, 4 * MB).unwrap().close().unwrap();
+
+        let cow = open_chain(&r, "cow.img", false).unwrap();
+        assert!(!cow.is_read_only());
+        // Its backing is a QcowImage opened read-only.
+        let backing = cow.backing().unwrap();
+        assert!(backing.describe().contains("qcow"));
+        assert!(backing.write_at(&[1], 0).is_err(), "plain backing must be read-only");
+    }
+
+    #[test]
+    fn open_chain_keeps_cache_backing_writable() {
+        let r = MapResolver::new();
+        let base = setup_base(&r, "base.img", 4 * MB);
+        base.write_at(&[5; 512], 0).unwrap();
+        base.close().unwrap();
+        drop(base);
+        let cache_dev = r.create_mem("cache.img");
+        let cow_dev = r.create_mem("cow.img");
+        create_cached_chain(
+            &r,
+            "base.img",
+            "cache.img",
+            cache_dev.clone(),
+            cow_dev,
+            4 * MB,
+            2 * MB,
+            9,
+        )
+        .unwrap();
+
+        let before = cache_dev.len();
+        let cow = open_chain(&r, "cow.img", false).unwrap();
+        let mut buf = [0u8; 512];
+        cow.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [5; 512]);
+        assert!(cache_dev.len() > before, "cache warming must write through reopened chain");
+    }
+
+    #[test]
+    fn open_chain_detects_backing_loop() {
+        let r = MapResolver::new();
+        // a backs b backs a.
+        let da = r.create_mem("a");
+        let db = r.create_mem("b");
+        // Build headers by hand via create with placeholder backing, then
+        // we simply create images that name each other. create() requires a
+        // resolved backing device, so pass the raw dev of the other.
+        QcowImage::create(da.clone(), CreateOpts::cow(MB, "b"), Some(db.clone())).unwrap();
+        QcowImage::create(db, CreateOpts::cow(MB, "a"), Some(da)).unwrap();
+        let err = open_chain(&r, "a", false).unwrap_err();
+        assert!(err.to_string().contains("too deep"));
+    }
+
+    #[test]
+    fn create_cow_over_non_cache_rejected() {
+        let r = MapResolver::new();
+        let base = setup_base(&r, "base.img", MB);
+        base.close().unwrap();
+        drop(base);
+        let err =
+            create_cow_over_cache(&r, "base.img", Arc::new(MemDev::new()), MB).unwrap_err();
+        assert!(err.to_string().contains("not a cache"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Content-based deduplication analysis across cache images.
+//!
+//! §8 names this as future work: "we think it is worthwhile to investigate
+//! data compression and deduplication techniques … in the context of VMI
+//! caches", building on §7.3's observation that "VMIs created from the same
+//! operating system distribution share content". This module measures that
+//! opportunity: how many cache-image clusters are byte-identical across a
+//! set of caches (or within one cache), i.e. how much cache-store capacity
+//! a content-addressed pool would save.
+//!
+//! Hashing is FNV-1a over cluster contents, with full byte comparison on
+//! hash collision (no false sharing is ever reported).
+
+use std::collections::HashMap;
+
+use vmi_blockdev::{BlockDev, Result};
+
+use crate::image::QcowImage;
+
+/// FNV-1a 64-bit.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Outcome of a dedup analysis over one or more images.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DedupReport {
+    /// Total mapped clusters scanned across all images.
+    pub total_clusters: u64,
+    /// Distinct cluster contents.
+    pub unique_clusters: u64,
+    /// Cluster size used by the scan (bytes).
+    pub cluster_size: u64,
+    /// Clusters whose content is all zeroes (a content-addressed store
+    /// would not store them at all).
+    pub zero_clusters: u64,
+}
+
+impl DedupReport {
+    /// Bytes stored without dedup.
+    pub fn raw_bytes(&self) -> u64 {
+        self.total_clusters * self.cluster_size
+    }
+
+    /// Bytes a content-addressed store would keep (unique, minus zeros).
+    pub fn deduped_bytes(&self) -> u64 {
+        self.unique_clusters.saturating_sub(self.zero_clusters.min(1)) * self.cluster_size
+    }
+
+    /// Fraction of space saved by dedup (0.0–1.0).
+    pub fn savings(&self) -> f64 {
+        if self.total_clusters == 0 {
+            0.0
+        } else {
+            1.0 - self.deduped_bytes() as f64 / self.raw_bytes() as f64
+        }
+    }
+}
+
+/// Analyze content sharing across `images` (typically the cache images of
+/// several VMIs derived from the same distribution). All images must share
+/// one cluster size.
+pub fn analyze(images: &[&QcowImage]) -> Result<DedupReport> {
+    let Some(first) = images.first() else {
+        return Ok(DedupReport::default());
+    };
+    let cs = first.geometry().cluster_size();
+    let mut rep = DedupReport { cluster_size: cs, ..Default::default() };
+    // hash → representative content (for collision verification).
+    let mut seen: HashMap<u64, Vec<Vec<u8>>> = HashMap::new();
+    let mut buf = vec![0u8; cs as usize];
+    for img in images {
+        if img.geometry().cluster_size() != cs {
+            return Err(vmi_blockdev::BlockError::unsupported(
+                "dedup analysis requires a uniform cluster size",
+            ));
+        }
+        let vsize = img.virtual_size();
+        let mut vba = 0u64;
+        while vba < vsize {
+            if img.is_mapped(vba)? {
+                let n = cs.min(vsize - vba) as usize;
+                buf[n..].fill(0);
+                img.read_at(&mut buf[..n], vba)?;
+                rep.total_clusters += 1;
+                if buf.iter().all(|&b| b == 0) {
+                    rep.zero_clusters += 1;
+                }
+                let h = fnv1a(&buf);
+                let bucket = seen.entry(h).or_default();
+                if !bucket.iter().any(|c| c[..] == buf[..]) {
+                    bucket.push(buf.clone());
+                    rep.unique_clusters += 1;
+                }
+            }
+            vba += cs;
+        }
+    }
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::CreateOpts;
+    use std::sync::Arc;
+    use vmi_blockdev::{BlockDev, MemDev, SharedDev};
+
+    const VSIZE: u64 = 2 << 20;
+
+    fn cache_over(content: &[u8], touch: &[(u64, usize)]) -> Arc<QcowImage> {
+        let base: SharedDev = Arc::new(MemDev::from_vec(content.to_vec()));
+        let img = QcowImage::create(
+            Arc::new(MemDev::new()),
+            CreateOpts::cache(VSIZE, "b", 8 << 20),
+            Some(base),
+        )
+        .unwrap();
+        let mut buf = vec![0u8; 1 << 20];
+        for &(off, len) in touch {
+            img.read_at(&mut buf[..len], off).unwrap();
+        }
+        img
+    }
+
+    #[test]
+    fn identical_caches_dedup_to_one_copy() {
+        // Aperiodic content so no two clusters are identical by accident.
+        let content: Vec<u8> =
+            (0..VSIZE as usize)
+                .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 23) as u8)
+                .collect();
+        let a = cache_over(&content, &[(0, 64 * 1024)]);
+        let b = cache_over(&content, &[(0, 64 * 1024)]);
+        let rep = analyze(&[&a, &b]).unwrap();
+        assert_eq!(rep.total_clusters, 2 * rep.unique_clusters);
+        assert!(rep.savings() > 0.49);
+    }
+
+    #[test]
+    fn disjoint_content_does_not_dedup() {
+        let ca: Vec<u8> = (0..VSIZE as usize).map(|i| (i % 249) as u8).collect();
+        // Different phase → different cluster contents.
+        let cb: Vec<u8> = (0..VSIZE as usize).map(|i| ((i + 7) % 249) as u8).collect();
+        let a = cache_over(&ca, &[(0, 32 * 1024)]);
+        let b = cache_over(&cb, &[(0, 32 * 1024)]);
+        let rep = analyze(&[&a, &b]).unwrap();
+        assert_eq!(rep.unique_clusters, rep.total_clusters, "nothing shared");
+        assert!(rep.savings() < 0.01);
+    }
+
+    #[test]
+    fn zero_clusters_detected() {
+        let content = vec![0u8; VSIZE as usize];
+        let a = cache_over(&content, &[(0, 16 * 1024)]);
+        let rep = analyze(&[&a]).unwrap();
+        assert_eq!(rep.zero_clusters, rep.total_clusters);
+        assert!(rep.savings() > 0.9, "all-zero caches nearly vanish");
+    }
+
+    #[test]
+    fn empty_input_is_empty_report() {
+        let rep = analyze(&[]).unwrap();
+        assert_eq!(rep, DedupReport::default());
+        assert_eq!(rep.savings(), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_counts_correctly() {
+        let content: Vec<u8> =
+            (0..VSIZE as usize)
+                .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 23) as u8)
+                .collect();
+        // a touches [0,64K); b touches [32K,96K): 32 KiB of shared content,
+        // read at identical alignment.
+        let a = cache_over(&content, &[(0, 64 * 1024)]);
+        let b = cache_over(&content, &[(32 * 1024, 64 * 1024)]);
+        let rep = analyze(&[&a, &b]).unwrap();
+        let cs = rep.cluster_size;
+        let shared = (32 * 1024) / cs;
+        assert_eq!(rep.total_clusters, 2 * (64 * 1024) / cs);
+        assert_eq!(rep.unique_clusters, rep.total_clusters - shared);
+    }
+
+    #[test]
+    fn fnv_distinguishes_near_identical() {
+        let a = vec![1u8; 512];
+        let mut b = a.clone();
+        b[511] = 2;
+        assert_ne!(fnv1a(&a), fnv1a(&b));
+    }
+}

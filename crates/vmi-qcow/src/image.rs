@@ -1,0 +1,1578 @@
+//! The image object: open/create/read/write/close with copy-on-write,
+//! backing-chain recursion, and the paper's copy-on-read cache extension.
+//!
+//! An open [`QcowImage`] is itself a [`BlockDev`], so chains compose
+//! naturally: the CoW image's backing is the cache image, whose backing is
+//! the base image (Fig. 4), and the guest only ever talks to the top layer.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vmi_blockdev::{BlockDev, BlockError, Result, SharedDev};
+
+use crate::header::{CacheExt, Header, VERSION};
+use crate::layout::Geometry;
+
+/// Sentinel L2/L1 value: unallocated.
+const UNALLOCATED: u64 = 0;
+
+/// Options for [`QcowImage::create`].
+#[derive(Debug, Clone)]
+pub struct CreateOpts {
+    /// Virtual disk size. For cache/CoW layers this must equal the base's
+    /// virtual size (§4.3: the size field "has to be the same as the base
+    /// image's").
+    pub size: u64,
+    /// log2 of the cluster size. The paper uses 64 KiB (16) for base/CoW
+    /// images and 512 B (9) for cache images.
+    pub cluster_bits: u32,
+    /// Backing file name recorded in the header (resolution to an actual
+    /// device happens at open time or via the `backing` field below).
+    pub backing_file: Option<String>,
+    /// Cache quota in bytes. Non-zero turns the new image into a *cache
+    /// image* (§4.3: "If the quota passed to the create function is not
+    /// zero, it is assumed that the new image will be used as a cache").
+    pub cache_quota: u64,
+}
+
+impl CreateOpts {
+    /// A plain (non-cache) image of `size` bytes with default clusters.
+    pub fn plain(size: u64) -> Self {
+        Self {
+            size,
+            cluster_bits: crate::layout::DEFAULT_CLUSTER_BITS,
+            backing_file: None,
+            cache_quota: 0,
+        }
+    }
+
+    /// A CoW overlay of `size` bytes naming `backing` in its header.
+    pub fn cow(size: u64, backing: impl Into<String>) -> Self {
+        Self { backing_file: Some(backing.into()), ..Self::plain(size) }
+    }
+
+    /// A cache image: 512 B clusters (the paper's final arrangement) and a
+    /// quota.
+    pub fn cache(size: u64, backing: impl Into<String>, quota: u64) -> Self {
+        Self {
+            size,
+            cluster_bits: crate::layout::MIN_CLUSTER_BITS,
+            backing_file: Some(backing.into()),
+            cache_quota: quota,
+        }
+    }
+
+    /// Override the cluster size (used by the Fig. 9 experiment that shows
+    /// why 64 KiB cache clusters amplify traffic).
+    pub fn with_cluster_bits(mut self, bits: u32) -> Self {
+        self.cluster_bits = bits;
+        self
+    }
+}
+
+/// Copy-on-read statistics, exposed for experiments and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorStats {
+    /// Bytes served from this image's own clusters (warm hits).
+    pub hit_bytes: u64,
+    /// Bytes fetched from the backing chain on behalf of guest reads.
+    pub miss_bytes: u64,
+    /// Bytes written into the cache by copy-on-read fills (≥ miss bytes for
+    /// large clusters — the amplification of Fig. 9).
+    pub fill_bytes: u64,
+    /// Number of fills rejected because the quota was exhausted.
+    pub fill_rejects: u64,
+}
+
+#[derive(Debug)]
+struct MutState {
+    /// In-memory copy of the L1 table (write-through to the container).
+    l1: Vec<u64>,
+    /// Write-through read cache of L2 tables, keyed by L1 index.
+    l2_cache: HashMap<usize, Vec<u64>>,
+    /// Recency stamps for [`MutState::l2_cache`] (bounded-cache eviction).
+    l2_ticks: HashMap<usize, u64>,
+    /// Monotone counter feeding `l2_ticks`.
+    l2_clock: u64,
+    /// Maximum cached L2 tables (`None` = unbounded). Tables are
+    /// write-through, so eviction never loses data — it only costs a
+    /// re-read on the next touch, exactly like QEMU's `l2-cache-size`.
+    l2_cache_limit: Option<usize>,
+    /// Bump allocation pointer (end of container file).
+    eof: u64,
+    /// Bytes of container space used, tracked for cache images
+    /// ("the current size of the cache", §4.3).
+    cache_used: u64,
+    /// Container offsets of discarded clusters, reused by the allocator
+    /// before the file is grown. Session-local: clusters still on this list
+    /// at close appear as *leaked* to `check` and are reclaimed by
+    /// `compact` (mirroring `qemu-img check`'s leak accounting).
+    free_clusters: Vec<u64>,
+    /// Cluster offsets shared with at least one snapshot: writes to them
+    /// must copy-on-write instead of updating in place.
+    frozen: std::collections::HashSet<u64>,
+    /// Internal snapshots, in table order.
+    snapshots: Vec<crate::snapshot::SnapshotRec>,
+    /// Live snapshot-table pointer (mirrors the header extension).
+    snaptab: crate::header::SnapTabExt,
+}
+
+/// An open image.
+///
+/// Cheap to share: all mutable state lives behind a mutex, and the hot read
+/// path takes it once per cluster segment.
+pub struct QcowImage {
+    dev: SharedDev,
+    geom: Geometry,
+    header: Header,
+    backing: Option<SharedDev>,
+    read_only: bool,
+    /// Copy-on-read enabled (cache image with room left). Starts true for
+    /// cache images and latches false on the first quota space error
+    /// (§4.3: "we stop writing to the cache for the future cold reads").
+    fill_enabled: AtomicBool,
+    /// Set when this handle has been superseded (resize/rebase reopened the
+    /// container): Drop must not write back stale header state.
+    detached: AtomicBool,
+    state: Mutex<MutState>,
+    // CoR statistics.
+    hit_bytes: AtomicU64,
+    miss_bytes: AtomicU64,
+    fill_bytes: AtomicU64,
+    fill_rejects: AtomicU64,
+}
+
+impl std::fmt::Debug for QcowImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QcowImage")
+            .field("geom", &self.geom)
+            .field("is_cache", &self.is_cache())
+            .field("read_only", &self.read_only)
+            .field("has_backing", &self.backing.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl QcowImage {
+    // ------------------------------------------------------------------
+    // create / open / close
+    // ------------------------------------------------------------------
+
+    /// Create a fresh image in `dev` (the container device) and open it.
+    ///
+    /// `backing` is the resolved device for the backing file named in
+    /// `opts.backing_file` (pass `None` for a standalone image).
+    pub fn create(dev: SharedDev, opts: CreateOpts, backing: Option<SharedDev>) -> Result<Arc<Self>> {
+        let geom = Geometry::new(opts.cluster_bits, opts.size)?;
+        if opts.backing_file.is_some() != backing.is_some() {
+            return Err(BlockError::unsupported(
+                "backing name and backing device must be given together",
+            ));
+        }
+        let l1_entries = geom.l1_entries();
+        if l1_entries > (64 << 20) {
+            return Err(BlockError::unsupported("L1 table too large (>64M entries)"));
+        }
+        let l1_table_offset = geom.cluster_size(); // cluster 1
+        let header = Header {
+            version: VERSION,
+            cluster_bits: opts.cluster_bits,
+            size: opts.size,
+            l1_table_offset,
+            l1_size: l1_entries as u32,
+            backing_file: opts.backing_file,
+            cache: (opts.cache_quota > 0)
+                .then_some(CacheExt { quota: opts.cache_quota, used: 0 }),
+            // Cache images never carry snapshots (they are transparent
+            // layers); every other image gets an (empty) snapshot table so
+            // the pointer can later be updated in place.
+            snaptab: (opts.cache_quota == 0).then_some(crate::header::SnapTabExt::default()),
+        };
+        let encoded = header.encode();
+        if encoded.len() as u64 > geom.cluster_size() {
+            return Err(BlockError::unsupported(
+                "header (incl. backing name) does not fit in one cluster",
+            ));
+        }
+        dev.set_len(0)?;
+        dev.write_at(&encoded, 0)?;
+        // Zero the L1 table region.
+        let l1_bytes = geom.l1_table_bytes();
+        let zeros = vec![0u8; (1usize << 20).min(l1_bytes as usize)];
+        let mut off = l1_table_offset;
+        let l1_end = l1_table_offset + l1_bytes;
+        while off < l1_end {
+            let n = zeros.len().min((l1_end - off) as usize);
+            dev.write_at(&zeros[..n], off)?;
+            off += n as u64;
+        }
+        let eof = l1_end;
+        // "size of the header and initial tables" counts toward the quota.
+        // A quota smaller than the initial metadata is allowed: the cache
+        // simply rejects its first fill with a space error and serves
+        // pass-through reads forever after.
+        let initial_used = geom.cluster_size() + l1_bytes;
+        if header.cache.is_some() {
+            Header::update_cache_used(dev.as_ref() as &dyn BlockDev, initial_used)?;
+        }
+        Ok(Arc::new(Self {
+            geom,
+            read_only: false,
+            fill_enabled: AtomicBool::new(header.is_cache()),
+            detached: AtomicBool::new(false),
+            state: Mutex::new(MutState {
+                l1: vec![UNALLOCATED; l1_entries as usize],
+                l2_cache: HashMap::new(),
+                l2_ticks: HashMap::new(),
+                l2_clock: 0,
+                l2_cache_limit: None,
+                eof,
+                cache_used: initial_used,
+                free_clusters: Vec::new(),
+                frozen: std::collections::HashSet::new(),
+                snapshots: Vec::new(),
+                snaptab: header.snaptab.unwrap_or_default(),
+            }),
+            header,
+            backing,
+            dev,
+            hit_bytes: AtomicU64::new(0),
+            miss_bytes: AtomicU64::new(0),
+            fill_bytes: AtomicU64::new(0),
+            fill_rejects: AtomicU64::new(0),
+        }))
+    }
+
+    /// Open an existing image stored in `dev`.
+    ///
+    /// `backing` must be the resolved device for the header's backing file
+    /// (or `None` if the header names none). `read_only` mirrors QEMU's
+    /// open flag; the §4.3 "flag dance" lives in [`crate::chain`].
+    pub fn open(dev: SharedDev, backing: Option<SharedDev>, read_only: bool) -> Result<Arc<Self>> {
+        let header = Header::decode(dev.as_ref() as &dyn BlockDev)?;
+        let geom = header.geometry()?;
+        if header.backing_file.is_some() && backing.is_none() {
+            return Err(BlockError::unsupported(format!(
+                "image names backing file {:?} but no backing device was supplied",
+                header.backing_file
+            )));
+        }
+        if header.backing_file.is_none() && backing.is_some() {
+            return Err(BlockError::unsupported("backing device supplied for standalone image"));
+        }
+        if header.l1_size as u64 != geom.l1_entries() {
+            return Err(BlockError::corrupt(format!(
+                "header l1_size {} does not match geometry {}",
+                header.l1_size,
+                geom.l1_entries()
+            )));
+        }
+        // Load the L1 table.
+        let mut l1_raw = vec![0u8; (header.l1_size as usize) * 8];
+        dev.read_at(&mut l1_raw, header.l1_table_offset)
+            .map_err(|_| BlockError::corrupt("truncated L1 table"))?;
+        let l1: Vec<u64> = l1_raw
+            .chunks_exact(8)
+            .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
+            .collect();
+        let cluster_size = geom.cluster_size();
+        for &e in &l1 {
+            if e != UNALLOCATED && (e % cluster_size != 0 || e >= dev.len()) {
+                return Err(BlockError::corrupt(format!("invalid L1 entry {e:#x}")));
+            }
+        }
+        let eof = geom.align_up(dev.len());
+        let cache_used = header.cache.map(|c| c.used).unwrap_or(0);
+        if let Some(c) = &header.cache {
+            // Fills never push `used` beyond the quota, but the initial
+            // metadata may already exceed a tiny quota; anything beyond both
+            // bounds is corruption.
+            let initial = cluster_size + geom.l1_table_bytes();
+            if c.used > c.quota.max(initial) {
+                return Err(BlockError::corrupt("cache used exceeds quota"));
+            }
+        }
+        let is_cache = header.is_cache();
+        let has_room =
+            header.cache.map(|c| c.used + 2 * cluster_size <= c.quota).unwrap_or(false);
+        // Load the snapshot table, if the image carries one.
+        let snaptab = header.snaptab.unwrap_or_default();
+        let snapshots = if snaptab.count > 0 {
+            let mut raw = vec![0u8; snaptab.len as usize];
+            dev.read_at(&mut raw, snaptab.offset)
+                .map_err(|_| BlockError::corrupt("truncated snapshot table"))?;
+            crate::snapshot::decode_table(&raw, snaptab.count)?
+        } else {
+            Vec::new()
+        };
+        let img = Arc::new(Self {
+            geom,
+            read_only,
+            fill_enabled: AtomicBool::new(is_cache && !read_only && has_room),
+            detached: AtomicBool::new(false),
+            state: Mutex::new(MutState {
+                l1,
+                l2_cache: HashMap::new(),
+                l2_ticks: HashMap::new(),
+                l2_clock: 0,
+                l2_cache_limit: None,
+                eof,
+                cache_used,
+                free_clusters: Vec::new(),
+                frozen: std::collections::HashSet::new(),
+                snapshots,
+                snaptab,
+            }),
+            header,
+            backing,
+            dev,
+            hit_bytes: AtomicU64::new(0),
+            miss_bytes: AtomicU64::new(0),
+            fill_bytes: AtomicU64::new(0),
+            fill_rejects: AtomicU64::new(0),
+        });
+        if snaptab.count > 0 {
+            let mut st = img.state.lock();
+            img.recompute_frozen(&mut st)?;
+        }
+        Ok(img)
+    }
+
+    /// Close the image: flush, and for cache images write the current used
+    /// size back into the header (§4.3 `close`).
+    /// Grow the virtual disk to `new_size` (shrinking is not supported —
+    /// it would orphan mapped clusters).
+    ///
+    /// The L1 table must cover the new size; if the existing table is too
+    /// small, a larger one is allocated at end-of-file, entries are copied,
+    /// and the header is rewritten to point at it (the old table's clusters
+    /// become leaks reclaimable by `compact`). The cluster size is fixed at
+    /// creation, exactly like `qemu-img resize`.
+    pub fn resize(self: &Arc<Self>, new_size: u64) -> Result<Arc<Self>> {
+        if self.read_only {
+            return Err(BlockError::read_only("resize of read-only image"));
+        }
+        if new_size < self.geom.virtual_size {
+            return Err(BlockError::unsupported("shrinking an image is not supported"));
+        }
+        if new_size == self.geom.virtual_size {
+            return Ok(self.clone());
+        }
+        let new_geom = Geometry::new(self.geom.cluster_bits, new_size)?;
+        let mut st = self.state.lock();
+        if !st.snapshots.is_empty() {
+            return Err(BlockError::unsupported(
+                "resize with internal snapshots is not supported (delete them first)",
+            ));
+        }
+        let old_entries = st.l1.len();
+        let new_entries = new_geom.l1_entries() as usize;
+        let mut header = self.header.clone();
+        header.size = new_size;
+        header.l1_size = new_entries as u32;
+        header.snaptab = header.snaptab.map(|_| st.snaptab);
+        if new_entries > old_entries {
+            // Relocate the L1 table to a fresh region at end-of-file.
+            let new_l1_bytes = new_geom.l1_table_bytes();
+            let new_l1_off = st.eof;
+            st.eof += new_l1_bytes;
+            st.cache_used += new_l1_bytes;
+            let mut raw = vec![0u8; new_l1_bytes as usize];
+            for (i, &e) in st.l1.iter().enumerate() {
+                raw[i * 8..i * 8 + 8].copy_from_slice(&e.to_be_bytes());
+            }
+            self.dev.write_at(&raw, new_l1_off)?;
+            header.l1_table_offset = new_l1_off;
+            st.l1.resize(new_entries, UNALLOCATED);
+        }
+        let encoded = header.encode();
+        if encoded.len() as u64 > self.geom.cluster_size() {
+            return Err(BlockError::unsupported("resized header does not fit its cluster"));
+        }
+        self.dev.write_at(&encoded, 0)?;
+        drop(st);
+        self.close()?;
+        self.detached.store(true, Ordering::Release);
+        // Reopen with the new geometry over the same container + backing.
+        QcowImage::open(self.dev.clone(), self.backing.clone(), false)
+    }
+
+    /// Rewrite the backing-file *name* in the header without touching any
+    /// data — `qemu-img rebase -u` (unsafe rebase). The caller asserts the
+    /// new backing has identical content where this image is unallocated.
+    ///
+    /// Returns the image reopened against `new_backing`.
+    pub fn rebase_unsafe(
+        self: &Arc<Self>,
+        new_name: Option<String>,
+        new_backing: Option<SharedDev>,
+    ) -> Result<Arc<Self>> {
+        if self.read_only {
+            return Err(BlockError::read_only("rebase of read-only image"));
+        }
+        if new_name.is_some() != new_backing.is_some() {
+            return Err(BlockError::unsupported(
+                "backing name and device must be given together",
+            ));
+        }
+        if self.header.is_cache() && new_backing.is_none() {
+            return Err(BlockError::unsupported(
+                "a cache image requires a backing image (§3: it recurses to the base)",
+            ));
+        }
+        let mut header = self.header.clone();
+        header.backing_file = new_name;
+        // Refresh persisted dynamic fields while we rewrite the header.
+        if let Some(c) = &mut header.cache {
+            c.used = self.cache_used();
+        }
+        header.snaptab = header.snaptab.map(|_| self.state.lock().snaptab);
+        let encoded = header.encode();
+        if encoded.len() as u64 > self.geom.cluster_size() {
+            return Err(BlockError::unsupported("rebased header does not fit its cluster"));
+        }
+        self.dev.write_at(&encoded, 0)?;
+        self.dev.flush()?;
+        self.detached.store(true, Ordering::Release);
+        QcowImage::open(self.dev.clone(), new_backing, false)
+    }
+
+    pub fn close(&self) -> Result<()> {
+        if !self.read_only {
+            if self.header.is_cache() {
+                let used = self.state.lock().cache_used;
+                Header::update_cache_used(self.dev.as_ref() as &dyn BlockDev, used)?;
+            }
+            self.dev.flush()?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // accessors
+    // ------------------------------------------------------------------
+
+    /// Virtual disk size in bytes.
+    pub fn virtual_size(&self) -> u64 {
+        self.geom.virtual_size
+    }
+
+    /// The image geometry (cluster math).
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// The parsed header (as of open; `cache.used` may be stale — use
+    /// [`QcowImage::cache_used`] for the live value).
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// `true` iff this image carries the cache extension.
+    pub fn is_cache(&self) -> bool {
+        self.header.is_cache()
+    }
+
+    /// Quota in bytes, 0 for non-cache images.
+    pub fn cache_quota(&self) -> u64 {
+        self.header.cache.map(|c| c.quota).unwrap_or(0)
+    }
+
+    /// Live used-size accounting (header + tables + data clusters).
+    pub fn cache_used(&self) -> u64 {
+        self.state.lock().cache_used
+    }
+
+    /// Whether copy-on-read fills are still running (latches off on the
+    /// first quota space error).
+    pub fn fill_enabled(&self) -> bool {
+        self.fill_enabled.load(Ordering::Acquire)
+    }
+
+    /// Container bytes used by the image file (the Table 2 metric).
+    pub fn file_size(&self) -> u64 {
+        self.dev.len()
+    }
+
+    /// The container device.
+    pub fn container(&self) -> &SharedDev {
+        &self.dev
+    }
+
+    /// The resolved backing device, if any.
+    pub fn backing(&self) -> Option<&SharedDev> {
+        self.backing.as_ref()
+    }
+
+    /// Whether this handle rejects guest writes.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Copy-on-read counters.
+    pub fn cor_stats(&self) -> CorStats {
+        CorStats {
+            hit_bytes: self.hit_bytes.load(Ordering::Relaxed),
+            miss_bytes: self.miss_bytes.load(Ordering::Relaxed),
+            fill_bytes: self.fill_bytes.load(Ordering::Relaxed),
+            fill_rejects: self.fill_rejects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Count of guest bytes mapped in this layer (allocated data clusters ×
+    /// cluster size). Diagnostic / `check` helper.
+    pub fn mapped_bytes(&self) -> u64 {
+        let st = self.state.lock();
+        let mut clusters = 0u64;
+        for (l1_idx, &l2_off) in st.l1.iter().enumerate() {
+            if l2_off == UNALLOCATED {
+                continue;
+            }
+            if let Some(l2) = st.l2_cache.get(&l1_idx) {
+                clusters += l2.iter().filter(|&&e| e != UNALLOCATED).count() as u64;
+            } else {
+                // Read the table without caching to keep this cheap-ish.
+                if let Ok(l2) = self.read_l2_table(l2_off) {
+                    clusters += l2.iter().filter(|&&e| e != UNALLOCATED).count() as u64;
+                }
+            }
+        }
+        clusters * self.geom.cluster_size()
+    }
+
+    /// Discard (TRIM) the guest range `[off, off + len)`: every cluster
+    /// *fully* covered by the range is unmapped from this layer and its
+    /// container space queued for reuse. Partially covered edge clusters are
+    /// left intact, like a real TRIM with sub-cluster alignment.
+    ///
+    /// Reads of discarded clusters fall back to the backing chain (or
+    /// zeroes). For a cache image, discarding frees quota — if copy-on-read
+    /// had latched off on a space error, it is re-armed.
+    ///
+    /// Returns the number of clusters discarded.
+    pub fn discard(&self, off: u64, len: u64) -> Result<u64> {
+        if self.read_only {
+            return Err(BlockError::read_only("discard on read-only image"));
+        }
+        if off + len > self.geom.virtual_size {
+            return Err(BlockError::out_of_bounds(off, len as usize, self.geom.virtual_size));
+        }
+        let cs = self.geom.cluster_size();
+        let first = off.div_ceil(cs); // first fully-covered cluster index
+        let last = (off + len) / cs; // one past the last fully-covered
+        let mut st = self.state.lock();
+        let mut discarded = 0u64;
+        for cluster in first..last {
+            let vba = cluster * cs;
+            let l1_idx = self.geom.l1_index(vba);
+            let l2_off = st.l1[l1_idx];
+            if l2_off == UNALLOCATED {
+                continue;
+            }
+            let _ = l2_off;
+            if let Some(data_off) = self.lookup(&mut st, vba)? {
+                self.set_l2_entry(&mut st, l1_idx, vba, UNALLOCATED)?;
+                // Clusters shared with a snapshot stay allocated for it and
+                // cannot be reused.
+                if !st.frozen.contains(&data_off) {
+                    st.free_clusters.push(data_off);
+                    st.cache_used = st.cache_used.saturating_sub(cs);
+                }
+                discarded += 1;
+            }
+        }
+        if discarded > 0 && self.header.is_cache() {
+            // Freed quota: copy-on-read may resume (§4.3's latch is about
+            // "future cold reads" having no room — now there is room again).
+            let quota = self.header.cache.map(|c| c.quota).unwrap_or(0);
+            if st.cache_used + 2 * cs <= quota {
+                self.fill_enabled.store(true, Ordering::Release);
+            }
+        }
+        Ok(discarded)
+    }
+
+    /// Container offsets currently queued for reuse (diagnostics).
+    pub fn free_cluster_count(&self) -> usize {
+        self.state.lock().free_clusters.len()
+    }
+
+    /// Whether the cluster containing `vba` is allocated in *this* layer
+    /// (metadata probe; never triggers copy-on-read).
+    pub fn is_mapped(&self, vba: u64) -> Result<bool> {
+        if vba >= self.geom.virtual_size {
+            return Err(BlockError::out_of_bounds(vba, 1, self.geom.virtual_size));
+        }
+        let mut st = self.state.lock();
+        Ok(self.lookup(&mut st, vba)?.is_some())
+    }
+
+    /// Copy of the in-memory L1 table (for `check`/diagnostics).
+    pub fn l1_snapshot(&self) -> Vec<u64> {
+        self.state.lock().l1.clone()
+    }
+
+    /// Read an L2 table at a given container offset (for `check`).
+    pub fn l2_snapshot(&self, l2_off: u64) -> Result<Vec<u64>> {
+        self.read_l2_table(l2_off)
+    }
+
+    // ------------------------------------------------------------------
+    // internal snapshots
+    // ------------------------------------------------------------------
+
+    /// Create an internal snapshot of the current guest-visible state.
+    ///
+    /// The active L1 is copied into fresh clusters, the snapshot table is
+    /// rewritten, and every currently-reachable cluster becomes
+    /// copy-on-write. Not supported on cache images (they are transparent
+    /// layers) or read-only handles. Returns the snapshot id.
+    pub fn create_snapshot(&self, name: impl Into<String>) -> Result<u32> {
+        let name = name.into();
+        if self.read_only {
+            return Err(BlockError::read_only("snapshot of read-only image"));
+        }
+        if self.header.is_cache() {
+            return Err(BlockError::unsupported("cache images do not support snapshots"));
+        }
+        if self.header.snaptab.is_none() {
+            return Err(BlockError::unsupported(
+                "image predates snapshot support; run `compact` to upgrade it",
+            ));
+        }
+        if name.len() > crate::snapshot::MAX_SNAPSHOT_NAME {
+            return Err(BlockError::unsupported("snapshot name too long"));
+        }
+        let mut st = self.state.lock();
+        if st.snapshots.iter().any(|r| r.name == name) {
+            return Err(BlockError::unsupported(format!("snapshot {name:?} already exists")));
+        }
+        // Persist a frozen copy of the active L1 at end-of-file (contiguous
+        // region, bypassing the free list).
+        let l1_bytes = self.geom.l1_table_bytes();
+        let copy_off = st.eof;
+        st.eof += l1_bytes;
+        st.cache_used += l1_bytes;
+        let mut raw = vec![0u8; l1_bytes as usize];
+        for (i, &e) in st.l1.iter().enumerate() {
+            raw[i * 8..i * 8 + 8].copy_from_slice(&e.to_be_bytes());
+        }
+        self.dev.write_at(&raw, copy_off)?;
+        let id = st.snapshots.iter().map(|r| r.id).max().unwrap_or(0) + 1;
+        let l1_entries = st.l1.len() as u32;
+        st.snapshots.push(crate::snapshot::SnapshotRec {
+            id,
+            name,
+            l1_offset: copy_off,
+            l1_entries,
+        });
+        self.persist_snapshot_table(&mut st)?;
+        self.freeze_active_tree(&mut st)?;
+        Ok(id)
+    }
+
+    /// List snapshots in creation order.
+    pub fn list_snapshots(&self) -> Vec<crate::snapshot::SnapshotInfo> {
+        self.state
+            .lock()
+            .snapshots
+            .iter()
+            .map(|r| crate::snapshot::SnapshotInfo { id: r.id, name: r.name.clone() })
+            .collect()
+    }
+
+    /// Revert the guest-visible state to snapshot `id`. The snapshot itself
+    /// is kept (revert again any time).
+    pub fn apply_snapshot(&self, id: u32) -> Result<()> {
+        if self.read_only {
+            return Err(BlockError::read_only("revert on read-only image"));
+        }
+        let mut st = self.state.lock();
+        let rec = st
+            .snapshots
+            .iter()
+            .find(|r| r.id == id)
+            .cloned()
+            .ok_or_else(|| BlockError::unsupported(format!("no snapshot with id {id}")))?;
+        if rec.l1_entries as usize != st.l1.len() {
+            return Err(BlockError::unsupported(
+                "snapshot predates a resize; apply is not supported across resizes",
+            ));
+        }
+        // Load the frozen L1 and make it active (memory + container).
+        let mut raw = vec![0u8; rec.l1_entries as usize * 8];
+        self.dev.read_at(&mut raw, rec.l1_offset)?;
+        let l1: Vec<u64> = raw
+            .chunks_exact(8)
+            .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
+            .collect();
+        self.dev.write_at(&raw, self.header.l1_table_offset)?;
+        st.l1 = l1;
+        st.l2_cache.clear();
+        st.l2_ticks.clear();
+        // The active tree is now shared with the snapshot: refreeze.
+        self.recompute_frozen(&mut st)?;
+        Ok(())
+    }
+
+    /// Delete snapshot `id`. Clusters referenced only by it become leaks
+    /// (report via `check`; reclaim with `compact` once no snapshots
+    /// remain).
+    pub fn delete_snapshot(&self, id: u32) -> Result<()> {
+        if self.read_only {
+            return Err(BlockError::read_only("delete on read-only image"));
+        }
+        let mut st = self.state.lock();
+        let before = st.snapshots.len();
+        st.snapshots.retain(|r| r.id != id);
+        if st.snapshots.len() == before {
+            return Err(BlockError::unsupported(format!("no snapshot with id {id}")));
+        }
+        self.persist_snapshot_table(&mut st)?;
+        self.recompute_frozen(&mut st)?;
+        Ok(())
+    }
+
+    /// Count of container clusters referenced by snapshot metadata and
+    /// trees (used by `check`'s leak accounting).
+    pub fn snapshot_refs(&self) -> Result<std::collections::HashSet<u64>> {
+        let mut st = self.state.lock();
+        let mut refs = std::collections::HashSet::new();
+        let cs = self.geom.cluster_size();
+        let snapshots = st.snapshots.clone();
+        for rec in &snapshots {
+            // The L1 copy region itself.
+            let l1_bytes = self.geom.l1_table_bytes();
+            let mut off = rec.l1_offset;
+            while off < rec.l1_offset + l1_bytes {
+                refs.insert(off);
+                off += cs;
+            }
+            // The tree it pins.
+            self.walk_tree(rec.l1_offset, rec.l1_entries as usize, |cluster| {
+                refs.insert(cluster);
+            })?;
+        }
+        // The current snapshot table region.
+        if let Some(tab) = self.snaptab_region(&st) {
+            let (mut off, end) = tab;
+            while off < end {
+                refs.insert(off);
+                off += cs;
+            }
+        }
+        let _ = &mut st;
+        Ok(refs)
+    }
+
+    /// Persist the snapshot table, reusing the existing table region when
+    /// the new encoding fits (so table churn does not leak clusters); only
+    /// growth allocates a new region (the old one then becomes a leak,
+    /// reclaimable by `compact` once all snapshots are gone).
+    fn persist_snapshot_table(&self, st: &mut MutState) -> Result<()> {
+        let encoded = crate::snapshot::encode_table(&st.snapshots);
+        let existing_region = self.geom.align_up(st.snaptab.len as u64);
+        let (offset, len) = if encoded.is_empty() {
+            // Keep the (empty) region for reuse by the next snapshot.
+            (st.snaptab.offset, 0u32)
+        } else if st.snaptab.offset != 0
+            && self.geom.align_up(encoded.len() as u64) <= existing_region.max(self.geom.cluster_size())
+        {
+            self.dev.write_at(&encoded, st.snaptab.offset)?;
+            (st.snaptab.offset, encoded.len() as u32)
+        } else {
+            let region = self.geom.align_up(encoded.len() as u64).max(self.geom.cluster_size());
+            let off = st.eof;
+            st.eof += region;
+            st.cache_used += region;
+            self.dev.write_at(&encoded, off)?;
+            (off, encoded.len() as u32)
+        };
+        let tab = crate::header::SnapTabExt { offset, len, count: st.snapshots.len() as u32 };
+        Header::update_snaptab(self.dev.as_ref() as &dyn BlockDev, tab)?;
+        st.snaptab = tab;
+        Ok(())
+    }
+
+    /// Container byte range of the live snapshot-table region, if one was
+    /// ever allocated (kept for reuse even when currently empty).
+    fn snaptab_region(&self, st: &MutState) -> Option<(u64, u64)> {
+        (st.snaptab.offset != 0).then(|| {
+            (
+                st.snaptab.offset,
+                st.snaptab.offset
+                    + self
+                        .geom
+                        .align_up(st.snaptab.len as u64)
+                        .max(self.geom.cluster_size()),
+            )
+        })
+    }
+
+    /// Freeze every cluster reachable from the active L1.
+    fn freeze_active_tree(&self, st: &mut MutState) -> Result<()> {
+        let l1 = st.l1.clone();
+        for &l2_off in l1.iter().filter(|&&e| e != UNALLOCATED) {
+            st.frozen.insert(l2_off);
+            for &doff in self.read_l2_table(l2_off)?.iter().filter(|&&e| e != UNALLOCATED) {
+                st.frozen.insert(doff);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild the frozen set from the remaining snapshots' trees.
+    fn recompute_frozen(&self, st: &mut MutState) -> Result<()> {
+        st.frozen.clear();
+        let snapshots = st.snapshots.clone();
+        for rec in &snapshots {
+            let mut frozen = std::mem::take(&mut st.frozen);
+            self.walk_tree(rec.l1_offset, rec.l1_entries as usize, |cluster| {
+                frozen.insert(cluster);
+            })?;
+            st.frozen = frozen;
+        }
+        Ok(())
+    }
+
+    /// Visit every L2-table and data cluster reachable from an L1 stored at
+    /// `l1_offset`.
+    fn walk_tree(
+        &self,
+        l1_offset: u64,
+        l1_entries: usize,
+        mut visit: impl FnMut(u64),
+    ) -> Result<()> {
+        let mut raw = vec![0u8; l1_entries * 8];
+        self.dev.read_at(&mut raw, l1_offset)?;
+        for e in raw.chunks_exact(8) {
+            let l2_off = u64::from_be_bytes(e.try_into().unwrap());
+            if l2_off == UNALLOCATED {
+                continue;
+            }
+            visit(l2_off);
+            for &doff in self.read_l2_table(l2_off)?.iter().filter(|&&d| d != UNALLOCATED) {
+                visit(doff);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // table plumbing
+    // ------------------------------------------------------------------
+
+    /// Bound the number of cached L2 tables (`None` = unbounded, the
+    /// default). Mirrors QEMU's `l2-cache-size` tunable: a small cache costs
+    /// re-reads of table clusters on workloads whose footprint exceeds the
+    /// covered range — measurable with the `l2_cache` bench.
+    pub fn set_l2_cache_limit(&self, limit: Option<usize>) {
+        let mut st = self.state.lock();
+        st.l2_cache_limit = limit.map(|l| l.max(1));
+        Self::l2_evict_to_limit(&mut st);
+    }
+
+    /// Number of L2 tables currently cached in memory.
+    pub fn l2_cache_len(&self) -> usize {
+        self.state.lock().l2_cache.len()
+    }
+
+    fn l2_touch(st: &mut MutState, l1_idx: usize) {
+        st.l2_clock += 1;
+        let clock = st.l2_clock;
+        st.l2_ticks.insert(l1_idx, clock);
+    }
+
+    fn l2_cache_put(st: &mut MutState, l1_idx: usize, table: Vec<u64>) {
+        st.l2_cache.insert(l1_idx, table);
+        Self::l2_touch(st, l1_idx);
+        Self::l2_evict_to_limit(st);
+    }
+
+    fn l2_evict_to_limit(st: &mut MutState) {
+        let Some(limit) = st.l2_cache_limit else { return };
+        while st.l2_cache.len() > limit {
+            // Evict the least-recently-used table. Tables are write-through:
+            // dropping one loses nothing.
+            let victim = st
+                .l2_ticks
+                .iter()
+                .min_by_key(|&(_, &t)| t)
+                .map(|(&k, _)| k)
+                .expect("cache nonempty above limit");
+            st.l2_cache.remove(&victim);
+            st.l2_ticks.remove(&victim);
+        }
+    }
+
+    fn read_l2_table(&self, l2_off: u64) -> Result<Vec<u64>> {
+        let mut raw = vec![0u8; self.geom.cluster_size() as usize];
+        self.dev.read_at(&mut raw, l2_off)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Look up the container offset of the data cluster holding `vba`.
+    /// Returns `None` when unallocated in this layer.
+    fn lookup(&self, st: &mut MutState, vba: u64) -> Result<Option<u64>> {
+        let l1_idx = self.geom.l1_index(vba);
+        let l2_off = st.l1[l1_idx];
+        if l2_off == UNALLOCATED {
+            return Ok(None);
+        }
+        if !st.l2_cache.contains_key(&l1_idx) {
+            let table = self.read_l2_table(l2_off)?;
+            Self::l2_cache_put(st, l1_idx, table);
+        } else {
+            Self::l2_touch(st, l1_idx);
+        }
+        let l2 = &st.l2_cache[&l1_idx];
+        let entry = l2[self.geom.l2_index(vba)];
+        Ok((entry != UNALLOCATED).then_some(entry))
+    }
+
+    /// Allocate one cluster at end of file. Honours the cache quota when
+    /// `self` is a cache image: this is the §4.3 `write` rule ("If there is
+    /// enough space, we write the data … If not, we return with a space
+    /// error").
+    fn alloc_cluster(&self, st: &mut MutState, extra_needed: u64) -> Result<u64> {
+        let cs = self.geom.cluster_size();
+        if let Some(c) = &self.header.cache {
+            if st.cache_used + cs + extra_needed > c.quota {
+                return Err(BlockError::no_space(format!(
+                    "cache quota {} exhausted (used {})",
+                    c.quota, st.cache_used
+                )));
+            }
+        }
+        // Reuse discarded clusters before growing the file.
+        let off = match st.free_clusters.pop() {
+            Some(off) => off,
+            None => {
+                let off = st.eof;
+                st.eof += cs;
+                off
+            }
+        };
+        st.cache_used += cs;
+        Ok(off)
+    }
+
+    /// Ensure an L2 table exists for `vba`; returns (l1_idx, l2_offset).
+    fn ensure_l2(&self, st: &mut MutState, vba: u64) -> Result<(usize, u64)> {
+        let l1_idx = self.geom.l1_index(vba);
+        let existing = st.l1[l1_idx];
+        if existing != UNALLOCATED {
+            return Ok((l1_idx, existing));
+        }
+        // Need a data cluster too in the caller; reserve room for both so a
+        // cache image doesn't strand a metadata cluster it can't use.
+        let l2_off = self.alloc_cluster(st, self.geom.cluster_size())?;
+        // Materialize an all-zero L2 table on the container, then point L1
+        // at it (write-through).
+        let zeros = vec![0u8; self.geom.cluster_size() as usize];
+        self.dev.write_at(&zeros, l2_off)?;
+        self.dev.write_at(
+            &l2_off.to_be_bytes(),
+            self.header.l1_table_offset + (l1_idx as u64) * 8,
+        )?;
+        st.l1[l1_idx] = l2_off;
+        Self::l2_cache_put(st, l1_idx, vec![UNALLOCATED; self.geom.l2_entries() as usize]);
+        Ok((l1_idx, l2_off))
+    }
+
+    /// Point the L2 entry for `vba` at `data_off` (write-through). If the
+    /// L2 table is frozen (shared with a snapshot), it is copied first.
+    fn set_l2_entry(&self, st: &mut MutState, l1_idx: usize, vba: u64, data_off: u64) -> Result<()> {
+        let mut l2_off = st.l1[l1_idx];
+        debug_assert_ne!(l2_off, UNALLOCATED, "caller must ensure_l2 first");
+        if st.frozen.contains(&l2_off) {
+            l2_off = self.cow_l2_table(st, l1_idx, l2_off)?;
+        }
+        let l2_idx = self.geom.l2_index(vba);
+        self.dev
+            .write_at(&data_off.to_be_bytes(), l2_off + (l2_idx as u64) * 8)?;
+        if let Some(l2) = st.l2_cache.get_mut(&l1_idx) {
+            l2[l2_idx] = data_off;
+        }
+        Ok(())
+    }
+
+    /// Copy a frozen L2 table into a private cluster and point L1 at the
+    /// copy. The frozen original stays in place for its snapshot(s).
+    fn cow_l2_table(&self, st: &mut MutState, l1_idx: usize, old_off: u64) -> Result<u64> {
+        // Materialize the table contents (cache or container).
+        let table = match st.l2_cache.get(&l1_idx) {
+            Some(t) => t.clone(),
+            None => self.read_l2_table(old_off)?,
+        };
+        let new_off = self.alloc_cluster(st, 0)?;
+        let mut raw = vec![0u8; self.geom.cluster_size() as usize];
+        for (i, &e) in table.iter().enumerate() {
+            raw[i * 8..i * 8 + 8].copy_from_slice(&e.to_be_bytes());
+        }
+        self.dev.write_at(&raw, new_off)?;
+        self.dev.write_at(
+            &new_off.to_be_bytes(),
+            self.header.l1_table_offset + (l1_idx as u64) * 8,
+        )?;
+        st.l1[l1_idx] = new_off;
+        Self::l2_cache_put(st, l1_idx, table);
+        Ok(new_off)
+    }
+
+    // ------------------------------------------------------------------
+    // read path (§4.3 `read`)
+    // ------------------------------------------------------------------
+
+    /// Read a run `[vba, vba + buf.len())` of *unmapped* clusters.
+    ///
+    /// Non-cache behaviour: pass the whole run down to the backing chain in
+    /// one request (or zero-fill without one). Cache behaviour: fetch the
+    /// cluster-aligned span covering the run from the backing chain in a
+    /// single request — "small writes to the cache need to fetch more data
+    /// from the base image to meet the cluster granularity" (§5.1) — fill
+    /// every covered cluster (copy-on-read, Fig. 5), then serve the run.
+    /// On a quota space error, fills latch off mid-span (§4.3: "we stop
+    /// writing to the cache for the future cold reads") while the guest
+    /// still gets its data.
+    ///
+    /// Batching the fetch keeps the cold cache's request pattern toward the
+    /// storage node identical to plain QCOW2's, as the paper observes
+    /// (Fig. 11: cold ≈ QCOW2).
+    fn read_unmapped_run(&self, st: &mut MutState, buf: &mut [u8], vba: u64) -> Result<()> {
+        let Some(backing) = &self.backing else {
+            buf.fill(0);
+            return Ok(());
+        };
+        let want_fill = self.header.is_cache() && !self.read_only && self.fill_enabled();
+        if !want_fill {
+            backing.read_at_zero_pad(buf, vba)?;
+            self.miss_bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
+            return Ok(());
+        }
+        let cs = self.geom.cluster_size();
+        let (span_start, span_end) = self.geom.cluster_span(vba, buf.len() as u64);
+        let mut span_buf = vec![0u8; (span_end - span_start) as usize];
+        backing.read_at_zero_pad(&mut span_buf, span_start)?;
+        self.miss_bytes.fetch_add(span_buf.len() as u64, Ordering::Relaxed);
+
+        let mut cluster_vba = span_start;
+        while cluster_vba < span_end {
+            let chunk_start = (cluster_vba - span_start) as usize;
+            let chunk_len = cs.min(span_end - cluster_vba) as usize;
+            // The final cluster of an unaligned virtual size is stored
+            // zero-padded to full cluster length, like every other cluster.
+            let mut tail_pad;
+            let chunk: &[u8] = if chunk_len == cs as usize {
+                &span_buf[chunk_start..chunk_start + chunk_len]
+            } else {
+                tail_pad = vec![0u8; cs as usize];
+                tail_pad[..chunk_len].copy_from_slice(&span_buf[chunk_start..chunk_start + chunk_len]);
+                &tail_pad
+            };
+            match self.fill_cluster(st, cluster_vba, chunk) {
+                Ok(()) => {
+                    self.fill_bytes.fetch_add(chunk_len as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.is_no_space() => {
+                    self.fill_rejects.fetch_add(1, Ordering::Relaxed);
+                    self.fill_enabled.store(false, Ordering::Release);
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+            cluster_vba += cs;
+        }
+        let in_span = (vba - span_start) as usize;
+        buf.copy_from_slice(&span_buf[in_span..in_span + buf.len()]);
+        Ok(())
+    }
+
+    /// Write one full cluster of backing data into this cache layer.
+    fn fill_cluster(&self, st: &mut MutState, cluster_vba: u64, data: &[u8]) -> Result<()> {
+        let (l1_idx, _l2_off) = self.ensure_l2(st, cluster_vba)?;
+        let data_off = self.alloc_cluster(st, 0)?;
+        self.dev.write_at(data, data_off)?;
+        self.set_l2_entry(st, l1_idx, cluster_vba, data_off)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // write path (guest writes; CoW)
+    // ------------------------------------------------------------------
+
+    fn write_segment(&self, st: &mut MutState, data: &[u8], vba: u64) -> Result<()> {
+        if let Some(off) = self.lookup(st, vba)? {
+            if !st.frozen.contains(&off) {
+                let in_cluster = self.geom.in_cluster(vba);
+                return self.dev.write_at(data, off + in_cluster);
+            }
+            // Shared with a snapshot: copy the cluster, merge, remap.
+            let cs = self.geom.cluster_size() as usize;
+            let cluster_vba = self.geom.cluster_start(vba);
+            let mut cluster_buf = vec![0u8; cs];
+            self.dev.read_at(&mut cluster_buf, off)?;
+            let in_cluster = (vba - cluster_vba) as usize;
+            cluster_buf[in_cluster..in_cluster + data.len()].copy_from_slice(data);
+            let l1_idx = self.geom.l1_index(vba);
+            let new_off = self.alloc_cluster(st, 0)?;
+            self.dev.write_at(&cluster_buf, new_off)?;
+            self.set_l2_entry(st, l1_idx, vba, new_off)?;
+            return Ok(());
+        }
+        // Unallocated: classic copy-on-write. Bring in the full cluster from
+        // the backing chain (zeroes without one), merge, write.
+        let cs = self.geom.cluster_size() as usize;
+        let cluster_vba = self.geom.cluster_start(vba);
+        let mut cluster_buf = vec![0u8; cs];
+        let whole_cluster = data.len() == cs;
+        if !whole_cluster {
+            if let Some(backing) = &self.backing {
+                backing.read_at_zero_pad(&mut cluster_buf, cluster_vba)?;
+                self.miss_bytes.fetch_add(cs as u64, Ordering::Relaxed);
+            }
+        }
+        let in_cluster = (vba - cluster_vba) as usize;
+        cluster_buf[in_cluster..in_cluster + data.len()].copy_from_slice(data);
+        let (l1_idx, _l2_off) = self.ensure_l2(st, cluster_vba)?;
+        let data_off = self.alloc_cluster(st, 0)?;
+        self.dev.write_at(&cluster_buf, data_off)?;
+        self.set_l2_entry(st, l1_idx, cluster_vba, data_off)?;
+        Ok(())
+    }
+}
+
+impl BlockDev for QcowImage {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        let end = off + buf.len() as u64;
+        if end > self.geom.virtual_size {
+            return Err(BlockError::out_of_bounds(off, buf.len(), self.geom.virtual_size));
+        }
+        let cs = self.geom.cluster_size();
+        let mut st = self.state.lock();
+        let mut pos = off;
+        while pos < end {
+            match self.lookup(&mut st, pos)? {
+                Some(cluster_off) => {
+                    // Serve up to the end of this mapped cluster locally.
+                    let in_cluster = self.geom.in_cluster(pos);
+                    let n = ((cs - in_cluster).min(end - pos)) as usize;
+                    let out = &mut buf[(pos - off) as usize..][..n];
+                    self.dev.read_at(out, cluster_off + in_cluster)?;
+                    self.hit_bytes.fetch_add(n as u64, Ordering::Relaxed);
+                    pos += n as u64;
+                }
+                None => {
+                    // Extend across every consecutive unmapped cluster so
+                    // the backing chain sees one batched request.
+                    let mut run_end = (self.geom.cluster_start(pos) + cs).min(end);
+                    while run_end < end && self.lookup(&mut st, run_end)?.is_none() {
+                        run_end = (run_end + cs).min(end);
+                    }
+                    let out = &mut buf[(pos - off) as usize..(run_end - off) as usize];
+                    self.read_unmapped_run(&mut st, out, pos)?;
+                    pos = run_end;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn write_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        if self.read_only {
+            return Err(BlockError::read_only("write to read-only image"));
+        }
+        if off + buf.len() as u64 > self.geom.virtual_size {
+            return Err(BlockError::out_of_bounds(off, buf.len(), self.geom.virtual_size));
+        }
+        let mut st = self.state.lock();
+        let mut done = 0usize;
+        for seg in self.geom.segments(off, buf.len()) {
+            self.write_segment(&mut st, &buf[done..done + seg.len], seg.vba)?;
+            done += seg.len;
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.geom.virtual_size
+    }
+
+    fn set_len(&self, _len: u64) -> Result<()> {
+        Err(BlockError::unsupported("images have a fixed virtual size"))
+    }
+
+    fn flush(&self) -> Result<()> {
+        if self.read_only {
+            return Ok(());
+        }
+        self.dev.flush()
+    }
+
+    fn describe(&self) -> String {
+        let kind = if self.is_cache() { "cache" } else if self.backing.is_some() { "cow" } else { "base" };
+        format!("qcow[{kind}]({})", self.dev.describe())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+impl Drop for QcowImage {
+    fn drop(&mut self) {
+        // Best-effort close: persist the cache's used size (§4.3) — unless
+        // this handle was superseded by resize/rebase.
+        if !self.detached.load(Ordering::Acquire) {
+            let _ = self.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmi_blockdev::MemDev;
+
+    fn mem() -> SharedDev {
+        Arc::new(MemDev::new())
+    }
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn create_open_roundtrip() {
+        let dev = mem();
+        {
+            let img = QcowImage::create(dev.clone(), CreateOpts::plain(64 * MB), None).unwrap();
+            img.write_at(b"hello qcow", 12345).unwrap();
+            img.close().unwrap();
+        }
+        let img = QcowImage::open(dev, None, false).unwrap();
+        let mut buf = [0u8; 10];
+        img.read_at(&mut buf, 12345).unwrap();
+        assert_eq!(&buf, b"hello qcow");
+    }
+
+    #[test]
+    fn unwritten_regions_read_zero() {
+        let img = QcowImage::create(mem(), CreateOpts::plain(4 * MB), None).unwrap();
+        let mut buf = [7u8; 64];
+        img.read_at(&mut buf, MB).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn cow_reads_fall_through_to_backing() {
+        let base_dev = mem();
+        let base = QcowImage::create(base_dev.clone(), CreateOpts::plain(4 * MB), None).unwrap();
+        base.write_at(b"base data", 1000).unwrap();
+        let cow = QcowImage::create(
+            mem(),
+            CreateOpts::cow(4 * MB, "base"),
+            Some(base.clone() as SharedDev),
+        )
+        .unwrap();
+        let mut buf = [0u8; 9];
+        cow.read_at(&mut buf, 1000).unwrap();
+        assert_eq!(&buf, b"base data");
+        // Write to the CoW layer shadows the base without touching it.
+        cow.write_at(b"overlay!!", 1000).unwrap();
+        cow.read_at(&mut buf, 1000).unwrap();
+        assert_eq!(&buf, b"overlay!!");
+        base.read_at(&mut buf, 1000).unwrap();
+        assert_eq!(&buf, b"base data");
+    }
+
+    #[test]
+    fn cow_partial_cluster_write_merges_backing() {
+        let base = QcowImage::create(mem(), CreateOpts::plain(4 * MB), None).unwrap();
+        base.write_at(&[0xAA; 65536], 0).unwrap(); // a full base cluster
+        let cow =
+            QcowImage::create(mem(), CreateOpts::cow(4 * MB, "b"), Some(base as SharedDev)).unwrap();
+        cow.write_at(&[0xBB; 16], 100).unwrap();
+        let mut buf = [0u8; 200];
+        cow.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf[..100], &[0xAA; 100]);
+        assert_eq!(&buf[100..116], &[0xBB; 16]);
+        assert_eq!(&buf[116..], &[0xAA; 84]);
+    }
+
+    #[test]
+    fn read_past_virtual_size_errors() {
+        let img = QcowImage::create(mem(), CreateOpts::plain(MB), None).unwrap();
+        let mut buf = [0u8; 16];
+        assert!(img.read_at(&mut buf, MB - 8).is_err());
+        assert!(img.write_at(&buf, MB - 8).is_err());
+    }
+
+    #[test]
+    fn cache_image_fills_on_cold_read() {
+        let base = QcowImage::create(mem(), CreateOpts::plain(4 * MB), None).unwrap();
+        base.write_at(&[0x5A; 4096], 8192).unwrap();
+        let cache = QcowImage::create(
+            mem(),
+            CreateOpts::cache(4 * MB, "base", 2 * MB),
+            Some(base.clone() as SharedDev),
+        )
+        .unwrap();
+        assert!(cache.is_cache());
+        let mut buf = [0u8; 4096];
+        cache.read_at(&mut buf, 8192).unwrap();
+        assert_eq!(buf, [0x5A; 4096]);
+        let s1 = cache.cor_stats();
+        assert!(s1.miss_bytes >= 4096);
+        assert!(s1.fill_bytes >= 4096);
+        // Second read is warm: no more misses.
+        cache.read_at(&mut buf, 8192).unwrap();
+        let s2 = cache.cor_stats();
+        assert_eq!(s2.miss_bytes, s1.miss_bytes);
+        assert_eq!(s2.hit_bytes, s1.hit_bytes + 4096);
+    }
+
+    #[test]
+    fn cache_quota_latches_fill_off_but_keeps_serving() {
+        let vsize = 4 * MB;
+        let base = QcowImage::create(mem(), CreateOpts::plain(vsize), None).unwrap();
+        for i in 0..64u64 {
+            base.write_at(&[i as u8 + 1; 512], i * 512).unwrap();
+        }
+        // Tiny quota: initial metadata (512 B header cluster + L1) plus a
+        // couple of clusters.
+        let cache_opts = CreateOpts::cache(vsize, "base", 0); // compute below
+        let g = Geometry::new(cache_opts.cluster_bits, vsize).unwrap();
+        let quota = g.cluster_size() + g.l1_table_bytes() + 5 * g.cluster_size();
+        let cache = QcowImage::create(
+            mem(),
+            CreateOpts::cache(vsize, "base", quota),
+            Some(base.clone() as SharedDev),
+        )
+        .unwrap();
+        let mut buf = [0u8; 512];
+        let mut served = 0;
+        for i in 0..64u64 {
+            cache.read_at(&mut buf, i * 512).unwrap();
+            assert_eq!(buf, [i as u8 + 1; 512], "guest data correct past quota");
+            served += 1;
+        }
+        assert_eq!(served, 64);
+        assert!(!cache.fill_enabled(), "fills must latch off");
+        assert!(cache.cor_stats().fill_rejects >= 1);
+        assert!(cache.cache_used() <= quota, "quota never exceeded");
+    }
+
+    #[test]
+    fn cache_used_persists_on_close() {
+        let base = QcowImage::create(mem(), CreateOpts::plain(4 * MB), None).unwrap();
+        base.write_at(&[1; 8192], 0).unwrap();
+        let cache_dev = mem();
+        let used;
+        {
+            let cache = QcowImage::create(
+                cache_dev.clone(),
+                CreateOpts::cache(4 * MB, "base", 2 * MB),
+                Some(base.clone() as SharedDev),
+            )
+            .unwrap();
+            let mut buf = [0u8; 8192];
+            cache.read_at(&mut buf, 0).unwrap();
+            used = cache.cache_used();
+            cache.close().unwrap();
+        }
+        let reopened =
+            QcowImage::open(cache_dev, Some(base as SharedDev), false).unwrap();
+        assert_eq!(reopened.cache_used(), used);
+        assert_eq!(reopened.header().cache.unwrap().used, used);
+        // Warm read — no misses.
+        let mut buf = [0u8; 8192];
+        reopened.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [1; 8192]);
+        assert_eq!(reopened.cor_stats().miss_bytes, 0);
+    }
+
+    #[test]
+    fn read_only_image_does_not_fill() {
+        let base = QcowImage::create(mem(), CreateOpts::plain(4 * MB), None).unwrap();
+        base.write_at(&[9; 1024], 0).unwrap();
+        let cache_dev = mem();
+        {
+            let c = QcowImage::create(
+                cache_dev.clone(),
+                CreateOpts::cache(4 * MB, "base", 2 * MB),
+                Some(base.clone() as SharedDev),
+            )
+            .unwrap();
+            c.close().unwrap();
+        }
+        let cache = QcowImage::open(cache_dev.clone(), Some(base as SharedDev), true).unwrap();
+        let before = cache_dev.len();
+        let mut buf = [0u8; 1024];
+        cache.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [9; 1024]);
+        assert_eq!(cache_dev.len(), before, "read-only cache must not grow");
+        assert_eq!(cache.cor_stats().fill_bytes, 0);
+        assert!(cache.write_at(&[0; 16], 0).is_err());
+    }
+
+    #[test]
+    fn three_layer_chain_reads_through() {
+        // Base <- Cache <- CoW, the paper's Fig. 4 arrangement.
+        let base = QcowImage::create(mem(), CreateOpts::plain(4 * MB), None).unwrap();
+        base.write_at(&[3; 2048], 4096).unwrap();
+        let cache = QcowImage::create(
+            mem(),
+            CreateOpts::cache(4 * MB, "base", 2 * MB),
+            Some(base.clone() as SharedDev),
+        )
+        .unwrap();
+        let cow = QcowImage::create(
+            mem(),
+            CreateOpts::cow(4 * MB, "cache"),
+            Some(cache.clone() as SharedDev),
+        )
+        .unwrap();
+        let mut buf = [0u8; 2048];
+        cow.read_at(&mut buf, 4096).unwrap();
+        assert_eq!(buf, [3; 2048]);
+        // Guest writes land in the CoW layer only; cache remains immutable
+        // w.r.t. guest data.
+        cow.write_at(&[7; 2048], 4096).unwrap();
+        let mut check = [0u8; 2048];
+        cache.read_at(&mut check, 4096).unwrap();
+        assert_eq!(check, [3; 2048], "cache must not see guest writes");
+        cow.read_at(&mut check, 4096).unwrap();
+        assert_eq!(check, [7; 2048]);
+    }
+
+    #[test]
+    fn small_cluster_cache_fills_less_than_default() {
+        // Fig. 9's mechanism: a 4 KiB guest read through a 64 KiB-cluster
+        // cache fetches 64 KiB from the base; through a 512 B-cluster cache
+        // it fetches only 4 KiB.
+        let mk = |bits: u32| {
+            let base = QcowImage::create(mem(), CreateOpts::plain(16 * MB), None).unwrap();
+            base.write_at(&[1; 4096], 1 << 20).unwrap();
+            let cache = QcowImage::create(
+                mem(),
+                CreateOpts::cache(16 * MB, "b", 8 * MB).with_cluster_bits(bits),
+                Some(base as SharedDev),
+            )
+            .unwrap();
+            let mut buf = [0u8; 4096];
+            cache.read_at(&mut buf, 1 << 20).unwrap();
+            cache.cor_stats().miss_bytes
+        };
+        let big = mk(16);
+        let small = mk(9);
+        assert_eq!(big, 65536);
+        assert_eq!(small, 4096);
+    }
+
+    #[test]
+    fn quota_smaller_than_metadata_serves_but_never_fills() {
+        let base = QcowImage::create(mem(), CreateOpts::plain(64 * MB), None).unwrap();
+        base.write_at(&[4; 1024], 0).unwrap();
+        let cache = QcowImage::create(
+            mem(),
+            CreateOpts::cache(64 * MB, "b", 1024),
+            Some(base as SharedDev),
+        )
+        .unwrap();
+        let mut buf = [0u8; 1024];
+        cache.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [4; 1024], "reads still pass through");
+        assert!(!cache.fill_enabled(), "first fill attempt latches off");
+        assert_eq!(cache.cor_stats().fill_bytes, 0);
+    }
+
+    #[test]
+    fn backing_mismatch_rejected() {
+        let dev = mem();
+        QcowImage::create(dev.clone(), CreateOpts::plain(MB), None).unwrap().close().unwrap();
+        // Supplying a backing device for a standalone image is an error.
+        let other = QcowImage::create(mem(), CreateOpts::plain(MB), None).unwrap();
+        assert!(QcowImage::open(dev, Some(other as SharedDev), false).is_err());
+    }
+
+    #[test]
+    fn zero_length_ops_are_noops() {
+        let img = QcowImage::create(mem(), CreateOpts::plain(MB), None).unwrap();
+        let mut buf = [0u8; 0];
+        img.read_at(&mut buf, 0).unwrap();
+        img.write_at(&buf, 0).unwrap();
+        img.read_at(&mut buf, MB).unwrap(); // at the boundary, len 0: fine
+        assert_eq!(img.mapped_bytes(), 0);
+    }
+
+    #[test]
+    fn external_write_to_cache_respects_quota() {
+        // §4.3's write path on a cache image used directly (not via CoR).
+        let base = QcowImage::create(mem(), CreateOpts::plain(4 * MB), None).unwrap();
+        let g = Geometry::new(9, 4 * MB).unwrap();
+        let quota = g.cluster_size() + g.l1_table_bytes() + 10 * 512;
+        let cache = QcowImage::create(
+            mem(),
+            CreateOpts::cache(4 * MB, "b", quota),
+            Some(base as SharedDev),
+        )
+        .unwrap();
+        // Writes land until the quota refuses with the space error.
+        let mut wrote = 0;
+        let err = loop {
+            match cache.write_at(&[1; 512], wrote * 512) {
+                Ok(()) => wrote += 1,
+                Err(e) => break e,
+            }
+            assert!(wrote < 100, "quota must trip");
+        };
+        assert!(err.is_no_space());
+        assert!(wrote >= 1);
+        assert!(cache.cache_used() <= quota);
+    }
+
+    #[test]
+    fn read_spanning_mapped_and_unmapped_clusters() {
+        // One request that begins in a warm cluster and ends in a cold one.
+        let base = QcowImage::create(mem(), CreateOpts::plain(4 * MB), None).unwrap();
+        base.write_at(&[0xAB; 8192], 0).unwrap();
+        let cache = QcowImage::create(
+            mem(),
+            CreateOpts::cache(4 * MB, "b", 2 * MB),
+            Some(base as SharedDev),
+        )
+        .unwrap();
+        let mut buf = [0u8; 512];
+        cache.read_at(&mut buf, 0).unwrap(); // warm exactly cluster 0
+        let mut big = [0u8; 4096];
+        cache.read_at(&mut big, 0).unwrap(); // spans warm + cold
+        assert_eq!(big, [0xAB; 4096]);
+        let s = cache.cor_stats();
+        assert!(s.hit_bytes >= 512, "first cluster of the big read served warm");
+        // The cold tail was fetched without re-fetching the warm cluster.
+        assert_eq!(s.miss_bytes, 512 + (4096 - 512), "span excludes the mapped cluster");
+    }
+
+    #[test]
+    fn file_size_tracks_growth() {
+        let base = QcowImage::create(mem(), CreateOpts::plain(16 * MB), None).unwrap();
+        base.write_at(&[1; 1 << 20], 0).unwrap();
+        let cache = QcowImage::create(
+            mem(),
+            CreateOpts::cache(16 * MB, "b", 8 * MB),
+            Some(base as SharedDev),
+        )
+        .unwrap();
+        let before = cache.file_size();
+        let mut buf = vec![0u8; 1 << 20];
+        cache.read_at(&mut buf, 0).unwrap();
+        let after = cache.file_size();
+        assert!(after >= before + (1 << 20), "fills must grow the container file");
+        // Used size accounting matches the file tail (bump allocator).
+        assert_eq!(cache.cache_used(), after);
+    }
+}

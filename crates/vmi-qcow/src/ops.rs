@@ -1,0 +1,455 @@
+//! `qemu-img`-style maintenance operations: `info`, `map`, `check`, `commit`.
+//!
+//! These are the manipulation entry points §4.2 describes (`qemu-img` "is
+//! used for creating and/or manipulating virtualized images"), extended with
+//! cache awareness: `info` reports quota/used, `check` validates the cache
+//! accounting invariants.
+
+use std::sync::Arc;
+
+use vmi_blockdev::{BlockDev, BlockError, ByteRange, Result};
+
+use crate::image::QcowImage;
+
+/// Structured output of [`info`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageInfo {
+    /// Virtual disk size in bytes.
+    pub virtual_size: u64,
+    /// Container file size in bytes (the Table 2 metric for caches).
+    pub file_size: u64,
+    /// Cluster size in bytes.
+    pub cluster_size: u64,
+    /// Backing file name if chained.
+    pub backing_file: Option<String>,
+    /// Cache quota (`None` for plain images).
+    pub cache_quota: Option<u64>,
+    /// Live cache used size (`None` for plain images).
+    pub cache_used: Option<u64>,
+    /// Bytes of guest data mapped in this layer.
+    pub mapped_bytes: u64,
+    /// Whether copy-on-read is still filling.
+    pub fill_enabled: bool,
+}
+
+impl ImageInfo {
+    /// Render in a `qemu-img info`-like textual form.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("virtual size: {} ({} bytes)\n", human(self.virtual_size), self.virtual_size));
+        s.push_str(&format!("disk size: {}\n", human(self.file_size)));
+        s.push_str(&format!("cluster_size: {}\n", self.cluster_size));
+        if let Some(b) = &self.backing_file {
+            s.push_str(&format!("backing file: {b}\n"));
+        }
+        if let (Some(q), Some(u)) = (self.cache_quota, self.cache_used) {
+            s.push_str(&format!(
+                "cache quota: {} used: {} ({:.1}%) filling: {}\n",
+                human(q),
+                human(u),
+                100.0 * u as f64 / q as f64,
+                if self.fill_enabled { "yes" } else { "stopped" }
+            ));
+        }
+        s.push_str(&format!("mapped: {}\n", human(self.mapped_bytes)));
+        s
+    }
+}
+
+fn human(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.1} {}", UNITS[u])
+    }
+}
+
+/// Gather [`ImageInfo`] for an open image.
+pub fn info(img: &QcowImage) -> ImageInfo {
+    let h = img.header();
+    ImageInfo {
+        virtual_size: img.virtual_size(),
+        file_size: img.file_size(),
+        cluster_size: img.geometry().cluster_size(),
+        backing_file: h.backing_file.clone(),
+        cache_quota: h.cache.map(|c| c.quota),
+        cache_used: h.cache.map(|_| img.cache_used()),
+        mapped_bytes: img.mapped_bytes(),
+        fill_enabled: img.fill_enabled(),
+    }
+}
+
+/// One extent of the guest address space and where it is served from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapExtent {
+    /// Guest byte range.
+    pub range: ByteRange,
+    /// Chain depth serving it: 0 = this image, 1 = first backing, …;
+    /// `None` = unallocated anywhere (reads as zeroes).
+    pub depth: Option<usize>,
+}
+
+/// Compute the allocation map of a chain, scanning cluster by cluster from
+/// the top image. Adjacent clusters with the same source are merged.
+pub fn map(img: &QcowImage) -> Result<Vec<MapExtent>> {
+    let cs = img.geometry().cluster_size();
+    let vsize = img.virtual_size();
+    let mut extents: Vec<MapExtent> = Vec::new();
+    let mut vba = 0u64;
+    while vba < vsize {
+        let depth = source_depth(img, vba)?;
+        let end = (vba + cs).min(vsize);
+        match extents.last_mut() {
+            Some(last) if last.depth == depth && last.range.end == vba => {
+                last.range.end = end;
+            }
+            _ => extents.push(MapExtent { range: ByteRange { start: vba, end }, depth }),
+        }
+        vba = end;
+    }
+    Ok(extents)
+}
+
+/// Depth of the chain layer that would serve `vba` (without triggering any
+/// copy-on-read side effects — this probes metadata only).
+fn source_depth(img: &QcowImage, vba: u64) -> Result<Option<usize>> {
+    if img.is_mapped(vba)? {
+        return Ok(Some(0));
+    }
+    let mut depth = 1usize;
+    let mut backing = img.backing().cloned();
+    // Walk down through QcowImage layers where possible; a raw backing
+    // device is considered fully mapped.
+    while let Some(dev) = backing {
+        match dev.as_any().and_then(|a| a.downcast_ref::<QcowImage>()) {
+            Some(q) => {
+                if q.is_mapped(vba)? {
+                    return Ok(Some(depth));
+                }
+                let next = q.backing().cloned();
+                depth += 1;
+                backing = next;
+            }
+            None => {
+                // Raw base: serves everything within its length.
+                return Ok(if vba < dev.len() { Some(depth) } else { None });
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Structural check report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Number of allocated L2 tables.
+    pub l2_tables: u64,
+    /// Number of allocated data clusters.
+    pub data_clusters: u64,
+    /// Container clusters that are neither referenced nor queued for reuse
+    /// (space discarded in an earlier session; reclaim with
+    /// [`compact`]). Leaks are not errors — `qemu-img check` reports them
+    /// the same way.
+    pub leaked_clusters: u64,
+    /// Structural errors found (empty = clean).
+    pub errors: Vec<String>,
+}
+
+impl CheckReport {
+    /// `true` when no errors were found.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Validate the structural invariants of an image:
+///
+/// * every L1/L2 entry is cluster-aligned and inside the container file;
+/// * no container cluster is referenced twice;
+/// * for cache images, `used` accounting equals
+///   header + L1 + (L2 tables + data clusters) × cluster size and never
+///   exceeds the quota.
+pub fn check(img: &QcowImage) -> Result<CheckReport> {
+    let mut rep = CheckReport::default();
+    let g = img.geometry();
+    let cs = g.cluster_size();
+    let file_len = img.file_size();
+    let mut seen = std::collections::HashSet::new();
+    let l1 = img.l1_snapshot();
+    for (l1_idx, &l2_off) in l1.iter().enumerate() {
+        if l2_off == 0 {
+            continue;
+        }
+        rep.l2_tables += 1;
+        if l2_off % cs != 0 {
+            rep.errors.push(format!("L1[{l1_idx}] not cluster-aligned: {l2_off:#x}"));
+            continue;
+        }
+        if l2_off + cs > g.align_up(file_len) {
+            rep.errors.push(format!("L1[{l1_idx}] beyond file end: {l2_off:#x}"));
+            continue;
+        }
+        if !seen.insert(l2_off) {
+            rep.errors.push(format!("cluster {l2_off:#x} multiply referenced (L2 table)"));
+        }
+        let l2 = img.l2_snapshot(l2_off)?;
+        for (l2_idx, &doff) in l2.iter().enumerate() {
+            if doff == 0 {
+                continue;
+            }
+            rep.data_clusters += 1;
+            if doff % cs != 0 {
+                rep.errors
+                    .push(format!("L2[{l1_idx}][{l2_idx}] not cluster-aligned: {doff:#x}"));
+            } else if doff + cs > g.align_up(file_len) {
+                rep.errors.push(format!("L2[{l1_idx}][{l2_idx}] beyond file end: {doff:#x}"));
+            } else if !seen.insert(doff) {
+                rep.errors.push(format!("cluster {doff:#x} multiply referenced (data)"));
+            }
+        }
+    }
+    // Leak accounting: clusters in the data area that nothing references —
+    // neither the active tree, nor any snapshot tree/metadata — and that
+    // are not queued for reuse. Clusters shared between the active tree and
+    // snapshots must not be double-counted.
+    let data_area_start = cs + g.l1_table_bytes();
+    let data_area_clusters = g.align_up(file_len).saturating_sub(data_area_start) / cs;
+    let free = img.free_cluster_count() as u64;
+    let snap_refs = img.snapshot_refs()?;
+    let snap_only = snap_refs.iter().filter(|off| !seen.contains(*off)).count() as u64;
+    rep.leaked_clusters = data_area_clusters
+        .saturating_sub(rep.l2_tables + rep.data_clusters)
+        .saturating_sub(snap_only)
+        .saturating_sub(free);
+
+    if img.is_cache() {
+        let expected = cs /* header cluster */
+            + g.l1_table_bytes()
+            + (rep.l2_tables + rep.data_clusters) * cs;
+        let used = img.cache_used();
+        if used != expected {
+            rep.errors.push(format!("cache used {used} != computed {expected}"));
+        }
+        let initial = cs + g.l1_table_bytes();
+        if used > img.cache_quota().max(initial) {
+            rep.errors.push(format!("cache used {used} exceeds quota {}", img.cache_quota()));
+        }
+    }
+    Ok(rep)
+}
+
+/// Compact: rewrite `img` into a fresh container, dropping leaked clusters
+/// (space discarded in earlier sessions) and packing data densely. The new
+/// image keeps the same geometry, backing name and cache quota; its `used`
+/// accounting reflects the compacted layout.
+///
+/// Returns the reopened, compacted image. `backing` must be the resolved
+/// backing device (same as would be passed to [`QcowImage::open`]).
+pub fn compact(
+    img: &QcowImage,
+    new_dev: vmi_blockdev::SharedDev,
+    backing: Option<vmi_blockdev::SharedDev>,
+) -> Result<Arc<QcowImage>> {
+    if !img.list_snapshots().is_empty() {
+        return Err(BlockError::unsupported(
+            "compact would drop internal snapshots; delete them first",
+        ));
+    }
+    let h = img.header();
+    let opts = crate::image::CreateOpts {
+        size: img.virtual_size(),
+        cluster_bits: img.geometry().cluster_bits,
+        backing_file: h.backing_file.clone(),
+        cache_quota: h.cache.map(|c| c.quota).unwrap_or(0),
+    };
+    let fresh = QcowImage::create(new_dev, opts, backing)?;
+    let g = img.geometry();
+    let cs = g.cluster_size() as usize;
+    let mut buf = vec![0u8; cs];
+    let vsize = img.virtual_size();
+    let mut vba = 0u64;
+    while vba < vsize {
+        if img.is_mapped(vba)? {
+            let n = cs.min((vsize - vba) as usize);
+            // Mapped ⇒ served locally; the write allocates densely in the
+            // fresh container (quota-checked for cache images — the
+            // compacted layout can only be smaller than the source).
+            img.read_at(&mut buf[..n], vba)?;
+            fresh.write_at(&buf[..n], vba)?;
+        }
+        vba += cs as u64;
+    }
+    fresh.close()?;
+    Ok(fresh)
+}
+
+/// Commit: copy every cluster mapped in `img` down into its backing image,
+/// which must be writable. Returns bytes committed.
+pub fn commit(img: &QcowImage) -> Result<u64> {
+    let backing = img
+        .backing()
+        .cloned()
+        .ok_or_else(|| BlockError::unsupported("commit: image has no backing file"))?;
+    let g = img.geometry();
+    let cs = g.cluster_size() as usize;
+    let mut buf = vec![0u8; cs];
+    let mut committed = 0u64;
+    let vsize = img.virtual_size();
+    let mut vba = 0u64;
+    while vba < vsize {
+        if img.is_mapped(vba)? {
+            let n = cs.min((vsize - vba) as usize);
+            img.read_at(&mut buf[..n], vba)?;
+            backing.write_at(&buf[..n], vba)?;
+            committed += n as u64;
+        }
+        vba += cs as u64;
+    }
+    backing.flush()?;
+    Ok(committed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::CreateOpts;
+    use std::sync::Arc;
+    use vmi_blockdev::MemDev;
+
+    const MB: u64 = 1 << 20;
+
+    fn mem() -> vmi_blockdev::SharedDev {
+        Arc::new(MemDev::new())
+    }
+
+    #[test]
+    fn info_reports_cache_fields() {
+        let base = QcowImage::create(mem(), CreateOpts::plain(8 * MB), None).unwrap();
+        base.write_at(&[1; 4096], 0).unwrap();
+        let cache = QcowImage::create(
+            mem(),
+            CreateOpts::cache(8 * MB, "b", 4 * MB),
+            Some(base as vmi_blockdev::SharedDev),
+        )
+        .unwrap();
+        let mut buf = [0u8; 4096];
+        cache.read_at(&mut buf, 0).unwrap();
+        let i = info(&cache);
+        assert_eq!(i.cache_quota, Some(4 * MB));
+        assert!(i.cache_used.unwrap() > 0);
+        assert!(i.fill_enabled);
+        assert!(i.mapped_bytes >= 4096);
+        let text = i.render();
+        assert!(text.contains("cache quota"));
+        assert!(text.contains("backing file: b"));
+    }
+
+    #[test]
+    fn info_plain_image_has_no_cache_fields() {
+        let img = QcowImage::create(mem(), CreateOpts::plain(MB), None).unwrap();
+        let i = info(&img);
+        assert_eq!(i.cache_quota, None);
+        assert!(!i.render().contains("cache quota"));
+    }
+
+    #[test]
+    fn check_clean_image() {
+        let base = QcowImage::create(mem(), CreateOpts::plain(8 * MB), None).unwrap();
+        base.write_at(&[1; 100_000], 50_000).unwrap();
+        let rep = check(&base).unwrap();
+        assert!(rep.is_clean(), "{:?}", rep.errors);
+        assert!(rep.data_clusters >= 2);
+    }
+
+    #[test]
+    fn check_clean_cache_accounting() {
+        let base = QcowImage::create(mem(), CreateOpts::plain(8 * MB), None).unwrap();
+        base.write_at(&[1; 300_000], 0).unwrap();
+        let cache = QcowImage::create(
+            mem(),
+            CreateOpts::cache(8 * MB, "b", 4 * MB),
+            Some(base as vmi_blockdev::SharedDev),
+        )
+        .unwrap();
+        let mut buf = vec![0u8; 300_000];
+        cache.read_at(&mut buf, 0).unwrap();
+        let rep = check(&cache).unwrap();
+        assert!(rep.is_clean(), "{:?}", rep.errors);
+    }
+
+    #[test]
+    fn map_reports_layer_depths() {
+        let base = QcowImage::create(mem(), CreateOpts::plain(4 * MB), None).unwrap();
+        base.write_at(&[1; 65536], 0).unwrap(); // cluster 0 in base
+        let cow = QcowImage::create(
+            mem(),
+            CreateOpts::cow(4 * MB, "b"),
+            Some(base as vmi_blockdev::SharedDev),
+        )
+        .unwrap();
+        cow.write_at(&[2; 65536], 65536).unwrap(); // cluster 1 in cow
+        let extents = map(&cow).unwrap();
+        // cluster 0 ← depth 1 (base), cluster 1 ← depth 0 (cow), rest zero.
+        assert_eq!(extents.len(), 3);
+        assert_eq!(extents[0].depth, Some(1));
+        assert_eq!(extents[0].range.len(), 65536);
+        assert_eq!(extents[1].depth, Some(0));
+        assert_eq!(extents[2].depth, None);
+        assert_eq!(extents[2].range.end, 4 * MB);
+    }
+
+    #[test]
+    fn map_over_raw_base_marks_backing() {
+        let raw: vmi_blockdev::SharedDev =
+            Arc::new(MemDev::from_vec(vec![9u8; (4 * MB) as usize]));
+        let cow = QcowImage::create(
+            mem(),
+            CreateOpts::cow(4 * MB, "raw"),
+            Some(Arc::new(vmi_blockdev::ReadOnlyDev::new(raw)) as vmi_blockdev::SharedDev),
+        )
+        .unwrap();
+        let extents = map(&cow).unwrap();
+        assert_eq!(extents.len(), 1, "raw base serves everything at one depth");
+        assert_eq!(extents[0].depth, Some(1));
+    }
+
+    #[test]
+    fn commit_pushes_data_down() {
+        let base_dev = mem();
+        let base =
+            QcowImage::create(base_dev.clone(), CreateOpts::plain(4 * MB), None).unwrap();
+        base.write_at(&[1; 1024], 0).unwrap();
+        let cow = QcowImage::create(
+            mem(),
+            CreateOpts::cow(4 * MB, "b"),
+            Some(base.clone() as vmi_blockdev::SharedDev),
+        )
+        .unwrap();
+        cow.write_at(&[2; 1024], 0).unwrap();
+        cow.write_at(&[3; 512], 2 * MB).unwrap();
+        let n = commit(&cow).unwrap();
+        assert!(n >= 1024 + 512);
+        let mut buf = [0u8; 1024];
+        base.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [2; 1024], "committed data visible in backing");
+    }
+
+    #[test]
+    fn commit_without_backing_fails() {
+        let img = QcowImage::create(mem(), CreateOpts::plain(MB), None).unwrap();
+        assert!(commit(&img).is_err());
+    }
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human(512), "512 B");
+        assert_eq!(human(93 * MB), "93.0 MiB");
+    }
+}

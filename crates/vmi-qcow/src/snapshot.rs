@@ -1,0 +1,106 @@
+//! Internal snapshots: record format and table (de)serialization.
+//!
+//! A snapshot freezes the guest-visible state of an image at a point in
+//! time: the active L1 table is copied into fresh clusters and every
+//! cluster reachable from it becomes copy-on-write — later guest writes
+//! allocate new clusters instead of overwriting shared ones. The snapshot
+//! table lives out of line in allocated clusters; the header's `SNAP`
+//! extension points at it (see [`crate::header::SnapTabExt`]).
+//!
+//! This is the mechanism behind the §8 future-work direction of starting
+//! VMs "from memory snapshots of already booted virtual machines": a booted
+//! image can be snapshotted once and reverted per VM start.
+
+use bytes::{Buf, BufMut};
+use vmi_blockdev::{BlockError, Result};
+
+/// One snapshot record as stored in the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotRec {
+    /// Unique id within the image (monotonically assigned).
+    pub id: u32,
+    /// Human-readable name.
+    pub name: String,
+    /// Container offset of this snapshot's frozen L1 copy.
+    pub l1_offset: u64,
+    /// Number of L1 entries in the copy.
+    pub l1_entries: u32,
+}
+
+/// Public view of a snapshot (what `list` returns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Snapshot id.
+    pub id: u32,
+    /// Snapshot name.
+    pub name: String,
+}
+
+/// Maximum snapshot-name length accepted.
+pub const MAX_SNAPSHOT_NAME: usize = 255;
+
+/// Encode the snapshot table.
+pub fn encode_table(recs: &[SnapshotRec]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in recs {
+        debug_assert!(r.name.len() <= MAX_SNAPSHOT_NAME);
+        out.put_u32(r.id);
+        out.put_u64(r.l1_offset);
+        out.put_u32(r.l1_entries);
+        out.put_u16(r.name.len() as u16);
+        out.extend_from_slice(r.name.as_bytes());
+    }
+    out
+}
+
+/// Decode a snapshot table of `count` records.
+pub fn decode_table(mut raw: &[u8], count: u32) -> Result<Vec<SnapshotRec>> {
+    let mut recs = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        if raw.len() < 18 {
+            return Err(BlockError::corrupt("truncated snapshot table"));
+        }
+        let id = raw.get_u32();
+        let l1_offset = raw.get_u64();
+        let l1_entries = raw.get_u32();
+        let name_len = raw.get_u16() as usize;
+        if name_len > MAX_SNAPSHOT_NAME || raw.len() < name_len {
+            return Err(BlockError::corrupt("bad snapshot name length"));
+        }
+        let name = String::from_utf8(raw[..name_len].to_vec())
+            .map_err(|_| BlockError::corrupt("snapshot name not UTF-8"))?;
+        raw.advance(name_len);
+        recs.push(SnapshotRec { id, name, l1_offset, l1_entries });
+    }
+    Ok(recs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let recs = vec![
+            SnapshotRec { id: 1, name: "clean-install".into(), l1_offset: 65536, l1_entries: 16 },
+            SnapshotRec { id: 7, name: "booted".into(), l1_offset: 131072, l1_entries: 16 },
+        ];
+        let raw = encode_table(&recs);
+        let back = decode_table(&raw, 2).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn empty_table() {
+        assert!(decode_table(&[], 0).unwrap().is_empty());
+        assert!(encode_table(&[]).is_empty());
+    }
+
+    #[test]
+    fn truncated_table_rejected() {
+        let recs = vec![SnapshotRec { id: 1, name: "x".into(), l1_offset: 0, l1_entries: 1 }];
+        let raw = encode_table(&recs);
+        assert!(decode_table(&raw[..raw.len() - 1], 1).is_err());
+        assert!(decode_table(&raw, 2).is_err(), "count beyond data");
+    }
+}

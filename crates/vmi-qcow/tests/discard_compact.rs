@@ -1,0 +1,220 @@
+//! Discard (TRIM), cluster reuse, leak accounting, and compaction.
+
+use std::sync::Arc;
+
+use vmi_blockdev::{BlockDev, MemDev, SharedDev};
+use vmi_qcow::{check, compact, CreateOpts, QcowImage};
+
+const VSIZE: u64 = 8 << 20;
+
+fn base_with_content() -> (SharedDev, Vec<u8>) {
+    let content: Vec<u8> = (0..VSIZE as usize).map(|i| (i % 251) as u8).collect();
+    (Arc::new(MemDev::from_vec(content.clone())), content)
+}
+
+#[test]
+fn discard_unmaps_and_falls_back_to_backing() {
+    let (base, content) = base_with_content();
+    let cow = QcowImage::create(
+        Arc::new(MemDev::new()),
+        CreateOpts::cow(VSIZE, "b"),
+        Some(Arc::new(vmi_blockdev::ReadOnlyDev::new(base)) as SharedDev),
+    )
+    .unwrap();
+    cow.write_at(&[0xFF; 65536], 0).unwrap();
+    let mut buf = [0u8; 65536];
+    cow.read_at(&mut buf, 0).unwrap();
+    assert_eq!(buf, [0xFF; 65536]);
+    // Discard the whole overlay cluster: the base shows through again.
+    let n = cow.discard(0, 65536).unwrap();
+    assert_eq!(n, 1);
+    cow.read_at(&mut buf, 0).unwrap();
+    assert_eq!(&buf[..], &content[..65536]);
+}
+
+#[test]
+fn discard_without_backing_reads_zero() {
+    let img = QcowImage::create(Arc::new(MemDev::new()), CreateOpts::plain(VSIZE), None).unwrap();
+    img.write_at(&[7; 65536], 65536).unwrap();
+    img.discard(65536, 65536).unwrap();
+    let mut buf = [0u8; 65536];
+    img.read_at(&mut buf, 65536).unwrap();
+    assert_eq!(buf, [0; 65536]);
+}
+
+#[test]
+fn partial_cluster_discard_is_ignored() {
+    let img = QcowImage::create(Arc::new(MemDev::new()), CreateOpts::plain(VSIZE), None).unwrap();
+    img.write_at(&[9; 65536], 0).unwrap();
+    // Range covers only half the cluster: nothing may be unmapped.
+    assert_eq!(img.discard(0, 32768).unwrap(), 0);
+    let mut buf = [0u8; 65536];
+    img.read_at(&mut buf, 0).unwrap();
+    assert_eq!(buf, [9; 65536]);
+}
+
+#[test]
+fn freed_clusters_are_reused_not_grown() {
+    let img = QcowImage::create(Arc::new(MemDev::new()), CreateOpts::plain(VSIZE), None).unwrap();
+    img.write_at(&[1; 65536], 0).unwrap();
+    let size_before = img.file_size();
+    img.discard(0, 65536).unwrap();
+    assert_eq!(img.free_cluster_count(), 1);
+    // A new allocation must reuse the freed cluster: file does not grow.
+    img.write_at(&[2; 65536], 1 << 20).unwrap();
+    assert_eq!(img.file_size(), size_before, "allocator must reuse freed space");
+    assert_eq!(img.free_cluster_count(), 0);
+    let mut buf = [0u8; 65536];
+    img.read_at(&mut buf, 1 << 20).unwrap();
+    assert_eq!(buf, [2; 65536]);
+}
+
+#[test]
+fn discard_reenables_cache_fills() {
+    let (base, content) = base_with_content();
+    let g = vmi_qcow::Geometry::new(9, VSIZE).unwrap();
+    let quota = g.cluster_size() + g.l1_table_bytes() + 600 * 512;
+    let cache = QcowImage::create(
+        Arc::new(MemDev::new()),
+        CreateOpts::cache(VSIZE, "b", quota),
+        Some(base),
+    )
+    .unwrap();
+    // Exhaust the quota.
+    let mut buf = vec![0u8; 4096];
+    let mut off = 0;
+    while cache.fill_enabled() {
+        cache.read_at(&mut buf, off).unwrap();
+        off += 4096;
+    }
+    assert!(!cache.fill_enabled());
+    let used_at_latch = cache.cache_used();
+    // Discard the first 128 KiB of cached data: quota space frees up and
+    // copy-on-read resumes.
+    let freed = cache.discard(0, 128 * 1024).unwrap();
+    assert!(freed > 0);
+    assert!(cache.cache_used() < used_at_latch);
+    assert!(cache.fill_enabled(), "fills must re-arm after discard");
+    // And the discarded range still reads correctly (re-fetched from base).
+    cache.read_at(&mut buf, 0).unwrap();
+    assert_eq!(&buf[..], &content[..4096]);
+}
+
+#[test]
+fn leaked_clusters_reported_after_reopen_and_reclaimed_by_compact() {
+    let dev: SharedDev = Arc::new(MemDev::new());
+    {
+        let img = QcowImage::create(dev.clone(), CreateOpts::plain(VSIZE), None).unwrap();
+        img.write_at(&[3; 256 * 1024], 0).unwrap();
+        img.discard(0, 128 * 1024).unwrap();
+        // In-session: freed clusters are on the free list, not leaked.
+        let rep = check(&img).unwrap();
+        assert_eq!(rep.leaked_clusters, 0);
+        assert!(rep.is_clean());
+        img.close().unwrap();
+    }
+    // After reopen the free list is gone: the space is leaked.
+    let img = QcowImage::open(dev, None, false).unwrap();
+    let rep = check(&img).unwrap();
+    assert_eq!(rep.leaked_clusters, 2, "two 64 KiB clusters were discarded");
+    assert!(rep.is_clean(), "leaks are not errors");
+    // Compact into a fresh container: leaks gone, data intact, file smaller.
+    let old_size = img.file_size();
+    let compacted = compact(&img, Arc::new(MemDev::new()), None).unwrap();
+    let rep2 = check(&compacted).unwrap();
+    assert_eq!(rep2.leaked_clusters, 0);
+    assert!(compacted.file_size() < old_size);
+    let mut buf = vec![0u8; 128 * 1024];
+    compacted.read_at(&mut buf, 128 * 1024).unwrap();
+    assert!(buf.iter().all(|&b| b == 3), "surviving data intact");
+    compacted.read_at(&mut buf, 0).unwrap();
+    assert!(buf.iter().all(|&b| b == 0), "discarded range reads zero");
+}
+
+#[test]
+fn compact_preserves_cache_semantics() {
+    let (base, content) = base_with_content();
+    let cache = QcowImage::create(
+        Arc::new(MemDev::new()),
+        CreateOpts::cache(VSIZE, "b", 4 << 20),
+        Some(base.clone()),
+    )
+    .unwrap();
+    let mut buf = vec![0u8; 256 * 1024];
+    cache.read_at(&mut buf, 0).unwrap(); // warm 256 KiB
+    cache.discard(0, 64 * 1024).unwrap();
+    let compacted = compact(&cache, Arc::new(MemDev::new()), Some(base)).unwrap();
+    assert!(compacted.is_cache());
+    assert_eq!(compacted.cache_quota(), 4 << 20);
+    // Warm part survives; discarded part re-fetches from base on read.
+    let s0 = compacted.cor_stats();
+    compacted.read_at(&mut buf[..64 * 1024], 64 * 1024).unwrap();
+    assert_eq!(compacted.cor_stats().miss_bytes, s0.miss_bytes, "warm read");
+    compacted.read_at(&mut buf[..4096], 0).unwrap();
+    assert!(compacted.cor_stats().miss_bytes > s0.miss_bytes, "cold read re-fills");
+    assert_eq!(&buf[..4096], &content[..4096]);
+    let rep = check(&compacted).unwrap();
+    assert!(rep.is_clean(), "{:?}", rep.errors);
+}
+
+#[test]
+fn discard_on_read_only_rejected() {
+    let dev: SharedDev = Arc::new(MemDev::new());
+    QcowImage::create(dev.clone(), CreateOpts::plain(VSIZE), None).unwrap().close().unwrap();
+    let img = QcowImage::open(dev, None, true).unwrap();
+    assert!(img.discard(0, 65536).is_err());
+}
+
+#[test]
+fn discard_out_of_bounds_rejected() {
+    let img = QcowImage::create(Arc::new(MemDev::new()), CreateOpts::plain(VSIZE), None).unwrap();
+    assert!(img.discard(VSIZE - 1024, 4096).is_err());
+}
+
+#[test]
+fn bounded_l2_cache_evicts_and_rereads_correctly() {
+    let (base, content) = base_with_content();
+    let cache = QcowImage::create(
+        Arc::new(MemDev::new()),
+        CreateOpts::cache(VSIZE, "b", VSIZE),
+        Some(base),
+    )
+    .unwrap();
+    cache.set_l2_cache_limit(Some(4));
+    // Warm a range spanning far more than 4 L2 tables (512 B clusters →
+    // one table covers 32 KiB; 1 MiB spans 32 tables).
+    let mut buf = vec![0u8; 4096];
+    for i in 0..256u64 {
+        cache.read_at(&mut buf, i * 4096).unwrap();
+    }
+    assert!(cache.l2_cache_len() <= 4, "cache bounded: {}", cache.l2_cache_len());
+    // Random revisits still return correct data (tables re-read on demand).
+    for i in [0u64, 131, 17, 255, 64] {
+        cache.read_at(&mut buf, i * 4096).unwrap();
+        assert_eq!(&buf[..], &content[(i * 4096) as usize..(i * 4096 + 4096) as usize]);
+    }
+    let rep = check(&cache).unwrap();
+    assert!(rep.is_clean(), "{:?}", rep.errors);
+}
+
+#[test]
+fn shrinking_l2_limit_evicts_immediately() {
+    let img = QcowImage::create(Arc::new(MemDev::new()), CreateOpts::plain(VSIZE), None).unwrap();
+    // Touch many clusters across distinct L2 ranges (64 KiB clusters → one
+    // table covers 512 MiB; use a small-cluster image instead).
+    let img = {
+        drop(img);
+        QcowImage::create(
+            Arc::new(MemDev::new()),
+            CreateOpts::plain(VSIZE).with_cluster_bits(9),
+            None,
+        )
+        .unwrap()
+    };
+    for i in 0..64u64 {
+        img.write_at(&[1; 512], i * 32 * 1024).unwrap(); // one table each
+    }
+    assert!(img.l2_cache_len() >= 32);
+    img.set_l2_cache_limit(Some(8));
+    assert!(img.l2_cache_len() <= 8);
+}

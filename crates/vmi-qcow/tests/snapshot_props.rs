@@ -1,0 +1,134 @@
+//! Property test: arbitrary interleavings of writes, snapshots, reverts and
+//! deletes must match a pure in-memory reference model, and the image must
+//! always check clean.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vmi_blockdev::{BlockDev, MemDev, SharedDev};
+use vmi_qcow::{check, CreateOpts, QcowImage};
+
+const VSIZE: u64 = 2 << 20;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { off: u64, byte: u8, len: usize },
+    Snapshot,
+    /// Revert to the k-th live snapshot (mod count).
+    Apply(usize),
+    /// Delete the k-th live snapshot (mod count).
+    Delete(usize),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        4 => (0..VSIZE - 70_000, any::<u8>(), 1usize..70_000)
+            .prop_map(|(off, byte, len)| Op::Write { off, byte, len }),
+        2 => Just(Op::Snapshot),
+        1 => (0usize..8).prop_map(Op::Apply),
+        1 => (0usize..8).prop_map(Op::Delete),
+    ];
+    proptest::collection::vec(op, 1..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn snapshots_match_reference_model(ops in ops_strategy()) {
+        let dev: SharedDev = Arc::new(MemDev::new());
+        let img = QcowImage::create(dev, CreateOpts::plain(VSIZE), None).unwrap();
+        // Reference: live state + saved states by snapshot id.
+        let mut live = vec![0u8; VSIZE as usize];
+        let mut saved: Vec<(u32, Vec<u8>)> = Vec::new();
+        let mut name_seq = 0u32;
+
+        for op in &ops {
+            match op {
+                Op::Write { off, byte, len } => {
+                    img.write_at(&vec![*byte; *len], *off).unwrap();
+                    live[*off as usize..*off as usize + len].fill(*byte);
+                }
+                Op::Snapshot => {
+                    name_seq += 1;
+                    let id = img.create_snapshot(format!("s{name_seq}")).unwrap();
+                    saved.push((id, live.clone()));
+                }
+                Op::Apply(k) => {
+                    if saved.is_empty() {
+                        continue;
+                    }
+                    let (id, state) = &saved[k % saved.len()];
+                    img.apply_snapshot(*id).unwrap();
+                    live = state.clone();
+                }
+                Op::Delete(k) => {
+                    if saved.is_empty() {
+                        continue;
+                    }
+                    let idx = k % saved.len();
+                    let (id, _) = saved.remove(idx);
+                    img.delete_snapshot(id).unwrap();
+                }
+            }
+        }
+
+        // Full-image equivalence with the reference.
+        let mut buf = vec![0u8; VSIZE as usize];
+        img.read_at(&mut buf, 0).unwrap();
+        prop_assert_eq!(&buf, &live);
+        // Every surviving snapshot still restores its exact state.
+        for (id, state) in &saved {
+            img.apply_snapshot(*id).unwrap();
+            img.read_at(&mut buf, 0).unwrap();
+            prop_assert_eq!(&buf, state, "snapshot {} diverged", id);
+        }
+        let rep = check(&img).unwrap();
+        prop_assert!(rep.is_clean(), "{:?}", rep.errors);
+    }
+
+    /// Persistence: the same sequence, closed and reopened mid-way, ends in
+    /// the same state.
+    #[test]
+    fn snapshots_survive_reopen_mid_sequence(ops in ops_strategy()) {
+        let run = |split: bool| -> (Vec<u8>, usize) {
+            let dev: SharedDev = Arc::new(MemDev::new());
+            let mut img =
+                QcowImage::create(dev.clone(), CreateOpts::plain(VSIZE), None).unwrap();
+            let mut snap_ids: Vec<u32> = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                if split && i == ops.len() / 2 {
+                    img.close().unwrap();
+                    drop(img);
+                    img = QcowImage::open(dev.clone(), None, false).unwrap();
+                }
+                match op {
+                    Op::Write { off, byte, len } => {
+                        img.write_at(&vec![*byte; *len], *off).unwrap()
+                    }
+                    Op::Snapshot => {
+                        snap_ids.push(img.create_snapshot(format!("s{i}")).unwrap());
+                    }
+                    Op::Apply(k) => {
+                        if !snap_ids.is_empty() {
+                            img.apply_snapshot(snap_ids[k % snap_ids.len()]).unwrap();
+                        }
+                    }
+                    Op::Delete(k) => {
+                        if !snap_ids.is_empty() {
+                            let id = snap_ids.remove(k % snap_ids.len());
+                            img.delete_snapshot(id).unwrap();
+                        }
+                    }
+                }
+            }
+            let mut buf = vec![0u8; VSIZE as usize];
+            img.read_at(&mut buf, 0).unwrap();
+            (buf, img.list_snapshots().len())
+        };
+        let (a, na) = run(false);
+        let (b, nb) = run(true);
+        prop_assert_eq!(na, nb);
+        prop_assert_eq!(a, b);
+    }
+}

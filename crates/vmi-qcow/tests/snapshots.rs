@@ -1,0 +1,220 @@
+//! Internal-snapshot semantics: create, copy-on-write isolation, apply
+//! (revert), delete, persistence, and interaction with chains and `check`.
+
+use std::sync::Arc;
+
+use vmi_blockdev::{BlockDev, MemDev, SharedDev};
+use vmi_qcow::{check, CreateOpts, QcowImage};
+
+const MB: u64 = 1 << 20;
+
+fn img() -> (SharedDev, Arc<QcowImage>) {
+    let dev: SharedDev = Arc::new(MemDev::new());
+    let img = QcowImage::create(dev.clone(), CreateOpts::plain(8 * MB), None).unwrap();
+    (dev, img)
+}
+
+#[test]
+fn snapshot_isolates_later_writes() {
+    let (_dev, img) = img();
+    img.write_at(&[1u8; 65536], 0).unwrap();
+    let id = img.create_snapshot("clean").unwrap();
+    // Overwrite the same cluster: must copy-on-write, not clobber.
+    img.write_at(&[2u8; 65536], 0).unwrap();
+    let mut buf = [0u8; 65536];
+    img.read_at(&mut buf, 0).unwrap();
+    assert_eq!(buf, [2u8; 65536], "live view sees the new data");
+    // Revert: the snapshot still holds the old bytes.
+    img.apply_snapshot(id).unwrap();
+    img.read_at(&mut buf, 0).unwrap();
+    assert_eq!(buf, [1u8; 65536], "revert restores the frozen bytes");
+}
+
+#[test]
+fn revert_then_diverge_repeatedly() {
+    let (_dev, img) = img();
+    img.write_at(b"base state", 0).unwrap();
+    let id = img.create_snapshot("s").unwrap();
+    for round in 0..3u8 {
+        img.write_at(&[round + 10; 4096], 0).unwrap();
+        img.write_at(&[round + 20; 4096], 2 * MB).unwrap();
+        img.apply_snapshot(id).unwrap();
+        let mut buf = [0u8; 10];
+        img.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"base state", "round {round}");
+        let mut far = [9u8; 16];
+        img.read_at(&mut far, 2 * MB).unwrap();
+        assert_eq!(far, [0u8; 16], "round {round}: divergent write gone");
+    }
+    let rep = check(&img).unwrap();
+    assert!(rep.is_clean(), "{:?}", rep.errors);
+}
+
+#[test]
+fn multiple_snapshots_layer_correctly() {
+    let (_dev, img) = img();
+    img.write_at(&[1; 4096], 0).unwrap();
+    let s1 = img.create_snapshot("one").unwrap();
+    img.write_at(&[2; 4096], 0).unwrap();
+    let s2 = img.create_snapshot("two").unwrap();
+    img.write_at(&[3; 4096], 0).unwrap();
+
+    let mut buf = [0u8; 4096];
+    img.apply_snapshot(s1).unwrap();
+    img.read_at(&mut buf, 0).unwrap();
+    assert_eq!(buf, [1; 4096]);
+    img.apply_snapshot(s2).unwrap();
+    img.read_at(&mut buf, 0).unwrap();
+    assert_eq!(buf, [2; 4096]);
+    assert_eq!(img.list_snapshots().len(), 2);
+}
+
+#[test]
+fn snapshots_persist_across_reopen() {
+    let dev: SharedDev = Arc::new(MemDev::new());
+    let id;
+    {
+        let img = QcowImage::create(dev.clone(), CreateOpts::plain(8 * MB), None).unwrap();
+        img.write_at(&[7; 8192], MB).unwrap();
+        id = img.create_snapshot("persisted").unwrap();
+        img.write_at(&[8; 8192], MB).unwrap();
+        img.close().unwrap();
+    }
+    let img = QcowImage::open(dev, None, false).unwrap();
+    let snaps = img.list_snapshots();
+    assert_eq!(snaps.len(), 1);
+    assert_eq!(snaps[0].name, "persisted");
+    let mut buf = [0u8; 8192];
+    img.read_at(&mut buf, MB).unwrap();
+    assert_eq!(buf, [8; 8192], "live state survived");
+    // COW still enforced after reopen: writing must not corrupt the
+    // snapshot.
+    img.write_at(&[9; 8192], MB).unwrap();
+    img.apply_snapshot(id).unwrap();
+    img.read_at(&mut buf, MB).unwrap();
+    assert_eq!(buf, [7; 8192]);
+}
+
+#[test]
+fn delete_snapshot_frees_logically() {
+    let (_dev, img) = img();
+    img.write_at(&[1; 65536], 0).unwrap();
+    let id = img.create_snapshot("gone-soon").unwrap();
+    img.delete_snapshot(id).unwrap();
+    assert!(img.list_snapshots().is_empty());
+    assert!(img.apply_snapshot(id).is_err(), "deleted snapshot cannot be applied");
+    // After deletion the cluster is no longer frozen: in-place writes work
+    // again (no new allocation needed).
+    let size_before = img.file_size();
+    img.write_at(&[2; 65536], 0).unwrap();
+    assert_eq!(img.file_size(), size_before, "write-in-place after unfreeze");
+}
+
+#[test]
+fn snapshot_on_cow_chain_preserves_backing_reads() {
+    let base: SharedDev =
+        Arc::new(MemDev::from_vec((0..(8 * MB) as usize).map(|i| (i % 211) as u8).collect()));
+    let cow = QcowImage::create(
+        Arc::new(MemDev::new()),
+        CreateOpts::cow(8 * MB, "b"),
+        Some(Arc::new(vmi_blockdev::ReadOnlyDev::new(base)) as SharedDev),
+    )
+    .unwrap();
+    cow.write_at(&[0xAA; 4096], 0).unwrap();
+    let id = cow.create_snapshot("overlay-state").unwrap();
+    cow.write_at(&[0xBB; 4096], 0).unwrap();
+    cow.apply_snapshot(id).unwrap();
+    let mut buf = [0u8; 4096];
+    cow.read_at(&mut buf, 0).unwrap();
+    assert_eq!(buf, [0xAA; 4096]);
+    // Unallocated regions still read through to the base after revert.
+    cow.read_at(&mut buf, 4 * MB).unwrap();
+    assert_eq!(buf[0], ((4 * MB) % 211) as u8);
+}
+
+#[test]
+fn cache_images_reject_snapshots() {
+    let base: SharedDev = Arc::new(MemDev::from_vec(vec![0u8; (8 * MB) as usize]));
+    let cache = QcowImage::create(
+        Arc::new(MemDev::new()),
+        CreateOpts::cache(8 * MB, "b", 4 * MB),
+        Some(base),
+    )
+    .unwrap();
+    assert!(cache.create_snapshot("nope").is_err());
+}
+
+#[test]
+fn duplicate_names_and_bad_ids_rejected() {
+    let (_dev, img) = img();
+    img.create_snapshot("a").unwrap();
+    assert!(img.create_snapshot("a").is_err());
+    assert!(img.apply_snapshot(999).is_err());
+    assert!(img.delete_snapshot(999).is_err());
+}
+
+#[test]
+fn compact_refuses_with_snapshots_then_works_after_delete() {
+    let (_dev, img) = img();
+    img.write_at(&[1; 65536], 0).unwrap();
+    let id = img.create_snapshot("s").unwrap();
+    assert!(vmi_qcow::compact(&img, Arc::new(MemDev::new()), None).is_err());
+    img.delete_snapshot(id).unwrap();
+    let compacted = vmi_qcow::compact(&img, Arc::new(MemDev::new()), None).unwrap();
+    let mut buf = [0u8; 65536];
+    compacted.read_at(&mut buf, 0).unwrap();
+    assert_eq!(buf, [1; 65536]);
+}
+
+#[test]
+fn check_is_clean_with_shared_clusters() {
+    let (_dev, img) = img();
+    img.write_at(&[1; 256 * 1024], 0).unwrap();
+    img.create_snapshot("s1").unwrap();
+    img.write_at(&[2; 4096], 0).unwrap(); // COW one cluster
+    img.create_snapshot("s2").unwrap();
+    img.write_at(&[3; 4096], 128 * 1024).unwrap();
+    let rep = check(&img).unwrap();
+    assert!(rep.is_clean(), "{:?}", rep.errors);
+    assert_eq!(rep.leaked_clusters, 0, "shared clusters are not leaks");
+}
+
+#[test]
+fn deleted_snapshot_clusters_become_leaks() {
+    let dev: SharedDev = Arc::new(MemDev::new());
+    let img = QcowImage::create(dev.clone(), CreateOpts::plain(8 * MB), None).unwrap();
+    img.write_at(&[1; 65536], 0).unwrap();
+    let id = img.create_snapshot("s").unwrap();
+    img.write_at(&[2; 65536], 0).unwrap(); // COW: snapshot keeps old cluster
+    img.delete_snapshot(id).unwrap();
+    img.close().unwrap();
+    drop(img);
+    let img = QcowImage::open(dev, None, false).unwrap();
+    let rep = check(&img).unwrap();
+    assert!(rep.is_clean());
+    assert!(rep.leaked_clusters > 0, "orphaned snapshot clusters are leaks: {rep:?}");
+}
+
+#[test]
+fn resize_with_snapshots_rejected() {
+    let (_dev, img) = img();
+    img.create_snapshot("s").unwrap();
+    assert!(img.resize(16 * MB).is_err());
+}
+
+#[test]
+fn discard_does_not_reuse_frozen_clusters() {
+    let (_dev, img) = img();
+    img.write_at(&[1; 65536], 0).unwrap();
+    let id = img.create_snapshot("s").unwrap();
+    // Discard the live mapping: the cluster is shared with the snapshot and
+    // must not enter the free list.
+    img.discard(0, 65536).unwrap();
+    assert_eq!(img.free_cluster_count(), 0);
+    let mut buf = [0u8; 65536];
+    img.read_at(&mut buf, 0).unwrap();
+    assert_eq!(buf, [0; 65536], "discarded region reads zero");
+    img.apply_snapshot(id).unwrap();
+    img.read_at(&mut buf, 0).unwrap();
+    assert_eq!(buf, [1; 65536], "snapshot content intact after discard");
+}

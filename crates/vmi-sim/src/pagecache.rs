@@ -1,0 +1,252 @@
+//! Storage-node page cache: LRU over `(file, page)` with readiness times.
+//!
+//! This models the OS page cache on the storage node's 24 GB of RAM — the
+//! reason single-VMI boots scale flat on InfiniBand (Fig. 2): the first
+//! requester pulls each block off the disk, every later requester hits
+//! memory. It also backs the `tmpfs` placement of VMI caches in storage
+//! memory (§3.3, Fig. 13): pinned entries never age out.
+//!
+//! Each cached page carries a `ready_at` time: a hit on a page that is
+//! still being faulted in waits for the in-flight disk read.
+
+use std::collections::HashMap;
+
+use crate::time::Ns;
+
+/// Cache lookup outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Page present; data available at `ready_at` (≤ now for settled pages).
+    Hit {
+        /// When the page's content is available.
+        ready_at: Ns,
+    },
+    /// Page absent; caller must fetch from disk and then [`PageCache::insert`].
+    Miss,
+}
+
+/// Key: (file identifier, page index within file).
+pub type PageKey = (u64, u64);
+
+#[derive(Debug, Clone)]
+struct Entry {
+    ready_at: Ns,
+    tick: u64,
+    pinned: bool,
+}
+
+/// An LRU page cache with byte capacity.
+#[derive(Debug, Clone)]
+pub struct PageCache {
+    page_size: u64,
+    capacity_pages: usize,
+    map: HashMap<PageKey, Entry>,
+    /// LRU order: tick → key (ticks are unique).
+    order: std::collections::BTreeMap<u64, PageKey>,
+    next_tick: u64,
+    hits: u64,
+    misses: u64,
+    pinned_pages: usize,
+}
+
+impl PageCache {
+    /// A cache of `capacity_bytes` with pages of `page_size` bytes.
+    pub fn new(capacity_bytes: u64, page_size: u64) -> Self {
+        assert!(page_size.is_power_of_two());
+        Self {
+            page_size,
+            capacity_pages: (capacity_bytes / page_size) as usize,
+            map: HashMap::new(),
+            order: std::collections::BTreeMap::new(),
+            next_tick: 0,
+            hits: 0,
+            misses: 0,
+            pinned_pages: 0,
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Page index containing byte `off`.
+    pub fn page_of(&self, off: u64) -> u64 {
+        off / self.page_size
+    }
+
+    /// Probe the cache at simulated time `now`, updating recency on hit.
+    pub fn probe(&mut self, key: PageKey, _now: Ns) -> CacheOutcome {
+        self.next_tick += 1;
+        let tick = self.next_tick;
+        match self.map.get_mut(&key) {
+            Some(e) => {
+                self.hits += 1;
+                let old = e.tick;
+                e.tick = tick;
+                let ready = e.ready_at;
+                self.order.remove(&old);
+                self.order.insert(tick, key);
+                CacheOutcome::Hit { ready_at: ready }
+            }
+            None => {
+                self.misses += 1;
+                CacheOutcome::Miss
+            }
+        }
+    }
+
+    /// Non-mutating presence check: no recency update, no hit/miss stats.
+    /// Used by prefetchers deciding what still needs fetching.
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Insert a page whose content becomes available at `ready_at`
+    /// (the disk fetch's completion time), evicting LRU pages as needed.
+    pub fn insert(&mut self, key: PageKey, ready_at: Ns) {
+        self.insert_inner(key, ready_at, false)
+    }
+
+    /// Insert a *pinned* page (tmpfs-resident cache images): never evicted.
+    pub fn insert_pinned(&mut self, key: PageKey, ready_at: Ns) {
+        self.insert_inner(key, ready_at, true)
+    }
+
+    fn insert_inner(&mut self, key: PageKey, ready_at: Ns, pinned: bool) {
+        self.next_tick += 1;
+        let tick = self.next_tick;
+        if let Some(old) = self.map.insert(key, Entry { ready_at, tick, pinned }) {
+            self.order.remove(&old.tick);
+            if old.pinned {
+                self.pinned_pages -= 1;
+            }
+        }
+        self.order.insert(tick, key);
+        if pinned {
+            self.pinned_pages += 1;
+        }
+        // Evict unpinned LRU pages past capacity.
+        while self.map.len() > self.capacity_pages {
+            let Some((&t, &k)) = self.order.iter().next() else { break };
+            // Skip pinned entries by refreshing them to the back.
+            if self.map[&k].pinned {
+                self.order.remove(&t);
+                self.next_tick += 1;
+                let nt = self.next_tick;
+                self.order.insert(nt, k);
+                self.map.get_mut(&k).unwrap().tick = nt;
+                // If everything left is pinned, stop evicting.
+                if self.pinned_pages >= self.map.len() {
+                    break;
+                }
+                continue;
+            }
+            self.order.remove(&t);
+            self.map.remove(&k);
+        }
+    }
+
+    /// Drop every page of file `file_id` (file deleted / replaced).
+    pub fn invalidate_file(&mut self, file_id: u64) {
+        let keys: Vec<PageKey> =
+            self.map.keys().filter(|(f, _)| *f == file_id).copied().collect();
+        for k in keys {
+            if let Some(e) = self.map.remove(&k) {
+                self.order.remove(&e.tick);
+                if e.pinned {
+                    self.pinned_pages -= 1;
+                }
+            }
+        }
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc(cap_pages: u64) -> PageCache {
+        PageCache::new(cap_pages * 4096, 4096)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = pc(16);
+        assert_eq!(c.probe((1, 0), 0), CacheOutcome::Miss);
+        c.insert((1, 0), 500);
+        assert_eq!(c.probe((1, 0), 600), CacheOutcome::Hit { ready_at: 500 });
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = pc(2);
+        c.insert((1, 0), 0);
+        c.insert((1, 1), 0);
+        // Touch page 0 so page 1 is LRU.
+        c.probe((1, 0), 0);
+        c.insert((1, 2), 0); // evicts (1,1)
+        assert_eq!(c.probe((1, 1), 0), CacheOutcome::Miss);
+        assert!(matches!(c.probe((1, 0), 0), CacheOutcome::Hit { .. }));
+        assert!(matches!(c.probe((1, 2), 0), CacheOutcome::Hit { .. }));
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let mut c = pc(2);
+        c.insert_pinned((9, 0), 0);
+        for i in 0..10 {
+            c.insert((1, i), 0);
+        }
+        assert!(matches!(c.probe((9, 0), 0), CacheOutcome::Hit { .. }));
+        assert!(c.resident_pages() <= 3, "capacity roughly respected");
+    }
+
+    #[test]
+    fn invalidate_file_clears_only_that_file() {
+        let mut c = pc(16);
+        c.insert((1, 0), 0);
+        c.insert((2, 0), 0);
+        c.invalidate_file(1);
+        assert_eq!(c.probe((1, 0), 0), CacheOutcome::Miss);
+        assert!(matches!(c.probe((2, 0), 0), CacheOutcome::Hit { .. }));
+    }
+
+    #[test]
+    fn reinsert_updates_ready_time() {
+        let mut c = pc(4);
+        c.insert((1, 0), 100);
+        c.insert((1, 0), 900);
+        assert_eq!(c.probe((1, 0), 1000), CacheOutcome::Hit { ready_at: 900 });
+        assert_eq!(c.resident_pages(), 1);
+    }
+
+    #[test]
+    fn all_pinned_does_not_livelock() {
+        let mut c = pc(1);
+        c.insert_pinned((1, 0), 0);
+        c.insert_pinned((1, 1), 0);
+        c.insert_pinned((1, 2), 0);
+        // Over capacity but all pinned: nothing evictable, all present.
+        assert_eq!(c.resident_pages(), 3);
+    }
+
+    #[test]
+    fn page_of_math() {
+        let c = pc(4);
+        assert_eq!(c.page_of(0), 0);
+        assert_eq!(c.page_of(4095), 0);
+        assert_eq!(c.page_of(4096), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Deterministic event queue: a binary heap with stable FIFO tie-breaking.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Ns;
+
+/// A time-ordered queue of events. Events at equal times pop in insertion
+/// order, making simulations bit-for-bit reproducible.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(Ns, u64, WrappedPayload<T>)>>,
+    seq: u64,
+}
+
+/// Payload wrapper that never participates in ordering (the (time, seq)
+/// prefix is always unique).
+#[derive(Debug)]
+struct WrappedPayload<T>(T);
+
+impl<T> PartialEq for WrappedPayload<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for WrappedPayload<T> {}
+impl<T> PartialOrd for WrappedPayload<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for WrappedPayload<T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `payload` at time `at`.
+    pub fn push(&mut self, at: Ns, payload: T) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, WrappedPayload(payload))));
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Ns, T)> {
+        self.heap.pop().map(|Reverse((at, _, p))| (at, p.0))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Ns> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(42, ());
+        assert_eq!(q.peek_time(), Some(42));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,53 @@
+//! Simulated time: a `u64` nanosecond clock.
+
+/// Simulated nanoseconds since experiment start.
+pub type Ns = u64;
+
+/// One microsecond in [`Ns`].
+pub const USEC: Ns = 1_000;
+/// One millisecond in [`Ns`].
+pub const MSEC: Ns = 1_000_000;
+/// One second in [`Ns`].
+pub const SEC: Ns = 1_000_000_000;
+
+/// Duration of moving `bytes` at `bandwidth_bps` **bytes per second**.
+///
+/// Computed in u128 to avoid overflow for large transfers; saturates rather
+/// than wrapping for pathological inputs.
+#[inline]
+pub fn transfer_ns(bytes: u64, bandwidth_bps: u64) -> Ns {
+    if bandwidth_bps == 0 {
+        return Ns::MAX / 4;
+    }
+    ((bytes as u128 * SEC as u128) / bandwidth_bps as u128).min(Ns::MAX as u128 / 4) as Ns
+}
+
+/// Format a nanosecond timestamp as fractional seconds (diagnostics).
+pub fn fmt_secs(ns: Ns) -> String {
+    format!("{:.3}s", ns as f64 / SEC as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_math() {
+        // 1 MiB at 1 MiB/s = 1 s.
+        assert_eq!(transfer_ns(1 << 20, 1 << 20), SEC);
+        // 64 KiB at 117 MB/s ≈ 0.56 ms.
+        let t = transfer_ns(64 * 1024, 117_000_000);
+        assert!((t as i64 - 560_137).abs() < 2_000, "{t}");
+        assert_eq!(transfer_ns(0, 1000), 0);
+    }
+
+    #[test]
+    fn zero_bandwidth_saturates() {
+        assert!(transfer_ns(1, 0) > SEC * 1000);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(1_500_000_000), "1.500s");
+    }
+}

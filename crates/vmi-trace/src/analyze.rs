@@ -1,0 +1,106 @@
+//! Trace analysis: working sets, histograms, and summary statistics.
+//!
+//! `unique_read_bytes` is the measurement behind Table 1; `TraceSummary`
+//! powers the `figures table1` harness and the examples.
+
+use crate::op::{BootTrace, OpKind};
+use crate::rangeset::RangeSet;
+
+/// Unique bytes read by the trace (Table 1's "Size of unique reads").
+pub fn unique_read_bytes(trace: &BootTrace) -> u64 {
+    let mut set = RangeSet::new();
+    for op in trace.ops.iter().filter(|o| o.kind == OpKind::Read) {
+        set.insert(op.offset, op.offset + op.len as u64);
+    }
+    set.covered()
+}
+
+/// Unique bytes written by the trace.
+pub fn unique_write_bytes(trace: &BootTrace) -> u64 {
+    let mut set = RangeSet::new();
+    for op in trace.ops.iter().filter(|o| o.kind == OpKind::Write) {
+        set.insert(op.offset, op.offset + op.len as u64);
+    }
+    set.covered()
+}
+
+/// Aggregate statistics of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Profile name.
+    pub profile: String,
+    /// Number of read operations.
+    pub read_ops: usize,
+    /// Number of write operations.
+    pub write_ops: usize,
+    /// Total bytes read (with re-reads).
+    pub read_bytes: u64,
+    /// Unique bytes read (the Table 1 metric).
+    pub unique_read_bytes: u64,
+    /// Total bytes written.
+    pub write_bytes: u64,
+    /// Mean read request size in bytes.
+    pub mean_read_len: f64,
+    /// Total guest think time in nanoseconds.
+    pub total_think_ns: u64,
+    /// Re-read volume as a fraction of total read volume.
+    pub reread_volume_fraction: f64,
+}
+
+/// Compute a [`TraceSummary`].
+pub fn summarize(trace: &BootTrace) -> TraceSummary {
+    let read_ops = trace.read_ops();
+    let read_bytes = trace.read_bytes();
+    let unique = unique_read_bytes(trace);
+    TraceSummary {
+        profile: trace.profile.clone(),
+        read_ops,
+        write_ops: trace.write_ops(),
+        read_bytes,
+        unique_read_bytes: unique,
+        write_bytes: trace.write_bytes(),
+        mean_read_len: if read_ops == 0 { 0.0 } else { read_bytes as f64 / read_ops as f64 },
+        total_think_ns: trace.total_think_ns(),
+        reread_volume_fraction: if read_bytes == 0 {
+            0.0
+        } else {
+            (read_bytes - unique) as f64 / read_bytes as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::op::TraceOp;
+    use crate::profile::VmiProfile;
+
+    #[test]
+    fn unique_reads_dedupe() {
+        let t = BootTrace {
+            profile: "t".into(),
+            virtual_size: 1 << 20,
+            seed: 0,
+            final_think_ns: 0,
+            ops: vec![
+                TraceOp { think_ns: 0, kind: OpKind::Read, offset: 0, len: 1000 },
+                TraceOp { think_ns: 0, kind: OpKind::Read, offset: 500, len: 1000 },
+                TraceOp { think_ns: 0, kind: OpKind::Write, offset: 0, len: 9999 },
+            ],
+        };
+        assert_eq!(unique_read_bytes(&t), 1500);
+        assert_eq!(unique_write_bytes(&t), 9999);
+    }
+
+    #[test]
+    fn summary_consistency() {
+        let p = VmiProfile::tiny_test();
+        let t = generate(&p, 21);
+        let s = summarize(&t);
+        assert_eq!(s.read_ops + s.write_ops, t.ops.len());
+        assert!(s.mean_read_len >= 4096.0);
+        assert!(s.reread_volume_fraction > 0.0 && s.reread_volume_fraction < 0.5);
+        assert_eq!(s.total_think_ns, p.total_think_ns);
+    }
+}

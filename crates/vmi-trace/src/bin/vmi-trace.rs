@@ -1,0 +1,133 @@
+//! `vmi-trace` — generate, inspect, and export boot I/O traces.
+//!
+//! ```text
+//! vmi-trace generate --profile centos [--seed N] [--out FILE.json]
+//! vmi-trace analyze  FILE.json
+//! vmi-trace table1   [--seed N]
+//! vmi-trace profiles
+//! ```
+
+use std::process::exit;
+
+use vmi_trace::{generate, summarize, BootTrace, VmiProfile, MIB};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "analyze" => cmd_analyze(rest),
+        "table1" => cmd_table1(rest),
+        "profiles" => cmd_profiles(),
+        "--help" | "-h" | "help" => {
+            usage();
+            return;
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage();
+            exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("vmi-trace {cmd}: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!("usage: vmi-trace <generate|analyze|table1|profiles> ...");
+    eprintln!("  generate --profile centos|debian|windows|tiny|snapshot [--seed N] [--out F]");
+    eprintln!("  analyze FILE.json      summarize a trace written by `generate`");
+    eprintln!("  table1 [--seed N]      regenerate the paper's Table 1");
+    eprintln!("  profiles               list profile parameters");
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn flag(rest: &[String], name: &str) -> Option<String> {
+    rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn pick_profile(rest: &[String]) -> Result<VmiProfile, Box<dyn std::error::Error>> {
+    Ok(match flag(rest, "--profile").as_deref() {
+        None | Some("centos") => VmiProfile::centos_6_3(),
+        Some("debian") => VmiProfile::debian_6_0_7(),
+        Some("windows") => VmiProfile::windows_server_2012(),
+        Some("tiny") => VmiProfile::tiny_test(),
+        Some("snapshot") => VmiProfile::memory_snapshot_restore(1 << 30),
+        Some(other) => return Err(format!("unknown profile {other:?}").into()),
+    })
+}
+
+fn cmd_generate(rest: &[String]) -> CliResult {
+    let profile = pick_profile(rest)?;
+    let seed = flag(rest, "--seed").map(|s| s.parse()).transpose()?.unwrap_or(1);
+    let trace = generate(&profile, seed);
+    match flag(rest, "--out") {
+        Some(path) => {
+            std::fs::write(&path, trace.to_json())?;
+            eprintln!("wrote {} ops to {path}", trace.ops.len());
+        }
+        None => println!("{}", trace.to_json()),
+    }
+    Ok(())
+}
+
+fn cmd_analyze(rest: &[String]) -> CliResult {
+    let path = rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing trace file")?;
+    let trace = BootTrace::from_json(&std::fs::read_to_string(path)?)?;
+    print_summary(&trace);
+    Ok(())
+}
+
+fn print_summary(trace: &BootTrace) {
+    let s = summarize(trace);
+    println!("profile:           {}", s.profile);
+    println!("ops:               {} reads, {} writes", s.read_ops, s.write_ops);
+    println!("read volume:       {:.1} MB total", s.read_bytes as f64 / MIB as f64);
+    println!("unique reads:      {:.1} MB (the Table 1 metric)", s.unique_read_bytes as f64 / MIB as f64);
+    println!("write volume:      {:.1} MB", s.write_bytes as f64 / MIB as f64);
+    println!("mean read size:    {:.1} KiB", s.mean_read_len / 1024.0);
+    println!("re-read fraction:  {:.1} % of read volume", s.reread_volume_fraction * 100.0);
+    println!("guest think time:  {:.1} s", s.total_think_ns as f64 / 1e9);
+}
+
+fn cmd_table1(rest: &[String]) -> CliResult {
+    let seed = flag(rest, "--seed").map(|s| s.parse()).transpose()?.unwrap_or(1);
+    println!("{:<22} {}", "VMI", "Size of unique reads");
+    for p in VmiProfile::paper_profiles() {
+        let trace = generate(&p, seed);
+        let unique = vmi_trace::unique_read_bytes(&trace);
+        println!("{:<22} {:.1} MB", p.name, unique as f64 / MIB as f64);
+    }
+    Ok(())
+}
+
+fn cmd_profiles() -> CliResult {
+    let mut all = VmiProfile::paper_profiles();
+    all.push(VmiProfile::tiny_test());
+    all.push(VmiProfile::memory_snapshot_restore(1 << 30));
+    println!(
+        "{:<26} {:>10} {:>12} {:>10} {:>10}",
+        "profile", "disk", "unique rd", "writes", "think"
+    );
+    for p in all {
+        println!(
+            "{:<26} {:>8.1}G {:>10.1}M {:>9.1}M {:>9.1}s",
+            p.name,
+            p.virtual_size as f64 / (1 << 30) as f64,
+            p.unique_read_bytes as f64 / MIB as f64,
+            p.write_bytes as f64 / MIB as f64,
+            p.total_think_ns as f64 / 1e9,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,349 @@
+//! Deterministic boot-trace generation from a [`VmiProfile`].
+//!
+//! The generator lays the profile's unique read working set out over a set
+//! of *hot regions* scattered across the virtual disk (kernel, initrd,
+//! `/etc`, `/usr/lib`, …), then emits reads that walk those regions in
+//! sequential runs with occasional jumps and re-reads, interleaved with
+//! small writes. Two properties are guaranteed by construction:
+//!
+//! * the unique read coverage equals `profile.unique_read_bytes` exactly;
+//! * the same `(profile, seed)` pair always yields the identical trace, so
+//!   "same VMI booted on 64 nodes" replays the same block sequence on every
+//!   node — the sharing that makes the storage node's page cache effective
+//!   in the single-VMI experiments (Fig. 2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::op::{BootTrace, OpKind, TraceOp};
+use crate::profile::{SizeWeight, VmiProfile};
+
+/// Sector size: all offsets and lengths are aligned to this.
+pub const SECTOR: u64 = 512;
+
+#[derive(Debug)]
+struct Region {
+    start: u64,
+    len: u64,
+    /// Bytes consumed from the start (fresh-read frontier).
+    frontier: u64,
+}
+
+impl Region {
+    fn remaining(&self) -> u64 {
+        self.len - self.frontier
+    }
+}
+
+/// Generate the boot trace for `profile` with a deterministic `seed`.
+///
+/// # Panics
+/// Panics if the profile is internally inconsistent (working set larger
+/// than the virtual disk, empty size distributions).
+pub fn generate(profile: &VmiProfile, seed: u64) -> BootTrace {
+    assert!(
+        profile.unique_read_bytes + profile.write_bytes < profile.virtual_size / 2,
+        "working set must be a small fraction of the image"
+    );
+    assert!(!profile.read_sizes.is_empty() && !profile.write_sizes.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ee1_bad5_eed0_f00d);
+
+    let mut regions = carve_regions(profile, &mut rng);
+    let mut ops: Vec<TraceOp> = Vec::new();
+
+    // --- reads ---------------------------------------------------------
+    let target = align_down(profile.unique_read_bytes);
+    let mut covered = 0u64;
+    let mut current_region = 0usize;
+    // Track (offset, len) of past fresh reads for re-read sampling.
+    let mut history: Vec<(u64, u32)> = Vec::new();
+    while covered < target {
+        // Re-read already-touched data?
+        if !history.is_empty() && rng.gen_bool(profile.reread_fraction) {
+            let &(off, len) = &history[rng.gen_range(0..history.len())];
+            ops.push(TraceOp { think_ns: 0, kind: OpKind::Read, offset: off, len });
+            continue;
+        }
+        // Fresh read: maybe jump to a different region / start a new run.
+        let new_run =
+            regions[current_region].remaining() == 0 || !rng.gen_bool(profile.seq_prob);
+        if new_run {
+            // Directory locality: most new runs stay in the current region;
+            // only some jump elsewhere on the disk.
+            if regions[current_region].remaining() == 0
+                || !rng.gen_bool(profile.region_stick_prob)
+            {
+                current_region = pick_region(&regions, &mut rng);
+            }
+            // File-to-file discontinuity: skip a small gap so the working
+            // set is sparse at sub-cluster granularity (drives the Fig. 9
+            // cold-cache amplification at 64 KiB clusters).
+            let region = &mut regions[current_region];
+            if profile.mean_run_gap > 0 && region.remaining() > profile.mean_run_gap * 4 {
+                let gap = align_down(
+                    (-(profile.mean_run_gap as f64) * f64::ln(1.0 - rng.gen::<f64>())) as u64,
+                )
+                .min(region.remaining() / 2);
+                region.frontier += gap;
+            }
+        }
+        let region = &mut regions[current_region];
+        let want = sample_size(&profile.read_sizes, &mut rng) as u64;
+        let len = want.min(region.remaining()).min(target - covered);
+        debug_assert!(len > 0 && len % SECTOR == 0);
+        let off = region.start + region.frontier;
+        region.frontier += len;
+        covered += len;
+        history.push((off, len as u32));
+        ops.push(TraceOp { think_ns: 0, kind: OpKind::Read, offset: off, len: len as u32 });
+    }
+
+    // --- writes ----------------------------------------------------------
+    // Guest writes land in a dedicated scratch area near the end of the
+    // disk (var/log, tmp) — disjoint from the read working set.
+    let write_base = align_down(profile.virtual_size - profile.virtual_size / 8);
+    let mut written = 0u64;
+    let wtarget = align_down(profile.write_bytes);
+    let mut wptr = 0u64;
+    let mut write_ops: Vec<TraceOp> = Vec::new();
+    while written < wtarget {
+        let want = sample_size(&profile.write_sizes, &mut rng) as u64;
+        let len = want.min(wtarget - written);
+        write_ops.push(TraceOp {
+            think_ns: 0,
+            kind: OpKind::Write,
+            offset: write_base + wptr,
+            len: len as u32,
+        });
+        wptr += len;
+        written += len;
+    }
+    // Interleave writes into the second half of the boot (services starting
+    // up write logs while later files are still being read).
+    interleave_writes(&mut ops, write_ops, &mut rng);
+
+    // --- think time ------------------------------------------------------
+    let tail = (profile.total_think_ns as f64 * profile.tail_think_fraction) as u64;
+    let body = profile.total_think_ns - tail;
+    distribute_think(&mut ops, body, &mut rng);
+
+    BootTrace {
+        profile: profile.name.clone(),
+        virtual_size: profile.virtual_size,
+        seed,
+        final_think_ns: tail,
+        ops,
+    }
+}
+
+fn align_down(v: u64) -> u64 {
+    v / SECTOR * SECTOR
+}
+
+/// Carve `profile.hot_regions` disjoint regions out of the first 3/4 of the
+/// disk, with total capacity comfortably above the working set.
+fn carve_regions(profile: &VmiProfile, rng: &mut StdRng) -> Vec<Region> {
+    let n = profile.hot_regions.max(1);
+    // Capacity covers the working set, inter-run gaps (roughly one mean gap
+    // per mean-sized run at (1 - seq_prob) run-start rate), and margin.
+    let mean_read: u64 = 12 * 1024;
+    let runs_per_byte = (1.0 - profile.seq_prob).max(0.05) / mean_read as f64;
+    let gap_overhead =
+        (profile.unique_read_bytes as f64 * runs_per_byte * profile.mean_run_gap as f64) as u64;
+    let capacity = profile.unique_read_bytes * 2 + gap_overhead * 2;
+    // Region sizes: one big "kernel+userland" region, the rest smaller,
+    // proportioned 2:1:1:… with jitter.
+    let mut weights: Vec<f64> = (0..n).map(|i| if i == 0 { 2.0 } else { 1.0 }).collect();
+    for w in weights.iter_mut() {
+        *w *= rng.gen_range(0.6..1.4);
+    }
+    let wsum: f64 = weights.iter().sum();
+    // Place regions at increasing offsets with random gaps, within the
+    // first 3/4 of the disk.
+    let usable = profile.virtual_size * 3 / 4;
+    let total_len: u64 = capacity;
+    let mut regions = Vec::with_capacity(n);
+    let slack = usable.saturating_sub(total_len).max(SECTOR * n as u64);
+    let mut cursor = 0u64;
+    for w in &weights {
+        let len = align_down(((capacity as f64) * w / wsum) as u64).max(SECTOR * 64);
+        let gap = align_down(rng.gen_range(0..=(slack / n as u64)));
+        cursor += gap;
+        regions.push(Region { start: cursor, len, frontier: 0 });
+        cursor += len;
+    }
+    assert!(
+        cursor <= profile.virtual_size,
+        "regions must fit: {} > {}",
+        cursor,
+        profile.virtual_size
+    );
+    regions
+}
+
+fn pick_region(regions: &[Region], rng: &mut StdRng) -> usize {
+    // Weight by remaining capacity so the walk drains everything.
+    let total: u64 = regions.iter().map(Region::remaining).sum();
+    debug_assert!(total > 0);
+    let mut t = rng.gen_range(0..total);
+    for (i, r) in regions.iter().enumerate() {
+        let rem = r.remaining();
+        if t < rem {
+            return i;
+        }
+        t -= rem;
+    }
+    regions.len() - 1
+}
+
+fn sample_size(dist: &[SizeWeight], rng: &mut StdRng) -> u32 {
+    let total: u32 = dist.iter().map(|s| s.weight).sum();
+    let mut t = rng.gen_range(0..total);
+    for s in dist {
+        if t < s.weight {
+            return s.len;
+        }
+        t -= s.weight;
+    }
+    dist.last().unwrap().len
+}
+
+/// Merge write ops into the tail half of the read sequence at random
+/// positions, preserving the relative order of each class.
+fn interleave_writes(ops: &mut Vec<TraceOp>, writes: Vec<TraceOp>, rng: &mut StdRng) {
+    if writes.is_empty() {
+        return;
+    }
+    let half = ops.len() / 2;
+    let mut positions: Vec<usize> =
+        (0..writes.len()).map(|_| rng.gen_range(half..=ops.len())).collect();
+    positions.sort_unstable();
+    // Insert back-to-front so earlier indices stay valid.
+    for (w, pos) in writes.into_iter().zip(positions.iter()).rev() {
+        ops.insert((*pos).min(ops.len()), w);
+    }
+}
+
+/// Spread `budget` nanoseconds of think time across ops with exponential
+/// jitter (services do uneven amounts of work between I/Os).
+fn distribute_think(ops: &mut [TraceOp], budget: u64, rng: &mut StdRng) {
+    if ops.is_empty() || budget == 0 {
+        return;
+    }
+    let weights: Vec<f64> = ops.iter().map(|_| -f64::ln(1.0 - rng.gen::<f64>())).collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut assigned = 0u64;
+    for (op, w) in ops.iter_mut().zip(&weights) {
+        let t = ((budget as f64) * w / wsum) as u64;
+        op.think_ns = t;
+        assigned += t;
+    }
+    // Rounding remainder goes to the first op.
+    ops[0].think_ns += budget - assigned;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::unique_read_bytes;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = VmiProfile::tiny_test();
+        let a = generate(&p, 7);
+        let b = generate(&p, 7);
+        assert_eq!(a, b);
+        let c = generate(&p, 8);
+        assert_ne!(a.ops, c.ops, "different seeds must differ");
+    }
+
+    #[test]
+    fn unique_coverage_exact() {
+        let p = VmiProfile::tiny_test();
+        let t = generate(&p, 3);
+        assert_eq!(unique_read_bytes(&t), align_down(p.unique_read_bytes));
+    }
+
+    #[test]
+    fn write_volume_exact() {
+        let p = VmiProfile::tiny_test();
+        let t = generate(&p, 3);
+        assert_eq!(t.write_bytes(), align_down(p.write_bytes));
+    }
+
+    #[test]
+    fn think_budget_exact() {
+        let p = VmiProfile::tiny_test();
+        let t = generate(&p, 3);
+        assert_eq!(t.total_think_ns(), p.total_think_ns);
+        let tail = (p.total_think_ns as f64 * p.tail_think_fraction) as u64;
+        assert_eq!(t.final_think_ns, tail);
+    }
+
+    #[test]
+    fn offsets_sector_aligned_and_in_bounds() {
+        let p = VmiProfile::tiny_test();
+        let t = generate(&p, 9);
+        for op in &t.ops {
+            assert_eq!(op.offset % SECTOR, 0);
+            assert!(op.len > 0);
+            assert!(op.offset + op.len as u64 <= p.virtual_size);
+        }
+    }
+
+    #[test]
+    fn total_reads_exceed_unique_reads() {
+        // Re-reads make total read volume strictly larger than the unique
+        // working set.
+        let p = VmiProfile::tiny_test();
+        let t = generate(&p, 5);
+        assert!(t.read_bytes() > unique_read_bytes(&t));
+    }
+
+    #[test]
+    fn writes_disjoint_from_reads() {
+        let p = VmiProfile::tiny_test();
+        let t = generate(&p, 11);
+        let mut reads = crate::rangeset::RangeSet::new();
+        for op in t.ops.iter().filter(|o| o.kind == OpKind::Read) {
+            reads.insert(op.offset, op.offset + op.len as u64);
+        }
+        for op in t.ops.iter().filter(|o| o.kind == OpKind::Write) {
+            assert!(
+                !reads.contains(op.offset, op.offset + 1),
+                "write at {} overlaps read set",
+                op.offset
+            );
+        }
+    }
+
+    #[test]
+    fn full_centos_profile_generates() {
+        let p = VmiProfile::centos_6_3();
+        let t = generate(&p, 1);
+        let uniq = unique_read_bytes(&t);
+        assert_eq!(uniq, align_down(p.unique_read_bytes));
+        // Order of magnitude: a boot is thousands of small requests.
+        assert!(t.ops.len() > 2_000, "got {}", t.ops.len());
+        assert!(t.ops.len() < 100_000);
+    }
+
+    #[test]
+    fn snapshot_profile_generates_large_sequential_trace() {
+        let p = VmiProfile::memory_snapshot_restore(64 << 20);
+        let t = generate(&p, 2);
+        assert_eq!(unique_read_bytes(&t), 64 << 20);
+        assert_eq!(t.write_bytes(), 0);
+        // Mean request size is large (restores stream).
+        let mean = t.read_bytes() as f64 / t.read_ops() as f64;
+        assert!(mean > 128.0 * 1024.0, "mean read {mean}");
+    }
+
+    #[test]
+    fn writes_interleaved_in_second_half() {
+        let p = VmiProfile::tiny_test();
+        let t = generate(&p, 13);
+        let first_write = t.ops.iter().position(|o| o.kind == OpKind::Write).unwrap();
+        assert!(first_write >= t.read_ops() / 4, "writes must not lead the boot");
+    }
+}

@@ -1,0 +1,253 @@
+//! Per-OS boot workload profiles.
+//!
+//! Each profile encodes what the paper measured about an OS image's boot
+//! I/O: the unique read working set (Table 1), the small-request nature of
+//! boot reads (§5: NFS rwsize tuned to 64 KiB because "the default NFS
+//! rwsize of 1MB does not match well with the small-sized read requests
+//! during boot time"), the modest write volume that lands in the CoW layer,
+//! and the CPU-dominated structure of boot time (§7.3: the CentOS VM "only
+//! waits 17% of its total boot time on reads").
+
+use serde::{Deserialize, Serialize};
+
+/// Milliseconds → nanoseconds.
+pub const MS: u64 = 1_000_000;
+/// Seconds → nanoseconds.
+pub const SEC: u64 = 1_000 * MS;
+/// One mebibyte.
+pub const MIB: u64 = 1 << 20;
+
+/// Weighted request-size distribution entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizeWeight {
+    /// Request size in bytes (sector-aligned).
+    pub len: u32,
+    /// Relative weight.
+    pub weight: u32,
+}
+
+/// A boot workload description for one VMI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmiProfile {
+    /// Human name, e.g. `"centos-6.3"`.
+    pub name: String,
+    /// Virtual disk size of the image.
+    pub virtual_size: u64,
+    /// Unique bytes read from the base image during boot (Table 1).
+    pub unique_read_bytes: u64,
+    /// Bytes written by the guest during boot (logs, tmp, …) — these go to
+    /// the CoW image.
+    pub write_bytes: u64,
+    /// Total guest CPU time across the boot (think time).
+    pub total_think_ns: u64,
+    /// Fraction of `total_think_ns` spent *after* the last I/O, before the
+    /// connect-back (service initialization).
+    pub tail_think_fraction: f64,
+    /// Read request size distribution.
+    pub read_sizes: Vec<SizeWeight>,
+    /// Write request size distribution.
+    pub write_sizes: Vec<SizeWeight>,
+    /// Probability that the next fresh read continues sequentially in the
+    /// same hot region (boot loads files in runs).
+    pub seq_prob: f64,
+    /// Fraction of read operations that re-read already-read data. Boot
+    /// traces are *disk-level*: the guest page cache absorbs most re-touches
+    /// (85 MB working set ≪ guest RAM), so this is small.
+    pub reread_fraction: f64,
+    /// Number of hot regions the working set is scattered over (kernel,
+    /// initrd, /etc, /usr/lib, …).
+    pub hot_regions: usize,
+    /// Mean gap skipped inside a region when a new sequential run starts
+    /// (file-to-file discontinuity). This sub-cluster sparsity is what makes
+    /// a 64 KiB-cluster cold cache fetch *more* than the working set
+    /// (Fig. 9's read amplification) while 512 B clusters do not.
+    pub mean_run_gap: u64,
+    /// Probability that a new run stays in the current hot region
+    /// (directory locality); low values scatter runs across the disk.
+    pub region_stick_prob: f64,
+}
+
+impl VmiProfile {
+    /// Default CentOS 6.3 profile: 85.2 MB unique reads (Table 1),
+    /// ~20 s single-VM boot dominated by CPU (§7.3: 17 % read wait).
+    pub fn centos_6_3() -> Self {
+        Self {
+            name: "centos-6.3".into(),
+            virtual_size: 8 << 30,
+            unique_read_bytes: (852 * MIB) / 10, // 85.2 MB
+            write_bytes: 5 * MIB,
+            total_think_ns: 17 * SEC,
+            tail_think_fraction: 0.25,
+            read_sizes: default_read_sizes(),
+            write_sizes: default_write_sizes(),
+            seq_prob: 0.70,
+            reread_fraction: 0.03,
+            hot_regions: 24,
+            mean_run_gap: 80 * 1024,
+            region_stick_prob: 0.8,
+        }
+    }
+
+    /// Debian 6.0.7 (the ConPaaS services image): 24.9 MB unique reads.
+    pub fn debian_6_0_7() -> Self {
+        Self {
+            name: "debian-6.0.7".into(),
+            virtual_size: 4 << 30,
+            unique_read_bytes: (249 * MIB) / 10, // 24.9 MB
+            write_bytes: 13 * MIB,
+            total_think_ns: 11 * SEC,
+            tail_think_fraction: 0.25,
+            read_sizes: default_read_sizes(),
+            write_sizes: default_write_sizes(),
+            seq_prob: 0.70,
+            reread_fraction: 0.02,
+            hot_regions: 14,
+            mean_run_gap: 80 * 1024,
+            region_stick_prob: 0.8,
+        }
+    }
+
+    /// Windows Server 2012: 195.8 MB unique reads, the paper's largest
+    /// boot working set.
+    pub fn windows_server_2012() -> Self {
+        Self {
+            name: "windows-server-2012".into(),
+            virtual_size: 20 << 30,
+            unique_read_bytes: (1958 * MIB) / 10, // 195.8 MB
+            write_bytes: 2 * MIB,
+            total_think_ns: 35 * SEC,
+            tail_think_fraction: 0.30,
+            read_sizes: default_read_sizes(),
+            write_sizes: default_write_sizes(),
+            seq_prob: 0.75,
+            reread_fraction: 0.04,
+            hot_regions: 40,
+            mean_run_gap: 96 * 1024,
+            region_stick_prob: 0.8,
+        }
+    }
+
+    /// All three paper profiles, in Table 1 order.
+    pub fn paper_profiles() -> Vec<Self> {
+        vec![Self::centos_6_3(), Self::debian_6_0_7(), Self::windows_server_2012()]
+    }
+
+    /// Restoring a suspended VM from a memory snapshot (§8 future work:
+    /// "apply our caching scheme to memory snapshots of already booted
+    /// virtual machines"). The workload is the opposite of a boot: one
+    /// large, almost fully sequential read of the resident RAM image with
+    /// very little CPU in between — I/O-bound instead of compute-bound.
+    pub fn memory_snapshot_restore(resident_ram: u64) -> Self {
+        Self {
+            name: format!("snapshot-restore-{}m", resident_ram >> 20),
+            virtual_size: (resident_ram * 5 / 2).max(256 * MIB),
+            unique_read_bytes: resident_ram,
+            write_bytes: 0,
+            total_think_ns: 5 * SEC / 2, // device re-init, page-table fixup
+            tail_think_fraction: 0.3,
+            read_sizes: vec![
+                SizeWeight { len: 256 * 1024, weight: 50 },
+                SizeWeight { len: 512 * 1024, weight: 30 },
+                SizeWeight { len: 1024 * 1024, weight: 20 },
+            ],
+            write_sizes: default_write_sizes(),
+            seq_prob: 0.97,
+            reread_fraction: 0.0,
+            hot_regions: 2,
+            mean_run_gap: 0,
+            region_stick_prob: 0.95,
+        }
+    }
+
+    /// A scaled-down profile for fast tests: same shape, tiny sizes.
+    pub fn tiny_test() -> Self {
+        Self {
+            name: "tiny-test".into(),
+            virtual_size: 64 * MIB,
+            unique_read_bytes: 2 * MIB,
+            write_bytes: 256 * 1024,
+            total_think_ns: 100 * MS,
+            tail_think_fraction: 0.2,
+            read_sizes: default_read_sizes(),
+            write_sizes: default_write_sizes(),
+            seq_prob: 0.6,
+            reread_fraction: 0.1,
+            hot_regions: 4,
+            mean_run_gap: 32 * 1024,
+            region_stick_prob: 0.7,
+        }
+    }
+}
+
+/// Boot reads are small: mostly 4–32 KiB with a modest 64 KiB tail.
+fn default_read_sizes() -> Vec<SizeWeight> {
+    vec![
+        SizeWeight { len: 4 * 1024, weight: 40 },
+        SizeWeight { len: 8 * 1024, weight: 22 },
+        SizeWeight { len: 16 * 1024, weight: 18 },
+        SizeWeight { len: 32 * 1024, weight: 12 },
+        SizeWeight { len: 64 * 1024, weight: 8 },
+    ]
+}
+
+/// Boot writes: small log/temp appends.
+fn default_write_sizes() -> Vec<SizeWeight> {
+    vec![
+        SizeWeight { len: 4 * 1024, weight: 50 },
+        SizeWeight { len: 8 * 1024, weight: 30 },
+        SizeWeight { len: 16 * 1024, weight: 20 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_working_sets() {
+        // The profile constants must reproduce Table 1 to 0.1 MB.
+        let centos = VmiProfile::centos_6_3();
+        assert_eq!(centos.unique_read_bytes, 89_338_675); // 85.2 MiB-scaled
+        assert!((centos.unique_read_bytes as f64 / MIB as f64 - 85.2).abs() < 0.05);
+        let debian = VmiProfile::debian_6_0_7();
+        assert!((debian.unique_read_bytes as f64 / MIB as f64 - 24.9).abs() < 0.05);
+        let win = VmiProfile::windows_server_2012();
+        assert!((win.unique_read_bytes as f64 / MIB as f64 - 195.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn working_set_is_tiny_fraction_of_image() {
+        // §1: "virtual machines actually read only a small fraction … of the
+        // total VMI".
+        for p in VmiProfile::paper_profiles() {
+            assert!(p.unique_read_bytes * 10 < p.virtual_size);
+        }
+    }
+
+    #[test]
+    fn read_wait_structure_matches_paper() {
+        // CentOS: boot ≈ think + read-wait; think must dominate so that a
+        // ~17 % read-wait share is attainable on an uncontended medium.
+        let p = VmiProfile::centos_6_3();
+        assert!(p.total_think_ns >= 10 * SEC);
+        assert!(p.tail_think_fraction > 0.0 && p.tail_think_fraction < 1.0);
+    }
+
+    #[test]
+    fn snapshot_profile_is_io_shaped() {
+        let p = VmiProfile::memory_snapshot_restore(1 << 30);
+        assert_eq!(p.unique_read_bytes, 1 << 30);
+        assert_eq!(p.write_bytes, 0);
+        assert!(p.seq_prob > 0.9, "restores are sequential");
+        assert!(p.total_think_ns < 5 * SEC, "restores are not compute-bound");
+        assert!(p.virtual_size > p.unique_read_bytes);
+    }
+
+    #[test]
+    fn profiles_serialize() {
+        let p = VmiProfile::centos_6_3();
+        let s = serde_json::to_string(&p).unwrap();
+        let back: VmiProfile = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,165 @@
+//! Interval set over `u64` byte addresses.
+//!
+//! Used to compute *unique* read working sets (Table 1: "Size of unique
+//! reads") and coverage statistics. Ranges are half-open `[start, end)` and
+//! automatically coalesced.
+
+use std::collections::BTreeMap;
+
+/// A set of non-overlapping, non-adjacent half-open ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    /// start → end, maintained coalesced.
+    ranges: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl RangeSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `[start, end)`, merging with any overlapping/adjacent ranges.
+    /// Returns the number of *newly covered* bytes.
+    pub fn insert(&mut self, start: u64, end: u64) -> u64 {
+        if end <= start {
+            return 0;
+        }
+        // Collect every existing range that overlaps or is adjacent to
+        // [start, end): the predecessor of `start` (if it reaches start) and
+        // all ranges beginning inside (start, end].
+        let mut touching: Vec<u64> = Vec::new();
+        if let Some((&rs, &re)) = self.ranges.range(..=start).next_back() {
+            if re >= start {
+                touching.push(rs);
+            }
+        }
+        touching.extend(
+            self.ranges
+                .range((std::ops::Bound::Excluded(start), std::ops::Bound::Included(end)))
+                .map(|(&rs, _)| rs),
+        );
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut absorbed = 0u64;
+        for rs in touching {
+            let re = self.ranges.remove(&rs).expect("key collected above");
+            new_start = new_start.min(rs);
+            new_end = new_end.max(re);
+            absorbed += re - rs;
+        }
+        self.ranges.insert(new_start, new_end);
+        let added = (new_end - new_start) - absorbed;
+        self.total += added;
+        added
+    }
+
+    /// Total bytes covered.
+    pub fn covered(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether `[start, end)` is fully contained.
+    pub fn contains(&self, start: u64, end: u64) -> bool {
+        if end <= start {
+            return true;
+        }
+        match self.ranges.range(..=start).next_back() {
+            Some((_, &re)) => re >= end,
+            None => false,
+        }
+    }
+
+    /// Number of disjoint ranges.
+    pub fn fragment_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Iterate the ranges in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.ranges.iter().map(|(&s, &e)| (s, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_inserts_accumulate() {
+        let mut rs = RangeSet::new();
+        assert_eq!(rs.insert(0, 10), 10);
+        assert_eq!(rs.insert(20, 30), 10);
+        assert_eq!(rs.covered(), 20);
+        assert_eq!(rs.fragment_count(), 2);
+    }
+
+    #[test]
+    fn overlapping_inserts_count_once() {
+        let mut rs = RangeSet::new();
+        rs.insert(0, 100);
+        assert_eq!(rs.insert(50, 150), 50);
+        assert_eq!(rs.covered(), 150);
+        assert_eq!(rs.fragment_count(), 1);
+        assert_eq!(rs.insert(0, 150), 0, "fully covered re-insert adds nothing");
+    }
+
+    #[test]
+    fn adjacent_ranges_coalesce() {
+        let mut rs = RangeSet::new();
+        rs.insert(0, 10);
+        rs.insert(10, 20);
+        assert_eq!(rs.fragment_count(), 1);
+        assert_eq!(rs.covered(), 20);
+    }
+
+    #[test]
+    fn bridging_insert_merges_many() {
+        let mut rs = RangeSet::new();
+        rs.insert(0, 10);
+        rs.insert(20, 30);
+        rs.insert(40, 50);
+        assert_eq!(rs.insert(5, 45), 20); // fills two gaps of 10 each
+        assert_eq!(rs.fragment_count(), 1);
+        assert_eq!(rs.covered(), 50);
+    }
+
+    #[test]
+    fn contains_checks_full_containment() {
+        let mut rs = RangeSet::new();
+        rs.insert(10, 20);
+        assert!(rs.contains(10, 20));
+        assert!(rs.contains(12, 18));
+        assert!(!rs.contains(5, 15));
+        assert!(!rs.contains(15, 25));
+        assert!(!rs.contains(30, 40));
+        assert!(rs.contains(7, 7), "empty range trivially contained");
+    }
+
+    #[test]
+    fn empty_insert_is_noop() {
+        let mut rs = RangeSet::new();
+        assert_eq!(rs.insert(10, 10), 0);
+        assert_eq!(rs.covered(), 0);
+    }
+
+    #[test]
+    fn randomized_against_naive_bitmap() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rs = RangeSet::new();
+        let mut bitmap = vec![false; 4096];
+        for _ in 0..500 {
+            let a = rng.gen_range(0..4096u64);
+            let b = rng.gen_range(0..4096u64);
+            let (s, e) = if a <= b { (a, b) } else { (b, a) };
+            rs.insert(s, e);
+            for i in s..e {
+                bitmap[i as usize] = true;
+            }
+            let truth = bitmap.iter().filter(|&&x| x).count() as u64;
+            assert_eq!(rs.covered(), truth);
+        }
+    }
+}

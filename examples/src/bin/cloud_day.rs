@@ -1,0 +1,60 @@
+//! A day in a small cloud: the §8 "next step" — VMI caches integrated with
+//! the cloud scheduler — run end to end.
+//!
+//! 400 VM requests (Zipf-popular VMIs, Poisson arrivals, exponential
+//! lifetimes) hit a 16-node cloud under three configurations. Every boot is
+//! fully simulated: real image chains, shared storage NIC/disk, per-node
+//! cache pools with LRU eviction.
+//!
+//! Run with: `cargo run --release -p vmcache-examples --bin cloud_day`
+
+use vmi_cluster::{generate_requests, run_cloud, CloudConfig, Policy};
+use vmi_sim::NetSpec;
+use vmi_trace::VmiProfile;
+
+fn main() {
+    let count = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400usize);
+    let profile = VmiProfile::tiny_test();
+    let vmis = 6;
+    let requests = generate_requests(7, count, vmis, 1_500_000_000, 30_000_000_000);
+    println!(
+        "{count} requests over ~{:.0} min, {vmis} VMIs (Zipf popularity), 16 nodes x 2 slots\n",
+        requests.last().map(|r| r.at as f64 / 6e10).unwrap_or(0.0)
+    );
+    println!(
+        "{:<28} {:>10} {:>9} {:>11} {:>10} {:>9}",
+        "configuration", "mean boot", "p95 boot", "warm boots", "evictions", "traffic"
+    );
+
+    let base = CloudConfig {
+        nodes: 16,
+        slots_per_node: 2,
+        node_cache_bytes: vmi_cluster::cloud::default_pool_bytes(&profile, 3),
+        vmis,
+        profile: profile.clone(),
+        net: NetSpec::gbe_1(),
+        quota: 16 << 20,
+        use_caches: false,
+        cache_aware: false,
+        policy: Policy::Striping,
+        seed: 7,
+    };
+    for (label, use_caches, aware) in [
+        ("QCOW2 (no caches)", false, false),
+        ("caches + oblivious sched", true, false),
+        ("caches + cache-aware sched", true, true),
+    ] {
+        let cfg = CloudConfig { use_caches, cache_aware: aware, ..base.clone() };
+        let rep = run_cloud(&cfg, &requests).expect("cloud runs");
+        println!(
+            "{label:<28} {:>8.2} s {:>7.2} s {:>11} {:>10} {:>6.0} MB",
+            rep.mean_boot_secs,
+            rep.p95_boot_secs,
+            format!("{}/{}", rep.warm_boots, rep.placed),
+            rep.evictions,
+            rep.storage_traffic_mb,
+        );
+    }
+    println!("\nwarm-cache hits boot at single-VM speed; the cache-aware scheduler");
+    println!("keeps VMs on the nodes that already hold their image's cache.");
+}

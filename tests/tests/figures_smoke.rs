@@ -1,0 +1,120 @@
+//! Smoke-scale runs of every figure/table builder: the full reproduction
+//! pipeline must execute end to end and produce paper-shaped output.
+
+use vmi_bench::{fig10, fig11, fig12, fig14, fig2, fig3, fig8, fig9, sec6, table1, table2, Scale};
+
+const S: Scale = Scale::Smoke;
+
+fn ys(series: &vmi_bench::Series) -> Vec<f64> {
+    series.points.iter().map(|p| p.y).collect()
+}
+
+#[test]
+fn fig2_network_ordering() {
+    let f = fig2(S).unwrap();
+    // At the largest node count, IB beats 1 GbE.
+    let ib = f.series.iter().find(|s| s.label.contains("IB")).unwrap();
+    let ge = f.series.iter().find(|s| s.label.contains("1GbE")).unwrap();
+    assert!(ib.points.last().unwrap().y <= ge.points.last().unwrap().y);
+}
+
+#[test]
+fn fig3_rises_with_vmis() {
+    let f = fig3(S).unwrap();
+    for s in &f.series {
+        let y = ys(s);
+        assert!(
+            y.last().unwrap() > y.first().unwrap(),
+            "{}: more VMIs must be slower: {y:?}",
+            s.label
+        );
+    }
+}
+
+#[test]
+fn fig8_cold_on_disk_is_worst() {
+    let f = fig8(S).unwrap();
+    let at_max = |label: &str| {
+        f.series.iter().find(|s| s.label == label).unwrap().points.last().unwrap().y
+    };
+    assert!(at_max("Cold cache - on disk") > at_max("Cold cache - on mem"));
+    assert!(at_max("Cold cache - on disk") > at_max("QCOW2"));
+}
+
+#[test]
+fn fig9_amplification_and_warm_decline() {
+    let f = fig9(S).unwrap();
+    let get = |label: &str| f.series.iter().find(|s| s.label == label).unwrap();
+    let qcow = get("QCOW2").points.last().unwrap().y;
+    let cold64 = get("Cold cache - cluster = 64KB").points.last().unwrap().y;
+    let cold512 = get("Cold cache - cluster = 512B").points.last().unwrap().y;
+    assert!(cold64 > qcow, "64 KiB cold cache must amplify: {cold64} vs {qcow}");
+    assert!(cold512 <= qcow * 1.05, "512 B cold cache must not: {cold512} vs {qcow}");
+    let warm = ys(get("Warm cache - cluster = 512B"));
+    assert!(warm.last().unwrap() < warm.first().unwrap(), "warm declines with quota");
+}
+
+#[test]
+fn fig10_warm_at_full_quota_beats_qcow2() {
+    let (boot, tx) = fig10(S).unwrap();
+    let warm_boot =
+        boot.series.iter().find(|s| s.label.starts_with("Warm")).unwrap().points.last().unwrap().y;
+    let qcow_boot =
+        boot.series.iter().find(|s| s.label.starts_with("QCOW2")).unwrap().points.last().unwrap().y;
+    assert!(warm_boot <= qcow_boot);
+    let warm_tx =
+        tx.series.iter().find(|s| s.label.starts_with("Warm")).unwrap().points.last().unwrap().y;
+    assert!(warm_tx < 0.2, "full warm cache ~eliminates traffic: {warm_tx}");
+}
+
+#[test]
+fn fig11_warm_is_flat() {
+    let f = fig11(S).unwrap();
+    let warm = ys(f.series.iter().find(|s| s.label == "Warm cache").unwrap());
+    let spread = warm.iter().cloned().fold(f64::MIN, f64::max)
+        / warm.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 1.05, "warm line must be flat: {warm:?}");
+}
+
+#[test]
+fn fig12_warm_flat_qcow_rises() {
+    let (gbe, ib) = fig12(S).unwrap();
+    for f in [gbe, ib] {
+        let warm = ys(f.series.iter().find(|s| s.label == "Warm cache").unwrap());
+        let qcow = ys(f.series.iter().find(|s| s.label == "QCOW2").unwrap());
+        assert!(warm.last().unwrap() < qcow.last().unwrap(), "{}", f.id);
+    }
+}
+
+#[test]
+fn fig14_warm_avoids_disk_bottleneck() {
+    let (_gbe, ib) = fig14(S).unwrap();
+    let warm = ys(ib.series.iter().find(|s| s.label == "Warm cache").unwrap());
+    let qcow = ys(ib.series.iter().find(|s| s.label == "QCOW2").unwrap());
+    // Over IB the only bottleneck is the storage disk; warm caches in
+    // storage memory remove it.
+    assert!(warm.last().unwrap() < qcow.last().unwrap());
+    let spread = warm.iter().cloned().fold(f64::MIN, f64::max)
+        / warm.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 1.1, "warm storage-mem line ~flat over IB: {warm:?}");
+}
+
+#[test]
+fn tables_render() {
+    let t1 = table1(S);
+    assert!(!t1.rows.is_empty());
+    let t2 = table2(S).unwrap();
+    assert_eq!(t1.rows.len(), t2.rows.len());
+    let s6 = sec6(S).unwrap();
+    assert!(s6.render().contains('%'));
+}
+
+#[test]
+fn figures_save_artifacts() {
+    let dir = std::env::temp_dir().join(format!("vmi-figsmoke-{}", std::process::id()));
+    let f = fig2(S).unwrap();
+    f.save(&dir).unwrap();
+    assert!(dir.join("fig2.json").exists());
+    assert!(dir.join("fig2.csv").exists());
+    std::fs::remove_dir_all(dir).unwrap();
+}
