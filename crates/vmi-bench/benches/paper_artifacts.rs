@@ -9,35 +9,57 @@ use vmi_bench::{figures as f, Scale};
 fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables");
     g.sample_size(10);
-    g.bench_function("table1_working_sets", |b| b.iter(|| f::table1(Scale::Smoke)));
-    g.bench_function("table2_cache_sizes", |b| b.iter(|| f::table2(Scale::Smoke).unwrap()));
+    g.bench_function("table1_working_sets", |b| {
+        b.iter(|| f::table1(Scale::Smoke))
+    });
+    g.bench_function("table2_cache_sizes", |b| {
+        b.iter(|| f::table2(Scale::Smoke).unwrap())
+    });
     g.finish();
 }
 
 fn bench_baseline_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("baseline_figures");
     g.sample_size(10);
-    g.bench_function("fig2_scaling_nodes", |b| b.iter(|| f::fig2(Scale::Smoke).unwrap()));
-    g.bench_function("fig3_scaling_vmis", |b| b.iter(|| f::fig3(Scale::Smoke).unwrap()));
+    g.bench_function("fig2_scaling_nodes", |b| {
+        b.iter(|| f::fig2(Scale::Smoke).unwrap())
+    });
+    g.bench_function("fig3_scaling_vmis", |b| {
+        b.iter(|| f::fig3(Scale::Smoke).unwrap())
+    });
     g.finish();
 }
 
 fn bench_microbench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("cache_creation_figures");
     g.sample_size(10);
-    g.bench_function("fig8_creation_overhead", |b| b.iter(|| f::fig8(Scale::Smoke).unwrap()));
-    g.bench_function("fig9_traffic", |b| b.iter(|| f::fig9(Scale::Smoke).unwrap()));
-    g.bench_function("fig10_final_arrangement", |b| b.iter(|| f::fig10(Scale::Smoke).unwrap()));
+    g.bench_function("fig8_creation_overhead", |b| {
+        b.iter(|| f::fig8(Scale::Smoke).unwrap())
+    });
+    g.bench_function("fig9_traffic", |b| {
+        b.iter(|| f::fig9(Scale::Smoke).unwrap())
+    });
+    g.bench_function("fig10_final_arrangement", |b| {
+        b.iter(|| f::fig10(Scale::Smoke).unwrap())
+    });
     g.finish();
 }
 
 fn bench_scaling_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("scaling_figures");
     g.sample_size(10);
-    g.bench_function("fig11_nodes_1gbe", |b| b.iter(|| f::fig11(Scale::Smoke).unwrap()));
-    g.bench_function("fig12_compute_disk", |b| b.iter(|| f::fig12(Scale::Smoke).unwrap()));
-    g.bench_function("fig14_storage_mem", |b| b.iter(|| f::fig14(Scale::Smoke).unwrap()));
-    g.bench_function("sec6_placement", |b| b.iter(|| f::sec6(Scale::Smoke).unwrap()));
+    g.bench_function("fig11_nodes_1gbe", |b| {
+        b.iter(|| f::fig11(Scale::Smoke).unwrap())
+    });
+    g.bench_function("fig12_compute_disk", |b| {
+        b.iter(|| f::fig12(Scale::Smoke).unwrap())
+    });
+    g.bench_function("fig14_storage_mem", |b| {
+        b.iter(|| f::fig14(Scale::Smoke).unwrap())
+    });
+    g.bench_function("sec6_placement", |b| {
+        b.iter(|| f::sec6(Scale::Smoke).unwrap())
+    });
     g.finish();
 }
 

@@ -173,7 +173,9 @@ fn bench_l2_cache_limit(c: &mut Criterion) {
         img.set_l2_cache_limit(limit);
         let mut buf = vec![0u8; 4096];
         let mut i = 0u64;
-        let label = limit.map(|l| l.to_string()).unwrap_or_else(|| "unbounded".into());
+        let label = limit
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "unbounded".into());
         g.bench_with_input(BenchmarkId::from_parameter(label), &limit, |b, _| {
             b.iter(|| {
                 // Pseudo-random offsets across the warmed 32 MiB.

@@ -45,7 +45,12 @@ fn bench_disk_model(c: &mut Criterion) {
             let mut d = Disk::new(DiskSpec::das4_storage_raid0());
             let mut t = 0;
             for i in 0..10_000u64 {
-                t = d.access(t, (i.wrapping_mul(2654435761) % 4096) * (16 << 20), 65536, false);
+                t = d.access(
+                    t,
+                    (i.wrapping_mul(2654435761) % 4096) * (16 << 20),
+                    65536,
+                    false,
+                );
             }
             t
         })

@@ -11,7 +11,11 @@ use vmi_trace::VmiProfile;
 
 fn bench_trace_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("trace_generation");
-    for p in [VmiProfile::tiny_test(), VmiProfile::debian_6_0_7(), VmiProfile::centos_6_3()] {
+    for p in [
+        VmiProfile::tiny_test(),
+        VmiProfile::debian_6_0_7(),
+        VmiProfile::centos_6_3(),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(p.name.clone()), &p, |b, p| {
             let mut seed = 0;
             b.iter(|| {
@@ -29,7 +33,9 @@ fn bench_trace_analysis(c: &mut Criterion) {
     g.bench_function("unique_read_bytes_centos", |b| {
         b.iter(|| vmi_trace::unique_read_bytes(&trace))
     });
-    g.bench_function("summarize_centos", |b| b.iter(|| vmi_trace::summarize(&trace)));
+    g.bench_function("summarize_centos", |b| {
+        b.iter(|| vmi_trace::summarize(&trace))
+    });
     g.finish();
 }
 
@@ -40,9 +46,30 @@ fn bench_single_boot_modes(c: &mut Criterion) {
     let quota = 16 << 20;
     for (label, mode) in [
         ("qcow2", Mode::Qcow2),
-        ("cold_512", Mode::ColdCache { placement: Placement::ComputeMem, quota, cluster_bits: 9 }),
-        ("cold_64k", Mode::ColdCache { placement: Placement::ComputeMem, quota, cluster_bits: 16 }),
-        ("warm_512", Mode::WarmCache { placement: Placement::ComputeDisk, quota, cluster_bits: 9 }),
+        (
+            "cold_512",
+            Mode::ColdCache {
+                placement: Placement::ComputeMem,
+                quota,
+                cluster_bits: 9,
+            },
+        ),
+        (
+            "cold_64k",
+            Mode::ColdCache {
+                placement: Placement::ComputeMem,
+                quota,
+                cluster_bits: 16,
+            },
+        ),
+        (
+            "warm_512",
+            Mode::WarmCache {
+                placement: Placement::ComputeDisk,
+                quota,
+                cluster_bits: 9,
+            },
+        ),
     ] {
         let cfg = ExperimentConfig {
             nodes: 1,
@@ -52,6 +79,7 @@ fn bench_single_boot_modes(c: &mut Criterion) {
             mode,
             seed: 42,
             warm_store: Some(store.clone()),
+            recorder: Default::default(),
         };
         g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
             b.iter(|| run_experiment(cfg).unwrap())

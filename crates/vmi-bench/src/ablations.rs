@@ -50,9 +50,14 @@ pub fn cluster_size_sweep(scale: Scale) -> Result<TableData> {
             vmis: 1,
             profile: p.clone(),
             net: NetSpec::gbe_1(),
-            mode: Mode::ColdCache { placement: Placement::ComputeMem, quota: q, cluster_bits: bits },
+            mode: Mode::ColdCache {
+                placement: Placement::ComputeMem,
+                quota: q,
+                cluster_bits: bits,
+            },
             seed: 42,
             warm_store: Some(store.clone()),
+            recorder: Default::default(),
         })?;
         let trace = vmi_trace::generate(&p, vmi_cluster::experiment::vmi_seed(42, 0));
         let warm = store.get_or_prepare(&p, &trace, q, bits)?;
@@ -108,7 +113,10 @@ pub fn mixed_fleet(scale: Scale) -> Result<TableData> {
     }
     Ok(TableData {
         id: "abl-mixed".into(),
-        title: format!("Mixed warm/cold fleet, {} VMs on {nodes} nodes, 1 VMI, 1GbE", nodes / 2),
+        title: format!(
+            "Mixed warm/cold fleet, {} VMs on {nodes} nodes, 1 VMI, 1GbE",
+            nodes / 2
+        ),
         columns: vec![
             "warm nodes".into(),
             "aware: mean boot (s)".into(),
@@ -133,6 +141,7 @@ pub fn hybrid_chain(scale: Scale) -> Result<TableData> {
         mode,
         seed: 42,
         warm_store: Some(store.clone()),
+        recorder: Default::default(),
     };
     let qcow = run_experiment(&base_cfg(Mode::Qcow2))?;
     let warm_remote = run_experiment(&base_cfg(Mode::WarmCache {
@@ -143,15 +152,27 @@ pub fn hybrid_chain(scale: Scale) -> Result<TableData> {
     Ok(TableData {
         id: "abl-hybrid".into(),
         title: "Hybrid two-level cache chain (Algorithm 1 middle branch), IB".into(),
-        columns: vec!["arrangement".into(), "boot (s)".into(), "storage disk reads".into()],
+        columns: vec![
+            "arrangement".into(),
+            "boot (s)".into(),
+            "storage disk reads".into(),
+        ],
         rows: vec![
-            vec!["QCOW2 (no cache)".into(), format!("{:.2}", qcow.mean_boot_secs()),
-                 format!("{}", qcow.storage_disk.read_ops)],
-            vec!["warm cache in storage mem".into(),
-                 format!("{:.2}", warm_remote.mean_boot_secs()),
-                 format!("{}", warm_remote.storage_disk.read_ops)],
-            vec!["hybrid: local ← storage-mem".into(), format!("{hybrid_secs:.2}"),
-                 format!("{disk_reads}")],
+            vec![
+                "QCOW2 (no cache)".into(),
+                format!("{:.2}", qcow.mean_boot_secs()),
+                format!("{}", qcow.storage_disk.read_ops),
+            ],
+            vec![
+                "warm cache in storage mem".into(),
+                format!("{:.2}", warm_remote.mean_boot_secs()),
+                format!("{}", warm_remote.storage_disk.read_ops),
+            ],
+            vec![
+                "hybrid: local ← storage-mem".into(),
+                format!("{hybrid_secs:.2}"),
+                format!("{disk_reads}"),
+            ],
         ],
     })
 }
@@ -171,6 +192,7 @@ pub fn prefetch_bound(scale: Scale) -> Result<TableData> {
             mode: Mode::Qcow2,
             seed: 42,
             warm_store: Some(store.clone()),
+            recorder: Default::default(),
         })?;
         let boot = out.outcomes[0].boot_ns as f64 / 1e9;
         let wait = out.outcomes[0].io_wait_ns as f64 / 1e9;
@@ -221,7 +243,11 @@ pub fn dedup_sharing(_scale: Scale) -> Result<TableData> {
         )?;
         let trace = vmi_trace::generate(&p, seed);
         let mut buf = vec![0u8; 1 << 20];
-        for op in trace.ops.iter().filter(|o| o.kind == vmi_trace::OpKind::Read) {
+        for op in trace
+            .ops
+            .iter()
+            .filter(|o| o.kind == vmi_trace::OpKind::Read)
+        {
             vmi_blockdev::BlockDev::read_at(
                 cache.as_ref(),
                 &mut buf[..op.len as usize],
@@ -297,6 +323,7 @@ pub fn snapshot_restore(scale: Scale) -> Result<TableData> {
             mode,
             seed: 42,
             warm_store: Some(store.clone()),
+            recorder: Default::default(),
         })?;
         rows.push(vec![
             label.into(),
@@ -371,6 +398,7 @@ pub fn cloud_day(scale: Scale) -> Result<TableData> {
         cache_aware: false,
         policy: Policy::Striping,
         seed: 7,
+        recorder: Default::default(),
     };
     let mut rows = Vec::new();
     for (label, use_caches, aware) in [
@@ -378,7 +406,11 @@ pub fn cloud_day(scale: Scale) -> Result<TableData> {
         ("caches, oblivious sched", true, false),
         ("caches, cache-aware sched", true, true),
     ] {
-        let cfg = CloudConfig { use_caches, cache_aware: aware, ..base.clone() };
+        let cfg = CloudConfig {
+            use_caches,
+            cache_aware: aware,
+            ..base.clone()
+        };
         let rep = run_cloud(&cfg, &requests)?;
         rows.push(vec![
             label.into(),

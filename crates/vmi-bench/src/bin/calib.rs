@@ -17,22 +17,38 @@ fn main() {
         ("qcow2/IB", Mode::Qcow2, NetSpec::ib_32g()),
         (
             "warm-cdisk/1GbE",
-            Mode::WarmCache { placement: Placement::ComputeDisk, quota, cluster_bits: 9 },
+            Mode::WarmCache {
+                placement: Placement::ComputeDisk,
+                quota,
+                cluster_bits: 9,
+            },
             NetSpec::gbe_1(),
         ),
         (
             "warm-cmem/1GbE",
-            Mode::WarmCache { placement: Placement::ComputeMem, quota, cluster_bits: 9 },
+            Mode::WarmCache {
+                placement: Placement::ComputeMem,
+                quota,
+                cluster_bits: 9,
+            },
             NetSpec::gbe_1(),
         ),
         (
             "warm-smem/IB",
-            Mode::WarmCache { placement: Placement::StorageMem, quota, cluster_bits: 9 },
+            Mode::WarmCache {
+                placement: Placement::StorageMem,
+                quota,
+                cluster_bits: 9,
+            },
             NetSpec::ib_32g(),
         ),
         (
             "cold-cmem/1GbE",
-            Mode::ColdCache { placement: Placement::ComputeMem, quota, cluster_bits: 9 },
+            Mode::ColdCache {
+                placement: Placement::ComputeMem,
+                quota,
+                cluster_bits: 9,
+            },
             NetSpec::gbe_1(),
         ),
     ];
@@ -45,6 +61,7 @@ fn main() {
             mode,
             seed: 42,
             warm_store: Some(store.clone()),
+            recorder: Default::default(),
         };
         let out = run_experiment(&cfg).unwrap();
         let io = out.outcomes.iter().map(|o| o.io_wait_ns).sum::<u64>() as f64

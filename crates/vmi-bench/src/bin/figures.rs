@@ -14,8 +14,18 @@ use vmi_bench::figures as f;
 use vmi_bench::Scale;
 
 const ALL: &[&str] = &[
-    "table1", "table2", "fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig14",
-    "sec6", "ablations",
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig14",
+    "sec6",
+    "ablations",
 ];
 
 fn main() {
@@ -47,7 +57,10 @@ fn main() {
         }
     }
     if wanted.is_empty() {
-        eprintln!("nothing to do; pass --all or artifact names ({})", ALL.join(" "));
+        eprintln!(
+            "nothing to do; pass --all or artifact names ({})",
+            ALL.join(" ")
+        );
         std::process::exit(2);
     }
     wanted.dedup();
@@ -69,7 +82,11 @@ fn main() {
     println!("results written to {}", out_dir.display());
 }
 
-fn run_one(name: &str, scale: Scale, out: &std::path::Path) -> Result<String, Box<dyn std::error::Error>> {
+fn run_one(
+    name: &str,
+    scale: Scale,
+    out: &std::path::Path,
+) -> Result<String, Box<dyn std::error::Error>> {
     let mut rendered = String::new();
     let mut fig = |fg: vmi_bench::Figure| -> Result<(), Box<dyn std::error::Error>> {
         fg.save(out)?;

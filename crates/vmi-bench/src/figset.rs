@@ -55,7 +55,13 @@ impl Figure {
             .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         xs.dedup();
-        let width = self.series.iter().map(|s| s.label.len()).max().unwrap_or(8).max(10);
+        let width = self
+            .series
+            .iter()
+            .map(|s| s.label.len())
+            .max()
+            .unwrap_or(8)
+            .max(10);
         out.push_str(&format!("{:>12}", self.x_label));
         for s in &self.series {
             out.push_str(&format!("  {:>width$}", s.label, width = width));
@@ -161,7 +167,10 @@ mod tests {
                     label: "QCOW2".into(),
                     points: vec![Point { x: 1.0, y: 20.0 }, Point { x: 64.0, y: 110.0 }],
                 },
-                Series { label: "Warm".into(), points: vec![Point { x: 1.0, y: 19.5 }] },
+                Series {
+                    label: "Warm".into(),
+                    points: vec![Point { x: 1.0, y: 19.5 }],
+                },
             ],
         }
     }

@@ -77,6 +77,7 @@ fn cfg(
         mode,
         seed: 42,
         warm_store: Some(store.clone()),
+        recorder: Default::default(),
     }
 }
 
@@ -86,9 +87,15 @@ where
 {
     let mut points = Vec::with_capacity(xs.len());
     for &x in xs {
-        points.push(Point { x: x as f64, y: run(x)? });
+        points.push(Point {
+            x: x as f64,
+            y: run(x)?,
+        });
     }
-    Ok(Series { label: label.into(), points })
+    Ok(Series {
+        label: label.into(),
+        points,
+    })
 }
 
 fn boot_secs(out: &ExperimentOutcome) -> f64 {
@@ -106,9 +113,20 @@ pub fn fig2(scale: Scale) -> Result<Figure> {
     let xs = grid(scale);
     let mut series = Vec::new();
     for net in [NetSpec::ib_32g(), NetSpec::gbe_1()] {
-        series.push(series_over(&format!("QCOW2 - {}", net.label()), &xs, |n| {
-            Ok(boot_secs(&run_experiment(&cfg(scale, n, 1, net, Mode::Qcow2, &store))?))
-        })?);
+        series.push(series_over(
+            &format!("QCOW2 - {}", net.label()),
+            &xs,
+            |n| {
+                Ok(boot_secs(&run_experiment(&cfg(
+                    scale,
+                    n,
+                    1,
+                    net,
+                    Mode::Qcow2,
+                    &store,
+                ))?))
+            },
+        )?);
     }
     Ok(Figure {
         id: "fig2".into(),
@@ -128,9 +146,20 @@ pub fn fig3(scale: Scale) -> Result<Figure> {
     let xs = grid(scale);
     let mut series = Vec::new();
     for net in [NetSpec::ib_32g(), NetSpec::gbe_1()] {
-        series.push(series_over(&format!("QCOW2 - {}", net.label()), &xs, |v| {
-            Ok(boot_secs(&run_experiment(&cfg(scale, nodes, v, net, Mode::Qcow2, &store))?))
-        })?);
+        series.push(series_over(
+            &format!("QCOW2 - {}", net.label()),
+            &xs,
+            |v| {
+                Ok(boot_secs(&run_experiment(&cfg(
+                    scale,
+                    nodes,
+                    v,
+                    net,
+                    Mode::Qcow2,
+                    &store,
+                ))?))
+            },
+        )?);
     }
     Ok(Figure {
         id: "fig3".into(),
@@ -152,7 +181,9 @@ pub fn fig8(scale: Scale) -> Result<Figure> {
     let net = NetSpec::gbe_1();
     let quotas = quota_grid_mb(scale);
     let run_mode = |mode: Mode| -> Result<f64> {
-        Ok(boot_secs(&run_experiment(&cfg(scale, 1, 1, net, mode, &store))?))
+        Ok(boot_secs(&run_experiment(&cfg(
+            scale, 1, 1, net, mode, &store,
+        ))?))
     };
     let mut warm = Vec::new();
     let mut cold_mem = Vec::new();
@@ -191,12 +222,27 @@ pub fn fig8(scale: Scale) -> Result<Figure> {
         x_label: "Cache size (MB)".into(),
         y_label: "Booting time (second)".into(),
         series: vec![
-            Series { label: "Warm cache".into(), points: warm },
-            Series { label: "Cold cache - on mem".into(), points: cold_mem },
-            Series { label: "Cold cache - on disk".into(), points: cold_disk },
+            Series {
+                label: "Warm cache".into(),
+                points: warm,
+            },
+            Series {
+                label: "Cold cache - on mem".into(),
+                points: cold_mem,
+            },
+            Series {
+                label: "Cold cache - on disk".into(),
+                points: cold_disk,
+            },
             Series {
                 label: "QCOW2".into(),
-                points: quotas.iter().map(|&q| Point { x: q as f64, y: qcow }).collect(),
+                points: quotas
+                    .iter()
+                    .map(|&q| Point {
+                        x: q as f64,
+                        y: qcow,
+                    })
+                    .collect(),
             },
         ],
     })
@@ -220,11 +266,22 @@ pub fn fig9(scale: Scale) -> Result<Figure> {
             for &q in &quotas {
                 let quota = q * MIB;
                 let mode = if warm {
-                    Mode::WarmCache { placement: Placement::ComputeMem, quota, cluster_bits }
+                    Mode::WarmCache {
+                        placement: Placement::ComputeMem,
+                        quota,
+                        cluster_bits,
+                    }
                 } else {
-                    Mode::ColdCache { placement: Placement::ComputeMem, quota, cluster_bits }
+                    Mode::ColdCache {
+                        placement: Placement::ComputeMem,
+                        quota,
+                        cluster_bits,
+                    }
                 };
-                pts.push(Point { x: q as f64, y: traffic(mode)? });
+                pts.push(Point {
+                    x: q as f64,
+                    y: traffic(mode)?,
+                });
             }
             series.push(Series {
                 label: format!(
@@ -238,7 +295,13 @@ pub fn fig9(scale: Scale) -> Result<Figure> {
     let qcow = traffic(Mode::Qcow2)?;
     series.push(Series {
         label: "QCOW2".into(),
-        points: quotas.iter().map(|&q| Point { x: q as f64, y: qcow }).collect(),
+        points: quotas
+            .iter()
+            .map(|&q| Point {
+                x: q as f64,
+                y: qcow,
+            })
+            .collect(),
     });
     Ok(Figure {
         id: "fig9".into(),
@@ -284,17 +347,29 @@ pub fn fig10(scale: Scale) -> Result<(Figure, Figure)> {
             boot_pts.push(Point { x: q as f64, y: b });
             tx_pts.push(Point { x: q as f64, y: t });
         }
-        boot_series.push(Series { label: format!("{label} - boot time"), points: boot_pts });
-        tx_series.push(Series { label: format!("{label} - tx size"), points: tx_pts });
+        boot_series.push(Series {
+            label: format!("{label} - boot time"),
+            points: boot_pts,
+        });
+        tx_series.push(Series {
+            label: format!("{label} - tx size"),
+            points: tx_pts,
+        });
     }
     let (qb, qt) = run(Mode::Qcow2)?;
     boot_series.push(Series {
         label: "QCOW2 - boot time".into(),
-        points: quotas.iter().map(|&q| Point { x: q as f64, y: qb }).collect(),
+        points: quotas
+            .iter()
+            .map(|&q| Point { x: q as f64, y: qb })
+            .collect(),
     });
     tx_series.push(Series {
         label: "QCOW2 - tx size".into(),
-        points: quotas.iter().map(|&q| Point { x: q as f64, y: qt }).collect(),
+        points: quotas
+            .iter()
+            .map(|&q| Point { x: q as f64, y: qt })
+            .collect(),
     });
     Ok((
         Figure {
@@ -354,7 +429,14 @@ pub fn fig11(scale: Scale) -> Result<Figure> {
         ))?))
     })?;
     let qcow = series_over("QCOW2", &xs, |n| {
-        Ok(boot_secs(&run_experiment(&cfg(scale, n, 1, net, Mode::Qcow2, &store))?))
+        Ok(boot_secs(&run_experiment(&cfg(
+            scale,
+            n,
+            1,
+            net,
+            Mode::Qcow2,
+            &store,
+        ))?))
     })?;
     Ok(Figure {
         id: "fig11".into(),
@@ -390,7 +472,11 @@ fn vmi_scaling_figure(
             nodes,
             v,
             net,
-            Mode::WarmCache { placement: cache_placement, quota, cluster_bits: CACHE_CLUSTER_BITS },
+            Mode::WarmCache {
+                placement: cache_placement,
+                quota,
+                cluster_bits: CACHE_CLUSTER_BITS,
+            },
             &store,
         ))?))
     })?;
@@ -400,16 +486,31 @@ fn vmi_scaling_figure(
             nodes,
             v,
             net,
-            Mode::ColdCache { placement: cold_placement, quota, cluster_bits: CACHE_CLUSTER_BITS },
+            Mode::ColdCache {
+                placement: cold_placement,
+                quota,
+                cluster_bits: CACHE_CLUSTER_BITS,
+            },
             &store,
         ))?))
     })?;
     let qcow = series_over("QCOW2", &xs, |v| {
-        Ok(boot_secs(&run_experiment(&cfg(scale, nodes, v, net, Mode::Qcow2, &store))?))
+        Ok(boot_secs(&run_experiment(&cfg(
+            scale,
+            nodes,
+            v,
+            net,
+            Mode::Qcow2,
+            &store,
+        ))?))
     })?;
     Ok(Figure {
         id: id.into(),
-        title: format!("{title_prefix} - {} nodes - Network = {}", nodes, net.label()),
+        title: format!(
+            "{title_prefix} - {} nodes - Network = {}",
+            nodes,
+            net.label()
+        ),
         x_label: "# VMIs".into(),
         y_label: "Booting time (second)".into(),
         series: vec![warm, cold, qcow],
@@ -473,7 +574,10 @@ pub fn table1(scale: Scale) -> TableData {
         .map(|p| {
             let trace = vmi_trace::generate(p, 1);
             let unique = vmi_trace::unique_read_bytes(&trace);
-            vec![p.name.clone(), format!("{:.1} MB", unique as f64 / MIB as f64)]
+            vec![
+                p.name.clone(),
+                format!("{:.1} MB", unique as f64 / MIB as f64),
+            ]
         })
         .collect();
     TableData {
@@ -495,9 +599,11 @@ pub fn table2(scale: Scale) -> Result<TableData> {
     for p in &profiles {
         let trace = vmi_trace::generate(p, 1);
         let quota = p.unique_read_bytes * 2 + 64 * MIB;
-        let warm =
-            vmi_cluster::prepare_warm_cache(p, &trace, quota, CACHE_CLUSTER_BITS)?;
-        rows.push(vec![p.name.clone(), format!("{:.0} MB", warm.file_size as f64 / MIB as f64)]);
+        let warm = vmi_cluster::prepare_warm_cache(p, &trace, quota, CACHE_CLUSTER_BITS)?;
+        rows.push(vec![
+            p.name.clone(),
+            format!("{:.0} MB", warm.file_size as f64 / MIB as f64),
+        ]);
     }
     Ok(TableData {
         id: "table2".into(),
@@ -521,7 +627,11 @@ pub fn sec6(scale: Scale) -> Result<TableData> {
             nodes,
             1,
             net,
-            Mode::WarmCache { placement, quota, cluster_bits: CACHE_CLUSTER_BITS },
+            Mode::WarmCache {
+                placement,
+                quota,
+                cluster_bits: CACHE_CLUSTER_BITS,
+            },
             &store,
         ))?;
         secs.push(boot_secs(&out));
@@ -567,7 +677,10 @@ mod tests {
     fn smoke_table2_exceeds_table1() {
         let t = table2(Scale::Smoke).unwrap();
         let mb: f64 = t.rows[0][1].trim_end_matches(" MB").parse().unwrap();
-        assert!(mb >= 2.0, "cache file must be at least the working set: {mb}");
+        assert!(
+            mb >= 2.0,
+            "cache file must be at least the working set: {mb}"
+        );
     }
 
     #[test]

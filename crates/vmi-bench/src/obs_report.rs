@@ -1,0 +1,168 @@
+//! Replay and summarise `vmi-obs` JSONL event streams.
+//!
+//! An experiment run with a [`vmi_obs::JsonlSink`] recorder leaves behind a
+//! replayable event log. This module re-derives the byte counters from that
+//! log — independently of the live [`vmi_obs::MetricsRegistry`] — so tests
+//! can assert the two views agree, and renders a [`vmi_cluster::Telemetry`]
+//! snapshot as an aligned text table next to the paper figures.
+
+use vmi_cluster::Telemetry;
+use vmi_obs::Event;
+
+/// Counters re-derived by replaying a JSONL event stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Number of events replayed.
+    pub events: usize,
+    /// Bytes served from cache clusters (`cache_hit` events).
+    pub hit_bytes: u64,
+    /// Bytes fetched from backing layers (`cache_miss` events).
+    pub miss_bytes: u64,
+    /// Bytes written by copy-on-read fills (`cor_fill` events).
+    pub fill_bytes: u64,
+    /// `chain_open` events.
+    pub chain_opens: u64,
+    /// `space_error_latched` events.
+    pub space_errors: u64,
+    /// `quota_rearmed` events.
+    pub quota_rearms: u64,
+    /// `cache_evict` events.
+    pub evictions: u64,
+    /// `sched_place` events.
+    pub placements: u64,
+}
+
+/// Replay parsed `(timestamp, event)` pairs into a [`ReplaySummary`].
+pub fn replay(events: &[(u64, Event)]) -> ReplaySummary {
+    let mut s = ReplaySummary {
+        events: events.len(),
+        ..Default::default()
+    };
+    for (_, ev) in events {
+        match ev {
+            Event::CacheHit { bytes } => s.hit_bytes += bytes,
+            Event::CacheMiss { bytes } => s.miss_bytes += bytes,
+            Event::CorFill { bytes } => s.fill_bytes += bytes,
+            Event::ChainOpen { .. } => s.chain_opens += 1,
+            Event::SpaceErrorLatched { .. } => s.space_errors += 1,
+            Event::QuotaRearmed { .. } => s.quota_rearms += 1,
+            Event::CacheEvict { .. } => s.evictions += 1,
+            Event::SchedPlace { .. } => s.placements += 1,
+            Event::BootPhase { .. } => {}
+        }
+    }
+    s
+}
+
+/// Parse raw JSONL lines and replay them. Lines that fail to parse are
+/// counted and returned alongside the summary rather than silently dropped.
+pub fn replay_lines(lines: &[String]) -> (ReplaySummary, usize) {
+    let mut parsed = Vec::with_capacity(lines.len());
+    let mut bad = 0usize;
+    for line in lines {
+        match Event::parse_line(line) {
+            Ok(pair) => parsed.push(pair),
+            Err(_) => bad += 1,
+        }
+    }
+    (replay(&parsed), bad)
+}
+
+impl ReplaySummary {
+    /// Hit ratio over the replayed stream (1.0 when nothing missed).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.miss_bytes == 0 {
+            1.0
+        } else {
+            self.hit_bytes as f64 / (self.hit_bytes + self.miss_bytes) as f64
+        }
+    }
+
+    /// Whether the replayed byte counters agree with a live telemetry
+    /// snapshot (the acceptance check: registry and stream never drift).
+    pub fn consistent_with(&self, t: &Telemetry) -> bool {
+        let t_hits: u64 = t.per_cache.iter().map(|c| c.hit_bytes).sum();
+        let t_misses: u64 = t.per_cache.iter().map(|c| c.miss_bytes).sum();
+        self.hit_bytes == t_hits
+            && self.miss_bytes == t_misses
+            && self.fill_bytes == t.fill_bytes
+            && self.space_errors == t.space_errors
+            && self.evictions == t.evictions
+    }
+}
+
+/// Render a telemetry snapshot as an aligned text block.
+pub fn render_telemetry(t: &Telemetry) -> String {
+    let mut out = String::new();
+    out.push_str("== telemetry ==\n");
+    out.push_str(&format!("{:<22} {:.4}\n", "hit ratio", t.hit_ratio));
+    out.push_str(&format!("{:<22} {}\n", "fill bytes", t.fill_bytes));
+    out.push_str(&format!("{:<22} {}\n", "space errors", t.space_errors));
+    out.push_str(&format!("{:<22} {}\n", "evictions", t.evictions));
+    if let (Some(p50), Some(p99)) = (t.p50_op_ns, t.p99_op_ns) {
+        out.push_str(&format!("{:<22} {} ns\n", "p50 op latency", p50));
+        out.push_str(&format!("{:<22} {} ns\n", "p99 op latency", p99));
+    }
+    for (i, c) in t.per_cache.iter().enumerate() {
+        out.push_str(&format!(
+            "cache[{i}]: hit={} miss={} fill={} rejects={} ratio={:.4}\n",
+            c.hit_bytes,
+            c.miss_bytes,
+            c.fill_bytes,
+            c.fill_rejects,
+            c.hit_ratio()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_accumulates_by_event_kind() {
+        let evs = vec![
+            (0, Event::CacheMiss { bytes: 512 }),
+            (1, Event::CorFill { bytes: 512 }),
+            (2, Event::CacheHit { bytes: 512 }),
+            (3, Event::CacheHit { bytes: 100 }),
+            (4, Event::SpaceErrorLatched { used: 9, quota: 8 }),
+        ];
+        let s = replay(&evs);
+        assert_eq!(s.events, 5);
+        assert_eq!(s.hit_bytes, 612);
+        assert_eq!(s.miss_bytes, 512);
+        assert_eq!(s.fill_bytes, 512);
+        assert_eq!(s.space_errors, 1);
+        assert!((s.hit_ratio() - 612.0 / 1124.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_lines_counts_garbage() {
+        let lines = vec![
+            Event::CacheHit { bytes: 64 }.to_json_line(7),
+            "not json".to_string(),
+        ];
+        let (s, bad) = replay_lines(&lines);
+        assert_eq!(s.hit_bytes, 64);
+        assert_eq!(bad, 1);
+    }
+
+    #[test]
+    fn render_includes_per_cache_rows() {
+        let t = Telemetry {
+            per_cache: vec![vmi_cluster::CacheTelemetry {
+                hit_bytes: 10,
+                miss_bytes: 0,
+                fill_bytes: 0,
+                fill_rejects: 0,
+            }],
+            hit_ratio: 1.0,
+            ..Default::default()
+        };
+        let r = render_telemetry(&t);
+        assert!(r.contains("cache[0]"));
+        assert!(r.contains("hit ratio"));
+    }
+}

@@ -27,7 +27,13 @@ impl Default for SizeHistogram {
 
 impl SizeHistogram {
     fn record(&mut self, len: usize) {
-        let bucket = if len == 0 { 0 } else { (usize::BITS - (len).leading_zeros()) as usize };
+        // Bucket k holds sizes in [2^k, 2^(k+1)), i.e. k = floor(log2(len)).
+        // Zero-length requests land in bucket 0 alongside size-1 requests.
+        let bucket = if len == 0 {
+            0
+        } else {
+            (usize::BITS - 1 - (len).leading_zeros()) as usize
+        };
         self.buckets[bucket.min(32)] += 1;
     }
 
@@ -46,9 +52,13 @@ impl SizeHistogram {
     pub fn at_or_below(&self, limit: usize) -> u64 {
         let mut sum = 0;
         for (k, &c) in self.buckets.iter().enumerate() {
-            // Bucket k holds sizes in [2^(k-1)+1 .. 2^k] roughly; use upper bound 2^k.
-            let upper = 1u64.checked_shl(k as u32).unwrap_or(u64::MAX);
-            if upper <= limit as u64 {
+            // Bucket k spans [2^k, 2^(k+1)); its largest member is
+            // 2^(k+1) - 1, so include it only when that still fits.
+            let largest = 1u64
+                .checked_shl(k as u32 + 1)
+                .map(|u| u - 1)
+                .unwrap_or(u64::MAX);
+            if largest <= limit as u64 {
                 sum += c;
             }
         }
@@ -142,7 +152,10 @@ pub struct CountingDev {
 impl CountingDev {
     /// Wrap `inner`, creating fresh counters.
     pub fn new(inner: SharedDev) -> Self {
-        Self { inner, stats: Arc::new(IoStats::default()) }
+        Self {
+            inner,
+            stats: Arc::new(IoStats::default()),
+        }
     }
 
     /// Wrap `inner`, recording into an existing shared `stats` (so multiple
@@ -242,9 +255,31 @@ mod tests {
         h.record(512);
         h.record(65536);
         assert_eq!(h.total(), 3);
-        assert_eq!(h.bucket(10), 2); // 512 -> bucket 10 (2^9..2^10]
-        assert_eq!(h.bucket(17), 1); // 65536 -> bucket 17
+        assert_eq!(h.bucket(9), 2); // 512 = 2^9 -> bucket 9 [2^9, 2^10)
+        assert_eq!(h.bucket(16), 1); // 65536 = 2^16 -> bucket 16
         assert_eq!(h.at_or_below(1024), 2);
+    }
+
+    #[test]
+    fn histogram_boundary_sizes() {
+        let mut h = SizeHistogram::default();
+        h.record(1); // 2^0        -> bucket 0
+        h.record(512); // 2^9      -> bucket 9
+        h.record(513); // 2^9 + 1  -> still bucket 9
+        h.record(65536); // 2^16   -> bucket 16
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(9), 2, "512 and 513 share bucket 9: [512, 1024)");
+        assert_eq!(h.bucket(10), 0, "513 must not spill into bucket 10");
+        assert_eq!(h.bucket(16), 1);
+        assert_eq!(h.total(), 4);
+        // at_or_below counts whole buckets: [512, 1024) fits under 1023 but a
+        // 600-byte limit cannot include it (the bucket holds sizes up to 1023).
+        assert_eq!(h.at_or_below(511), 1);
+        assert_eq!(h.at_or_below(600), 1);
+        assert_eq!(h.at_or_below(1023), 3);
+        assert_eq!(h.at_or_below(65536), 3);
+        assert_eq!(h.at_or_below(131071), 4);
+        assert_eq!(h.at_or_below(usize::MAX), 4);
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct ByteRange {
 impl ByteRange {
     /// Construct the range `[start, start + len)`.
     pub fn at(start: u64, len: u64) -> Self {
-        Self { start, end: start + len }
+        Self {
+            start,
+            end: start + len,
+        }
     }
 
     /// Number of bytes covered.
@@ -155,7 +158,10 @@ mod tests {
         let r = ByteRange::at(10, 5);
         assert_eq!(r.len(), 5);
         assert!(!r.is_empty());
-        assert_eq!(r.intersect(&ByteRange::at(12, 10)), Some(ByteRange { start: 12, end: 15 }));
+        assert_eq!(
+            r.intersect(&ByteRange::at(12, 10)),
+            Some(ByteRange { start: 12, end: 15 })
+        );
         assert_eq!(r.intersect(&ByteRange::at(15, 1)), None);
         assert!(ByteRange::at(3, 0).is_empty());
     }

@@ -54,7 +54,10 @@ pub struct BlockError {
 impl BlockError {
     /// Create an error of `kind` with a free-form `context` message.
     pub fn new(kind: BlockErrorKind, context: impl Into<String>) -> Self {
-        Self { kind, context: context.into() }
+        Self {
+            kind,
+            context: context.into(),
+        }
     }
 
     /// Shorthand for [`BlockErrorKind::OutOfBounds`].
@@ -144,7 +147,15 @@ mod tests {
     #[test]
     fn kind_strings_are_distinct() {
         use BlockErrorKind::*;
-        let kinds = [OutOfBounds, NoSpace, ReadOnly, Corrupt, Unsupported, Io, Injected];
+        let kinds = [
+            OutOfBounds,
+            NoSpace,
+            ReadOnly,
+            Corrupt,
+            Unsupported,
+            Io,
+            Injected,
+        ];
         let strs: std::collections::HashSet<_> = kinds.iter().map(|k| k.as_str()).collect();
         assert_eq!(strs.len(), kinds.len());
     }

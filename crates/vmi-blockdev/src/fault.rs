@@ -75,7 +75,10 @@ pub struct FaultDev {
 impl FaultDev {
     /// Wrap `inner` with no faults programmed.
     pub fn new(inner: SharedDev) -> Self {
-        Self { inner, plans: Mutex::new(Vec::new()) }
+        Self {
+            inner,
+            plans: Mutex::new(Vec::new()),
+        }
     }
 
     /// Program a fault. Faults are checked in insertion order; `NthOp`
@@ -115,7 +118,10 @@ impl FaultDev {
         }
         if let Some((i, kind, seq)) = fired {
             plans.remove(i); // one-shot
-            return Err(BlockError::new(kind, format!("injected fault at op #{seq}")));
+            return Err(BlockError::new(
+                kind,
+                format!("injected fault at op #{seq}"),
+            ));
         }
         Ok(())
     }
@@ -158,7 +164,11 @@ mod tests {
     #[test]
     fn nth_read_fails_once() {
         let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
-        dev.inject(FaultPlan::NthOp { site: FaultSite::Read, n: 1, kind: BlockErrorKind::Injected });
+        dev.inject(FaultPlan::NthOp {
+            site: FaultSite::Read,
+            n: 1,
+            kind: BlockErrorKind::Injected,
+        });
         let mut buf = [0u8; 8];
         assert!(dev.read_at(&mut buf, 0).is_ok()); // #0
         assert!(dev.read_at(&mut buf, 0).is_err()); // #1 fires
@@ -168,7 +178,11 @@ mod tests {
     #[test]
     fn writes_do_not_consume_read_sequence() {
         let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
-        dev.inject(FaultPlan::NthOp { site: FaultSite::Read, n: 0, kind: BlockErrorKind::Injected });
+        dev.inject(FaultPlan::NthOp {
+            site: FaultSite::Read,
+            n: 0,
+            kind: BlockErrorKind::Injected,
+        });
         dev.write_at(&[1; 8], 0).unwrap(); // unaffected
         let mut buf = [0u8; 8];
         assert!(dev.read_at(&mut buf, 0).is_err());

@@ -33,7 +33,12 @@ impl FileDev {
             .create(true)
             .truncate(true)
             .open(&path)?;
-        Ok(Self { file: Mutex::new(file), len: AtomicU64::new(0), path, read_only: false })
+        Ok(Self {
+            file: Mutex::new(file),
+            len: AtomicU64::new(0),
+            path,
+            read_only: false,
+        })
     }
 
     /// Open an existing file read-write.
@@ -49,9 +54,17 @@ impl FileDev {
 
     fn open_inner(path: impl AsRef<Path>, read_only: bool) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new().read(true).write(!read_only).open(&path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(!read_only)
+            .open(&path)?;
         let len = file.metadata()?.len();
-        Ok(Self { file: Mutex::new(file), len: AtomicU64::new(len), path, read_only })
+        Ok(Self {
+            file: Mutex::new(file),
+            len: AtomicU64::new(len),
+            path,
+            read_only,
+        })
     }
 
     /// The path this device was opened at.

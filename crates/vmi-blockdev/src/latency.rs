@@ -115,7 +115,11 @@ mod tests {
         let log = rec.0.lock();
         assert_eq!(
             *log,
-            vec![(OpKind::Write, 5, 100), (OpKind::Read, 10, 50), (OpKind::Flush, 0, 0)]
+            vec![
+                (OpKind::Write, 5, 100),
+                (OpKind::Read, 10, 50),
+                (OpKind::Flush, 0, 0)
+            ]
         );
     }
 

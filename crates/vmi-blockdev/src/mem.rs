@@ -24,12 +24,16 @@ impl MemDev {
 
     /// A zero-filled device of `len` bytes.
     pub fn with_len(len: u64) -> Self {
-        Self { data: RwLock::new(vec![0; len as usize]) }
+        Self {
+            data: RwLock::new(vec![0; len as usize]),
+        }
     }
 
     /// A device initialized with `content`.
     pub fn from_vec(content: Vec<u8>) -> Self {
-        Self { data: RwLock::new(content) }
+        Self {
+            data: RwLock::new(content),
+        }
     }
 
     /// Clone out the full contents (test/diagnostic helper).

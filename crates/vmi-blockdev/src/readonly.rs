@@ -69,7 +69,10 @@ mod tests {
         let mut buf = [0u8; 10];
         ro.read_at(&mut buf, 0).unwrap();
         assert_eq!(&buf, b"base image");
-        assert_eq!(ro.write_at(b"x", 0).unwrap_err().kind(), BlockErrorKind::ReadOnly);
+        assert_eq!(
+            ro.write_at(b"x", 0).unwrap_err().kind(),
+            BlockErrorKind::ReadOnly
+        );
         assert_eq!(ro.set_len(0).unwrap_err().kind(), BlockErrorKind::ReadOnly);
         assert!(ro.flush().is_ok());
         // The underlying device is untouched.

@@ -40,7 +40,12 @@ impl SparseDev {
 
     /// A zero device of logical size `len` with no materialized pages.
     pub fn with_len(len: u64) -> Self {
-        Self { inner: RwLock::new(Inner { pages: HashMap::new(), len }) }
+        Self {
+            inner: RwLock::new(Inner {
+                pages: HashMap::new(),
+                len,
+            }),
+        }
     }
 
     /// Number of pages actually materialized (resident footprint /
@@ -150,7 +155,11 @@ impl BlockDev for SparseDev {
     }
 
     fn describe(&self) -> String {
-        format!("sparse({} B, {} pages resident)", self.len(), self.resident_pages())
+        format!(
+            "sparse({} B, {} pages resident)",
+            self.len(),
+            self.resident_pages()
+        )
     }
 }
 

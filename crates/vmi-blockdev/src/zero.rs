@@ -17,7 +17,9 @@ pub struct ZeroDev {
 impl ZeroDev {
     /// A zero device of `len` bytes.
     pub fn new(len: u64) -> Self {
-        Self { len: AtomicU64::new(len) }
+        Self {
+            len: AtomicU64::new(len),
+        }
     }
 }
 

@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use vmi_obs::{met, Event, Obs};
+
 /// Logical clock for recency (supplied by the caller; any monotone counter
 /// or simulated time works).
 pub type Stamp = u64;
@@ -33,7 +35,11 @@ pub struct CachePool {
 impl CachePool {
     /// A pool holding at most `capacity` bytes of cache images.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: 0, entries: HashMap::new() }
+        Self {
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+        }
     }
 
     /// Bytes currently stored.
@@ -66,7 +72,27 @@ impl CachePool {
     /// Returns the names evicted, or `Err(())` if `size` exceeds capacity
     /// outright (nothing is changed in that case).
     #[allow(clippy::result_unit_err)]
-    pub fn admit(&mut self, vmi: impl Into<String>, size: u64, now: Stamp) -> Result<Vec<String>, ()> {
+    pub fn admit(
+        &mut self,
+        vmi: impl Into<String>,
+        size: u64,
+        now: Stamp,
+    ) -> Result<Vec<String>, ()> {
+        self.admit_with_obs(vmi, size, now, &Obs::disabled(), 0)
+    }
+
+    /// [`CachePool::admit`] with an observability handle: every LRU victim
+    /// emits a [`Event::CacheEvict`] tagged with the owning `node` and bumps
+    /// [`met::CACHE_EVICTIONS`].
+    #[allow(clippy::result_unit_err)]
+    pub fn admit_with_obs(
+        &mut self,
+        vmi: impl Into<String>,
+        size: u64,
+        now: Stamp,
+        obs: &Obs,
+        node: u64,
+    ) -> Result<Vec<String>, ()> {
         if size > self.capacity {
             return Err(());
         }
@@ -85,10 +111,22 @@ impl CachePool {
                 .expect("used > 0 implies entries exist");
             let e = self.entries.remove(&victim).unwrap();
             self.used -= e.size;
+            obs.count(met::CACHE_EVICTIONS, 1);
+            obs.emit(|| Event::CacheEvict {
+                node,
+                vmi: victim.clone(),
+                bytes: e.size,
+            });
             evicted.push(victim);
         }
         self.used += size;
-        self.entries.insert(vmi, CacheEntry { size, last_used: now });
+        self.entries.insert(
+            vmi,
+            CacheEntry {
+                size,
+                last_used: now,
+            },
+        );
         Ok(evicted)
     }
 

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vmi_blockdev::{Result, SharedDev, SparseDev};
+use vmi_obs::RecorderHandle;
 use vmi_remote::{MountOpts, NfsMount};
 use vmi_sim::{NetSpec, Ns, SimWorld};
 use vmi_trace::{BootTrace, VmiProfile};
@@ -27,7 +28,8 @@ use crate::deploy::{build_chain, ChainSpec, Mode, Placement};
 use crate::experiment::{vmi_seed, WarmStore};
 use crate::node::{ComputeNode, StorageNode};
 use crate::sched::{NodeState, Policy, Scheduler};
-use crate::vm::{run_boots, VmRun};
+use crate::telemetry::Telemetry;
+use crate::vm::{run_boots_with_obs, VmRun};
 
 /// One VM request arriving at the cloud.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,9 +69,12 @@ pub fn generate_requests(
                 }
                 t -= w;
             }
-            let lifetime_ns =
-                (-(mean_lifetime_ns as f64) * f64::ln(1.0 - rng.gen::<f64>())) as u64;
-            VmRequest { at, vmi, lifetime_ns }
+            let lifetime_ns = (-(mean_lifetime_ns as f64) * f64::ln(1.0 - rng.gen::<f64>())) as u64;
+            VmRequest {
+                at,
+                vmi,
+                lifetime_ns,
+            }
         })
         .collect()
 }
@@ -99,6 +104,8 @@ pub struct CloudConfig {
     pub policy: Policy,
     /// Master seed.
     pub seed: u64,
+    /// Event recorder for this run (default: record nothing).
+    pub recorder: RecorderHandle,
 }
 
 /// What a day in the cloud looked like.
@@ -120,12 +127,17 @@ pub struct CloudReport {
     pub p95_boot_secs: f64,
     /// Total bytes served by the storage node, in MB.
     pub storage_traffic_mb: f64,
+    /// Aggregate cache/latency telemetry (latency percentiles and event
+    /// counters require a recorder; `per_cache` is empty for cloud runs —
+    /// chains are transient).
+    pub telemetry: Telemetry,
 }
 
 /// Run the request stream through the cloud. Deterministic.
 pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudReport> {
     assert!(cfg.nodes >= 1 && cfg.slots_per_node >= 1 && cfg.vmis >= 1);
     let world = SimWorld::new();
+    let obs = cfg.recorder.attach(world.obs_clock());
     let mut storage = StorageNode::new(&world, cfg.net);
     let warm_store = WarmStore::new();
 
@@ -133,12 +145,14 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
     let traces: Vec<Arc<BootTrace>> = (0..cfg.vmis)
         .map(|v| Arc::new(vmi_trace::generate(&cfg.profile, vmi_seed(cfg.seed, v))))
         .collect();
-    let base_exports: Vec<_> =
-        (0..cfg.vmis).map(|_| storage.create_base_vmi(cfg.profile.virtual_size)).collect();
+    let base_exports: Vec<_> = (0..cfg.vmis)
+        .map(|_| storage.create_base_vmi(cfg.profile.virtual_size))
+        .collect();
 
     // Fleet state.
-    let mut compute: Vec<ComputeNode> =
-        (0..cfg.nodes).map(|i| ComputeNode::new(&world, i)).collect();
+    let mut compute: Vec<ComputeNode> = (0..cfg.nodes)
+        .map(|i| ComputeNode::new(&world, i))
+        .collect();
     let mut fleet: Vec<NodeState> = (0..cfg.nodes)
         .map(|i| NodeState::new(i, cfg.slots_per_node, cfg.node_cache_bytes))
         .collect();
@@ -157,6 +171,7 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
         mean_boot_secs: 0.0,
         p95_boot_secs: 0.0,
         storage_traffic_mb: 0.0,
+        telemetry: Telemetry::default(),
     };
     let mut boot_times: Vec<Ns> = Vec::new();
     let vmi_name = |v: usize| format!("vmi-{v}");
@@ -172,25 +187,33 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
             }
         });
 
-        let Some(decision) = sched.place(&mut fleet, &vmi_name(req.vmi), req.at) else {
+        let Some(decision) = sched.place_with_obs(&mut fleet, &vmi_name(req.vmi), req.at, &obs)
+        else {
             report.rejected += 1;
             continue;
         };
         report.placed += 1;
         let node_idx = decision.node;
-        let base_dev: SharedDev =
-            NfsMount::new(base_exports[req.vmi].clone(), storage.nic, MountOpts::default());
+        let base_dev: SharedDev = NfsMount::new(
+            base_exports[req.vmi].clone(),
+            storage.nic,
+            MountOpts::default(),
+        );
 
         // Decide the chain per Algorithm 1 at node level.
-        let warm_hit = cfg.use_caches && decision.cache_hit
-            && warm_local.contains_key(&(node_idx, req.vmi));
+        let warm_hit =
+            cfg.use_caches && decision.cache_hit && warm_local.contains_key(&(node_idx, req.vmi));
         let (mode, cache_dev): (Mode, Option<SharedDev>) = if !cfg.use_caches {
             (Mode::Qcow2, None)
         } else if warm_hit {
             report.warm_boots += 1;
             let container = warm_local[&(node_idx, req.vmi)].clone();
             (
-                Mode::WarmCache { placement: Placement::ComputeDisk, quota: cfg.quota, cluster_bits: 9 },
+                Mode::WarmCache {
+                    placement: Placement::ComputeDisk,
+                    quota: cfg.quota,
+                    cluster_bits: 9,
+                },
                 Some(compute[node_idx].disk_file(Arc::new(container.fork()), false)),
             )
         } else {
@@ -198,7 +221,11 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
             let fresh = Arc::new(SparseDev::new());
             warm_local.insert((node_idx, req.vmi), fresh.clone());
             (
-                Mode::ColdCache { placement: Placement::ComputeMem, quota: cfg.quota, cluster_bits: 9 },
+                Mode::ColdCache {
+                    placement: Placement::ComputeMem,
+                    quota: cfg.quota,
+                    cluster_bits: 9,
+                },
                 Some(compute[node_idx].mem_file(fresh)),
             )
         };
@@ -211,9 +238,10 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
             cache_dev,
             cow_dev,
             cache_read_only: false,
+            obs: obs.clone(),
         })?;
         let setup_ns = world.end_op() - req.at;
-        let outcome = run_boots(
+        let outcome = run_boots_with_obs(
             &world,
             vec![VmRun {
                 chain: chain as SharedDev,
@@ -221,6 +249,7 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
                 start_at: req.at,
                 setup_ns,
             }],
+            &obs,
         )?[0];
         boot_times.push(outcome.boot_ns);
         running.push((node_idx, outcome.done_at + req.lifetime_ns));
@@ -233,7 +262,10 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
                 .get_or_prepare(&cfg.profile, &traces[req.vmi], cfg.quota, 9)
                 .map(|w| w.file_size)
                 .unwrap_or(cfg.quota);
-            if let Ok(evicted) = node.caches.admit(vmi_name(req.vmi), size, req.at) {
+            if let Ok(evicted) =
+                node.caches
+                    .admit_with_obs(vmi_name(req.vmi), size, req.at, &obs, node_idx as u64)
+            {
                 for name in evicted {
                     if let Some(v) = name.strip_prefix("vmi-").and_then(|s| s.parse().ok()) {
                         warm_local.remove(&(node_idx, v));
@@ -249,10 +281,10 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
         report.mean_boot_secs = sum as f64 / boot_times.len() as f64 / 1e9;
         let mut sorted = boot_times.clone();
         sorted.sort_unstable();
-        report.p95_boot_secs =
-            sorted[(sorted.len() - 1) * 95 / 100] as f64 / 1e9;
+        report.p95_boot_secs = sorted[(sorted.len() - 1) * 95 / 100] as f64 / 1e9;
     }
     report.storage_traffic_mb = world.link_stats(storage.nic).bytes as f64 / 1e6;
+    report.telemetry = Telemetry::from_parts(Vec::new(), &obs);
     Ok(report)
 }
 
@@ -279,6 +311,7 @@ mod tests {
             cache_aware,
             policy: Policy::Striping,
             seed: 9,
+            recorder: RecorderHandle::none(),
         }
     }
 
@@ -303,14 +336,20 @@ mod tests {
     fn caches_warm_up_over_the_day() {
         let rep = run_cloud(&cfg(true, true), &stream()).unwrap();
         assert_eq!(rep.placed + rep.rejected, 60);
-        assert!(rep.warm_boots > rep.cold_boots, "repeat VMIs must hit caches: {rep:?}");
+        assert!(
+            rep.warm_boots > rep.cold_boots,
+            "repeat VMIs must hit caches: {rep:?}"
+        );
     }
 
     #[test]
     fn caches_beat_qcow2_on_mean_boot() {
         let with = run_cloud(&cfg(true, true), &stream()).unwrap();
         let without = run_cloud(&cfg(false, false), &stream()).unwrap();
-        assert!(with.mean_boot_secs < without.mean_boot_secs, "{with:?} vs {without:?}");
+        assert!(
+            with.mean_boot_secs < without.mean_boot_secs,
+            "{with:?} vs {without:?}"
+        );
         assert!(with.storage_traffic_mb < without.storage_traffic_mb);
         assert_eq!(without.warm_boots, 0);
     }

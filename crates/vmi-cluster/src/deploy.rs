@@ -15,7 +15,11 @@
 use std::sync::Arc;
 
 use vmi_blockdev::{BlockDev, Result, SharedDev, SparseDev};
-use vmi_qcow::{create_cached_chain, create_cow_chain, CreateOpts, MapResolver, QcowImage};
+use vmi_obs::Obs;
+use vmi_qcow::{
+    create_cached_chain, create_cached_chain_with_obs, create_cow_chain_with_obs, CreateOpts,
+    MapResolver, QcowImage,
+};
 use vmi_trace::{BootTrace, OpKind, VmiProfile};
 
 /// Where a cache image physically lives.
@@ -60,8 +64,12 @@ impl Mode {
     pub fn label(&self) -> String {
         match self {
             Mode::Qcow2 => "QCOW2".into(),
-            Mode::ColdCache { placement, .. } => format!("Cold cache ({})", placement_label(*placement)),
-            Mode::WarmCache { placement, .. } => format!("Warm cache ({})", placement_label(*placement)),
+            Mode::ColdCache { placement, .. } => {
+                format!("Cold cache ({})", placement_label(*placement))
+            }
+            Mode::WarmCache { placement, .. } => {
+                format!("Warm cache ({})", placement_label(*placement))
+            }
         }
     }
 }
@@ -137,7 +145,11 @@ pub fn prepare_warm_cache(
         let hdr = vmi_qcow::Header::decode(container.as_ref() as &dyn BlockDev)?;
         hdr.cache.map(|c| c.used).unwrap_or(0)
     };
-    Ok(WarmCache { file_size: container.len(), used, container })
+    Ok(WarmCache {
+        file_size: container.len(),
+        used,
+        container,
+    })
 }
 
 /// Build the §4.4 chain for one VM according to `mode`, over devices the
@@ -162,6 +174,9 @@ pub struct ChainSpec<'a> {
     pub cow_dev: SharedDev,
     /// Open the cache read-only (shared warm cache in storage memory).
     pub cache_read_only: bool,
+    /// Observability handle threaded into every layer of the chain
+    /// (default: disabled — a single branch per instrumented call).
+    pub obs: Obs,
 }
 
 /// Build the chain; returns the top (CoW) image.
@@ -170,23 +185,53 @@ pub fn build_chain(spec: ChainSpec<'_>) -> Result<Arc<QcowImage>> {
     let ns = MapResolver::new();
     ns.insert("base", spec.base_dev.clone());
     match spec.mode {
-        Mode::Qcow2 => create_cow_chain(&ns, "base", spec.cow_dev, vsize),
-        Mode::ColdCache { quota, cluster_bits, .. } => {
+        Mode::Qcow2 => create_cow_chain_with_obs(&ns, "base", spec.cow_dev, vsize, &spec.obs),
+        Mode::ColdCache {
+            quota,
+            cluster_bits,
+            ..
+        } => {
             let cache_dev = spec.cache_dev.expect("cold cache needs a container");
             ns.insert("cache", cache_dev.clone());
-            create_cached_chain(&ns, "base", "cache", cache_dev, spec.cow_dev, vsize, quota, cluster_bits)
+            create_cached_chain_with_obs(
+                &ns,
+                "base",
+                "cache",
+                cache_dev,
+                spec.cow_dev,
+                vsize,
+                quota,
+                cluster_bits,
+                &spec.obs,
+            )
         }
         Mode::WarmCache { .. } => {
             let cache_dev = spec.cache_dev.expect("warm cache needs a container");
-            let cache = QcowImage::open(
+            spec.obs.count(vmi_obs::met::CHAIN_OPENS, 1);
+            spec.obs.emit(|| vmi_obs::Event::ChainOpen {
+                image: "cache".into(),
+                kind: "cache".into(),
+                writable: !spec.cache_read_only,
+                depth: 1,
+            });
+            let cache = QcowImage::open_with_obs(
                 cache_dev,
                 Some(spec.base_dev.clone()),
                 spec.cache_read_only,
+                spec.obs.clone(),
             )?;
-            QcowImage::create(
+            spec.obs.count(vmi_obs::met::CHAIN_OPENS, 1);
+            spec.obs.emit(|| vmi_obs::Event::ChainOpen {
+                image: "cow".into(),
+                kind: "cow".into(),
+                writable: true,
+                depth: 0,
+            });
+            QcowImage::create_with_obs(
                 spec.cow_dev,
                 CreateOpts::cow(vsize, "cache"),
                 Some(cache as SharedDev),
+                spec.obs.clone(),
             )
         }
     }
@@ -205,7 +250,10 @@ mod tests {
         let unique = vmi_trace::unique_read_bytes(&trace);
         assert!(warm.file_size > unique, "{} <= {unique}", warm.file_size);
         assert!(warm.file_size < unique * 3);
-        assert_eq!(warm.used, warm.file_size, "bump allocator: used == file size");
+        assert_eq!(
+            warm.used, warm.file_size,
+            "bump allocator: used == file size"
+        );
     }
 
     #[test]
@@ -224,16 +272,21 @@ mod tests {
         let trace = vmi_trace::generate(&p, 4);
         let warm = prepare_warm_cache(&p, &trace, 16 << 20, 9).unwrap();
         // Boot a new VM over a fork of the warm cache and count base reads.
-        let base = Arc::new(vmi_blockdev::CountingDev::new(Arc::new(SparseDev::with_len(
-            p.virtual_size,
-        ))));
+        let base = Arc::new(vmi_blockdev::CountingDev::new(Arc::new(
+            SparseDev::with_len(p.virtual_size),
+        )));
         let chain = build_chain(ChainSpec {
-            mode: Mode::WarmCache { placement: Placement::ComputeDisk, quota: 16 << 20, cluster_bits: 9 },
+            mode: Mode::WarmCache {
+                placement: Placement::ComputeDisk,
+                quota: 16 << 20,
+                cluster_bits: 9,
+            },
             profile: &p,
             base_dev: base.clone(),
             cache_dev: Some(Arc::new(warm.container.fork())),
             cow_dev: Arc::new(SparseDev::new()),
             cache_read_only: false,
+            obs: Obs::disabled(),
         })
         .unwrap();
         replay_unpriced(chain.as_ref(), &trace).unwrap();
@@ -248,23 +301,31 @@ mod tests {
     fn cold_chain_reads_base_then_warms() {
         let p = VmiProfile::tiny_test();
         let trace = vmi_trace::generate(&p, 4);
-        let base = Arc::new(vmi_blockdev::CountingDev::new(Arc::new(SparseDev::with_len(
-            p.virtual_size,
-        ))));
+        let base = Arc::new(vmi_blockdev::CountingDev::new(Arc::new(
+            SparseDev::with_len(p.virtual_size),
+        )));
         let container: SharedDev = Arc::new(SparseDev::new());
         let chain = build_chain(ChainSpec {
-            mode: Mode::ColdCache { placement: Placement::ComputeMem, quota: 16 << 20, cluster_bits: 9 },
+            mode: Mode::ColdCache {
+                placement: Placement::ComputeMem,
+                quota: 16 << 20,
+                cluster_bits: 9,
+            },
             profile: &p,
             base_dev: base.clone(),
             cache_dev: Some(container),
             cow_dev: Arc::new(SparseDev::new()),
             cache_read_only: false,
+            obs: Obs::disabled(),
         })
         .unwrap();
         replay_unpriced(chain.as_ref(), &trace).unwrap();
         let fetched = base.stats().snapshot().read_bytes;
         let unique = vmi_trace::unique_read_bytes(&trace);
-        assert!(fetched >= unique, "cold boot fetches at least the working set");
+        assert!(
+            fetched >= unique,
+            "cold boot fetches at least the working set"
+        );
     }
 
     #[test]
@@ -278,6 +339,7 @@ mod tests {
             cache_dev: None,
             cow_dev: Arc::new(SparseDev::new()),
             cache_read_only: false,
+            obs: Obs::disabled(),
         })
         .unwrap();
         replay_unpriced(chain.as_ref(), &trace).unwrap();

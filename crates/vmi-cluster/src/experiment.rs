@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use vmi_blockdev::{BlockDev, Result, SharedDev, SparseDev};
+use vmi_obs::RecorderHandle;
 use vmi_qcow::QcowImage;
 use vmi_remote::{MountOpts, NfsMount};
 use vmi_sim::{DiskStats, LinkStats, NetSpec, SimWorld};
@@ -17,7 +18,8 @@ use vmi_trace::{BootTrace, VmiProfile};
 
 use crate::deploy::{build_chain, prepare_warm_cache, ChainSpec, Mode, Placement, WarmCache};
 use crate::node::{ComputeNode, StorageNode};
-use crate::vm::{run_boots, BootStats, VmOutcome, VmRun};
+use crate::telemetry::Telemetry;
+use crate::vm::{run_boots_with_obs, BootStats, VmOutcome, VmRun};
 
 /// Memoizes warm-cache preparation across experiment points: warming a
 /// CentOS cache is an offline boot replay, and a figure sweep re-uses the
@@ -77,6 +79,10 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Optional shared warm-cache memo (figure sweeps reuse warm-ups).
     pub warm_store: Option<Arc<WarmStore>>,
+    /// Event recorder for this run. The default records nothing and keeps
+    /// every instrumentation site a single branch; set via
+    /// [`RecorderHandle::jsonl`] to capture a replayable event stream.
+    pub recorder: RecorderHandle,
 }
 
 impl ExperimentConfig {
@@ -91,6 +97,7 @@ impl ExperimentConfig {
             mode: Mode::Qcow2,
             seed: 42,
             warm_store: None,
+            recorder: RecorderHandle::none(),
         }
     }
 }
@@ -112,6 +119,9 @@ pub struct ExperimentOutcome {
     pub storage_page_cache: (u64, u64),
     /// Per-VM cache image file size after the boot, if a cache was used.
     pub cache_file_sizes: Vec<u64>,
+    /// Cache-layer and latency telemetry (per-cache hit ratios always;
+    /// latency percentiles when a recorder was attached).
+    pub telemetry: Telemetry,
 }
 
 impl ExperimentOutcome {
@@ -128,32 +138,42 @@ impl ExperimentOutcome {
 
 /// Trace seed for VMI `v` under master seed `seed`: stable and distinct.
 pub fn vmi_seed(seed: u64, v: usize) -> u64 {
-    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(v as u64 * 7919 + 1)
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(v as u64 * 7919 + 1)
 }
 
 /// Run one experiment point. Deterministic for a given config.
 pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
     assert!(cfg.nodes >= 1, "need at least one compute node");
-    assert!((1..=cfg.nodes).contains(&cfg.vmis), "vmis must be in 1..=nodes");
+    assert!(
+        (1..=cfg.nodes).contains(&cfg.vmis),
+        "vmis must be in 1..=nodes"
+    );
 
     let world = SimWorld::new();
+    let obs = cfg.recorder.attach(world.obs_clock());
     let mut storage = StorageNode::new(&world, cfg.net);
 
     // Per-VMI traces and base exports.
     let traces: Vec<Arc<BootTrace>> = (0..cfg.vmis)
         .map(|v| Arc::new(vmi_trace::generate(&cfg.profile, vmi_seed(cfg.seed, v))))
         .collect();
-    let base_exports: Vec<_> =
-        (0..cfg.vmis).map(|_| storage.create_base_vmi(cfg.profile.virtual_size)).collect();
+    let base_exports: Vec<_> = (0..cfg.vmis)
+        .map(|_| storage.create_base_vmi(cfg.profile.virtual_size))
+        .collect();
 
     // Warm caches (offline warm-up per VMI), and tmpfs exports for the
     // storage-memory placement.
     let warm: Vec<Option<Arc<WarmCache>>> = match cfg.mode {
-        Mode::WarmCache { quota, cluster_bits, .. } => (0..cfg.vmis)
+        Mode::WarmCache {
+            quota,
+            cluster_bits,
+            ..
+        } => (0..cfg.vmis)
             .map(|v| match &cfg.warm_store {
-                Some(store) => {
-                    store.get_or_prepare(&cfg.profile, &traces[v], quota, cluster_bits).map(Some)
-                }
+                Some(store) => store
+                    .get_or_prepare(&cfg.profile, &traces[v], quota, cluster_bits)
+                    .map(Some),
                 None => prepare_warm_cache(&cfg.profile, &traces[v], quota, cluster_bits)
                     .map(|w| Some(Arc::new(w))),
             })
@@ -161,7 +181,10 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
         _ => (0..cfg.vmis).map(|_| None).collect(),
     };
     let warm_exports: Vec<_> = match cfg.mode {
-        Mode::WarmCache { placement: Placement::StorageMem, .. } => warm
+        Mode::WarmCache {
+            placement: Placement::StorageMem,
+            ..
+        } => warm
             .iter()
             .map(|w| {
                 let container = w.as_ref().expect("warm prepared").container.clone();
@@ -173,8 +196,13 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
 
     // For the Fig. 13 cold flow, only the *first* node per VMI creates and
     // transfers the cache; the rest run plain QCOW2 (§5.3.2).
-    let cold_storage_mem =
-        matches!(cfg.mode, Mode::ColdCache { placement: Placement::StorageMem, .. });
+    let cold_storage_mem = matches!(
+        cfg.mode,
+        Mode::ColdCache {
+            placement: Placement::StorageMem,
+            ..
+        }
+    );
 
     let mut vms: Vec<VmRun> = Vec::with_capacity(cfg.nodes);
     let mut chains: Vec<Arc<QcowImage>> = Vec::with_capacity(cfg.nodes);
@@ -216,9 +244,10 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
             Mode::WarmCache { placement, .. } => {
                 let w = warm[v].as_ref().expect("warm prepared");
                 match placement {
-                    Placement::ComputeDisk => {
-                        (Some(node.disk_file(Arc::new(w.container.fork()), false)), false)
-                    }
+                    Placement::ComputeDisk => (
+                        Some(node.disk_file(Arc::new(w.container.fork()), false)),
+                        false,
+                    ),
                     Placement::ComputeMem => {
                         (Some(node.mem_file(Arc::new(w.container.fork()))), false)
                     }
@@ -244,14 +273,20 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
             cache_dev,
             cow_dev,
             cache_read_only,
+            obs: obs.clone(),
         })?;
         let setup_ns = world.end_op();
 
         chains.push(chain.clone());
-        vms.push(VmRun { chain: chain as SharedDev, trace: traces[v].clone(), start_at: 0, setup_ns });
+        vms.push(VmRun {
+            chain: chain as SharedDev,
+            trace: traces[v].clone(),
+            start_at: 0,
+            setup_ns,
+        });
     }
 
-    let mut outcomes = run_boots(&world, vms)?;
+    let mut outcomes = run_boots_with_obs(&world, vms, &obs)?;
 
     // Fig. 13/14 cold flow: add the cache transfer (compute memory →
     // storage tmpfs) to the creator's boot time.
@@ -268,8 +303,11 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
         }
     }
 
-    let cache_file_sizes =
-        chains.iter().filter_map(cache_layer_file_size).collect::<Vec<_>>();
+    let cache_file_sizes = chains
+        .iter()
+        .filter_map(cache_layer_file_size)
+        .collect::<Vec<_>>();
+    let telemetry = Telemetry::collect(&chains, &obs);
 
     Ok(ExperimentOutcome {
         stats: BootStats::from(&outcomes),
@@ -278,6 +316,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
         storage_disk: world.disk_stats(storage.disk),
         storage_page_cache: world.cache_stats(storage.page_cache),
         cache_file_sizes,
+        telemetry,
     })
 }
 
@@ -301,6 +340,7 @@ mod tests {
             mode,
             seed: 7,
             warm_store: None,
+            recorder: RecorderHandle::none(),
         }
     }
 
@@ -318,10 +358,16 @@ mod tests {
 
     #[test]
     fn warm_cache_eliminates_storage_traffic() {
-        let mode =
-            Mode::WarmCache { placement: Placement::ComputeDisk, quota: QUOTA, cluster_bits: 9 };
+        let mode = Mode::WarmCache {
+            placement: Placement::ComputeDisk,
+            quota: QUOTA,
+            cluster_bits: 9,
+        };
         let out = run_experiment(&tiny(2, 1, mode, NetSpec::gbe_1())).unwrap();
-        assert_eq!(out.storage_nic.bytes, 0, "fully warm local caches never hit the network");
+        assert_eq!(
+            out.storage_nic.bytes, 0,
+            "fully warm local caches never hit the network"
+        );
         assert_eq!(out.cache_file_sizes.len(), 2);
     }
 
@@ -330,13 +376,22 @@ mod tests {
         // The tiny profile moves only ~3 MB per boot, so saturating a real
         // 1 GbE at 8 nodes is impossible; use a scaled-down pipe with the
         // same *relative* pressure as 64 × CentOS over 1 GbE.
-        let slow = NetSpec { bw_bps: 4_000_000, latency_ns: 120_000, per_msg_ns: 15_000, discipline: vmi_sim::LinkDiscipline::Fifo };
+        let slow = NetSpec {
+            bw_bps: 4_000_000,
+            latency_ns: 120_000,
+            per_msg_ns: 15_000,
+            discipline: vmi_sim::LinkDiscipline::Fifo,
+        };
         let nodes = 8;
         let q = run_experiment(&tiny(nodes, 1, Mode::Qcow2, slow)).unwrap();
         let w = run_experiment(&tiny(
             nodes,
             1,
-            Mode::WarmCache { placement: Placement::ComputeDisk, quota: QUOTA, cluster_bits: 9 },
+            Mode::WarmCache {
+                placement: Placement::ComputeDisk,
+                quota: QUOTA,
+                cluster_bits: 9,
+            },
             slow,
         ))
         .unwrap();
@@ -354,14 +409,22 @@ mod tests {
         let c64 = run_experiment(&tiny(
             1,
             1,
-            Mode::ColdCache { placement: Placement::ComputeMem, quota: QUOTA, cluster_bits: 16 },
+            Mode::ColdCache {
+                placement: Placement::ComputeMem,
+                quota: QUOTA,
+                cluster_bits: 16,
+            },
             NetSpec::gbe_1(),
         ))
         .unwrap();
         let c512 = run_experiment(&tiny(
             1,
             1,
-            Mode::ColdCache { placement: Placement::ComputeMem, quota: QUOTA, cluster_bits: 9 },
+            Mode::ColdCache {
+                placement: Placement::ComputeMem,
+                quota: QUOTA,
+                cluster_bits: 9,
+            },
             NetSpec::gbe_1(),
         ))
         .unwrap();
@@ -385,14 +448,22 @@ mod tests {
         let disk = run_experiment(&tiny(
             1,
             1,
-            Mode::ColdCache { placement: Placement::ComputeDisk, quota: QUOTA, cluster_bits: 9 },
+            Mode::ColdCache {
+                placement: Placement::ComputeDisk,
+                quota: QUOTA,
+                cluster_bits: 9,
+            },
             NetSpec::gbe_1(),
         ))
         .unwrap();
         let mem = run_experiment(&tiny(
             1,
             1,
-            Mode::ColdCache { placement: Placement::ComputeMem, quota: QUOTA, cluster_bits: 9 },
+            Mode::ColdCache {
+                placement: Placement::ComputeMem,
+                quota: QUOTA,
+                cluster_bits: 9,
+            },
             NetSpec::gbe_1(),
         ))
         .unwrap();
@@ -409,12 +480,22 @@ mod tests {
         let out = run_experiment(&tiny(
             4,
             2,
-            Mode::WarmCache { placement: Placement::StorageMem, quota: QUOTA, cluster_bits: 9 },
+            Mode::WarmCache {
+                placement: Placement::StorageMem,
+                quota: QUOTA,
+                cluster_bits: 9,
+            },
             NetSpec::ib_32g(),
         ))
         .unwrap();
-        assert_eq!(out.storage_disk.read_ops, 0, "warm tmpfs caches bypass the disk");
-        assert!(out.storage_nic.bytes > 0, "but the data still crosses the network");
+        assert_eq!(
+            out.storage_disk.read_ops, 0,
+            "warm tmpfs caches bypass the disk"
+        );
+        assert!(
+            out.storage_nic.bytes > 0,
+            "but the data still crosses the network"
+        );
     }
 
     #[test]
@@ -422,7 +503,11 @@ mod tests {
         let out = run_experiment(&tiny(
             4,
             2,
-            Mode::ColdCache { placement: Placement::StorageMem, quota: QUOTA, cluster_bits: 9 },
+            Mode::ColdCache {
+                placement: Placement::StorageMem,
+                quota: QUOTA,
+                cluster_bits: 9,
+            },
             NetSpec::ib_32g(),
         ))
         .unwrap();

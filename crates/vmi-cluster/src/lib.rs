@@ -9,11 +9,15 @@
 
 //! ```
 //! use vmi_cluster::{run_experiment, ExperimentConfig, Mode, Placement};
+//! use vmi_obs::RecorderHandle;
 //! use vmi_sim::NetSpec;
 //!
-//! // One point of Fig. 11 at smoke scale: two nodes, one VMI, warm caches.
+//! // One point of Fig. 11 at smoke scale: two nodes, one VMI, warm caches,
+//! // with a JSONL recorder attached for the telemetry section.
+//! let (recorder, sink) = RecorderHandle::jsonl();
 //! let mut cfg = ExperimentConfig::new(2, 1);
 //! cfg.profile = vmi_trace::VmiProfile::tiny_test();
+//! cfg.recorder = recorder;
 //! cfg.mode = Mode::WarmCache {
 //!     placement: Placement::ComputeDisk,
 //!     quota: 16 << 20,
@@ -21,6 +25,9 @@
 //! };
 //! let out = run_experiment(&cfg).unwrap();
 //! assert_eq!(out.storage_nic.bytes, 0, "warm boots never touch the network");
+//! assert_eq!(out.telemetry.hit_ratio, 1.0, "every read served by the caches");
+//! assert!(out.telemetry.p99_op_ns.is_some(), "recorder gives latency percentiles");
+//! assert!(!sink.lines().is_empty(), "the run left a replayable event stream");
 //! ```
 
 pub mod cachepool;
@@ -31,14 +38,18 @@ pub mod mixed;
 pub mod node;
 pub mod placement;
 pub mod sched;
+pub mod telemetry;
 pub mod vm;
 
 pub use cachepool::{CacheEntry, CachePool};
 pub use cloud::{generate_requests, run_cloud, CloudConfig, CloudReport, VmRequest};
 pub use deploy::{build_chain, prepare_warm_cache, ChainSpec, Mode, Placement, WarmCache};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentOutcome, WarmStore};
-pub use mixed::{build_hybrid_chain, run_hybrid_boot, run_mixed_experiment, MixedConfig, MixedOutcome};
+pub use mixed::{
+    build_hybrid_chain, run_hybrid_boot, run_mixed_experiment, MixedConfig, MixedOutcome,
+};
 pub use node::{ComputeNode, StorageNode};
 pub use placement::{choose_chain, ChainPlan, StorageCacheLocation, StorageCacheState};
 pub use sched::{NodeState, PlacementDecision, Policy, Scheduler};
-pub use vm::{run_boots, run_single, BootStats, VmOutcome, VmRun};
+pub use telemetry::{CacheTelemetry, Telemetry};
+pub use vm::{run_boots, run_boots_with_obs, run_single, BootStats, VmOutcome, VmRun};

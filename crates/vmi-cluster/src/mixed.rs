@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use vmi_blockdev::{Result, SharedDev, SparseDev};
+use vmi_obs::Obs;
 use vmi_qcow::{CreateOpts, QcowImage};
 use vmi_remote::{MountOpts, NfsMount};
 use vmi_sim::NetSpec;
@@ -66,7 +67,10 @@ pub struct MixedOutcome {
 /// scheduling spreads by the base policy and hits warm nodes only by luck.
 pub fn run_mixed_experiment(cfg: &MixedConfig) -> Result<MixedOutcome> {
     assert!((0.0..=1.0).contains(&cfg.warm_fraction));
-    assert!(cfg.vms >= 1 && cfg.vms <= cfg.nodes, "vms must be in 1..=nodes");
+    assert!(
+        cfg.vms >= 1 && cfg.vms <= cfg.nodes,
+        "vms must be in 1..=nodes"
+    );
     let world = vmi_sim::SimWorld::new();
     let mut storage = StorageNode::new(&world, cfg.net);
     let trace = Arc::new(vmi_trace::generate(&cfg.profile, cfg.seed));
@@ -77,10 +81,13 @@ pub fn run_mixed_experiment(cfg: &MixedConfig) -> Result<MixedOutcome> {
     // the *last* k nodes so oblivious striping (which fills low ids first)
     // genuinely misses them.
     let warm_count = (cfg.nodes as f64 * cfg.warm_fraction).round() as usize;
-    let mut fleet: Vec<NodeState> =
-        (0..cfg.nodes).map(|i| NodeState::new(i, 1, 1 << 30)).collect();
+    let mut fleet: Vec<NodeState> = (0..cfg.nodes)
+        .map(|i| NodeState::new(i, 1, 1 << 30))
+        .collect();
     for node in fleet.iter_mut().rev().take(warm_count) {
-        node.caches.admit(&cfg.profile.name, warm.file_size, 0).expect("fits");
+        node.caches
+            .admit(&cfg.profile.name, warm.file_size, 0)
+            .expect("fits");
     }
     let sched = Scheduler::new(cfg.policy, cfg.cache_aware);
 
@@ -123,9 +130,15 @@ pub fn run_mixed_experiment(cfg: &MixedConfig) -> Result<MixedOutcome> {
             cache_dev: Some(cache_dev),
             cow_dev,
             cache_read_only: false,
+            obs: Obs::disabled(),
         })?;
         let setup_ns = world.end_op();
-        vms.push(VmRun { chain: chain as SharedDev, trace: trace.clone(), start_at: 0, setup_ns });
+        vms.push(VmRun {
+            chain: chain as SharedDev,
+            trace: trace.clone(),
+            start_at: 0,
+            setup_ns,
+        });
     }
 
     let outcomes = run_boots(&world, vms)?;
@@ -154,8 +167,7 @@ pub fn build_hybrid_chain(
     let cache_export = storage.export_on_tmpfs(storage_cache.container.clone() as SharedDev);
     let remote_cache_dev: SharedDev =
         NfsMount::new(cache_export, storage.nic, MountOpts::default());
-    let base_dev: SharedDev =
-        NfsMount::new(base_export.clone(), storage.nic, MountOpts::default());
+    let base_dev: SharedDev = NfsMount::new(base_export.clone(), storage.nic, MountOpts::default());
     // Open the remote warm cache read-only (shared).
     let remote_cache = QcowImage::open(remote_cache_dev, Some(base_dev), true)?;
     // Local cache chained to the remote cache (Algorithm 1: "Create
@@ -191,14 +203,21 @@ pub fn run_hybrid_boot(
     let warm = store.get_or_prepare(profile, &trace, quota, 9)?;
     let mut node = ComputeNode::new(&world, 0);
     world.begin_op(0);
-    let chain =
-        build_hybrid_chain(&mut node, &mut storage, &base_export, &warm, profile, quota)?;
+    let chain = build_hybrid_chain(&mut node, &mut storage, &base_export, &warm, profile, quota)?;
     let setup_ns = world.end_op();
     let outcomes = run_boots(
         &world,
-        vec![VmRun { chain: chain as SharedDev, trace, start_at: 0, setup_ns }],
+        vec![VmRun {
+            chain: chain as SharedDev,
+            trace,
+            start_at: 0,
+            setup_ns,
+        }],
     )?;
-    Ok((outcomes[0].boot_ns as f64 / 1e9, world.disk_stats(storage.disk).read_ops))
+    Ok((
+        outcomes[0].boot_ns as f64 / 1e9,
+        world.disk_stats(storage.disk).read_ops,
+    ))
 }
 
 #[cfg(test)]
@@ -263,7 +282,10 @@ mod tests {
             &store,
         )
         .unwrap();
-        assert_eq!(disk_reads, 0, "hybrid chain must never touch the storage disk");
+        assert_eq!(
+            disk_reads, 0,
+            "hybrid chain must never touch the storage disk"
+        );
         assert!(secs > 0.05 && secs < 5.0, "boot {secs}s");
     }
 
@@ -276,8 +298,7 @@ mod tests {
         let profile = VmiProfile::tiny_test();
         let trace = Arc::new(vmi_trace::generate(&profile, 5));
         let base_export = storage.create_base_vmi(profile.virtual_size);
-        let warm =
-            crate::deploy::prepare_warm_cache(&profile, &trace, 16 << 20, 9).unwrap();
+        let warm = crate::deploy::prepare_warm_cache(&profile, &trace, 16 << 20, 9).unwrap();
         let mut node = ComputeNode::new(&world, 0);
         world.begin_op(0);
         let chain = build_hybrid_chain(

@@ -62,7 +62,14 @@ impl StorageNode {
     /// Export `dev` from tmpfs (storage-node memory, the §3.3 placement).
     pub fn export_on_tmpfs(&mut self, dev: SharedDev) -> Arc<NfsExport> {
         let id = self.alloc_file_id();
-        NfsExport::new(self.world.clone(), id, dev, 0, ExportMedium::Tmpfs, self.page_cache)
+        NfsExport::new(
+            self.world.clone(),
+            id,
+            dev,
+            0,
+            ExportMedium::Tmpfs,
+            self.page_cache,
+        )
     }
 
     /// Create a fresh multi-GiB zero image file on the storage disk and

@@ -98,7 +98,9 @@ pub fn choose_chain(
             copy_to_tmpfs: loc == StorageCacheLocation::Disk,
         };
     }
-    ChainPlan::CreateLocalCache { transfer_to_storage_on_shutdown: true }
+    ChainPlan::CreateLocalCache {
+        transfer_to_storage_on_shutdown: true,
+    }
 }
 
 #[cfg(test)]
@@ -114,7 +116,10 @@ mod tests {
         // Local beats storage even when both exist ("prefers chaining to a
         // local cache (if it exists) to avoid the network as much as
         // possible").
-        assert_eq!(choose_chain(&mut pool, &storage, "centos", 5), ChainPlan::UseLocalCache);
+        assert_eq!(
+            choose_chain(&mut pool, &storage, "centos", 5),
+            ChainPlan::UseLocalCache
+        );
         // Recency was updated.
         assert_eq!(pool.names_by_recency()[0], "centos");
     }
@@ -126,7 +131,9 @@ mod tests {
         storage.set("debian", StorageCacheLocation::Memory);
         assert_eq!(
             choose_chain(&mut pool, &storage, "debian", 1),
-            ChainPlan::ChainToStorageCache { copy_to_tmpfs: false }
+            ChainPlan::ChainToStorageCache {
+                copy_to_tmpfs: false
+            }
         );
     }
 
@@ -137,7 +144,9 @@ mod tests {
         storage.set("win", StorageCacheLocation::Disk);
         assert_eq!(
             choose_chain(&mut pool, &storage, "win", 1),
-            ChainPlan::ChainToStorageCache { copy_to_tmpfs: true }
+            ChainPlan::ChainToStorageCache {
+                copy_to_tmpfs: true
+            }
         );
     }
 
@@ -147,7 +156,9 @@ mod tests {
         let storage = StorageCacheState::new();
         assert_eq!(
             choose_chain(&mut pool, &storage, "new-vmi", 1),
-            ChainPlan::CreateLocalCache { transfer_to_storage_on_shutdown: true }
+            ChainPlan::CreateLocalCache {
+                transfer_to_storage_on_shutdown: true
+            }
         );
     }
 

@@ -10,6 +10,8 @@
 //! nodes holding a warm cache for the requested VMI whenever any such node
 //! has capacity.
 
+use vmi_obs::{met, Event, Obs};
+
 use crate::cachepool::{CachePool, Stamp};
 
 /// Base placement strategy (the OpenNebula options of §3.4).
@@ -43,7 +45,13 @@ pub struct NodeState {
 impl NodeState {
     /// A node with `capacity` VM slots and `cache_bytes` of cache space.
     pub fn new(id: usize, capacity: usize, cache_bytes: u64) -> Self {
-        Self { id, running_vms: 0, capacity, load: 0.0, caches: CachePool::new(cache_bytes) }
+        Self {
+            id,
+            running_vms: 0,
+            capacity,
+            load: 0.0,
+            caches: CachePool::new(cache_bytes),
+        }
     }
 
     /// Whether another VM fits.
@@ -72,7 +80,10 @@ pub struct Scheduler {
 impl Scheduler {
     /// Build a scheduler.
     pub fn new(policy: Policy, cache_aware: bool) -> Self {
-        Self { policy, cache_aware }
+        Self {
+            policy,
+            cache_aware,
+        }
     }
 
     /// Place one VM booting from `vmi`. Updates the chosen node's VM count
@@ -83,8 +94,19 @@ impl Scheduler {
         vmi: &str,
         now: Stamp,
     ) -> Option<PlacementDecision> {
-        let candidates: Vec<usize> =
-            (0..nodes.len()).filter(|&i| nodes[i].has_room()).collect();
+        self.place_with_obs(nodes, vmi, now, &Obs::disabled())
+    }
+
+    /// [`Scheduler::place`] with an observability handle: each decision
+    /// bumps [`met::SCHED_PLACEMENTS`] and emits a [`Event::SchedPlace`].
+    pub fn place_with_obs(
+        &self,
+        nodes: &mut [NodeState],
+        vmi: &str,
+        now: Stamp,
+        obs: &Obs,
+    ) -> Option<PlacementDecision> {
+        let candidates: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].has_room()).collect();
         if candidates.is_empty() {
             return None;
         }
@@ -106,12 +128,26 @@ impl Scheduler {
         };
         let best = *narrowed
             .iter()
-            .min_by(|&&a, &&b| self.rank(&nodes[a]).partial_cmp(&self.rank(&nodes[b])).unwrap())
+            .min_by(|&&a, &&b| {
+                self.rank(&nodes[a])
+                    .partial_cmp(&self.rank(&nodes[b]))
+                    .unwrap()
+            })
             .expect("narrowed nonempty");
         let node = &mut nodes[best];
         node.running_vms += 1;
         let cache_hit = node.caches.touch(vmi, now);
-        Some(PlacementDecision { node: node.id, cache_hit })
+        obs.count(met::SCHED_PLACEMENTS, 1);
+        let node_id = node.id;
+        obs.emit(|| Event::SchedPlace {
+            vmi: vmi.to_string(),
+            node: node_id as u64,
+            cache_hit,
+        });
+        Some(PlacementDecision {
+            node: node_id,
+            cache_hit,
+        })
     }
 
     /// Lower rank = preferred.
@@ -144,8 +180,9 @@ mod tests {
     fn striping_spreads() {
         let s = Scheduler::new(Policy::Striping, false);
         let mut nodes = fleet(3);
-        let picks: Vec<usize> =
-            (0..6).map(|t| s.place(&mut nodes, "v", t).unwrap().node).collect();
+        let picks: Vec<usize> = (0..6)
+            .map(|t| s.place(&mut nodes, "v", t).unwrap().node)
+            .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -153,9 +190,14 @@ mod tests {
     fn packing_fills_one_node_first() {
         let s = Scheduler::new(Policy::Packing, false);
         let mut nodes = fleet(3);
-        let picks: Vec<usize> =
-            (0..5).map(|t| s.place(&mut nodes, "v", t).unwrap().node).collect();
-        assert_eq!(picks, vec![0, 0, 0, 0, 1], "node 0 fills to capacity 4 first");
+        let picks: Vec<usize> = (0..5)
+            .map(|t| s.place(&mut nodes, "v", t).unwrap().node)
+            .collect();
+        assert_eq!(
+            picks,
+            vec![0, 0, 0, 0, 1],
+            "node 0 fills to capacity 4 first"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use std::sync::Arc;
 
 use vmi_blockdev::{BlockDev, Result, SharedDev};
+use vmi_obs::{met, Event, Obs};
 use vmi_sim::{EventQueue, Ns, SimWorld};
 use vmi_trace::{BootTrace, OpKind};
 
@@ -51,6 +52,14 @@ struct VmState {
 /// Propagates the first I/O error any chain returns (experiments run on
 /// correct chains; errors indicate a harness bug).
 pub fn run_boots(world: &SimWorld, vms: Vec<VmRun>) -> Result<Vec<VmOutcome>> {
+    run_boots_with_obs(world, vms, &Obs::disabled())
+}
+
+/// [`run_boots`] with an observability handle: each VM emits
+/// [`Event::BootPhase`] markers (`issue` at its first op, `connect_back` at
+/// completion) and every trace op's simulated latency is recorded into the
+/// [`met::VM_OP_NS`] histogram.
+pub fn run_boots_with_obs(world: &SimWorld, vms: Vec<VmRun>, obs: &Obs) -> Result<Vec<VmOutcome>> {
     let mut scratch = vec![0u8; 1 << 20];
     let mut queue: EventQueue<usize> = EventQueue::new();
     let mut outcomes: Vec<Option<VmOutcome>> = Vec::with_capacity(vms.len());
@@ -58,8 +67,8 @@ pub fn run_boots(world: &SimWorld, vms: Vec<VmRun>) -> Result<Vec<VmOutcome>> {
 
     for (i, run) in vms.into_iter().enumerate() {
         outcomes.push(None);
-        let issue_at = run.start_at + run.setup_ns
-            + run.trace.ops.first().map(|o| o.think_ns).unwrap_or(0);
+        let issue_at =
+            run.start_at + run.setup_ns + run.trace.ops.first().map(|o| o.think_ns).unwrap_or(0);
         queue.push(issue_at, i);
         states.push(VmState { run, next_op: 0 });
     }
@@ -77,7 +86,18 @@ pub fn run_boots(world: &SimWorld, vms: Vec<VmRun>) -> Result<Vec<VmOutcome>> {
                 boot_ns,
                 io_wait_ns: boot_ns.saturating_sub(think),
             });
+            obs.count(met::BOOTS_DONE, 1);
+            obs.emit(|| Event::BootPhase {
+                vm: vm as u64,
+                phase: "connect_back".into(),
+            });
             continue;
+        }
+        if st.next_op == 0 {
+            obs.emit(|| Event::BootPhase {
+                vm: vm as u64,
+                phase: "issue".into(),
+            });
         }
         let op = trace.ops[st.next_op];
         if scratch.len() < op.len as usize {
@@ -85,16 +105,22 @@ pub fn run_boots(world: &SimWorld, vms: Vec<VmRun>) -> Result<Vec<VmOutcome>> {
         }
         world.begin_op(now);
         let res = match op.kind {
-            OpKind::Read => st.run.chain.read_at(&mut scratch[..op.len as usize], op.offset),
+            OpKind::Read => st
+                .run
+                .chain
+                .read_at(&mut scratch[..op.len as usize], op.offset),
             OpKind::Write => {
                 // Content is irrelevant to timing; zero data keeps sparse
                 // backing stores sparse.
                 scratch[..op.len as usize].fill(0);
-                st.run.chain.write_at(&scratch[..op.len as usize], op.offset)
+                st.run
+                    .chain
+                    .write_at(&scratch[..op.len as usize], op.offset)
             }
         };
         let completed = world.end_op();
         res?;
+        obs.observe(met::VM_OP_NS, completed.saturating_sub(now));
         st.next_op += 1;
         let next_at = if st.next_op < trace.ops.len() {
             completed + trace.ops[st.next_op].think_ns
@@ -104,12 +130,28 @@ pub fn run_boots(world: &SimWorld, vms: Vec<VmRun>) -> Result<Vec<VmOutcome>> {
         queue.push(next_at, vm);
     }
 
-    Ok(outcomes.into_iter().map(|o| o.expect("every VM completes")).collect())
+    Ok(outcomes
+        .into_iter()
+        .map(|o| o.expect("every VM completes"))
+        .collect())
 }
 
 /// Convenience: boot a single VM starting at `start_at`; returns its outcome.
-pub fn run_single(world: &SimWorld, chain: SharedDev, trace: Arc<BootTrace>, start_at: Ns) -> Result<VmOutcome> {
-    Ok(run_boots(world, vec![VmRun { chain, trace, start_at, setup_ns: 0 }])?[0])
+pub fn run_single(
+    world: &SimWorld,
+    chain: SharedDev,
+    trace: Arc<BootTrace>,
+    start_at: Ns,
+) -> Result<VmOutcome> {
+    Ok(run_boots(
+        world,
+        vec![VmRun {
+            chain,
+            trace,
+            start_at,
+            setup_ns: 0,
+        }],
+    )?[0])
 }
 
 /// Summary statistics over a set of outcomes.
@@ -180,7 +222,12 @@ mod tests {
         let chain: SharedDev = Arc::new(MemDev::with_len(1 << 20));
         let out = run_boots(
             &w,
-            vec![VmRun { chain, trace: toy_trace(100, 3), start_at: 5_000, setup_ns: 50 }],
+            vec![VmRun {
+                chain,
+                trace: toy_trace(100, 3),
+                start_at: 5_000,
+                setup_ns: 50,
+            }],
         )
         .unwrap()[0];
         assert_eq!(out.done_at, 5_000 + 50 + 4 * 100);
@@ -215,8 +262,16 @@ mod tests {
     #[test]
     fn stats_math() {
         let outs = [
-            VmOutcome { done_at: 10, boot_ns: 10, io_wait_ns: 0 },
-            VmOutcome { done_at: 30, boot_ns: 30, io_wait_ns: 5 },
+            VmOutcome {
+                done_at: 10,
+                boot_ns: 10,
+                io_wait_ns: 0,
+            },
+            VmOutcome {
+                done_at: 30,
+                boot_ns: 30,
+                io_wait_ns: 5,
+            },
         ];
         let s = BootStats::from(&outs);
         assert_eq!(s.mean_ns, 20.0);
@@ -235,8 +290,16 @@ mod tests {
             final_think_ns: 777,
             ops: vec![],
         });
-        let out = run_boots(&w, vec![VmRun { chain, trace, start_at: 0, setup_ns: 0 }])
-            .unwrap()[0];
+        let out = run_boots(
+            &w,
+            vec![VmRun {
+                chain,
+                trace,
+                start_at: 0,
+                setup_ns: 0,
+            }],
+        )
+        .unwrap()[0];
         assert_eq!(out.boot_ns, 0, "no ops → completion fires at first wake");
     }
 }

@@ -30,7 +30,9 @@ pub struct FsResolver {
 impl FsResolver {
     /// Resolver rooted at the directory containing `image_path`.
     pub fn for_image(image_path: &Path) -> Self {
-        Self { dir: image_path.parent().unwrap_or(Path::new(".")).to_path_buf() }
+        Self {
+            dir: image_path.parent().unwrap_or(Path::new(".")).to_path_buf(),
+        }
     }
 }
 
@@ -87,9 +89,7 @@ pub fn create_image(spec: &CreateSpec) -> Result<Arc<QcowImage>> {
             // Determine layer type for the flag dance: image chains open
             // recursively; raw bases are wrapped read-only.
             Some(match Header::decode(bdev.as_ref() as &dyn BlockDev) {
-                Ok(h) if h.is_cache() => {
-                    vmi_qcow::open_chain(&resolver, name, false)? as SharedDev
-                }
+                Ok(h) if h.is_cache() => vmi_qcow::open_chain(&resolver, name, false)? as SharedDev,
                 Ok(_) => vmi_qcow::open_chain(&resolver, name, true)? as SharedDev,
                 Err(_) => Arc::new(vmi_blockdev::ReadOnlyDev::new(bdev)) as SharedDev,
             })
@@ -146,7 +146,11 @@ pub fn create_chain(
 
 /// Warm a cache image by replaying a generated boot trace through it
 /// (§3.2's sample-VM boot). Returns (bytes fetched from base, cache used).
-pub fn warm_cache(cache_path: &Path, profile: &vmi_trace::VmiProfile, seed: u64) -> Result<(u64, u64)> {
+pub fn warm_cache(
+    cache_path: &Path,
+    profile: &vmi_trace::VmiProfile,
+    seed: u64,
+) -> Result<(u64, u64)> {
     let img = open_image(cache_path, false)?;
     if !img.is_cache() {
         return Err(BlockError::unsupported("not a cache image"));
@@ -160,7 +164,11 @@ pub fn warm_cache(cache_path: &Path, profile: &vmi_trace::VmiProfile, seed: u64)
     }
     let trace = vmi_trace::generate(profile, seed);
     let mut buf = vec![0u8; 1 << 20];
-    for op in trace.ops.iter().filter(|o| o.kind == vmi_trace::OpKind::Read) {
+    for op in trace
+        .ops
+        .iter()
+        .filter(|o| o.kind == vmi_trace::OpKind::Read)
+    {
         img.read_at(&mut buf[..op.len as usize], op.offset)?;
     }
     let fetched = img.cor_stats().miss_bytes;
@@ -237,8 +245,7 @@ mod tests {
         base.flush().unwrap();
         drop(base);
 
-        let cow_path =
-            create_chain(&d.join("base.raw"), "vm1", 16 << 20, 4 << 20, 9).unwrap();
+        let cow_path = create_chain(&d.join("base.raw"), "vm1", 16 << 20, 4 << 20, 9).unwrap();
         let cow = open_image(&cow_path, false).unwrap();
         let mut buf = [0u8; 8192];
         cow.read_at(&mut buf, 1 << 20).unwrap();
@@ -286,8 +293,7 @@ mod tests {
         .unwrap()
         .close()
         .unwrap();
-        let err =
-            warm_cache(&d.join("p.img"), &vmi_trace::VmiProfile::tiny_test(), 1).unwrap_err();
+        let err = warm_cache(&d.join("p.img"), &vmi_trace::VmiProfile::tiny_test(), 1).unwrap_err();
         assert!(err.to_string().contains("not a cache"));
         std::fs::remove_dir_all(d).unwrap();
     }

@@ -73,7 +73,9 @@ fn parse_size(s: &str) -> Result<u64, Box<dyn std::error::Error>> {
 }
 
 fn flag(rest: &[String], name: &str) -> Option<String> {
-    rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1).cloned())
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1).cloned())
 }
 
 fn positional(rest: &[String]) -> Result<PathBuf, Box<dyn std::error::Error>> {
@@ -106,7 +108,11 @@ fn cmd_create(rest: &[String]) -> CliResult {
         "created {} ({} bytes virtual{})",
         path.display(),
         size,
-        if quota > 0 { format!(", cache quota {quota}") } else { String::new() }
+        if quota > 0 {
+            format!(", cache quota {quota}")
+        } else {
+            String::new()
+        }
     );
     Ok(())
 }
@@ -279,7 +285,10 @@ fn cmd_warm(rest: &[String]) -> CliResult {
         Some("tiny") => VmiProfile::tiny_test(),
         Some(other) => return Err(format!("unknown profile {other:?}").into()),
     };
-    let seed = flag(rest, "--seed").map(|s| s.parse()).transpose()?.unwrap_or(1);
+    let seed = flag(rest, "--seed")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(1);
     let (fetched, used) = warm_cache(&cache, &profile, seed)?;
     println!(
         "warmed {}: fetched {:.1} MiB from base, cache uses {:.1} MiB",

@@ -72,7 +72,11 @@ impl NbdClient {
             read_exact(&mut r, &mut pad)?;
         }
         Ok(Self {
-            conn: Mutex::new(Conn { r, w, next_handle: 1 }),
+            conn: Mutex::new(Conn {
+                r,
+                w,
+                next_handle: 1,
+            }),
             size,
             read_only: tflags & NBD_FLAG_READ_ONLY != 0,
             export: export.to_string(),
@@ -103,7 +107,13 @@ impl NbdClient {
         c.next_handle += 1;
         let _ = write_request(
             &mut c.w,
-            &Request { flags: 0, ty: NBD_CMD_DISC, handle, offset: 0, length: 0 },
+            &Request {
+                flags: 0,
+                ty: NBD_CMD_DISC,
+                handle,
+                offset: 0,
+                length: 0,
+            },
         );
         let _ = c.w.flush();
     }
@@ -111,7 +121,16 @@ impl NbdClient {
     fn send(c: &mut Conn, ty: u16, offset: u64, length: u32, payload: &[u8]) -> Result<u64> {
         let handle = c.next_handle;
         c.next_handle += 1;
-        write_request(&mut c.w, &Request { flags: 0, ty, handle, offset, length })?;
+        write_request(
+            &mut c.w,
+            &Request {
+                flags: 0,
+                ty,
+                handle,
+                offset,
+                length,
+            },
+        )?;
         if !payload.is_empty() {
             write_all(&mut c.w, payload)?;
         }
@@ -134,7 +153,10 @@ fn err_to_result(err: u32) -> Result<()> {
         NBD_ENOSPC => Err(BlockError::no_space("remote: no space")),
         NBD_EPERM => Err(BlockError::read_only("remote: read-only export")),
         NBD_EINVAL => Err(BlockError::unsupported("remote: invalid request")),
-        e => Err(BlockError::new(BlockErrorKind::Io, format!("remote errno {e}"))),
+        e => Err(BlockError::new(
+            BlockErrorKind::Io,
+            format!("remote errno {e}"),
+        )),
     }
 }
 

@@ -64,17 +64,17 @@ fn main() {
             }
         }
     }
-    println!("serving on {} — attach with: nbd-client or NbdClient::connect", server.addr());
+    println!(
+        "serving on {} — attach with: nbd-client or NbdClient::connect",
+        server.addr()
+    );
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
 }
 
 /// Open `path` as an image chain if it parses as one, else as a raw file.
-fn vmi_img_open(
-    path: &str,
-    read_only: bool,
-) -> vmi_blockdev::Result<vmi_blockdev::SharedDev> {
+fn vmi_img_open(path: &str, read_only: bool) -> vmi_blockdev::Result<vmi_blockdev::SharedDev> {
     let p = std::path::Path::new(path);
     let raw: vmi_blockdev::SharedDev = if read_only {
         Arc::new(vmi_blockdev::FileDev::open_read_only(p)?)
@@ -109,5 +109,8 @@ fn vmi_img_resolver(path: &std::path::Path) -> impl vmi_qcow::DevResolver {
             }
         }
     }
-    R(path.parent().unwrap_or(std::path::Path::new(".")).to_path_buf())
+    R(path
+        .parent()
+        .unwrap_or(std::path::Path::new("."))
+        .to_path_buf())
 }

@@ -89,12 +89,14 @@ pub struct Request {
 
 /// Read exactly `n` bytes.
 pub fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<()> {
-    r.read_exact(buf).map_err(|e| BlockError::new(vmi_blockdev::BlockErrorKind::Io, format!("nbd read: {e}")))
+    r.read_exact(buf)
+        .map_err(|e| BlockError::new(vmi_blockdev::BlockErrorKind::Io, format!("nbd read: {e}")))
 }
 
 /// Write all bytes.
 pub fn write_all(w: &mut impl Write, buf: &[u8]) -> Result<()> {
-    w.write_all(buf).map_err(|e| BlockError::new(vmi_blockdev::BlockErrorKind::Io, format!("nbd write: {e}")))
+    w.write_all(buf)
+        .map_err(|e| BlockError::new(vmi_blockdev::BlockErrorKind::Io, format!("nbd write: {e}")))
 }
 
 /// Read a big-endian u16.
@@ -185,7 +187,13 @@ mod tests {
 
     #[test]
     fn request_roundtrip() {
-        let req = Request { flags: 0, ty: NBD_CMD_READ, handle: 0xDEAD, offset: 4096, length: 512 };
+        let req = Request {
+            flags: 0,
+            ty: NBD_CMD_READ,
+            handle: 0xDEAD,
+            offset: 4096,
+            length: 512,
+        };
         let mut buf = Vec::new();
         write_request(&mut buf, &req).unwrap();
         assert_eq!(buf.len(), 28);

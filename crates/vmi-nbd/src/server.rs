@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use vmi_blockdev::{BlockErrorKind, Result, SharedDev};
+use vmi_obs::{met, Obs};
 use vmi_qcow::QcowImage;
 
 use crate::proto::*;
@@ -43,13 +44,21 @@ impl NbdServer {
     /// Bind to `addr` (use port 0 for an ephemeral port) and start
     /// accepting in a background thread.
     pub fn start(addr: &str) -> Result<Self> {
+        Self::start_with_obs(addr, Obs::disabled())
+    }
+
+    /// [`NbdServer::start`] with an observability handle: every served
+    /// transmission request records its wall-clock service time into the
+    /// [`met::NBD_REQUEST_NS`] histogram.
+    pub fn start_with_obs(addr: &str, obs: Obs) -> Result<Self> {
         let listener = TcpListener::bind(addr)
             .map_err(|e| vmi_blockdev::BlockError::new(BlockErrorKind::Io, format!("bind: {e}")))?;
         let local = listener
             .local_addr()
             .map_err(|e| vmi_blockdev::BlockError::new(BlockErrorKind::Io, e.to_string()))?;
         listener.set_nonblocking(true).ok();
-        let exports: Arc<Mutex<HashMap<String, Arc<Export>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let exports: Arc<Mutex<HashMap<String, Arc<Export>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
         let stop = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
         let accept_thread = {
@@ -64,8 +73,9 @@ impl NbdServer {
                             stream.set_nodelay(true).ok();
                             let exports = exports.clone();
                             let served = served.clone();
+                            let obs = obs.clone();
                             std::thread::spawn(move || {
-                                let _ = handle_connection(stream, &exports, &served);
+                                let _ = handle_connection(stream, &exports, &served, &obs);
                             });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -92,7 +102,9 @@ impl NbdServer {
 
     /// Register `dev` under `name`.
     pub fn add_export(&self, name: impl Into<String>, dev: SharedDev, read_only: bool) {
-        self.exports.lock().insert(name.into(), Arc::new(Export { dev, read_only }));
+        self.exports
+            .lock()
+            .insert(name.into(), Arc::new(Export { dev, read_only }));
     }
 
     /// Register an opened image chain under `name` (the usual case: a CoW
@@ -132,6 +144,7 @@ fn handle_connection(
     stream: TcpStream,
     exports: &Mutex<HashMap<String, Arc<Export>>>,
     served: &AtomicU64,
+    obs: &Obs,
 ) -> Result<()> {
     let mut r = BufReader::new(stream.try_clone().map_err(io_err)?);
     let mut w = BufWriter::new(stream);
@@ -139,7 +152,10 @@ fn handle_connection(
     // --- handshake ------------------------------------------------------
     write_all(&mut w, &NBDMAGIC.to_be_bytes())?;
     write_all(&mut w, &IHAVEOPT.to_be_bytes())?;
-    write_all(&mut w, &(NBD_FLAG_FIXED_NEWSTYLE | NBD_FLAG_NO_ZEROES).to_be_bytes())?;
+    write_all(
+        &mut w,
+        &(NBD_FLAG_FIXED_NEWSTYLE | NBD_FLAG_NO_ZEROES).to_be_bytes(),
+    )?;
     w.flush().map_err(io_err)?;
     let client_flags = read_u32(&mut r)?;
     let no_zeroes = client_flags & NBD_FLAG_C_NO_ZEROES != 0;
@@ -206,6 +222,7 @@ fn handle_connection(
     loop {
         let req = read_request(&mut r)?;
         served.fetch_add(1, Ordering::Relaxed);
+        let req_start = obs.enabled().then(std::time::Instant::now);
         match req.ty {
             NBD_CMD_DISC => return Ok(()),
             NBD_CMD_READ => {
@@ -266,6 +283,9 @@ fn handle_connection(
             }
         }
         w.flush().map_err(io_err)?;
+        if let Some(start) = req_start {
+            obs.observe(met::NBD_REQUEST_NS, start.elapsed().as_nanos() as u64);
+        }
     }
 }
 
@@ -295,6 +315,24 @@ mod tests {
         assert!(srv.remove_export("disk0"));
         assert!(!srv.remove_export("disk0"));
         srv.shutdown();
+    }
+
+    #[test]
+    fn request_latency_lands_in_histogram() {
+        let rec: Arc<vmi_obs::JsonlSink> = vmi_obs::JsonlSink::new();
+        let obs = Obs::new(Arc::new(vmi_obs::WallClock::new()), rec);
+        let mut srv = NbdServer::start_with_obs("127.0.0.1:0", obs.clone()).unwrap();
+        srv.add_export("disk0", Arc::new(MemDev::with_len(1 << 20)), false);
+        let client = crate::NbdClient::connect(&srv.addr().to_string(), "disk0").unwrap();
+        let mut buf = [0u8; 512];
+        client.read_at(&mut buf, 0).unwrap();
+        client.read_at(&mut buf, 4096).unwrap();
+        drop(client);
+        srv.shutdown();
+        let h = obs
+            .histogram(met::NBD_REQUEST_NS)
+            .expect("recorder attached");
+        assert!(h.count >= 2, "two reads must be timed, saw {}", h.count);
     }
 
     #[test]

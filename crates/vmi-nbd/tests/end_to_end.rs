@@ -95,7 +95,11 @@ fn image_chain_served_over_nbd() {
     assert_eq!(&buf[..4096], &[0xEE; 4096]);
     let mut cbuf = [0u8; 16];
     cache.read_at(&mut cbuf, 65536).unwrap();
-    assert_eq!(&cbuf[..], &content[65536..65536 + 16], "cache immutable to guest writes");
+    assert_eq!(
+        &cbuf[..],
+        &content[65536..65536 + 16],
+        "cache immutable to guest writes"
+    );
 }
 
 #[test]
@@ -124,7 +128,11 @@ fn remote_backing_chain_compose() {
     assert_eq!(cache.cor_stats().miss_bytes, misses_after_first);
     let before = srv.served_requests();
     cache.read_at(&mut buf, 32768).unwrap();
-    assert_eq!(srv.served_requests(), before, "warm reads generate no NBD requests");
+    assert_eq!(
+        srv.served_requests(),
+        before,
+        "warm reads generate no NBD requests"
+    );
 }
 
 #[test]
@@ -144,7 +152,10 @@ fn trim_over_nbd_discards_image_clusters() {
     srv.add_export("cache", cache.clone() as SharedDev, false);
     let client = NbdClient::connect(&srv.addr().to_string(), "cache").unwrap();
     client.trim(0, 32768).unwrap();
-    assert!(cache.cache_used() < used_before, "TRIM must free cache quota");
+    assert!(
+        cache.cache_used() < used_before,
+        "TRIM must free cache quota"
+    );
     // Data is still correct (re-fetched from base on demand).
     client.read_at(&mut buf[..1024], 0).unwrap();
     assert_eq!(&buf[..1024], &[7u8; 1024]);

@@ -1,0 +1,465 @@
+//! Typed observability events and their JSONL wire form.
+//!
+//! Every event serializes to one flat JSON object per line:
+//!
+//! ```text
+//! {"t":1234,"ev":"cache_hit","bytes":512}
+//! ```
+//!
+//! `t` is the recorder's clock in nanoseconds (simulated time inside
+//! experiments, wall time for live servers), `ev` names the variant in
+//! snake_case, and the remaining keys are the variant's fields. The format
+//! is hand-rolled (this crate is dependency-free) but round-trips exactly:
+//! [`Event::to_json_line`] ∘ [`Event::parse_line`] is the identity, which
+//! is what makes recorded streams replayable by tests and tools.
+
+use std::fmt::Write as _;
+
+/// One structured observability event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// An image (or chain layer) was opened. `kind` is `base`, `cow`,
+    /// `cache` or `raw`; `depth` is the layer's distance from the chain top.
+    ChainOpen {
+        /// Backing-file name or a caller-supplied label.
+        image: String,
+        /// Layer kind: `base` / `cow` / `cache` / `raw`.
+        kind: String,
+        /// Whether the layer was opened writable (the §4.3 flag dance).
+        writable: bool,
+        /// Distance from the top of the chain (top = 0).
+        depth: u64,
+    },
+    /// Guest bytes served from a cache image's own clusters.
+    CacheHit {
+        /// Bytes served locally.
+        bytes: u64,
+    },
+    /// Guest bytes a cache image had to fetch from its backing chain.
+    CacheMiss {
+        /// Bytes fetched from the backing chain.
+        bytes: u64,
+    },
+    /// Bytes written into a cache by one copy-on-read cluster fill.
+    CorFill {
+        /// Bytes written into the cache layer.
+        bytes: u64,
+    },
+    /// Copy-on-read hit the quota and latched off (emitted exactly once
+    /// per latch transition).
+    SpaceErrorLatched {
+        /// Cache bytes used at the moment of the space error.
+        used: u64,
+        /// The configured quota.
+        quota: u64,
+    },
+    /// A discard freed quota and re-armed copy-on-read.
+    QuotaRearmed {
+        /// Cache bytes used after the discard.
+        used: u64,
+        /// The configured quota.
+        quota: u64,
+    },
+    /// A VM boot crossed a phase boundary.
+    BootPhase {
+        /// VM index within its experiment.
+        vm: u64,
+        /// Phase label (e.g. `issue`, `connect_back`).
+        phase: String,
+    },
+    /// The cache-aware scheduler placed a VM.
+    SchedPlace {
+        /// VMI name requested.
+        vmi: String,
+        /// Chosen node id.
+        node: u64,
+        /// Whether the node held a warm cache for the VMI.
+        cache_hit: bool,
+    },
+    /// A cache pool evicted an entry to admit a new cache.
+    CacheEvict {
+        /// Node owning the pool.
+        node: u64,
+        /// Evicted VMI name.
+        vmi: String,
+        /// Size of the evicted cache image.
+        bytes: u64,
+    },
+}
+
+impl Event {
+    /// The snake_case wire name of this variant (the `ev` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::ChainOpen { .. } => "chain_open",
+            Event::CacheHit { .. } => "cache_hit",
+            Event::CacheMiss { .. } => "cache_miss",
+            Event::CorFill { .. } => "cor_fill",
+            Event::SpaceErrorLatched { .. } => "space_error_latched",
+            Event::QuotaRearmed { .. } => "quota_rearmed",
+            Event::BootPhase { .. } => "boot_phase",
+            Event::SchedPlace { .. } => "sched_place",
+            Event::CacheEvict { .. } => "cache_evict",
+        }
+    }
+
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self, t: u64) -> String {
+        let mut s = String::with_capacity(64);
+        let _ = write!(s, "{{\"t\":{t},\"ev\":\"{}\"", self.kind());
+        match self {
+            Event::ChainOpen {
+                image,
+                kind,
+                writable,
+                depth,
+            } => {
+                push_str_field(&mut s, "image", image);
+                push_str_field(&mut s, "kind", kind);
+                let _ = write!(s, ",\"writable\":{writable},\"depth\":{depth}");
+            }
+            Event::CacheHit { bytes } | Event::CacheMiss { bytes } | Event::CorFill { bytes } => {
+                let _ = write!(s, ",\"bytes\":{bytes}");
+            }
+            Event::SpaceErrorLatched { used, quota } | Event::QuotaRearmed { used, quota } => {
+                let _ = write!(s, ",\"used\":{used},\"quota\":{quota}");
+            }
+            Event::BootPhase { vm, phase } => {
+                let _ = write!(s, ",\"vm\":{vm}");
+                push_str_field(&mut s, "phase", phase);
+            }
+            Event::SchedPlace {
+                vmi,
+                node,
+                cache_hit,
+            } => {
+                push_str_field(&mut s, "vmi", vmi);
+                let _ = write!(s, ",\"node\":{node},\"cache_hit\":{cache_hit}");
+            }
+            Event::CacheEvict { node, vmi, bytes } => {
+                let _ = write!(s, ",\"node\":{node}");
+                push_str_field(&mut s, "vmi", vmi);
+                let _ = write!(s, ",\"bytes\":{bytes}");
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse one JSONL line back into `(t, Event)`.
+    pub fn parse_line(line: &str) -> Result<(u64, Event), ParseError> {
+        let fields = parse_flat_object(line)?;
+        let t = fields.u64("t")?;
+        let ev = match fields.str("ev")? {
+            "chain_open" => Event::ChainOpen {
+                image: fields.str("image")?.to_string(),
+                kind: fields.str("kind")?.to_string(),
+                writable: fields.bool("writable")?,
+                depth: fields.u64("depth")?,
+            },
+            "cache_hit" => Event::CacheHit {
+                bytes: fields.u64("bytes")?,
+            },
+            "cache_miss" => Event::CacheMiss {
+                bytes: fields.u64("bytes")?,
+            },
+            "cor_fill" => Event::CorFill {
+                bytes: fields.u64("bytes")?,
+            },
+            "space_error_latched" => Event::SpaceErrorLatched {
+                used: fields.u64("used")?,
+                quota: fields.u64("quota")?,
+            },
+            "quota_rearmed" => Event::QuotaRearmed {
+                used: fields.u64("used")?,
+                quota: fields.u64("quota")?,
+            },
+            "boot_phase" => Event::BootPhase {
+                vm: fields.u64("vm")?,
+                phase: fields.str("phase")?.to_string(),
+            },
+            "sched_place" => Event::SchedPlace {
+                vmi: fields.str("vmi")?.to_string(),
+                node: fields.u64("node")?,
+                cache_hit: fields.bool("cache_hit")?,
+            },
+            "cache_evict" => Event::CacheEvict {
+                node: fields.u64("node")?,
+                vmi: fields.str("vmi")?.to_string(),
+                bytes: fields.u64("bytes")?,
+            },
+            other => return Err(ParseError(format!("unknown event kind {other:?}"))),
+        };
+        Ok((t, ev))
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, val: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in val.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Malformed JSONL line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed flat JSON object (string / integer / bool values only).
+struct Fields(Vec<(String, FieldVal)>);
+
+enum FieldVal {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+}
+
+impl Fields {
+    fn get(&self, key: &str) -> Result<&FieldVal, ParseError> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| ParseError(format!("missing field {key:?}")))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, ParseError> {
+        match self.get(key)? {
+            FieldVal::Num(n) => Ok(*n),
+            _ => Err(ParseError(format!("field {key:?} is not a number"))),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&str, ParseError> {
+        match self.get(key)? {
+            FieldVal::Str(s) => Ok(s),
+            _ => Err(ParseError(format!("field {key:?} is not a string"))),
+        }
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, ParseError> {
+        match self.get(key)? {
+            FieldVal::Bool(b) => Ok(*b),
+            _ => Err(ParseError(format!("field {key:?} is not a bool"))),
+        }
+    }
+}
+
+fn parse_flat_object(line: &str) -> Result<Fields, ParseError> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = Vec::new();
+    if chars.next() != Some('{') {
+        return Err(ParseError("expected '{'".into()));
+    }
+    loop {
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some(',') => {
+                chars.next();
+            }
+            Some('"') => {}
+            Some(c) => return Err(ParseError(format!("unexpected char {c:?}"))),
+            None => return Err(ParseError("unterminated object".into())),
+        }
+        if chars.peek() == Some(&'"') {
+            let key = parse_string(&mut chars)?;
+            if chars.next() != Some(':') {
+                return Err(ParseError(format!("missing ':' after key {key:?}")));
+            }
+            let val = match chars.peek() {
+                Some('"') => FieldVal::Str(parse_string(&mut chars)?),
+                Some('t') | Some('f') => {
+                    let word: String = chars
+                        .by_ref()
+                        .take_while(|c| c.is_ascii_alphabetic())
+                        .collect();
+                    // take_while consumed the delimiter (',' or '}'); put the
+                    // object back on track by re-checking below via remainder.
+                    match word.as_str() {
+                        "true" => FieldVal::Bool(true),
+                        "false" => FieldVal::Bool(false),
+                        w => return Err(ParseError(format!("bad literal {w:?}"))),
+                    }
+                }
+                Some(c) if c.is_ascii_digit() || *c == '-' => {
+                    let mut num = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_digit() || c == '-' {
+                            num.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    FieldVal::Num(
+                        num.parse::<u64>()
+                            .map_err(|_| ParseError(format!("bad number {num:?}")))?,
+                    )
+                }
+                other => return Err(ParseError(format!("unexpected value start {other:?}"))),
+            };
+            let consumed_delim = matches!(val, FieldVal::Bool(_));
+            fields.push((key, val));
+            if consumed_delim {
+                // take_while already ate one ',' or '}'. If the line is
+                // exhausted the object is closed; otherwise continue parsing
+                // from the next key.
+                if chars.peek().is_none() {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(Fields(fields))
+}
+
+fn parse_string(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<String, ParseError> {
+    if chars.next() != Some('"') {
+        return Err(ParseError("expected '\"'".into()));
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| ParseError(format!("bad \\u escape {hex:?}")))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| ParseError(format!("bad codepoint {code:#x}")))?,
+                    );
+                }
+                other => return Err(ParseError(format!("bad escape {other:?}"))),
+            },
+            Some(c) => out.push(c),
+            None => return Err(ParseError("unterminated string".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(t: u64, ev: Event) {
+        let line = ev.to_json_line(t);
+        let (t2, ev2) = Event::parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert_eq!(t, t2, "{line}");
+        assert_eq!(ev, ev2, "{line}");
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(
+            0,
+            Event::ChainOpen {
+                image: "base.img".into(),
+                kind: "base".into(),
+                writable: false,
+                depth: 2,
+            },
+        );
+        roundtrip(1, Event::CacheHit { bytes: 512 });
+        roundtrip(2, Event::CacheMiss { bytes: 65536 });
+        roundtrip(3, Event::CorFill { bytes: 512 });
+        roundtrip(
+            4,
+            Event::SpaceErrorLatched {
+                used: 9999,
+                quota: 10000,
+            },
+        );
+        roundtrip(
+            5,
+            Event::QuotaRearmed {
+                used: 100,
+                quota: 10000,
+            },
+        );
+        roundtrip(
+            6,
+            Event::BootPhase {
+                vm: 3,
+                phase: "connect_back".into(),
+            },
+        );
+        roundtrip(
+            7,
+            Event::SchedPlace {
+                vmi: "vmi-1".into(),
+                node: 4,
+                cache_hit: true,
+            },
+        );
+        roundtrip(
+            u64::MAX,
+            Event::CacheEvict {
+                node: 0,
+                vmi: "centos".into(),
+                bytes: 1 << 30,
+            },
+        );
+    }
+
+    #[test]
+    fn strings_with_special_chars_roundtrip() {
+        roundtrip(
+            9,
+            Event::ChainOpen {
+                image: "we\"ird\\name\n\u{1}".into(),
+                kind: "cow".into(),
+                writable: true,
+                depth: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn wire_form_is_stable() {
+        let line = Event::CacheHit { bytes: 512 }.to_json_line(1234);
+        assert_eq!(line, r#"{"t":1234,"ev":"cache_hit","bytes":512}"#);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Event::parse_line("not json").is_err());
+        assert!(Event::parse_line(r#"{"t":1,"ev":"martian"}"#).is_err());
+        assert!(
+            Event::parse_line(r#"{"t":1,"ev":"cache_hit"}"#).is_err(),
+            "missing bytes"
+        );
+    }
+}

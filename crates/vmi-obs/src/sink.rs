@@ -1,0 +1,105 @@
+//! Event recorders: where emitted [`Event`]s go.
+//!
+//! [`JsonlSink`] buffers one JSON line per event — a replayable stream that
+//! tests and tools can parse back with [`Event::parse_line`]. [`NullRecorder`]
+//! drops everything and exists to measure instrumentation overhead.
+
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// Consumer of emitted events. `t_ns` is the [`Clock`](crate::Clock)
+/// timestamp at emission.
+pub trait Recorder: Send + Sync {
+    /// Handle one event.
+    fn record(&self, t_ns: u64, ev: &Event);
+}
+
+/// Buffers events as JSON lines (one object per line, see
+/// [`Event::to_json_line`]).
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl JsonlSink {
+    /// A fresh, shareable sink.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Copy of all buffered lines, in emission order.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().unwrap().clone()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.lines.lock().unwrap().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole stream as one newline-terminated JSONL document.
+    pub fn dump(&self) -> String {
+        let lines = self.lines.lock().unwrap();
+        let mut out = String::new();
+        for l in lines.iter() {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse every buffered line back into `(t_ns, Event)` pairs.
+    pub fn events(&self) -> Vec<(u64, Event)> {
+        self.lines
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|l| Event::parse_line(l).expect("sink lines are well-formed"))
+            .collect()
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn record(&self, t_ns: u64, ev: &Event) {
+        let line = ev.to_json_line(t_ns);
+        self.lines.lock().unwrap().push(line);
+    }
+}
+
+/// Discards every event. Useful for benchmarking the cost of an *enabled*
+/// pipeline without I/O.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _t_ns: u64, _ev: &Event) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_buffers_and_replays() {
+        let sink = JsonlSink::new();
+        assert!(sink.is_empty());
+        sink.record(7, &Event::CacheHit { bytes: 512 });
+        sink.record(9, &Event::CacheMiss { bytes: 64 });
+        assert_eq!(sink.len(), 2);
+        let evs = sink.events();
+        assert_eq!(evs[0], (7, Event::CacheHit { bytes: 512 }));
+        assert_eq!(evs[1], (9, Event::CacheMiss { bytes: 64 }));
+        assert_eq!(sink.dump().lines().count(), 2);
+    }
+
+    #[test]
+    fn null_recorder_discards() {
+        NullRecorder.record(1, &Event::CacheHit { bytes: 1 });
+    }
+}

@@ -13,9 +13,33 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use vmi_blockdev::{BlockDev, BlockError, MemDev, ReadOnlyDev, Result, SharedDev};
+use vmi_obs::{met, Event, Obs};
 
 use crate::header::Header;
 use crate::image::{CreateOpts, QcowImage};
+
+/// Record one layer open/create: bump the counter and emit a
+/// [`Event::ChainOpen`]. No-op on a disabled handle.
+fn note_open(obs: &Obs, image: &str, kind: &str, writable: bool, depth: usize) {
+    obs.count(met::CHAIN_OPENS, 1);
+    obs.emit(|| Event::ChainOpen {
+        image: image.to_string(),
+        kind: kind.to_string(),
+        writable,
+        depth: depth as u64,
+    });
+}
+
+/// Classify a decoded header for [`Event::ChainOpen`].
+fn layer_kind(header: &Header) -> &'static str {
+    if header.is_cache() {
+        "cache"
+    } else if header.backing_file.is_some() {
+        "cow"
+    } else {
+        "base"
+    }
+}
 
 /// Maps a backing-file *name* (as stored in a header) to a container device.
 ///
@@ -90,8 +114,20 @@ pub fn open_chain(
     name: &str,
     read_only: bool,
 ) -> Result<Arc<QcowImage>> {
+    open_chain_with_obs(resolver, name, read_only, &Obs::disabled())
+}
+
+/// [`open_chain`] with an observability handle: every opened layer emits a
+/// [`Event::ChainOpen`] and the handle is attached to each image for
+/// read/CoR instrumentation.
+pub fn open_chain_with_obs(
+    resolver: &dyn DevResolver,
+    name: &str,
+    read_only: bool,
+    obs: &Obs,
+) -> Result<Arc<QcowImage>> {
     let dev = resolver.resolve(name)?;
-    open_chain_dev(resolver, dev, read_only, 0)
+    open_chain_dev(resolver, name, dev, read_only, 0, obs)
 }
 
 /// Depth guard: a backing loop would otherwise recurse forever.
@@ -99,9 +135,11 @@ const MAX_CHAIN_DEPTH: usize = 16;
 
 fn open_chain_dev(
     resolver: &dyn DevResolver,
+    name: &str,
     dev: SharedDev,
     read_only: bool,
     depth: usize,
+    obs: &Obs,
 ) -> Result<Arc<QcowImage>> {
     if depth > MAX_CHAIN_DEPTH {
         return Err(BlockError::corrupt("backing chain too deep (loop?)"));
@@ -116,20 +154,22 @@ fn open_chain_dev(
             match Header::decode(bdev.as_ref() as &dyn BlockDev) {
                 Ok(bh) if bh.is_cache() => {
                     // Cache backing: opened read-write so CoR can warm it.
-                    Some(open_chain_dev(resolver, bdev, false, depth + 1)? as SharedDev)
+                    Some(open_chain_dev(resolver, bname, bdev, false, depth + 1, obs)? as SharedDev)
                 }
                 Ok(_) => {
                     // Plain image backing: "re-open … with read-only".
-                    Some(open_chain_dev(resolver, bdev, true, depth + 1)? as SharedDev)
+                    Some(open_chain_dev(resolver, bname, bdev, true, depth + 1, obs)? as SharedDev)
                 }
                 Err(_) => {
                     // Raw base content (not our format): read-only view.
+                    note_open(obs, bname, "raw", false, depth + 1);
                     Some(Arc::new(ReadOnlyDev::new(bdev)) as SharedDev)
                 }
             }
         }
     };
-    QcowImage::open(dev, backing, read_only)
+    note_open(obs, name, layer_kind(&header), !read_only, depth);
+    QcowImage::open_with_obs(dev, backing, read_only, obs.clone())
 }
 
 /// Create the classic two-layer arrangement: `base ← CoW` (§2, Fig. 1).
@@ -140,8 +180,25 @@ pub fn create_cow_chain(
     cow_dev: SharedDev,
     virtual_size: u64,
 ) -> Result<Arc<QcowImage>> {
-    let base = open_backing(resolver, base_name)?;
-    QcowImage::create(cow_dev, CreateOpts::cow(virtual_size, base_name), Some(base))
+    create_cow_chain_with_obs(resolver, base_name, cow_dev, virtual_size, &Obs::disabled())
+}
+
+/// [`create_cow_chain`] with an observability handle.
+pub fn create_cow_chain_with_obs(
+    resolver: &dyn DevResolver,
+    base_name: &str,
+    cow_dev: SharedDev,
+    virtual_size: u64,
+    obs: &Obs,
+) -> Result<Arc<QcowImage>> {
+    let base = open_backing(resolver, base_name, obs)?;
+    note_open(obs, "cow", "cow", true, 0);
+    QcowImage::create_with_obs(
+        cow_dev,
+        CreateOpts::cow(virtual_size, base_name),
+        Some(base),
+        obs.clone(),
+    )
 }
 
 /// Create the paper's three-layer arrangement (§4.4):
@@ -161,16 +218,47 @@ pub fn create_cached_chain(
     quota: u64,
     cache_cluster_bits: u32,
 ) -> Result<Arc<QcowImage>> {
-    let base = open_backing(resolver, base_name)?;
-    let cache = QcowImage::create(
+    create_cached_chain_with_obs(
+        resolver,
+        base_name,
+        cache_name,
+        cache_dev,
+        cow_dev,
+        virtual_size,
+        quota,
+        cache_cluster_bits,
+        &Obs::disabled(),
+    )
+}
+
+/// [`create_cached_chain`] with an observability handle threaded through
+/// every created/opened layer.
+#[allow(clippy::too_many_arguments)] // mirrors the §4.4 qemu-img invocation
+pub fn create_cached_chain_with_obs(
+    resolver: &dyn DevResolver,
+    base_name: &str,
+    cache_name: &str,
+    cache_dev: SharedDev,
+    cow_dev: SharedDev,
+    virtual_size: u64,
+    quota: u64,
+    cache_cluster_bits: u32,
+    obs: &Obs,
+) -> Result<Arc<QcowImage>> {
+    let base = open_backing(resolver, base_name, obs)?;
+    note_open(obs, cache_name, "cache", true, 1);
+    let cache = QcowImage::create_with_obs(
         cache_dev,
         CreateOpts::cache(virtual_size, base_name, quota).with_cluster_bits(cache_cluster_bits),
         Some(base),
+        obs.clone(),
     )?;
-    QcowImage::create(
+    note_open(obs, "cow", "cow", true, 0);
+    QcowImage::create_with_obs(
         cow_dev,
         CreateOpts::cow(virtual_size, cache_name),
         Some(cache as SharedDev),
+        obs.clone(),
     )
 }
 
@@ -183,25 +271,49 @@ pub fn create_cow_over_cache(
     cow_dev: SharedDev,
     virtual_size: u64,
 ) -> Result<Arc<QcowImage>> {
-    let cache = open_chain(resolver, cache_name, false)?;
+    create_cow_over_cache_with_obs(
+        resolver,
+        cache_name,
+        cow_dev,
+        virtual_size,
+        &Obs::disabled(),
+    )
+}
+
+/// [`create_cow_over_cache`] with an observability handle.
+pub fn create_cow_over_cache_with_obs(
+    resolver: &dyn DevResolver,
+    cache_name: &str,
+    cow_dev: SharedDev,
+    virtual_size: u64,
+    obs: &Obs,
+) -> Result<Arc<QcowImage>> {
+    let cache = open_chain_with_obs(resolver, cache_name, false, obs)?;
     if !cache.is_cache() {
-        return Err(BlockError::unsupported(format!("{cache_name:?} is not a cache image")));
+        return Err(BlockError::unsupported(format!(
+            "{cache_name:?} is not a cache image"
+        )));
     }
-    QcowImage::create(
+    note_open(obs, "cow", "cow", true, 0);
+    QcowImage::create_with_obs(
         cow_dev,
         CreateOpts::cow(virtual_size, cache_name),
         Some(cache as SharedDev),
+        obs.clone(),
     )
 }
 
 /// Resolve and open `name` as a backing layer: our image chains opened with
 /// the flag dance, raw devices wrapped read-only.
-fn open_backing(resolver: &dyn DevResolver, name: &str) -> Result<SharedDev> {
+fn open_backing(resolver: &dyn DevResolver, name: &str, obs: &Obs) -> Result<SharedDev> {
     let dev = resolver.resolve(name)?;
     match Header::decode(dev.as_ref() as &dyn BlockDev) {
-        Ok(h) if h.is_cache() => Ok(open_chain(resolver, name, false)? as SharedDev),
-        Ok(_) => Ok(open_chain(resolver, name, true)? as SharedDev),
-        Err(_) => Ok(Arc::new(ReadOnlyDev::new(dev)) as SharedDev),
+        Ok(h) if h.is_cache() => Ok(open_chain_with_obs(resolver, name, false, obs)? as SharedDev),
+        Ok(_) => Ok(open_chain_with_obs(resolver, name, true, obs)? as SharedDev),
+        Err(_) => {
+            note_open(obs, name, "raw", false, 1);
+            Ok(Arc::new(ReadOnlyDev::new(dev)) as SharedDev)
+        }
     }
 }
 
@@ -292,8 +404,7 @@ mod tests {
             h.is_ok()
         };
         assert!(base_before);
-        let cow2 =
-            create_cow_over_cache(&r, "cache.img", Arc::new(MemDev::new()), 8 * MB).unwrap();
+        let cow2 = create_cow_over_cache(&r, "cache.img", Arc::new(MemDev::new()), 8 * MB).unwrap();
         let mut buf = [0u8; 4096];
         cow2.read_at(&mut buf, 100 * 1024).unwrap();
         assert_eq!(buf, [0x77; 4096]);
@@ -311,14 +422,20 @@ mod tests {
         base.close().unwrap();
         drop(base);
         let cow_dev = r.create_mem("cow.img");
-        create_cow_chain(&r, "base.img", cow_dev, 4 * MB).unwrap().close().unwrap();
+        create_cow_chain(&r, "base.img", cow_dev, 4 * MB)
+            .unwrap()
+            .close()
+            .unwrap();
 
         let cow = open_chain(&r, "cow.img", false).unwrap();
         assert!(!cow.is_read_only());
         // Its backing is a QcowImage opened read-only.
         let backing = cow.backing().unwrap();
         assert!(backing.describe().contains("qcow"));
-        assert!(backing.write_at(&[1], 0).is_err(), "plain backing must be read-only");
+        assert!(
+            backing.write_at(&[1], 0).is_err(),
+            "plain backing must be read-only"
+        );
     }
 
     #[test]
@@ -347,7 +464,10 @@ mod tests {
         let mut buf = [0u8; 512];
         cow.read_at(&mut buf, 0).unwrap();
         assert_eq!(buf, [5; 512]);
-        assert!(cache_dev.len() > before, "cache warming must write through reopened chain");
+        assert!(
+            cache_dev.len() > before,
+            "cache warming must write through reopened chain"
+        );
     }
 
     #[test]
@@ -371,8 +491,7 @@ mod tests {
         let base = setup_base(&r, "base.img", MB);
         base.close().unwrap();
         drop(base);
-        let err =
-            create_cow_over_cache(&r, "base.img", Arc::new(MemDev::new()), MB).unwrap_err();
+        let err = create_cow_over_cache(&r, "base.img", Arc::new(MemDev::new()), MB).unwrap_err();
         assert!(err.to_string().contains("not a cache"));
     }
 }

@@ -49,7 +49,9 @@ impl DedupReport {
 
     /// Bytes a content-addressed store would keep (unique, minus zeros).
     pub fn deduped_bytes(&self) -> u64 {
-        self.unique_clusters.saturating_sub(self.zero_clusters.min(1)) * self.cluster_size
+        self.unique_clusters
+            .saturating_sub(self.zero_clusters.min(1))
+            * self.cluster_size
     }
 
     /// Fraction of space saved by dedup (0.0–1.0).
@@ -70,7 +72,10 @@ pub fn analyze(images: &[&QcowImage]) -> Result<DedupReport> {
         return Ok(DedupReport::default());
     };
     let cs = first.geometry().cluster_size();
-    let mut rep = DedupReport { cluster_size: cs, ..Default::default() };
+    let mut rep = DedupReport {
+        cluster_size: cs,
+        ..Default::default()
+    };
     // hash → representative content (for collision verification).
     let mut seen: HashMap<u64, Vec<Vec<u8>>> = HashMap::new();
     let mut buf = vec![0u8; cs as usize];
@@ -131,10 +136,9 @@ mod tests {
     #[test]
     fn identical_caches_dedup_to_one_copy() {
         // Aperiodic content so no two clusters are identical by accident.
-        let content: Vec<u8> =
-            (0..VSIZE as usize)
-                .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 23) as u8)
-                .collect();
+        let content: Vec<u8> = (0..VSIZE as usize)
+            .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 23) as u8)
+            .collect();
         let a = cache_over(&content, &[(0, 64 * 1024)]);
         let b = cache_over(&content, &[(0, 64 * 1024)]);
         let rep = analyze(&[&a, &b]).unwrap();
@@ -172,10 +176,9 @@ mod tests {
 
     #[test]
     fn partial_overlap_counts_correctly() {
-        let content: Vec<u8> =
-            (0..VSIZE as usize)
-                .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 23) as u8)
-                .collect();
+        let content: Vec<u8> = (0..VSIZE as usize)
+            .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 23) as u8)
+            .collect();
         // a touches [0,64K); b touches [32K,96K): 32 KiB of shared content,
         // read at identical alignment.
         let a = cache_over(&content, &[(0, 64 * 1024)]);

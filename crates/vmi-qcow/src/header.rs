@@ -36,7 +36,6 @@ pub const EXT_BACKING_FORMAT: u32 = 0xE279_2ACA;
 /// Extension type id of the snapshot-table pointer.
 pub const EXT_SNAPTAB: u32 = 0x534E_4150; // "SNAP"
 
-
 /// Maximum length of a backing-file name we accept.
 pub const MAX_BACKING_NAME: usize = 1023;
 
@@ -156,9 +155,8 @@ impl Header {
     /// Parse a header from the first bytes of a container device.
     pub fn decode(dev: &dyn BlockDev) -> Result<Header> {
         let mut fixed = [0u8; FIXED_HEADER_LEN as usize];
-        dev.read_at(&mut fixed, 0).map_err(|e| {
-            BlockError::corrupt(format!("short header read: {e}"))
-        })?;
+        dev.read_at(&mut fixed, 0)
+            .map_err(|e| BlockError::corrupt(format!("short header read: {e}")))?;
         let mut b = &fixed[..];
         let magic = b.get_u32();
         if magic != MAGIC {
@@ -166,7 +164,9 @@ impl Header {
         }
         let version = b.get_u32();
         if version != VERSION {
-            return Err(BlockError::unsupported(format!("unsupported version {version}")));
+            return Err(BlockError::unsupported(format!(
+                "unsupported version {version}"
+            )));
         }
         let backing_off = b.get_u64();
         let backing_len = b.get_u32() as usize;
@@ -181,7 +181,9 @@ impl Header {
             )));
         }
         if backing_len > MAX_BACKING_NAME {
-            return Err(BlockError::corrupt(format!("backing name too long: {backing_len}")));
+            return Err(BlockError::corrupt(format!(
+                "backing name too long: {backing_len}"
+            )));
         }
 
         // Walk extensions.
@@ -199,7 +201,9 @@ impl Header {
                 break;
             }
             if len > 4096 {
-                return Err(BlockError::corrupt(format!("oversized extension {ty:#x}: {len}")));
+                return Err(BlockError::corrupt(format!(
+                    "oversized extension {ty:#x}: {len}"
+                )));
             }
             let mut payload = vec![0u8; len];
             dev.read_at(&mut payload, pos)
@@ -244,7 +248,10 @@ impl Header {
             let mut name = vec![0u8; backing_len];
             dev.read_at(&mut name, backing_off)
                 .map_err(|_| BlockError::corrupt("truncated backing name"))?;
-            Some(String::from_utf8(name).map_err(|_| BlockError::corrupt("backing name not UTF-8"))?)
+            Some(
+                String::from_utf8(name)
+                    .map_err(|_| BlockError::corrupt("backing name not UTF-8"))?,
+            )
         };
 
         Ok(Header {
@@ -355,7 +362,13 @@ mod tests {
 
     #[test]
     fn cache_header_roundtrips() {
-        let h = sample(Some(CacheExt { quota: 200 << 20, used: 1234 }), Some("base.img"));
+        let h = sample(
+            Some(CacheExt {
+                quota: 200 << 20,
+                used: 1234,
+            }),
+            Some("base.img"),
+        );
         let back = roundtrip(&h);
         assert_eq!(back, h);
         assert!(back.is_cache());
@@ -420,14 +433,24 @@ mod tests {
 
     #[test]
     fn update_cache_used_in_place() {
-        let h = sample(Some(CacheExt { quota: 100, used: 5 }), Some("b"));
+        let h = sample(
+            Some(CacheExt {
+                quota: 100,
+                used: 5,
+            }),
+            Some("b"),
+        );
         let dev = MemDev::new();
         dev.write_at(&h.encode(), 0).unwrap();
         Header::update_cache_used(&dev, 77).unwrap();
         let back = Header::decode(&dev).unwrap();
         assert_eq!(back.cache.unwrap().used, 77);
         assert_eq!(back.cache.unwrap().quota, 100);
-        assert_eq!(back.backing_file.as_deref(), Some("b"), "name survives in-place update");
+        assert_eq!(
+            back.backing_file.as_deref(),
+            Some("b"),
+            "name survives in-place update"
+        );
     }
 
     #[test]
@@ -444,8 +467,17 @@ mod tests {
         // cluster 1.
         let h = Header {
             cluster_bits: 9,
-            ..sample(Some(CacheExt { quota: 200 << 20, used: 0 }), Some("images/centos-6.3.img"))
+            ..sample(
+                Some(CacheExt {
+                    quota: 200 << 20,
+                    used: 0,
+                }),
+                Some("images/centos-6.3.img"),
+            )
         };
-        assert!(h.encode().len() <= 512, "encoded header must fit in a sector cluster");
+        assert!(
+            h.encode().len() <= 512,
+            "encoded header must fit in a sector cluster"
+        );
     }
 }

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use vmi_blockdev::{BlockDev, BlockError, Result, SharedDev};
+use vmi_obs::{met, Event, Obs};
 
 use crate::header::{CacheExt, Header, VERSION};
 use crate::layout::Geometry;
@@ -50,7 +51,10 @@ impl CreateOpts {
 
     /// A CoW overlay of `size` bytes naming `backing` in its header.
     pub fn cow(size: u64, backing: impl Into<String>) -> Self {
-        Self { backing_file: Some(backing.into()), ..Self::plain(size) }
+        Self {
+            backing_file: Some(backing.into()),
+            ..Self::plain(size)
+        }
     }
 
     /// A cache image: 512 B clusters (the paper's final arrangement) and a
@@ -142,6 +146,8 @@ pub struct QcowImage {
     miss_bytes: AtomicU64,
     fill_bytes: AtomicU64,
     fill_rejects: AtomicU64,
+    /// Observability handle; disabled by default (single branch per call).
+    obs: Obs,
 }
 
 impl std::fmt::Debug for QcowImage {
@@ -164,7 +170,22 @@ impl QcowImage {
     ///
     /// `backing` is the resolved device for the backing file named in
     /// `opts.backing_file` (pass `None` for a standalone image).
-    pub fn create(dev: SharedDev, opts: CreateOpts, backing: Option<SharedDev>) -> Result<Arc<Self>> {
+    pub fn create(
+        dev: SharedDev,
+        opts: CreateOpts,
+        backing: Option<SharedDev>,
+    ) -> Result<Arc<Self>> {
+        Self::create_with_obs(dev, opts, backing, Obs::disabled())
+    }
+
+    /// [`QcowImage::create`] with an observability handle attached: events
+    /// and metrics from this image's read/CoR path flow into `obs`.
+    pub fn create_with_obs(
+        dev: SharedDev,
+        opts: CreateOpts,
+        backing: Option<SharedDev>,
+        obs: Obs,
+    ) -> Result<Arc<Self>> {
         let geom = Geometry::new(opts.cluster_bits, opts.size)?;
         if opts.backing_file.is_some() != backing.is_some() {
             return Err(BlockError::unsupported(
@@ -183,8 +204,10 @@ impl QcowImage {
             l1_table_offset,
             l1_size: l1_entries as u32,
             backing_file: opts.backing_file,
-            cache: (opts.cache_quota > 0)
-                .then_some(CacheExt { quota: opts.cache_quota, used: 0 }),
+            cache: (opts.cache_quota > 0).then_some(CacheExt {
+                quota: opts.cache_quota,
+                used: 0,
+            }),
             // Cache images never carry snapshots (they are transparent
             // layers); every other image gets an (empty) snapshot table so
             // the pointer can later be updated in place.
@@ -242,6 +265,7 @@ impl QcowImage {
             miss_bytes: AtomicU64::new(0),
             fill_bytes: AtomicU64::new(0),
             fill_rejects: AtomicU64::new(0),
+            obs,
         }))
     }
 
@@ -251,6 +275,16 @@ impl QcowImage {
     /// (or `None` if the header names none). `read_only` mirrors QEMU's
     /// open flag; the §4.3 "flag dance" lives in [`crate::chain`].
     pub fn open(dev: SharedDev, backing: Option<SharedDev>, read_only: bool) -> Result<Arc<Self>> {
+        Self::open_with_obs(dev, backing, read_only, Obs::disabled())
+    }
+
+    /// [`QcowImage::open`] with an observability handle attached.
+    pub fn open_with_obs(
+        dev: SharedDev,
+        backing: Option<SharedDev>,
+        read_only: bool,
+        obs: Obs,
+    ) -> Result<Arc<Self>> {
         let header = Header::decode(dev.as_ref() as &dyn BlockDev)?;
         let geom = header.geometry()?;
         if header.backing_file.is_some() && backing.is_none() {
@@ -260,7 +294,9 @@ impl QcowImage {
             )));
         }
         if header.backing_file.is_none() && backing.is_some() {
-            return Err(BlockError::unsupported("backing device supplied for standalone image"));
+            return Err(BlockError::unsupported(
+                "backing device supplied for standalone image",
+            ));
         }
         if header.l1_size as u64 != geom.l1_entries() {
             return Err(BlockError::corrupt(format!(
@@ -295,8 +331,10 @@ impl QcowImage {
             }
         }
         let is_cache = header.is_cache();
-        let has_room =
-            header.cache.map(|c| c.used + 2 * cluster_size <= c.quota).unwrap_or(false);
+        let has_room = header
+            .cache
+            .map(|c| c.used + 2 * cluster_size <= c.quota)
+            .unwrap_or(false);
         // Load the snapshot table, if the image carries one.
         let snaptab = header.snaptab.unwrap_or_default();
         let snapshots = if snaptab.count > 0 {
@@ -332,6 +370,7 @@ impl QcowImage {
             miss_bytes: AtomicU64::new(0),
             fill_bytes: AtomicU64::new(0),
             fill_rejects: AtomicU64::new(0),
+            obs,
         });
         if snaptab.count > 0 {
             let mut st = img.state.lock();
@@ -355,7 +394,9 @@ impl QcowImage {
             return Err(BlockError::read_only("resize of read-only image"));
         }
         if new_size < self.geom.virtual_size {
-            return Err(BlockError::unsupported("shrinking an image is not supported"));
+            return Err(BlockError::unsupported(
+                "shrinking an image is not supported",
+            ));
         }
         if new_size == self.geom.virtual_size {
             return Ok(self.clone());
@@ -389,7 +430,9 @@ impl QcowImage {
         }
         let encoded = header.encode();
         if encoded.len() as u64 > self.geom.cluster_size() {
-            return Err(BlockError::unsupported("resized header does not fit its cluster"));
+            return Err(BlockError::unsupported(
+                "resized header does not fit its cluster",
+            ));
         }
         self.dev.write_at(&encoded, 0)?;
         drop(st);
@@ -431,7 +474,9 @@ impl QcowImage {
         header.snaptab = header.snaptab.map(|_| self.state.lock().snaptab);
         let encoded = header.encode();
         if encoded.len() as u64 > self.geom.cluster_size() {
-            return Err(BlockError::unsupported("rebased header does not fit its cluster"));
+            return Err(BlockError::unsupported(
+                "rebased header does not fit its cluster",
+            ));
         }
         self.dev.write_at(&encoded, 0)?;
         self.dev.flush()?;
@@ -557,7 +602,11 @@ impl QcowImage {
             return Err(BlockError::read_only("discard on read-only image"));
         }
         if off + len > self.geom.virtual_size {
-            return Err(BlockError::out_of_bounds(off, len as usize, self.geom.virtual_size));
+            return Err(BlockError::out_of_bounds(
+                off,
+                len as usize,
+                self.geom.virtual_size,
+            ));
         }
         let cs = self.geom.cluster_size();
         let first = off.div_ceil(cs); // first fully-covered cluster index
@@ -588,8 +637,14 @@ impl QcowImage {
             // "future cold reads" having no room — now there is room again).
             let quota = self.header.cache.map(|c| c.quota).unwrap_or(0);
             if st.cache_used + 2 * cs <= quota {
-                self.fill_enabled.store(true, Ordering::Release);
+                // swap: report the false->true transition exactly once.
+                if !self.fill_enabled.swap(true, Ordering::Release) {
+                    self.obs.count(met::QUOTA_REARMS, 1);
+                    let used = st.cache_used;
+                    self.obs.emit(|| Event::QuotaRearmed { used, quota });
+                }
             }
+            self.obs.gauge(met::CACHE_USED_BYTES, st.cache_used);
         }
         Ok(discarded)
     }
@@ -635,7 +690,9 @@ impl QcowImage {
             return Err(BlockError::read_only("snapshot of read-only image"));
         }
         if self.header.is_cache() {
-            return Err(BlockError::unsupported("cache images do not support snapshots"));
+            return Err(BlockError::unsupported(
+                "cache images do not support snapshots",
+            ));
         }
         if self.header.snaptab.is_none() {
             return Err(BlockError::unsupported(
@@ -647,7 +704,9 @@ impl QcowImage {
         }
         let mut st = self.state.lock();
         if st.snapshots.iter().any(|r| r.name == name) {
-            return Err(BlockError::unsupported(format!("snapshot {name:?} already exists")));
+            return Err(BlockError::unsupported(format!(
+                "snapshot {name:?} already exists"
+            )));
         }
         // Persist a frozen copy of the active L1 at end-of-file (contiguous
         // region, bypassing the free list).
@@ -670,6 +729,7 @@ impl QcowImage {
         });
         self.persist_snapshot_table(&mut st)?;
         self.freeze_active_tree(&mut st)?;
+        crate::snapshot::note_create(&self.obs);
         Ok(id)
     }
 
@@ -679,7 +739,10 @@ impl QcowImage {
             .lock()
             .snapshots
             .iter()
-            .map(|r| crate::snapshot::SnapshotInfo { id: r.id, name: r.name.clone() })
+            .map(|r| crate::snapshot::SnapshotInfo {
+                id: r.id,
+                name: r.name.clone(),
+            })
             .collect()
     }
 
@@ -714,6 +777,7 @@ impl QcowImage {
         st.l2_ticks.clear();
         // The active tree is now shared with the snapshot: refreeze.
         self.recompute_frozen(&mut st)?;
+        crate::snapshot::note_apply(&self.obs);
         Ok(())
     }
 
@@ -732,6 +796,7 @@ impl QcowImage {
         }
         self.persist_snapshot_table(&mut st)?;
         self.recompute_frozen(&mut st)?;
+        crate::snapshot::note_delete(&self.obs);
         Ok(())
     }
 
@@ -778,19 +843,27 @@ impl QcowImage {
             // Keep the (empty) region for reuse by the next snapshot.
             (st.snaptab.offset, 0u32)
         } else if st.snaptab.offset != 0
-            && self.geom.align_up(encoded.len() as u64) <= existing_region.max(self.geom.cluster_size())
+            && self.geom.align_up(encoded.len() as u64)
+                <= existing_region.max(self.geom.cluster_size())
         {
             self.dev.write_at(&encoded, st.snaptab.offset)?;
             (st.snaptab.offset, encoded.len() as u32)
         } else {
-            let region = self.geom.align_up(encoded.len() as u64).max(self.geom.cluster_size());
+            let region = self
+                .geom
+                .align_up(encoded.len() as u64)
+                .max(self.geom.cluster_size());
             let off = st.eof;
             st.eof += region;
             st.cache_used += region;
             self.dev.write_at(&encoded, off)?;
             (off, encoded.len() as u32)
         };
-        let tab = crate::header::SnapTabExt { offset, len, count: st.snapshots.len() as u32 };
+        let tab = crate::header::SnapTabExt {
+            offset,
+            len,
+            count: st.snapshots.len() as u32,
+        };
         Header::update_snaptab(self.dev.as_ref() as &dyn BlockDev, tab)?;
         st.snaptab = tab;
         Ok(())
@@ -816,7 +889,11 @@ impl QcowImage {
         let l1 = st.l1.clone();
         for &l2_off in l1.iter().filter(|&&e| e != UNALLOCATED) {
             st.frozen.insert(l2_off);
-            for &doff in self.read_l2_table(l2_off)?.iter().filter(|&&e| e != UNALLOCATED) {
+            for &doff in self
+                .read_l2_table(l2_off)?
+                .iter()
+                .filter(|&&e| e != UNALLOCATED)
+            {
                 st.frozen.insert(doff);
             }
         }
@@ -853,7 +930,11 @@ impl QcowImage {
                 continue;
             }
             visit(l2_off);
-            for &doff in self.read_l2_table(l2_off)?.iter().filter(|&&d| d != UNALLOCATED) {
+            for &doff in self
+                .read_l2_table(l2_off)?
+                .iter()
+                .filter(|&&d| d != UNALLOCATED)
+            {
                 visit(doff);
             }
         }
@@ -892,7 +973,9 @@ impl QcowImage {
     }
 
     fn l2_evict_to_limit(st: &mut MutState) {
-        let Some(limit) = st.l2_cache_limit else { return };
+        let Some(limit) = st.l2_cache_limit else {
+            return;
+        };
         while st.l2_cache.len() > limit {
             // Evict the least-recently-used table. Tables are write-through:
             // dropping one loses nothing.
@@ -981,13 +1064,23 @@ impl QcowImage {
             self.header.l1_table_offset + (l1_idx as u64) * 8,
         )?;
         st.l1[l1_idx] = l2_off;
-        Self::l2_cache_put(st, l1_idx, vec![UNALLOCATED; self.geom.l2_entries() as usize]);
+        Self::l2_cache_put(
+            st,
+            l1_idx,
+            vec![UNALLOCATED; self.geom.l2_entries() as usize],
+        );
         Ok((l1_idx, l2_off))
     }
 
     /// Point the L2 entry for `vba` at `data_off` (write-through). If the
     /// L2 table is frozen (shared with a snapshot), it is copied first.
-    fn set_l2_entry(&self, st: &mut MutState, l1_idx: usize, vba: u64, data_off: u64) -> Result<()> {
+    fn set_l2_entry(
+        &self,
+        st: &mut MutState,
+        l1_idx: usize,
+        vba: u64,
+        data_off: u64,
+    ) -> Result<()> {
         let mut l2_off = st.l1[l1_idx];
         debug_assert_ne!(l2_off, UNALLOCATED, "caller must ensure_l2 first");
         if st.frozen.contains(&l2_off) {
@@ -1052,14 +1145,26 @@ impl QcowImage {
         let want_fill = self.header.is_cache() && !self.read_only && self.fill_enabled();
         if !want_fill {
             backing.read_at_zero_pad(buf, vba)?;
-            self.miss_bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
+            self.miss_bytes
+                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+            if self.header.is_cache() {
+                self.obs.count(met::CACHE_MISS_BYTES, buf.len() as u64);
+                self.obs.emit(|| Event::CacheMiss {
+                    bytes: buf.len() as u64,
+                });
+            }
             return Ok(());
         }
         let cs = self.geom.cluster_size();
         let (span_start, span_end) = self.geom.cluster_span(vba, buf.len() as u64);
         let mut span_buf = vec![0u8; (span_end - span_start) as usize];
         backing.read_at_zero_pad(&mut span_buf, span_start)?;
-        self.miss_bytes.fetch_add(span_buf.len() as u64, Ordering::Relaxed);
+        self.miss_bytes
+            .fetch_add(span_buf.len() as u64, Ordering::Relaxed);
+        self.obs.count(met::CACHE_MISS_BYTES, span_buf.len() as u64);
+        self.obs.emit(|| Event::CacheMiss {
+            bytes: span_buf.len() as u64,
+        });
 
         let mut cluster_vba = span_start;
         while cluster_vba < span_end {
@@ -1072,22 +1177,36 @@ impl QcowImage {
                 &span_buf[chunk_start..chunk_start + chunk_len]
             } else {
                 tail_pad = vec![0u8; cs as usize];
-                tail_pad[..chunk_len].copy_from_slice(&span_buf[chunk_start..chunk_start + chunk_len]);
+                tail_pad[..chunk_len]
+                    .copy_from_slice(&span_buf[chunk_start..chunk_start + chunk_len]);
                 &tail_pad
             };
             match self.fill_cluster(st, cluster_vba, chunk) {
                 Ok(()) => {
-                    self.fill_bytes.fetch_add(chunk_len as u64, Ordering::Relaxed);
+                    self.fill_bytes
+                        .fetch_add(chunk_len as u64, Ordering::Relaxed);
+                    self.obs.count(met::COR_FILL_BYTES, chunk_len as u64);
+                    self.obs.emit(|| Event::CorFill {
+                        bytes: chunk_len as u64,
+                    });
                 }
                 Err(e) if e.is_no_space() => {
                     self.fill_rejects.fetch_add(1, Ordering::Relaxed);
-                    self.fill_enabled.store(false, Ordering::Release);
+                    // swap: emit the latch transition exactly once even if
+                    // racing readers hit the quota wall together.
+                    if self.fill_enabled.swap(false, Ordering::Release) {
+                        self.obs.count(met::SPACE_ERRORS, 1);
+                        let used = st.cache_used;
+                        let quota = self.header.cache.map(|c| c.quota).unwrap_or(0);
+                        self.obs.emit(|| Event::SpaceErrorLatched { used, quota });
+                    }
                     break;
                 }
                 Err(e) => return Err(e),
             }
             cluster_vba += cs;
         }
+        self.obs.gauge(met::CACHE_USED_BYTES, st.cache_used);
         let in_span = (vba - span_start) as usize;
         buf.copy_from_slice(&span_buf[in_span..in_span + buf.len()]);
         Ok(())
@@ -1151,7 +1270,11 @@ impl BlockDev for QcowImage {
     fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
         let end = off + buf.len() as u64;
         if end > self.geom.virtual_size {
-            return Err(BlockError::out_of_bounds(off, buf.len(), self.geom.virtual_size));
+            return Err(BlockError::out_of_bounds(
+                off,
+                buf.len(),
+                self.geom.virtual_size,
+            ));
         }
         let cs = self.geom.cluster_size();
         let mut st = self.state.lock();
@@ -1165,6 +1288,10 @@ impl BlockDev for QcowImage {
                     let out = &mut buf[(pos - off) as usize..][..n];
                     self.dev.read_at(out, cluster_off + in_cluster)?;
                     self.hit_bytes.fetch_add(n as u64, Ordering::Relaxed);
+                    if self.header.is_cache() {
+                        self.obs.count(met::CACHE_HIT_BYTES, n as u64);
+                        self.obs.emit(|| Event::CacheHit { bytes: n as u64 });
+                    }
                     pos += n as u64;
                 }
                 None => {
@@ -1188,7 +1315,11 @@ impl BlockDev for QcowImage {
             return Err(BlockError::read_only("write to read-only image"));
         }
         if off + buf.len() as u64 > self.geom.virtual_size {
-            return Err(BlockError::out_of_bounds(off, buf.len(), self.geom.virtual_size));
+            return Err(BlockError::out_of_bounds(
+                off,
+                buf.len(),
+                self.geom.virtual_size,
+            ));
         }
         let mut st = self.state.lock();
         let mut done = 0usize;
@@ -1215,7 +1346,13 @@ impl BlockDev for QcowImage {
     }
 
     fn describe(&self) -> String {
-        let kind = if self.is_cache() { "cache" } else if self.backing.is_some() { "cow" } else { "base" };
+        let kind = if self.is_cache() {
+            "cache"
+        } else if self.backing.is_some() {
+            "cow"
+        } else {
+            "base"
+        };
         format!("qcow[{kind}]({})", self.dev.describe())
     }
 
@@ -1293,8 +1430,8 @@ mod tests {
     fn cow_partial_cluster_write_merges_backing() {
         let base = QcowImage::create(mem(), CreateOpts::plain(4 * MB), None).unwrap();
         base.write_at(&[0xAA; 65536], 0).unwrap(); // a full base cluster
-        let cow =
-            QcowImage::create(mem(), CreateOpts::cow(4 * MB, "b"), Some(base as SharedDev)).unwrap();
+        let cow = QcowImage::create(mem(), CreateOpts::cow(4 * MB, "b"), Some(base as SharedDev))
+            .unwrap();
         cow.write_at(&[0xBB; 16], 100).unwrap();
         let mut buf = [0u8; 200];
         cow.read_at(&mut buf, 0).unwrap();
@@ -1384,8 +1521,7 @@ mod tests {
             used = cache.cache_used();
             cache.close().unwrap();
         }
-        let reopened =
-            QcowImage::open(cache_dev, Some(base as SharedDev), false).unwrap();
+        let reopened = QcowImage::open(cache_dev, Some(base as SharedDev), false).unwrap();
         assert_eq!(reopened.cache_used(), used);
         assert_eq!(reopened.header().cache.unwrap().used, used);
         // Warm read — no misses.
@@ -1493,7 +1629,10 @@ mod tests {
     #[test]
     fn backing_mismatch_rejected() {
         let dev = mem();
-        QcowImage::create(dev.clone(), CreateOpts::plain(MB), None).unwrap().close().unwrap();
+        QcowImage::create(dev.clone(), CreateOpts::plain(MB), None)
+            .unwrap()
+            .close()
+            .unwrap();
         // Supplying a backing device for a standalone image is an error.
         let other = QcowImage::create(mem(), CreateOpts::plain(MB), None).unwrap();
         assert!(QcowImage::open(dev, Some(other as SharedDev), false).is_err());
@@ -1552,9 +1691,16 @@ mod tests {
         cache.read_at(&mut big, 0).unwrap(); // spans warm + cold
         assert_eq!(big, [0xAB; 4096]);
         let s = cache.cor_stats();
-        assert!(s.hit_bytes >= 512, "first cluster of the big read served warm");
+        assert!(
+            s.hit_bytes >= 512,
+            "first cluster of the big read served warm"
+        );
         // The cold tail was fetched without re-fetching the warm cluster.
-        assert_eq!(s.miss_bytes, 512 + (4096 - 512), "span excludes the mapped cluster");
+        assert_eq!(
+            s.miss_bytes,
+            512 + (4096 - 512),
+            "span excludes the mapped cluster"
+        );
     }
 
     #[test]
@@ -1571,7 +1717,10 @@ mod tests {
         let mut buf = vec![0u8; 1 << 20];
         cache.read_at(&mut buf, 0).unwrap();
         let after = cache.file_size();
-        assert!(after >= before + (1 << 20), "fills must grow the container file");
+        assert!(
+            after >= before + (1 << 20),
+            "fills must grow the container file"
+        );
         // Used size accounting matches the file tail (bump allocator).
         assert_eq!(cache.cache_used(), after);
     }

@@ -46,10 +46,15 @@ impl Geometry {
             return Err(BlockError::unsupported("zero-sized image"));
         }
         // The L1 index must fit in the remaining bits.
-        let g = Self { cluster_bits, virtual_size };
+        let g = Self {
+            cluster_bits,
+            virtual_size,
+        };
         let max_vba = virtual_size - 1;
         if g.l1_index(max_vba) as u64 >= (1u64 << g.n_bits()) {
-            return Err(BlockError::unsupported("virtual size too large for cluster size"));
+            return Err(BlockError::unsupported(
+                "virtual size too large for cluster size",
+            ));
         }
         Ok(g)
     }
@@ -145,7 +150,11 @@ impl Geometry {
     /// Iterate the cluster-aligned segments of `[off, off+len)`: yields
     /// `(vba, in_cluster_offset, segment_len)` per touched cluster.
     pub fn segments(&self, off: u64, len: usize) -> SegmentIter {
-        SegmentIter { geom: *self, pos: off, end: off + len as u64 }
+        SegmentIter {
+            geom: *self,
+            pos: off,
+            end: off + len as u64,
+        }
     }
 
     /// Round a file offset up to the next cluster boundary.
@@ -184,7 +193,11 @@ impl Iterator for SegmentIter {
         let in_cluster = self.geom.in_cluster(self.pos);
         let room = self.geom.cluster_size() - in_cluster;
         let len = room.min(self.end - self.pos) as usize;
-        let seg = Segment { vba: self.pos, in_cluster, len };
+        let seg = Segment {
+            vba: self.pos,
+            in_cluster,
+            len,
+        };
         self.pos += len as u64;
         Some(seg)
     }
@@ -262,7 +275,7 @@ mod tests {
     #[test]
     fn cluster_span_rounds_to_cluster_granularity() {
         let g = Geometry::new(16, 1 << 30).unwrap(); // 64 KiB
-        // A 4 KiB read in the middle of a cluster spans the whole cluster.
+                                                     // A 4 KiB read in the middle of a cluster spans the whole cluster.
         let (s, e) = g.cluster_span(70_000, 4096);
         assert_eq!(s, 65536);
         assert_eq!(e, 131072);
@@ -288,7 +301,14 @@ mod tests {
         let segs: Vec<_> = g.segments(500, 1040).collect();
         let total: usize = segs.iter().map(|s| s.len).sum();
         assert_eq!(total, 1040);
-        assert_eq!(segs[0], Segment { vba: 500, in_cluster: 500, len: 12 });
+        assert_eq!(
+            segs[0],
+            Segment {
+                vba: 500,
+                in_cluster: 500,
+                len: 12
+            }
+        );
         assert!(segs.iter().all(|s| s.in_cluster + s.len as u64 <= 512));
         // Contiguity.
         for w in segs.windows(2) {

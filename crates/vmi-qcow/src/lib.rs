@@ -61,8 +61,9 @@ pub mod ops;
 pub mod snapshot;
 
 pub use chain::{
-    create_cached_chain, create_cow_chain, create_cow_over_cache, open_chain, DevResolver,
-    MapResolver,
+    create_cached_chain, create_cached_chain_with_obs, create_cow_chain, create_cow_chain_with_obs,
+    create_cow_over_cache, create_cow_over_cache_with_obs, open_chain, open_chain_with_obs,
+    DevResolver, MapResolver,
 };
 pub use dedup::{analyze as dedup_analyze, DedupReport};
 pub use header::{CacheExt, Header};

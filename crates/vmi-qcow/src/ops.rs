@@ -36,7 +36,11 @@ impl ImageInfo {
     /// Render in a `qemu-img info`-like textual form.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        s.push_str(&format!("virtual size: {} ({} bytes)\n", human(self.virtual_size), self.virtual_size));
+        s.push_str(&format!(
+            "virtual size: {} ({} bytes)\n",
+            human(self.virtual_size),
+            self.virtual_size
+        ));
         s.push_str(&format!("disk size: {}\n", human(self.file_size)));
         s.push_str(&format!("cluster_size: {}\n", self.cluster_size));
         if let Some(b) = &self.backing_file {
@@ -110,7 +114,10 @@ pub fn map(img: &QcowImage) -> Result<Vec<MapExtent>> {
             Some(last) if last.depth == depth && last.range.end == vba => {
                 last.range.end = end;
             }
-            _ => extents.push(MapExtent { range: ByteRange { start: vba, end }, depth }),
+            _ => extents.push(MapExtent {
+                range: ByteRange { start: vba, end },
+                depth,
+            }),
         }
         vba = end;
     }
@@ -189,15 +196,19 @@ pub fn check(img: &QcowImage) -> Result<CheckReport> {
         }
         rep.l2_tables += 1;
         if l2_off % cs != 0 {
-            rep.errors.push(format!("L1[{l1_idx}] not cluster-aligned: {l2_off:#x}"));
+            rep.errors
+                .push(format!("L1[{l1_idx}] not cluster-aligned: {l2_off:#x}"));
             continue;
         }
         if l2_off + cs > g.align_up(file_len) {
-            rep.errors.push(format!("L1[{l1_idx}] beyond file end: {l2_off:#x}"));
+            rep.errors
+                .push(format!("L1[{l1_idx}] beyond file end: {l2_off:#x}"));
             continue;
         }
         if !seen.insert(l2_off) {
-            rep.errors.push(format!("cluster {l2_off:#x} multiply referenced (L2 table)"));
+            rep.errors.push(format!(
+                "cluster {l2_off:#x} multiply referenced (L2 table)"
+            ));
         }
         let l2 = img.l2_snapshot(l2_off)?;
         for (l2_idx, &doff) in l2.iter().enumerate() {
@@ -206,12 +217,15 @@ pub fn check(img: &QcowImage) -> Result<CheckReport> {
             }
             rep.data_clusters += 1;
             if doff % cs != 0 {
-                rep.errors
-                    .push(format!("L2[{l1_idx}][{l2_idx}] not cluster-aligned: {doff:#x}"));
+                rep.errors.push(format!(
+                    "L2[{l1_idx}][{l2_idx}] not cluster-aligned: {doff:#x}"
+                ));
             } else if doff + cs > g.align_up(file_len) {
-                rep.errors.push(format!("L2[{l1_idx}][{l2_idx}] beyond file end: {doff:#x}"));
+                rep.errors
+                    .push(format!("L2[{l1_idx}][{l2_idx}] beyond file end: {doff:#x}"));
             } else if !seen.insert(doff) {
-                rep.errors.push(format!("cluster {doff:#x} multiply referenced (data)"));
+                rep.errors
+                    .push(format!("cluster {doff:#x} multiply referenced (data)"));
             }
         }
     }
@@ -235,11 +249,15 @@ pub fn check(img: &QcowImage) -> Result<CheckReport> {
             + (rep.l2_tables + rep.data_clusters) * cs;
         let used = img.cache_used();
         if used != expected {
-            rep.errors.push(format!("cache used {used} != computed {expected}"));
+            rep.errors
+                .push(format!("cache used {used} != computed {expected}"));
         }
         let initial = cs + g.l1_table_bytes();
         if used > img.cache_quota().max(initial) {
-            rep.errors.push(format!("cache used {used} exceeds quota {}", img.cache_quota()));
+            rep.errors.push(format!(
+                "cache used {used} exceeds quota {}",
+                img.cache_quota()
+            ));
         }
     }
     Ok(rep)
@@ -407,8 +425,7 @@ mod tests {
 
     #[test]
     fn map_over_raw_base_marks_backing() {
-        let raw: vmi_blockdev::SharedDev =
-            Arc::new(MemDev::from_vec(vec![9u8; (4 * MB) as usize]));
+        let raw: vmi_blockdev::SharedDev = Arc::new(MemDev::from_vec(vec![9u8; (4 * MB) as usize]));
         let cow = QcowImage::create(
             mem(),
             CreateOpts::cow(4 * MB, "raw"),
@@ -423,8 +440,7 @@ mod tests {
     #[test]
     fn commit_pushes_data_down() {
         let base_dev = mem();
-        let base =
-            QcowImage::create(base_dev.clone(), CreateOpts::plain(4 * MB), None).unwrap();
+        let base = QcowImage::create(base_dev.clone(), CreateOpts::plain(4 * MB), None).unwrap();
         base.write_at(&[1; 1024], 0).unwrap();
         let cow = QcowImage::create(
             mem(),

@@ -13,6 +13,22 @@
 
 use bytes::{Buf, BufMut};
 use vmi_blockdev::{BlockError, Result};
+use vmi_obs::{met, Obs};
+
+/// Bump the snapshot-create counter for an image's observability handle.
+pub(crate) fn note_create(obs: &Obs) {
+    obs.count(met::SNAPSHOT_CREATES, 1);
+}
+
+/// Bump the snapshot-apply (revert) counter.
+pub(crate) fn note_apply(obs: &Obs) {
+    obs.count(met::SNAPSHOT_APPLIES, 1);
+}
+
+/// Bump the snapshot-delete counter.
+pub(crate) fn note_delete(obs: &Obs) {
+    obs.count(met::SNAPSHOT_DELETES, 1);
+}
 
 /// One snapshot record as stored in the table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,7 +86,12 @@ pub fn decode_table(mut raw: &[u8], count: u32) -> Result<Vec<SnapshotRec>> {
         let name = String::from_utf8(raw[..name_len].to_vec())
             .map_err(|_| BlockError::corrupt("snapshot name not UTF-8"))?;
         raw.advance(name_len);
-        recs.push(SnapshotRec { id, name, l1_offset, l1_entries });
+        recs.push(SnapshotRec {
+            id,
+            name,
+            l1_offset,
+            l1_entries,
+        });
     }
     Ok(recs)
 }
@@ -82,8 +103,18 @@ mod tests {
     #[test]
     fn table_roundtrip() {
         let recs = vec![
-            SnapshotRec { id: 1, name: "clean-install".into(), l1_offset: 65536, l1_entries: 16 },
-            SnapshotRec { id: 7, name: "booted".into(), l1_offset: 131072, l1_entries: 16 },
+            SnapshotRec {
+                id: 1,
+                name: "clean-install".into(),
+                l1_offset: 65536,
+                l1_entries: 16,
+            },
+            SnapshotRec {
+                id: 7,
+                name: "booted".into(),
+                l1_offset: 131072,
+                l1_entries: 16,
+            },
         ];
         let raw = encode_table(&recs);
         let back = decode_table(&raw, 2).unwrap();
@@ -98,7 +129,12 @@ mod tests {
 
     #[test]
     fn truncated_table_rejected() {
-        let recs = vec![SnapshotRec { id: 1, name: "x".into(), l1_offset: 0, l1_entries: 1 }];
+        let recs = vec![SnapshotRec {
+            id: 1,
+            name: "x".into(),
+            l1_offset: 0,
+            l1_entries: 1,
+        }];
         let raw = encode_table(&recs);
         assert!(decode_table(&raw[..raw.len() - 1], 1).is_err());
         assert!(decode_table(&raw, 2).is_err(), "count beyond data");

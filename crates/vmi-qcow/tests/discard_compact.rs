@@ -62,7 +62,11 @@ fn freed_clusters_are_reused_not_grown() {
     assert_eq!(img.free_cluster_count(), 1);
     // A new allocation must reuse the freed cluster: file does not grow.
     img.write_at(&[2; 65536], 1 << 20).unwrap();
-    assert_eq!(img.file_size(), size_before, "allocator must reuse freed space");
+    assert_eq!(
+        img.file_size(),
+        size_before,
+        "allocator must reuse freed space"
+    );
     assert_eq!(img.free_cluster_count(), 0);
     let mut buf = [0u8; 65536];
     img.read_at(&mut buf, 1 << 20).unwrap();
@@ -151,7 +155,10 @@ fn compact_preserves_cache_semantics() {
     compacted.read_at(&mut buf[..64 * 1024], 64 * 1024).unwrap();
     assert_eq!(compacted.cor_stats().miss_bytes, s0.miss_bytes, "warm read");
     compacted.read_at(&mut buf[..4096], 0).unwrap();
-    assert!(compacted.cor_stats().miss_bytes > s0.miss_bytes, "cold read re-fills");
+    assert!(
+        compacted.cor_stats().miss_bytes > s0.miss_bytes,
+        "cold read re-fills"
+    );
     assert_eq!(&buf[..4096], &content[..4096]);
     let rep = check(&compacted).unwrap();
     assert!(rep.is_clean(), "{:?}", rep.errors);
@@ -160,7 +167,10 @@ fn compact_preserves_cache_semantics() {
 #[test]
 fn discard_on_read_only_rejected() {
     let dev: SharedDev = Arc::new(MemDev::new());
-    QcowImage::create(dev.clone(), CreateOpts::plain(VSIZE), None).unwrap().close().unwrap();
+    QcowImage::create(dev.clone(), CreateOpts::plain(VSIZE), None)
+        .unwrap()
+        .close()
+        .unwrap();
     let img = QcowImage::open(dev, None, true).unwrap();
     assert!(img.discard(0, 65536).is_err());
 }
@@ -187,11 +197,18 @@ fn bounded_l2_cache_evicts_and_rereads_correctly() {
     for i in 0..256u64 {
         cache.read_at(&mut buf, i * 4096).unwrap();
     }
-    assert!(cache.l2_cache_len() <= 4, "cache bounded: {}", cache.l2_cache_len());
+    assert!(
+        cache.l2_cache_len() <= 4,
+        "cache bounded: {}",
+        cache.l2_cache_len()
+    );
     // Random revisits still return correct data (tables re-read on demand).
     for i in [0u64, 131, 17, 255, 64] {
         cache.read_at(&mut buf, i * 4096).unwrap();
-        assert_eq!(&buf[..], &content[(i * 4096) as usize..(i * 4096 + 4096) as usize]);
+        assert_eq!(
+            &buf[..],
+            &content[(i * 4096) as usize..(i * 4096 + 4096) as usize]
+        );
     }
     let rep = check(&cache).unwrap();
     assert!(rep.is_clean(), "{:?}", rep.errors);

@@ -60,8 +60,7 @@ fn resize_rejects_shrink_and_read_only() {
 
 #[test]
 fn resize_same_size_is_identity() {
-    let img =
-        QcowImage::create(Arc::new(MemDev::new()), CreateOpts::plain(4 * MB), None).unwrap();
+    let img = QcowImage::create(Arc::new(MemDev::new()), CreateOpts::plain(4 * MB), None).unwrap();
     let same = img.resize(4 * MB).unwrap();
     assert_eq!(same.virtual_size(), 4 * MB);
 }
@@ -111,7 +110,10 @@ fn rebase_to_standalone_drops_backing() {
     standalone.read_at(&mut buf, 0).unwrap();
     assert_eq!(buf, [1u8; 512], "local data kept");
     standalone.read_at(&mut buf, MB).unwrap();
-    assert_eq!(buf, [0u8; 512], "unallocated now reads zero (backing dropped)");
+    assert_eq!(
+        buf, [0u8; 512],
+        "unallocated now reads zero (backing dropped)"
+    );
 }
 
 #[test]
@@ -141,7 +143,11 @@ fn rebase_preserves_cache_accounting() {
     cache.read_at(&mut buf, 0).unwrap();
     let used = cache.cache_used();
     let rebased = cache.rebase_unsafe(Some("b".into()), Some(base_b)).unwrap();
-    assert_eq!(rebased.cache_used(), used, "accounting carried through rebase");
+    assert_eq!(
+        rebased.cache_used(),
+        used,
+        "accounting carried through rebase"
+    );
     assert!(rebased.is_cache());
     // Warm reads still warm.
     rebased.read_at(&mut buf, 0).unwrap();

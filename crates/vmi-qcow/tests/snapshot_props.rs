@@ -12,7 +12,11 @@ const VSIZE: u64 = 2 << 20;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Write { off: u64, byte: u8, len: usize },
+    Write {
+        off: u64,
+        byte: u8,
+        len: usize,
+    },
     Snapshot,
     /// Revert to the k-th live snapshot (mod count).
     Apply(usize),

@@ -102,18 +102,26 @@ fn delete_snapshot_frees_logically() {
     let id = img.create_snapshot("gone-soon").unwrap();
     img.delete_snapshot(id).unwrap();
     assert!(img.list_snapshots().is_empty());
-    assert!(img.apply_snapshot(id).is_err(), "deleted snapshot cannot be applied");
+    assert!(
+        img.apply_snapshot(id).is_err(),
+        "deleted snapshot cannot be applied"
+    );
     // After deletion the cluster is no longer frozen: in-place writes work
     // again (no new allocation needed).
     let size_before = img.file_size();
     img.write_at(&[2; 65536], 0).unwrap();
-    assert_eq!(img.file_size(), size_before, "write-in-place after unfreeze");
+    assert_eq!(
+        img.file_size(),
+        size_before,
+        "write-in-place after unfreeze"
+    );
 }
 
 #[test]
 fn snapshot_on_cow_chain_preserves_backing_reads() {
-    let base: SharedDev =
-        Arc::new(MemDev::from_vec((0..(8 * MB) as usize).map(|i| (i % 211) as u8).collect()));
+    let base: SharedDev = Arc::new(MemDev::from_vec(
+        (0..(8 * MB) as usize).map(|i| (i % 211) as u8).collect(),
+    ));
     let cow = QcowImage::create(
         Arc::new(MemDev::new()),
         CreateOpts::cow(8 * MB, "b"),
@@ -192,7 +200,10 @@ fn deleted_snapshot_clusters_become_leaks() {
     let img = QcowImage::open(dev, None, false).unwrap();
     let rep = check(&img).unwrap();
     assert!(rep.is_clean());
-    assert!(rep.leaked_clusters > 0, "orphaned snapshot clusters are leaks: {rep:?}");
+    assert!(
+        rep.leaked_clusters > 0,
+        "orphaned snapshot clusters are leaks: {rep:?}"
+    );
 }
 
 #[test]

@@ -113,7 +113,8 @@ impl NfsExport {
             ExportMedium::Disk(disk) => {
                 // Writes land in the page cache and are written back; charge
                 // the disk write directly (NFS commits are synchronous-ish).
-                self.world.charge_disk(disk, self.disk_base + off, len, true);
+                self.world
+                    .charge_disk(disk, self.disk_base + off, len, true);
                 let first = off / SERVER_PAGE;
                 let last = (off + len.max(1) - 1) / SERVER_PAGE;
                 let ready = self.world.op_now();
@@ -177,7 +178,11 @@ mod tests {
         w.begin_op(t1);
         exp.charge_read(far, 4096);
         let t2 = w.end_op();
-        assert!(t2 - t1 < 100_000, "second read is a page-cache hit: {}", t2 - t1);
+        assert!(
+            t2 - t1 < 100_000,
+            "second read is a page-cache hit: {}",
+            t2 - t1
+        );
         assert_eq!(exp.served_bytes(), 8192);
     }
 

@@ -20,4 +20,7 @@ pub mod sim_dev;
 
 pub use export::{ExportMedium, NfsExport, SERVER_PAGE};
 pub use mount::{MountOpts, NfsMount, DEFAULT_CLIENT_PAGE, DEFAULT_RWSIZE};
-pub use sim_dev::{local_disk_dev, local_disk_dev_cached, memory_dev, DEFAULT_READAHEAD, DEFAULT_SYNC_PENALTY_NS, NODE_PAGE};
+pub use sim_dev::{
+    local_disk_dev, local_disk_dev_cached, memory_dev, DEFAULT_READAHEAD, DEFAULT_SYNC_PENALTY_NS,
+    NODE_PAGE,
+};

@@ -41,7 +41,10 @@ pub struct MountOpts {
 
 impl Default for MountOpts {
     fn default() -> Self {
-        Self { client_page: DEFAULT_CLIENT_PAGE, rwsize: DEFAULT_RWSIZE }
+        Self {
+            client_page: DEFAULT_CLIENT_PAGE,
+            rwsize: DEFAULT_RWSIZE,
+        }
     }
 }
 
@@ -60,7 +63,12 @@ impl NfsMount {
     pub fn new(export: Arc<NfsExport>, link: LinkId, opts: MountOpts) -> Arc<Self> {
         assert!(opts.client_page.is_power_of_two());
         assert!(opts.rwsize >= opts.client_page);
-        Arc::new(Self { export, link, opts, cached: Mutex::new(HashSet::new()) })
+        Arc::new(Self {
+            export,
+            link,
+            opts,
+            cached: Mutex::new(HashSet::new()),
+        })
     }
 
     /// The mounted export.
@@ -184,10 +192,19 @@ mod tests {
             adjacency_window: 1 << 20,
         });
         let c = w.add_cache(1 << 30, crate::export::SERVER_PAGE);
-        let link = w.add_link(NetSpec { bw_bps: 100_000_000, latency_ns: 100_000, per_msg_ns: 0, discipline: vmi_sim::LinkDiscipline::Fifo });
+        let link = w.add_link(NetSpec {
+            bw_bps: 100_000_000,
+            latency_ns: 100_000,
+            per_msg_ns: 0,
+            discipline: vmi_sim::LinkDiscipline::Fifo,
+        });
         let dev = Arc::new(MemDev::with_len(8 << 20));
         dev.write_at(&[0xAB; 1 << 20], 0).unwrap();
-        let medium = if medium_disk { ExportMedium::Disk(d) } else { ExportMedium::Tmpfs };
+        let medium = if medium_disk {
+            ExportMedium::Disk(d)
+        } else {
+            ExportMedium::Tmpfs
+        };
         let exp = NfsExport::new(w.clone(), 1, dev, 0, medium, c);
         let m = NfsMount::new(exp, link, MountOpts::default());
         (w, m, link)
@@ -217,8 +234,15 @@ mod tests {
         w.begin_op(1_000_000_000);
         m.read_at(&mut buf, 8192).unwrap();
         let done = w.end_op();
-        assert_eq!(w.link_stats(link).bytes, DEFAULT_CLIENT_PAGE, "no new traffic");
-        assert_eq!(done, 1_000_000_000, "client-cached read takes no simulated time");
+        assert_eq!(
+            w.link_stats(link).bytes,
+            DEFAULT_CLIENT_PAGE,
+            "no new traffic"
+        );
+        assert_eq!(
+            done, 1_000_000_000,
+            "client-cached read takes no simulated time"
+        );
     }
 
     #[test]
@@ -253,7 +277,12 @@ mod tests {
     fn contention_between_mounts_shares_the_link() {
         let w = SimWorld::new();
         let c = w.add_cache(1 << 30, crate::export::SERVER_PAGE);
-        let link = w.add_link(NetSpec { bw_bps: 1_000_000, latency_ns: 0, per_msg_ns: 0, discipline: vmi_sim::LinkDiscipline::Fifo });
+        let link = w.add_link(NetSpec {
+            bw_bps: 1_000_000,
+            latency_ns: 0,
+            per_msg_ns: 0,
+            discipline: vmi_sim::LinkDiscipline::Fifo,
+        });
         let mk = |id: u64| {
             let dev = Arc::new(MemDev::with_len(1 << 20));
             NfsMount::new(
@@ -270,6 +299,9 @@ mod tests {
         w.begin_op(0);
         b.read_at(&mut buf, 0).unwrap();
         let tb = w.end_op();
-        assert!(tb >= ta + 60_000_000, "b queues behind a on the slow pipe: {ta} {tb}");
+        assert!(
+            tb >= ta + 60_000_000,
+            "b queues behind a on the slow pipe: {ta} {tb}"
+        );
     }
 }

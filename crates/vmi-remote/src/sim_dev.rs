@@ -71,7 +71,8 @@ impl LocalDiskCost {
                         false,
                     );
                     let ready = self.world.op_now();
-                    self.world.cache_insert(cache, self.file_base, page, ready, false);
+                    self.world
+                        .cache_insert(cache, self.file_base, page, ready, false);
                 }
             }
         }
@@ -96,7 +97,8 @@ impl LocalDiskCost {
                         NODE_PAGE,
                         false,
                     );
-                    self.world.cache_insert(cache, self.file_base, page, t, false);
+                    self.world
+                        .cache_insert(cache, self.file_base, page, t, false);
                 }
             }
         }
@@ -108,16 +110,18 @@ impl CostHook for LocalDiskCost {
         match kind {
             OpKind::Read => match self.page_cache {
                 Some(cache) => self.read_through_cache(cache, off, len),
-                None => {
-                    self.world.charge_disk(self.disk, self.file_base + off, len as u64, false)
-                }
+                None => self
+                    .world
+                    .charge_disk(self.disk, self.file_base + off, len as u64, false),
             },
             OpKind::Write if self.sync_writes => {
                 // Synchronous writes go through to the platter and stall the
                 // writer — the §5.1 cold-cache-on-disk behaviour. They still
                 // populate the page cache.
-                self.world.charge_disk(self.disk, self.file_base + off, len as u64, true);
-                self.world.wait_until(self.world.op_now() + self.sync_penalty_ns);
+                self.world
+                    .charge_disk(self.disk, self.file_base + off, len as u64, true);
+                self.world
+                    .wait_until(self.world.op_now() + self.sync_penalty_ns);
                 self.insert_written_pages(off, len);
             }
             OpKind::Write => {
@@ -140,7 +144,8 @@ impl LocalDiskCost {
             let last = (off + len as u64 - 1) / NODE_PAGE;
             let now = self.world.op_now();
             for page in first..=last {
-                self.world.cache_insert(cache, self.file_base, page, now, false);
+                self.world
+                    .cache_insert(cache, self.file_base, page, now, false);
             }
         }
     }
@@ -278,8 +283,13 @@ mod tests {
     fn file_base_separates_files_for_seek_purposes() {
         let (w, d) = world_disk();
         let a = local_disk_dev(w.clone(), d, 0, Arc::new(MemDev::with_len(1 << 20)), false);
-        let b =
-            local_disk_dev(w.clone(), d, 10 << 30, Arc::new(MemDev::with_len(1 << 20)), false);
+        let b = local_disk_dev(
+            w.clone(),
+            d,
+            10 << 30,
+            Arc::new(MemDev::with_len(1 << 20)),
+            false,
+        );
         w.begin_op(0);
         let mut buf = [0u8; 512];
         a.read_at(&mut buf, 0).unwrap();
@@ -347,14 +357,7 @@ mod tests {
     fn written_pages_are_read_back_from_cache() {
         let (w, d) = world_disk();
         let pc = w.add_cache(1 << 30, NODE_PAGE);
-        let dev = local_disk_dev_cached(
-            w.clone(),
-            d,
-            0,
-            Arc::new(MemDev::new()),
-            false,
-            Some(pc),
-        );
+        let dev = local_disk_dev_cached(w.clone(), d, 0, Arc::new(MemDev::new()), false, Some(pc));
         w.begin_op(0);
         dev.write_at(&[1u8; 4096], 0).unwrap();
         let mut buf = [0u8; 4096];

@@ -25,7 +25,11 @@ fn setup(content: &[u8]) -> (SimWorld, Arc<NfsMount>, vmi_sim::LinkId) {
     let link = w.add_link(NetSpec::gbe_1());
     let dev: SharedDev = Arc::new(MemDev::from_vec(content.to_vec()));
     let exp = NfsExport::new(w.clone(), 1, dev, 0, ExportMedium::Disk(d), c);
-    (w.clone(), NfsMount::new(exp, link, MountOpts::default()), link)
+    (
+        w.clone(),
+        NfsMount::new(exp, link, MountOpts::default()),
+        link,
+    )
 }
 
 proptest! {

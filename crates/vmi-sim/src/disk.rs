@@ -96,7 +96,12 @@ pub struct Disk {
 impl Disk {
     /// A new idle disk.
     pub fn new(spec: DiskSpec) -> Self {
-        Self { spec, next_free: 0, head_pos: 0, stats: DiskStats::default() }
+        Self {
+            spec,
+            next_free: 0,
+            head_pos: 0,
+            stats: DiskStats::default(),
+        }
     }
 
     /// Submit an access at simulated time `now`; returns its completion
@@ -202,7 +207,10 @@ mod tests {
         let mut d = Disk::new(fast_spec());
         d.access(0, 0, 1000, false);
         let done = d.access(10 * SEC, 1000, 1000, false);
-        assert!(done >= 10 * SEC, "request cannot complete before submission");
+        assert!(
+            done >= 10 * SEC,
+            "request cannot complete before submission"
+        );
     }
 
     #[test]
@@ -224,6 +232,9 @@ mod tests {
         // Random 64 KiB reads: ~ (seek + transfer) → ~128 reads/s → ~8 MB/s.
         let per_read = st.seek_ns + st.per_op_ns + transfer_ns(65536, st.seq_bw_bps);
         let mbps = 65536.0 * (SEC as f64 / per_read as f64) / 1e6;
-        assert!((5.0..20.0).contains(&mbps), "random-read throughput {mbps} MB/s");
+        assert!(
+            (5.0..20.0).contains(&mbps),
+            "random-read throughput {mbps} MB/s"
+        );
     }
 }

@@ -107,7 +107,12 @@ pub struct Link {
 impl Link {
     /// A new idle link.
     pub fn new(spec: NetSpec) -> Self {
-        Self { spec, next_free: 0, in_flight: Vec::new(), stats: LinkStats::default() }
+        Self {
+            spec,
+            next_free: 0,
+            in_flight: Vec::new(),
+            stats: LinkStats::default(),
+        }
     }
 
     /// Submit a `bytes`-sized message at `now`; returns its delivery time.
@@ -155,25 +160,44 @@ mod tests {
 
     #[test]
     fn bandwidth_dominates_large_transfers() {
-        let mut l = Link::new(NetSpec { bw_bps: 100_000_000, latency_ns: 0, per_msg_ns: 0, discipline: Default::default() });
+        let mut l = Link::new(NetSpec {
+            bw_bps: 100_000_000,
+            latency_ns: 0,
+            per_msg_ns: 0,
+            discipline: Default::default(),
+        });
         let done = l.transfer(0, 100_000_000);
         assert_eq!(done, SEC);
     }
 
     #[test]
     fn latency_added_after_pipe_exit() {
-        let mut l = Link::new(NetSpec { bw_bps: 1_000_000_000, latency_ns: 100_000, per_msg_ns: 0, discipline: Default::default() });
+        let mut l = Link::new(NetSpec {
+            bw_bps: 1_000_000_000,
+            latency_ns: 100_000,
+            per_msg_ns: 0,
+            discipline: Default::default(),
+        });
         let done = l.transfer(0, 1000);
         assert_eq!(done, 1_000 + 100_000);
     }
 
     #[test]
     fn fifo_contention_serializes_pipe_occupancy() {
-        let mut l = Link::new(NetSpec { bw_bps: 100_000_000, latency_ns: 50_000, per_msg_ns: 0, discipline: Default::default() });
+        let mut l = Link::new(NetSpec {
+            bw_bps: 100_000_000,
+            latency_ns: 50_000,
+            per_msg_ns: 0,
+            discipline: Default::default(),
+        });
         let a = l.transfer(0, 50_000_000); // 0.5 s pipe
         let b = l.transfer(0, 50_000_000);
         assert_eq!(a, SEC / 2 + 50_000);
-        assert_eq!(b, SEC + 50_000, "second message waits for the pipe, latency once");
+        assert_eq!(
+            b,
+            SEC + 50_000,
+            "second message waits for the pipe, latency once"
+        );
     }
 
     #[test]
@@ -213,7 +237,7 @@ mod tests {
         };
         let mut l = Link::new(spec);
         l.transfer(0, 10_000_000); // done at 0.1 s
-        // A transfer arriving after the first completes is unstretched.
+                                   // A transfer arriving after the first completes is unstretched.
         let t = l.transfer(200_000_000, 10_000_000);
         assert_eq!(t, 300_000_000);
     }
@@ -222,7 +246,12 @@ mod tests {
     fn disciplines_agree_on_aggregate_throughput() {
         // Saturating either pipe with the same demand drains in comparable
         // total time — the paper's orderings don't hinge on the discipline.
-        let mk = |d| NetSpec { bw_bps: 100_000_000, latency_ns: 0, per_msg_ns: 0, discipline: d };
+        let mk = |d| NetSpec {
+            bw_bps: 100_000_000,
+            latency_ns: 0,
+            per_msg_ns: 0,
+            discipline: d,
+        };
         let mut fifo = Link::new(mk(LinkDiscipline::Fifo));
         let mut fair = Link::new(mk(LinkDiscipline::FairShare));
         let mut last_fifo = 0;

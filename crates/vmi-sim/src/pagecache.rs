@@ -116,7 +116,14 @@ impl PageCache {
     fn insert_inner(&mut self, key: PageKey, ready_at: Ns, pinned: bool) {
         self.next_tick += 1;
         let tick = self.next_tick;
-        if let Some(old) = self.map.insert(key, Entry { ready_at, tick, pinned }) {
+        if let Some(old) = self.map.insert(
+            key,
+            Entry {
+                ready_at,
+                tick,
+                pinned,
+            },
+        ) {
             self.order.remove(&old.tick);
             if old.pinned {
                 self.pinned_pages -= 1;
@@ -128,7 +135,9 @@ impl PageCache {
         }
         // Evict unpinned LRU pages past capacity.
         while self.map.len() > self.capacity_pages {
-            let Some((&t, &k)) = self.order.iter().next() else { break };
+            let Some((&t, &k)) = self.order.iter().next() else {
+                break;
+            };
             // Skip pinned entries by refreshing them to the back.
             if self.map[&k].pinned {
                 self.order.remove(&t);
@@ -149,8 +158,12 @@ impl PageCache {
 
     /// Drop every page of file `file_id` (file deleted / replaced).
     pub fn invalidate_file(&mut self, file_id: u64) {
-        let keys: Vec<PageKey> =
-            self.map.keys().filter(|(f, _)| *f == file_id).copied().collect();
+        let keys: Vec<PageKey> = self
+            .map
+            .keys()
+            .filter(|(f, _)| *f == file_id)
+            .copied()
+            .collect();
         for k in keys {
             if let Some(e) = self.map.remove(&k) {
                 self.order.remove(&e.tick);

@@ -37,7 +37,10 @@ impl<T> Ord for WrappedPayload<T> {
 
 impl<T> Default for EventQueue<T> {
     fn default() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 }
 
@@ -50,7 +53,8 @@ impl<T> EventQueue<T> {
     /// Schedule `payload` at time `at`.
     pub fn push(&mut self, at: Ns, payload: T) {
         self.seq += 1;
-        self.heap.push(Reverse((at, self.seq, WrappedPayload(payload))));
+        self.heap
+            .push(Reverse((at, self.seq, WrappedPayload(payload))));
     }
 
     /// Pop the earliest event, if any.

@@ -112,6 +112,12 @@ impl SimWorld {
         self.inner.lock().op_now
     }
 
+    /// An [`vmi_obs::Clock`] view of this world's op clock, for stamping
+    /// observability events with simulated time.
+    pub fn obs_clock(&self) -> std::sync::Arc<dyn vmi_obs::Clock> {
+        std::sync::Arc::new(self.clone())
+    }
+
     /// Charge a disk access on the op clock.
     pub fn charge_disk(&self, id: DiskId, offset: u64, bytes: u64, is_write: bool) {
         let mut w = self.inner.lock();
@@ -217,6 +223,12 @@ impl SimWorld {
     }
 }
 
+impl vmi_obs::Clock for SimWorld {
+    fn now_ns(&self) -> u64 {
+        self.op_now()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,7 +245,12 @@ mod tests {
             per_op_ns: 0,
             adjacency_window: 0,
         });
-        let link = w.add_link(NetSpec { bw_bps: 100_000_000, latency_ns: 0, per_msg_ns: 0, discipline: Default::default() });
+        let link = w.add_link(NetSpec {
+            bw_bps: 100_000_000,
+            latency_ns: 0,
+            per_msg_ns: 0,
+            discipline: Default::default(),
+        });
         w.begin_op(SEC);
         w.charge_disk(disk, 0, 50_000_000, false); // +0.5 s
         w.charge_link(link, 100_000_000); // +1 s
@@ -244,7 +261,12 @@ mod tests {
     #[test]
     fn contention_visible_across_ops() {
         let w = SimWorld::new();
-        let link = w.add_link(NetSpec { bw_bps: 100_000_000, latency_ns: 0, per_msg_ns: 0, discipline: Default::default() });
+        let link = w.add_link(NetSpec {
+            bw_bps: 100_000_000,
+            latency_ns: 0,
+            per_msg_ns: 0,
+            discipline: Default::default(),
+        });
         // VM A occupies the pipe for 1 s starting at t=0.
         w.begin_op(0);
         w.charge_link(link, 100_000_000);
@@ -265,7 +287,10 @@ mod tests {
         assert_eq!(w.end_op(), 0);
         // Second VM probes at t=100 and must wait until 700.
         w.begin_op(100);
-        assert!(matches!(w.cache_probe(c, 1, 0), CacheOutcome::Hit { ready_at: 700 }));
+        assert!(matches!(
+            w.cache_probe(c, 1, 0),
+            CacheOutcome::Hit { ready_at: 700 }
+        ));
         assert_eq!(w.end_op(), 700);
     }
 
@@ -280,7 +305,12 @@ mod tests {
     #[test]
     fn bulk_ops_share_resource_state_with_op_clock() {
         let w = SimWorld::new();
-        let link = w.add_link(NetSpec { bw_bps: 100_000_000, latency_ns: 0, per_msg_ns: 0, discipline: Default::default() });
+        let link = w.add_link(NetSpec {
+            bw_bps: 100_000_000,
+            latency_ns: 0,
+            per_msg_ns: 0,
+            discipline: Default::default(),
+        });
         let done = w.bulk_transfer(link, 0, 100_000_000);
         assert_eq!(done, SEC);
         // An op issued at t=0 queues behind the bulk transfer.

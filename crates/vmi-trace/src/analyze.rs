@@ -59,7 +59,11 @@ pub fn summarize(trace: &BootTrace) -> TraceSummary {
         read_bytes,
         unique_read_bytes: unique,
         write_bytes: trace.write_bytes(),
-        mean_read_len: if read_ops == 0 { 0.0 } else { read_bytes as f64 / read_ops as f64 },
+        mean_read_len: if read_ops == 0 {
+            0.0
+        } else {
+            read_bytes as f64 / read_ops as f64
+        },
         total_think_ns: trace.total_think_ns(),
         reread_volume_fraction: if read_bytes == 0 {
             0.0
@@ -84,9 +88,24 @@ mod tests {
             seed: 0,
             final_think_ns: 0,
             ops: vec![
-                TraceOp { think_ns: 0, kind: OpKind::Read, offset: 0, len: 1000 },
-                TraceOp { think_ns: 0, kind: OpKind::Read, offset: 500, len: 1000 },
-                TraceOp { think_ns: 0, kind: OpKind::Write, offset: 0, len: 9999 },
+                TraceOp {
+                    think_ns: 0,
+                    kind: OpKind::Read,
+                    offset: 0,
+                    len: 1000,
+                },
+                TraceOp {
+                    think_ns: 0,
+                    kind: OpKind::Read,
+                    offset: 500,
+                    len: 1000,
+                },
+                TraceOp {
+                    think_ns: 0,
+                    kind: OpKind::Write,
+                    offset: 0,
+                    len: 9999,
+                },
             ],
         };
         assert_eq!(unique_read_bytes(&t), 1500);

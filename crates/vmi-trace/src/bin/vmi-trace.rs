@@ -50,7 +50,9 @@ fn usage() {
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 fn flag(rest: &[String], name: &str) -> Option<String> {
-    rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1).cloned())
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1).cloned())
 }
 
 fn pick_profile(rest: &[String]) -> Result<VmiProfile, Box<dyn std::error::Error>> {
@@ -66,7 +68,10 @@ fn pick_profile(rest: &[String]) -> Result<VmiProfile, Box<dyn std::error::Error
 
 fn cmd_generate(rest: &[String]) -> CliResult {
     let profile = pick_profile(rest)?;
-    let seed = flag(rest, "--seed").map(|s| s.parse()).transpose()?.unwrap_or(1);
+    let seed = flag(rest, "--seed")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(1);
     let trace = generate(&profile, seed);
     match flag(rest, "--out") {
         Some(path) => {
@@ -91,18 +96,36 @@ fn cmd_analyze(rest: &[String]) -> CliResult {
 fn print_summary(trace: &BootTrace) {
     let s = summarize(trace);
     println!("profile:           {}", s.profile);
-    println!("ops:               {} reads, {} writes", s.read_ops, s.write_ops);
-    println!("read volume:       {:.1} MB total", s.read_bytes as f64 / MIB as f64);
-    println!("unique reads:      {:.1} MB (the Table 1 metric)", s.unique_read_bytes as f64 / MIB as f64);
-    println!("write volume:      {:.1} MB", s.write_bytes as f64 / MIB as f64);
+    println!(
+        "ops:               {} reads, {} writes",
+        s.read_ops, s.write_ops
+    );
+    println!(
+        "read volume:       {:.1} MB total",
+        s.read_bytes as f64 / MIB as f64
+    );
+    println!(
+        "unique reads:      {:.1} MB (the Table 1 metric)",
+        s.unique_read_bytes as f64 / MIB as f64
+    );
+    println!(
+        "write volume:      {:.1} MB",
+        s.write_bytes as f64 / MIB as f64
+    );
     println!("mean read size:    {:.1} KiB", s.mean_read_len / 1024.0);
-    println!("re-read fraction:  {:.1} % of read volume", s.reread_volume_fraction * 100.0);
+    println!(
+        "re-read fraction:  {:.1} % of read volume",
+        s.reread_volume_fraction * 100.0
+    );
     println!("guest think time:  {:.1} s", s.total_think_ns as f64 / 1e9);
 }
 
 fn cmd_table1(rest: &[String]) -> CliResult {
-    let seed = flag(rest, "--seed").map(|s| s.parse()).transpose()?.unwrap_or(1);
-    println!("{:<22} {}", "VMI", "Size of unique reads");
+    let seed = flag(rest, "--seed")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(1);
+    println!("{:<22} Size of unique reads", "VMI");
     for p in VmiProfile::paper_profiles() {
         let trace = generate(&p, seed);
         let unique = vmi_trace::unique_read_bytes(&trace);

@@ -61,17 +61,20 @@ pub fn generate(profile: &VmiProfile, seed: u64) -> BootTrace {
         // Re-read already-touched data?
         if !history.is_empty() && rng.gen_bool(profile.reread_fraction) {
             let &(off, len) = &history[rng.gen_range(0..history.len())];
-            ops.push(TraceOp { think_ns: 0, kind: OpKind::Read, offset: off, len });
+            ops.push(TraceOp {
+                think_ns: 0,
+                kind: OpKind::Read,
+                offset: off,
+                len,
+            });
             continue;
         }
         // Fresh read: maybe jump to a different region / start a new run.
-        let new_run =
-            regions[current_region].remaining() == 0 || !rng.gen_bool(profile.seq_prob);
+        let new_run = regions[current_region].remaining() == 0 || !rng.gen_bool(profile.seq_prob);
         if new_run {
             // Directory locality: most new runs stay in the current region;
             // only some jump elsewhere on the disk.
-            if regions[current_region].remaining() == 0
-                || !rng.gen_bool(profile.region_stick_prob)
+            if regions[current_region].remaining() == 0 || !rng.gen_bool(profile.region_stick_prob)
             {
                 current_region = pick_region(&regions, &mut rng);
             }
@@ -95,7 +98,12 @@ pub fn generate(profile: &VmiProfile, seed: u64) -> BootTrace {
         region.frontier += len;
         covered += len;
         history.push((off, len as u32));
-        ops.push(TraceOp { think_ns: 0, kind: OpKind::Read, offset: off, len: len as u32 });
+        ops.push(TraceOp {
+            think_ns: 0,
+            kind: OpKind::Read,
+            offset: off,
+            len: len as u32,
+        });
     }
 
     // --- writes ----------------------------------------------------------
@@ -169,7 +177,11 @@ fn carve_regions(profile: &VmiProfile, rng: &mut StdRng) -> Vec<Region> {
         let len = align_down(((capacity as f64) * w / wsum) as u64).max(SECTOR * 64);
         let gap = align_down(rng.gen_range(0..=(slack / n as u64)));
         cursor += gap;
-        regions.push(Region { start: cursor, len, frontier: 0 });
+        regions.push(Region {
+            start: cursor,
+            len,
+            frontier: 0,
+        });
         cursor += len;
     }
     assert!(
@@ -215,8 +227,9 @@ fn interleave_writes(ops: &mut Vec<TraceOp>, writes: Vec<TraceOp>, rng: &mut Std
         return;
     }
     let half = ops.len() / 2;
-    let mut positions: Vec<usize> =
-        (0..writes.len()).map(|_| rng.gen_range(half..=ops.len())).collect();
+    let mut positions: Vec<usize> = (0..writes.len())
+        .map(|_| rng.gen_range(half..=ops.len()))
+        .collect();
     positions.sort_unstable();
     // Insert back-to-front so earlier indices stay valid.
     for (w, pos) in writes.into_iter().zip(positions.iter()).rev() {
@@ -230,7 +243,10 @@ fn distribute_think(ops: &mut [TraceOp], budget: u64, rng: &mut StdRng) {
     if ops.is_empty() || budget == 0 {
         return;
     }
-    let weights: Vec<f64> = ops.iter().map(|_| -f64::ln(1.0 - rng.gen::<f64>())).collect();
+    let weights: Vec<f64> = ops
+        .iter()
+        .map(|_| -f64::ln(1.0 - rng.gen::<f64>()))
+        .collect();
     let wsum: f64 = weights.iter().sum();
     let mut assigned = 0u64;
     for (op, w) in ops.iter_mut().zip(&weights) {
@@ -344,6 +360,9 @@ mod tests {
         let p = VmiProfile::tiny_test();
         let t = generate(&p, 13);
         let first_write = t.ops.iter().position(|o| o.kind == OpKind::Write).unwrap();
-        assert!(first_write >= t.read_ops() / 4, "writes must not lead the boot");
+        assert!(
+            first_write >= t.read_ops() / 4,
+            "writes must not lead the boot"
+        );
     }
 }

@@ -103,9 +103,24 @@ mod tests {
             seed: 7,
             final_think_ns: 1_000,
             ops: vec![
-                TraceOp { think_ns: 10, kind: OpKind::Read, offset: 0, len: 4096 },
-                TraceOp { think_ns: 20, kind: OpKind::Write, offset: 8192, len: 512 },
-                TraceOp { think_ns: 30, kind: OpKind::Read, offset: 4096, len: 8192 },
+                TraceOp {
+                    think_ns: 10,
+                    kind: OpKind::Read,
+                    offset: 0,
+                    len: 4096,
+                },
+                TraceOp {
+                    think_ns: 20,
+                    kind: OpKind::Write,
+                    offset: 8192,
+                    len: 512,
+                },
+                TraceOp {
+                    think_ns: 30,
+                    kind: OpKind::Read,
+                    offset: 4096,
+                    len: 8192,
+                },
             ],
         }
     }

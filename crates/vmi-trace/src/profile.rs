@@ -129,7 +129,11 @@ impl VmiProfile {
 
     /// All three paper profiles, in Table 1 order.
     pub fn paper_profiles() -> Vec<Self> {
-        vec![Self::centos_6_3(), Self::debian_6_0_7(), Self::windows_server_2012()]
+        vec![
+            Self::centos_6_3(),
+            Self::debian_6_0_7(),
+            Self::windows_server_2012(),
+        ]
     }
 
     /// Restoring a suspended VM from a memory snapshot (§8 future work:
@@ -146,9 +150,18 @@ impl VmiProfile {
             total_think_ns: 5 * SEC / 2, // device re-init, page-table fixup
             tail_think_fraction: 0.3,
             read_sizes: vec![
-                SizeWeight { len: 256 * 1024, weight: 50 },
-                SizeWeight { len: 512 * 1024, weight: 30 },
-                SizeWeight { len: 1024 * 1024, weight: 20 },
+                SizeWeight {
+                    len: 256 * 1024,
+                    weight: 50,
+                },
+                SizeWeight {
+                    len: 512 * 1024,
+                    weight: 30,
+                },
+                SizeWeight {
+                    len: 1024 * 1024,
+                    weight: 20,
+                },
             ],
             write_sizes: default_write_sizes(),
             seq_prob: 0.97,
@@ -182,20 +195,44 @@ impl VmiProfile {
 /// Boot reads are small: mostly 4–32 KiB with a modest 64 KiB tail.
 fn default_read_sizes() -> Vec<SizeWeight> {
     vec![
-        SizeWeight { len: 4 * 1024, weight: 40 },
-        SizeWeight { len: 8 * 1024, weight: 22 },
-        SizeWeight { len: 16 * 1024, weight: 18 },
-        SizeWeight { len: 32 * 1024, weight: 12 },
-        SizeWeight { len: 64 * 1024, weight: 8 },
+        SizeWeight {
+            len: 4 * 1024,
+            weight: 40,
+        },
+        SizeWeight {
+            len: 8 * 1024,
+            weight: 22,
+        },
+        SizeWeight {
+            len: 16 * 1024,
+            weight: 18,
+        },
+        SizeWeight {
+            len: 32 * 1024,
+            weight: 12,
+        },
+        SizeWeight {
+            len: 64 * 1024,
+            weight: 8,
+        },
     ]
 }
 
 /// Boot writes: small log/temp appends.
 fn default_write_sizes() -> Vec<SizeWeight> {
     vec![
-        SizeWeight { len: 4 * 1024, weight: 50 },
-        SizeWeight { len: 8 * 1024, weight: 30 },
-        SizeWeight { len: 16 * 1024, weight: 20 },
+        SizeWeight {
+            len: 4 * 1024,
+            weight: 50,
+        },
+        SizeWeight {
+            len: 8 * 1024,
+            weight: 30,
+        },
+        SizeWeight {
+            len: 16 * 1024,
+            weight: 20,
+        },
     ]
 }
 

@@ -37,7 +37,10 @@ impl RangeSet {
         }
         touching.extend(
             self.ranges
-                .range((std::ops::Bound::Excluded(start), std::ops::Bound::Included(end)))
+                .range((
+                    std::ops::Bound::Excluded(start),
+                    std::ops::Bound::Included(end),
+                ))
                 .map(|(&rs, _)| rs),
         );
         let mut new_start = start;

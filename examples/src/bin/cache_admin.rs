@@ -23,7 +23,8 @@ fn main() {
     let base = Arc::new(FileDev::create(path("base.raw")).expect("create base"));
     base.set_len(256 << 20).unwrap();
     for i in 0..32u8 {
-        base.write_at(&[i + 1; 64 * 1024], (i as u64) * (4 << 20)).unwrap();
+        base.write_at(&[i + 1; 64 * 1024], (i as u64) * (4 << 20))
+            .unwrap();
     }
     base.flush().unwrap();
 
@@ -38,7 +39,14 @@ fn main() {
 
     let quota = 4 << 20; // deliberately small: we want to hit the space error
     let cow = create_cached_chain(
-        &ns, "base.raw", "cache.img", cache_dev, cow_dev, 256 << 20, quota, 9,
+        &ns,
+        "base.raw",
+        "cache.img",
+        cache_dev,
+        cow_dev,
+        256 << 20,
+        quota,
+        9,
     )
     .expect("chain builds");
 
@@ -46,13 +54,20 @@ fn main() {
     let mut buf = vec![0u8; 64 * 1024];
     for i in 0..32u64 {
         cow.read_at(&mut buf, i * (4 << 20)).unwrap();
-        assert_eq!(buf[0], i as u8 + 1, "data must be correct through the chain");
+        assert_eq!(
+            buf[0],
+            i as u8 + 1,
+            "data must be correct through the chain"
+        );
     }
     cow.write_at(b"guest-visible write", 200 << 20).unwrap();
 
     let cache = cow.backing().unwrap();
     println!("after reading 2 MiB past a {} MiB quota:", quota >> 20);
-    println!("  cache fill latched off: {}\n", !cache.describe().is_empty());
+    println!(
+        "  cache fill latched off: {}\n",
+        !cache.describe().is_empty()
+    );
 
     drop(cow); // close chain, persist cache accounting
 
@@ -70,7 +85,11 @@ fn main() {
         );
         let extents = map(&img).expect("map");
         let mapped_here = extents.iter().filter(|e| e.depth == Some(0)).count();
-        println!("map: {} extents, {} served by this layer\n", extents.len(), mapped_here);
+        println!(
+            "map: {} extents, {} served by this layer\n",
+            extents.len(),
+            mapped_here
+        );
     }
 
     // 5. Verify the warm chain still reads correctly from disk files.

@@ -13,7 +13,10 @@ use vmi_sim::NetSpec;
 use vmi_trace::VmiProfile;
 
 fn main() {
-    let count = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400usize);
+    let count = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400usize);
     let profile = VmiProfile::tiny_test();
     let vmis = 6;
     let requests = generate_requests(7, count, vmis, 1_500_000_000, 30_000_000_000);
@@ -38,13 +41,18 @@ fn main() {
         cache_aware: false,
         policy: Policy::Striping,
         seed: 7,
+        recorder: Default::default(),
     };
     for (label, use_caches, aware) in [
         ("QCOW2 (no caches)", false, false),
         ("caches + oblivious sched", true, false),
         ("caches + cache-aware sched", true, true),
     ] {
-        let cfg = CloudConfig { use_caches, cache_aware: aware, ..base.clone() };
+        let cfg = CloudConfig {
+            use_caches,
+            cache_aware: aware,
+            ..base.clone()
+        };
         let rep = run_cloud(&cfg, &requests).expect("cloud runs");
         println!(
             "{label:<28} {:>8.2} s {:>7.2} s {:>11} {:>10} {:>6.0} MB",

@@ -12,8 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vmi_cluster::{
-    choose_chain, ChainPlan, NodeState, Policy, Scheduler, StorageCacheLocation,
-    StorageCacheState,
+    choose_chain, ChainPlan, NodeState, Policy, Scheduler, StorageCacheLocation, StorageCacheState,
 };
 
 const NODES: usize = 16;
@@ -26,15 +25,20 @@ const CACHE_SIZES: &[(&str, u64)] = &[
 ];
 
 fn cache_size(vmi: &str) -> u64 {
-    CACHE_SIZES.iter().find(|(n, _)| *n == vmi).map(|(_, s)| *s).unwrap_or(100)
+    CACHE_SIZES
+        .iter()
+        .find(|(n, _)| *n == vmi)
+        .map(|(_, s)| *s)
+        .unwrap_or(100)
 }
 
 /// One simulated day of VM placements; returns (warm hits, total placements,
 /// evictions).
 fn simulate(cache_aware: bool, seed: u64) -> (usize, usize, usize) {
     let sched = Scheduler::new(Policy::Striping, cache_aware);
-    let mut nodes: Vec<NodeState> =
-        (0..NODES).map(|i| NodeState::new(i, 4, NODE_CACHE_SPACE)).collect();
+    let mut nodes: Vec<NodeState> = (0..NODES)
+        .map(|i| NodeState::new(i, 4, NODE_CACHE_SPACE))
+        .collect();
     let mut storage = StorageCacheState::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut clock = 0u64;
@@ -47,7 +51,11 @@ fn simulate(cache_aware: bool, seed: u64) -> (usize, usize, usize) {
         requests.resize(rng.gen_range(2..6), "webapp-frontend");
         requests.push("webapp-backend");
         for _ in 0..rng.gen_range(1..4) {
-            requests.push(if rng.gen_bool(0.5) { "tenant-batch" } else { "tenant-ci" });
+            requests.push(if rng.gen_bool(0.5) {
+                "tenant-batch"
+            } else {
+                "tenant-ci"
+            });
         }
         for vmi in requests {
             clock += 1;
@@ -64,14 +72,15 @@ fn simulate(cache_aware: bool, seed: u64) -> (usize, usize, usize) {
                 let plan = choose_chain(&mut node.caches, &storage, vmi, clock);
                 match plan {
                     ChainPlan::UseLocalCache => hits += 1,
-                    ChainPlan::ChainToStorageCache { .. }
-                    | ChainPlan::CreateLocalCache { .. } => {
+                    ChainPlan::ChainToStorageCache { .. } | ChainPlan::CreateLocalCache { .. } => {
                         if let Ok(evicted) = node.caches.admit(vmi, cache_size(vmi), clock) {
                             evictions += evicted.len();
                         }
                         if matches!(
                             plan,
-                            ChainPlan::CreateLocalCache { transfer_to_storage_on_shutdown: true }
+                            ChainPlan::CreateLocalCache {
+                                transfer_to_storage_on_shutdown: true
+                            }
                         ) {
                             storage.set(vmi, StorageCacheLocation::Memory);
                         }

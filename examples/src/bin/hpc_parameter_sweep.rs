@@ -21,8 +21,14 @@ fn main() {
     let quota = 120 * MIB;
     let store = WarmStore::new();
 
-    println!("parameter sweep: {workers} worker VMs from one {} VMI over 1GbE\n", profile.name);
-    println!("{:<22} {:>12} {:>14} {:>16}", "deployment", "mean boot", "slowest boot", "storage traffic");
+    println!(
+        "parameter sweep: {workers} worker VMs from one {} VMI over 1GbE\n",
+        profile.name
+    );
+    println!(
+        "{:<22} {:>12} {:>14} {:>16}",
+        "deployment", "mean boot", "slowest boot", "storage traffic"
+    );
 
     let single = run(&store, &profile, 1, Mode::Qcow2);
     let base = single.stats.mean_secs();
@@ -31,11 +37,19 @@ fn main() {
         ("QCOW2 (state of art)", Mode::Qcow2),
         (
             "cold VMI caches",
-            Mode::ColdCache { placement: Placement::ComputeMem, quota, cluster_bits: 9 },
+            Mode::ColdCache {
+                placement: Placement::ComputeMem,
+                quota,
+                cluster_bits: 9,
+            },
         ),
         (
             "warm VMI caches",
-            Mode::WarmCache { placement: Placement::ComputeDisk, quota, cluster_bits: 9 },
+            Mode::WarmCache {
+                placement: Placement::ComputeDisk,
+                quota,
+                cluster_bits: 9,
+            },
         ),
     ] {
         let out = run(&store, &profile, workers, mode);
@@ -66,6 +80,7 @@ fn run(
         mode,
         seed: 42,
         warm_store: Some(store.clone()),
+        recorder: Default::default(),
     })
     .expect("experiment runs")
 }

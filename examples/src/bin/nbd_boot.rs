@@ -22,15 +22,16 @@ fn main() {
     // --- storage node: serve the base VMI over NBD -----------------------
     let server = NbdServer::start("127.0.0.1:0").expect("bind");
     let base = Arc::new(MemDev::from_vec(
-        (0..profile.virtual_size as usize).map(|i| (i % 251) as u8).collect(),
+        (0..profile.virtual_size as usize)
+            .map(|i| (i % 251) as u8)
+            .collect(),
     ));
     server.add_export("centos-base", base, true);
     println!("storage node: serving 'centos-base' on {}", server.addr());
 
     // --- compute node: attach and build the cached chain -----------------
-    let remote_base: SharedDev = Arc::new(
-        NbdClient::connect(&server.addr().to_string(), "centos-base").expect("attach"),
-    );
+    let remote_base: SharedDev =
+        Arc::new(NbdClient::connect(&server.addr().to_string(), "centos-base").expect("attach"));
     println!(
         "compute node: attached, {} MiB, read-only: {}",
         remote_base.len() >> 20,
@@ -71,7 +72,10 @@ fn main() {
     replay(&trace, cow2.as_ref());
     let reqs_warm = server.served_requests() - reqs_cold;
     println!("warm boot : {reqs_warm} NBD requests");
-    assert!(reqs_warm * 50 < reqs_cold, "warm boot must be ~silent on the wire");
+    assert!(
+        reqs_warm * 50 < reqs_cold,
+        "warm boot must be ~silent on the wire"
+    );
     println!("\nthe second boot never touched the storage node — that is the paper,");
     println!("running over a real network block protocol.");
 }

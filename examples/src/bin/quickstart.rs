@@ -46,17 +46,28 @@ fn main() {
 
     replay(&trace, cow.as_ref());
     let cold_traffic = base.stats().snapshot().read_bytes;
-    println!("cold boot : {:>8.2} MiB fetched from base", mib(cold_traffic));
+    println!(
+        "cold boot : {:>8.2} MiB fetched from base",
+        mib(cold_traffic)
+    );
     let cache = cow.backing().unwrap();
     println!("cache     : {}", cache.describe());
     drop(cow); // closes the chain; the cache persists its used size
 
     // ---- warm boot: fresh CoW over the existing cache -------------------
-    let cow2 = create_cow_over_cache(&ns, "cache.img", Arc::new(SparseDev::new()), profile.virtual_size)
-        .expect("warm chain builds");
+    let cow2 = create_cow_over_cache(
+        &ns,
+        "cache.img",
+        Arc::new(SparseDev::new()),
+        profile.virtual_size,
+    )
+    .expect("warm chain builds");
     replay(&trace, cow2.as_ref());
     let warm_traffic = base.stats().snapshot().read_bytes - cold_traffic;
-    println!("warm boot : {:>8.2} MiB fetched from base", mib(warm_traffic));
+    println!(
+        "warm boot : {:>8.2} MiB fetched from base",
+        mib(warm_traffic)
+    );
 
     // Inspect the cache image like `qemu-img info` would.
     let cache_img = vmi_qcow::open_chain(&ns, "cache.img", true).expect("cache opens");
@@ -67,10 +78,17 @@ fn main() {
         "check: {} L2 tables, {} data clusters, {}",
         report.l2_tables,
         report.data_clusters,
-        if report.is_clean() { "clean" } else { "CORRUPT" }
+        if report.is_clean() {
+            "clean"
+        } else {
+            "CORRUPT"
+        }
     );
 
-    assert!(warm_traffic < cold_traffic / 50, "warm boot must avoid the base");
+    assert!(
+        warm_traffic < cold_traffic / 50,
+        "warm boot must avoid the base"
+    );
     let factor = cold_traffic.checked_div(warm_traffic).unwrap_or(u64::MAX);
     println!("\nwarm boot used {factor}x less remote I/O — that is the paper's point.");
 }

@@ -1,0 +1,112 @@
+//! Minimal workspace-local stand-in for the `bytes` crate.
+//!
+//! Implements just the [`Buf`]/[`BufMut`] surface this repository uses:
+//! big-endian integer cursors over `&[u8]` and `Vec<u8>`.
+
+/// Read cursor over a byte slice. All integer getters are big-endian, like
+/// the real `bytes` crate defaults.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        let n = dst.len();
+        dst.copy_from_slice(&self.chunk()[..n]);
+        self.advance(n);
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor appending big-endian integers.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut out = Vec::new();
+        out.put_u16(0xBEEF);
+        out.put_u32(0xDEAD_BEEF);
+        out.put_u64(0x0123_4567_89AB_CDEF);
+        assert_eq!(out.len(), 14);
+        let mut b: &[u8] = &out;
+        assert_eq!(b.get_u16(), 0xBEEF);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_skips() {
+        let data = [1u8, 2, 3, 4];
+        let mut b: &[u8] = &data;
+        b.advance(2);
+        assert_eq!(b.get_u8(), 3);
+    }
+}

@@ -1,0 +1,279 @@
+//! Minimal workspace-local stand-in for the `criterion` crate.
+//!
+//! A functioning (if simple) wall-clock benchmark harness covering the API
+//! this repository's benches use: groups, throughput annotation,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `Bencher::iter_batched`, and the `criterion_group!` / `criterion_main!`
+//! macros. Measurements auto-calibrate the iteration count, take several
+//! samples, and report the median ns/iter (plus derived throughput); there
+//! is no statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identity function that defeats constant propagation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; the shim measures per-batch either way.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// A named set of related measurements.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let ns = b.median_ns_per_iter();
+        let mut line = format!("{}/{:<28} time: {}", self.name, id.id, fmt_ns(ns));
+        if let Some(t) = self.throughput {
+            match t {
+                Throughput::Bytes(bytes) if ns > 0.0 => {
+                    let mib_s = bytes as f64 / (ns / 1e9) / (1024.0 * 1024.0);
+                    line.push_str(&format!("  thrpt: {mib_s:.1} MiB/s"));
+                }
+                Throughput::Elements(n) if ns > 0.0 => {
+                    let elem_s = n as f64 / (ns / 1e9);
+                    line.push_str(&format!("  thrpt: {elem_s:.0} elem/s"));
+                }
+                _ => {}
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns_per_iter: Vec<f64>,
+}
+
+/// Target time for a single calibrated sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(8);
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            samples_ns_per_iter: Vec::new(),
+        }
+    }
+
+    /// Time the routine itself, auto-scaling the iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        // Calibrate: find an iteration count filling the sample target.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = start.elapsed();
+            if dt >= SAMPLE_TARGET / 4 || iters >= 1 << 22 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 22);
+        }
+        for _ in 0..self.sample_size.min(10) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = start.elapsed();
+            self.samples_ns_per_iter
+                .push(dt.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time the routine with per-batch setup excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let batches = self.sample_size.clamp(3, 10);
+        for _ in 0..batches {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let dt = start.elapsed();
+            self.samples_ns_per_iter.push(dt.as_nanos() as f64);
+        }
+    }
+
+    fn median_ns_per_iter(&self) -> f64 {
+        if self.samples_ns_per_iter.is_empty() {
+            return 0.0;
+        }
+        let mut s = self.samples_ns_per_iter.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2]
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_and_batched_produce_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_self_test");
+        g.throughput(Throughput::Bytes(64));
+        g.sample_size(5);
+        g.bench_function("iter", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x
+            })
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(42u32), &42u32, |b, &n| {
+            b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

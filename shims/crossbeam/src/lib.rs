@@ -1,0 +1,55 @@
+//! Minimal workspace-local stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used in this repository; it maps onto
+//! `std::thread::scope` (stable since 1.63), preserving the crossbeam calling
+//! convention where spawn closures receive a `&Scope` argument and `scope`
+//! returns a `Result`.
+
+pub mod thread {
+    /// Scope handle passed to `scope` and to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing spawns are allowed; joins all
+    /// spawned threads before returning. Panics in children propagate (the
+    /// real crossbeam returns them as `Err`; this repo always `.unwrap()`s
+    /// the result, so propagation is equivalent).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let total = AtomicU64::new(0);
+        super::thread::scope(|s| {
+            for i in 0..4u64 {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 6);
+    }
+}

@@ -3,9 +3,7 @@
 use std::sync::Arc;
 
 use vmi_blockdev::{BlockDev, CountingDev, SparseDev};
-use vmi_cluster::{
-    run_experiment, ExperimentConfig, Mode, Placement, WarmStore,
-};
+use vmi_cluster::{run_experiment, ExperimentConfig, Mode, Placement, WarmStore};
 use vmi_qcow::{create_cached_chain, create_cow_over_cache, MapResolver};
 use vmi_sim::NetSpec;
 use vmi_trace::{OpKind, VmiProfile};
@@ -19,6 +17,7 @@ fn tiny_cfg(nodes: usize, vmis: usize, mode: Mode, net: NetSpec) -> ExperimentCo
         mode,
         seed: 11,
         warm_store: Some(WarmStore::new()),
+        recorder: Default::default(),
     }
 }
 
@@ -30,7 +29,9 @@ fn cold_boot_then_warm_boot_through_shared_namespace() {
     let profile = VmiProfile::tiny_test();
     let trace = vmi_trace::generate(&profile, 3);
     let ns = MapResolver::new();
-    let base = Arc::new(CountingDev::new(Arc::new(SparseDev::with_len(profile.virtual_size))));
+    let base = Arc::new(CountingDev::new(Arc::new(SparseDev::with_len(
+        profile.virtual_size,
+    ))));
     ns.insert("base", base.clone());
     let cache_dev = ns.create_mem("cache");
 
@@ -54,8 +55,13 @@ fn cold_boot_then_warm_boot_through_shared_namespace() {
 
     // Boot 2: warm — a new CoW over the persisted cache; base untouched.
     {
-        let cow = create_cow_over_cache(&ns, "cache", Arc::new(SparseDev::new()), profile.virtual_size)
-            .unwrap();
+        let cow = create_cow_over_cache(
+            &ns,
+            "cache",
+            Arc::new(SparseDev::new()),
+            profile.virtual_size,
+        )
+        .unwrap();
         replay(&trace, cow.as_ref());
     }
     // Opening the chain probes the base's header (48 B) to detect its
@@ -74,7 +80,11 @@ fn storage_traffic_ordering_across_modes() {
     let warm = run_experiment(&tiny_cfg(
         2,
         1,
-        Mode::WarmCache { placement: Placement::ComputeDisk, quota: QUOTA, cluster_bits: 9 },
+        Mode::WarmCache {
+            placement: Placement::ComputeDisk,
+            quota: QUOTA,
+            cluster_bits: 9,
+        },
         net,
     ))
     .unwrap();
@@ -82,7 +92,11 @@ fn storage_traffic_ordering_across_modes() {
     let cold64 = run_experiment(&tiny_cfg(
         2,
         1,
-        Mode::ColdCache { placement: Placement::ComputeMem, quota: QUOTA, cluster_bits: 16 },
+        Mode::ColdCache {
+            placement: Placement::ComputeMem,
+            quota: QUOTA,
+            cluster_bits: 16,
+        },
         net,
     ))
     .unwrap();
@@ -94,8 +108,11 @@ fn storage_traffic_ordering_across_modes() {
 fn single_vmi_scaling_is_flat_with_warm_caches() {
     // The headline claim: warm-cached simultaneous startups cost what one
     // costs. Mean boot time at N nodes within 2 % of 1 node.
-    let mode =
-        Mode::WarmCache { placement: Placement::ComputeDisk, quota: QUOTA, cluster_bits: 9 };
+    let mode = Mode::WarmCache {
+        placement: Placement::ComputeDisk,
+        quota: QUOTA,
+        cluster_bits: 9,
+    };
     let one = run_experiment(&tiny_cfg(1, 1, mode, NetSpec::gbe_1())).unwrap();
     let many = run_experiment(&tiny_cfg(4, 1, mode, NetSpec::gbe_1())).unwrap();
     let ratio = many.stats.mean_secs() / one.stats.mean_secs();
@@ -114,18 +131,27 @@ fn many_vmis_hurt_qcow2_but_not_warm_caches() {
         q4.stats.mean_secs(),
         q1.stats.mean_secs()
     );
-    let mode =
-        Mode::WarmCache { placement: Placement::ComputeDisk, quota: QUOTA, cluster_bits: 9 };
+    let mode = Mode::WarmCache {
+        placement: Placement::ComputeDisk,
+        quota: QUOTA,
+        cluster_bits: 9,
+    };
     let w4 = run_experiment(&tiny_cfg(4, 4, mode, net)).unwrap();
     let w1 = run_experiment(&tiny_cfg(4, 1, mode, net)).unwrap();
     let ratio = w4.stats.mean_secs() / w1.stats.mean_secs();
-    assert!((0.9..1.1).contains(&ratio), "warm boots must not care about #VMIs: {ratio}");
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "warm boots must not care about #VMIs: {ratio}"
+    );
 }
 
 #[test]
 fn storage_mem_cold_flow_charges_transfer_to_creator() {
-    let mode =
-        Mode::ColdCache { placement: Placement::StorageMem, quota: QUOTA, cluster_bits: 9 };
+    let mode = Mode::ColdCache {
+        placement: Placement::StorageMem,
+        quota: QUOTA,
+        cluster_bits: 9,
+    };
     let out = run_experiment(&tiny_cfg(4, 1, mode, NetSpec::ib_32g())).unwrap();
     // Node 0 creates + transfers; its boot is the longest.
     let creator = out.outcomes[0];

@@ -28,7 +28,14 @@ fn base_read_error_propagates_without_corrupting_cache() {
     ns.insert("base", faulty.clone() as SharedDev);
     let cache_dev = ns.create_mem("cache");
     let cow = create_cached_chain(
-        &ns, "base", "cache", cache_dev, Arc::new(MemDev::new()), VSIZE, 2 << 20, 9,
+        &ns,
+        "base",
+        "cache",
+        cache_dev,
+        Arc::new(MemDev::new()),
+        VSIZE,
+        2 << 20,
+        9,
     )
     .unwrap();
 
@@ -42,8 +49,10 @@ fn base_read_error_propagates_without_corrupting_cache() {
     faulty.clear();
     cow.read_at(&mut buf, 1 << 20).unwrap();
     let cache = cow.backing().unwrap();
-    let cache_img =
-        cache.as_any().and_then(|a| a.downcast_ref::<QcowImage>()).expect("cache layer");
+    let cache_img = cache
+        .as_any()
+        .and_then(|a| a.downcast_ref::<QcowImage>())
+        .expect("cache layer");
     let rep = vmi_qcow::check(cache_img).unwrap();
     assert!(rep.is_clean(), "{:?}", rep.errors);
 }
@@ -69,7 +78,11 @@ fn cache_container_write_error_surfaces_on_fill() {
     )
     .unwrap();
     // Arm after creation so header/L1 writes succeed.
-    container.inject(FaultPlan::NthOp { site: FaultSite::Write, n: 0, kind: BlockErrorKind::Io });
+    container.inject(FaultPlan::NthOp {
+        site: FaultSite::Write,
+        n: 0,
+        kind: BlockErrorKind::Io,
+    });
     let mut buf = [0u8; 512];
     let err = cow.read_at(&mut buf, 0).unwrap_err();
     assert_eq!(err.kind(), BlockErrorKind::Io);
@@ -80,7 +93,10 @@ fn cache_container_write_error_surfaces_on_fill() {
 #[test]
 fn truncated_header_is_rejected() {
     let dev = Arc::new(MemDev::new());
-    QcowImage::create(dev.clone(), CreateOpts::plain(VSIZE), None).unwrap().close().unwrap();
+    QcowImage::create(dev.clone(), CreateOpts::plain(VSIZE), None)
+        .unwrap()
+        .close()
+        .unwrap();
     let mut head = vec![0u8; 32];
     dev.read_at(&mut head, 0).unwrap();
     let truncated: SharedDev = Arc::new(MemDev::from_vec(head));
@@ -98,7 +114,8 @@ fn corrupted_l1_entry_is_rejected_at_open() {
     }
     let header = Header::decode(dev.as_ref() as &dyn BlockDev).unwrap();
     // Smash the first L1 entry with a non-cluster-aligned offset.
-    dev.write_at(&0xdead_beefu64.to_be_bytes(), header.l1_table_offset).unwrap();
+    dev.write_at(&0xdead_beefu64.to_be_bytes(), header.l1_table_offset)
+        .unwrap();
     let err = QcowImage::open(dev, None, true).unwrap_err();
     assert_eq!(err.kind(), BlockErrorKind::Corrupt);
 }
@@ -106,7 +123,10 @@ fn corrupted_l1_entry_is_rejected_at_open() {
 #[test]
 fn flipped_magic_is_rejected() {
     let dev = Arc::new(MemDev::new());
-    QcowImage::create(dev.clone(), CreateOpts::plain(VSIZE), None).unwrap().close().unwrap();
+    QcowImage::create(dev.clone(), CreateOpts::plain(VSIZE), None)
+        .unwrap()
+        .close()
+        .unwrap();
     dev.write_at(&[0u8; 4], 0).unwrap();
     assert!(QcowImage::open(dev, None, true).is_err());
 }
@@ -121,7 +141,14 @@ fn quota_exhaustion_is_graceful_not_an_error() {
     let g = vmi_qcow::Geometry::new(9, VSIZE).unwrap();
     let quota = g.cluster_size() + g.l1_table_bytes() + 20 * 512;
     let cow = create_cached_chain(
-        &ns, "base", "cache", cache_dev, Arc::new(MemDev::new()), VSIZE, quota, 9,
+        &ns,
+        "base",
+        "cache",
+        cache_dev,
+        Arc::new(MemDev::new()),
+        VSIZE,
+        quota,
+        9,
     )
     .unwrap();
     let mut buf = vec![0u8; 8192];
@@ -157,10 +184,14 @@ fn reread_after_partial_fill_failure_is_consistent() {
     .unwrap();
     // Fail the 5th container write: some clusters of the request fill, then
     // the request errors.
-    container.inject(FaultPlan::NthOp { site: FaultSite::Write, n: 4, kind: BlockErrorKind::Io });
+    container.inject(FaultPlan::NthOp {
+        site: FaultSite::Write,
+        n: 4,
+        kind: BlockErrorKind::Io,
+    });
     let mut buf = vec![0u8; 16384];
     let _ = cow.read_at(&mut buf, 0); // may fail; that's fine
-    // After the fault clears, every byte must still be correct.
+                                      // After the fault clears, every byte must still be correct.
     container.clear();
     cow.read_at(&mut buf, 0).unwrap();
     assert_eq!(&buf[..], &content[..16384]);

@@ -35,7 +35,14 @@ fn fig3_rises_with_vmis() {
 fn fig8_cold_on_disk_is_worst() {
     let f = fig8(S).unwrap();
     let at_max = |label: &str| {
-        f.series.iter().find(|s| s.label == label).unwrap().points.last().unwrap().y
+        f.series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap()
+            .points
+            .last()
+            .unwrap()
+            .y
     };
     assert!(at_max("Cold cache - on disk") > at_max("Cold cache - on mem"));
     assert!(at_max("Cold cache - on disk") > at_max("QCOW2"));
@@ -48,23 +55,56 @@ fn fig9_amplification_and_warm_decline() {
     let qcow = get("QCOW2").points.last().unwrap().y;
     let cold64 = get("Cold cache - cluster = 64KB").points.last().unwrap().y;
     let cold512 = get("Cold cache - cluster = 512B").points.last().unwrap().y;
-    assert!(cold64 > qcow, "64 KiB cold cache must amplify: {cold64} vs {qcow}");
-    assert!(cold512 <= qcow * 1.05, "512 B cold cache must not: {cold512} vs {qcow}");
+    assert!(
+        cold64 > qcow,
+        "64 KiB cold cache must amplify: {cold64} vs {qcow}"
+    );
+    assert!(
+        cold512 <= qcow * 1.05,
+        "512 B cold cache must not: {cold512} vs {qcow}"
+    );
     let warm = ys(get("Warm cache - cluster = 512B"));
-    assert!(warm.last().unwrap() < warm.first().unwrap(), "warm declines with quota");
+    assert!(
+        warm.last().unwrap() < warm.first().unwrap(),
+        "warm declines with quota"
+    );
 }
 
 #[test]
 fn fig10_warm_at_full_quota_beats_qcow2() {
     let (boot, tx) = fig10(S).unwrap();
-    let warm_boot =
-        boot.series.iter().find(|s| s.label.starts_with("Warm")).unwrap().points.last().unwrap().y;
-    let qcow_boot =
-        boot.series.iter().find(|s| s.label.starts_with("QCOW2")).unwrap().points.last().unwrap().y;
+    let warm_boot = boot
+        .series
+        .iter()
+        .find(|s| s.label.starts_with("Warm"))
+        .unwrap()
+        .points
+        .last()
+        .unwrap()
+        .y;
+    let qcow_boot = boot
+        .series
+        .iter()
+        .find(|s| s.label.starts_with("QCOW2"))
+        .unwrap()
+        .points
+        .last()
+        .unwrap()
+        .y;
     assert!(warm_boot <= qcow_boot);
-    let warm_tx =
-        tx.series.iter().find(|s| s.label.starts_with("Warm")).unwrap().points.last().unwrap().y;
-    assert!(warm_tx < 0.2, "full warm cache ~eliminates traffic: {warm_tx}");
+    let warm_tx = tx
+        .series
+        .iter()
+        .find(|s| s.label.starts_with("Warm"))
+        .unwrap()
+        .points
+        .last()
+        .unwrap()
+        .y;
+    assert!(
+        warm_tx < 0.2,
+        "full warm cache ~eliminates traffic: {warm_tx}"
+    );
 }
 
 #[test]
@@ -96,7 +136,10 @@ fn fig14_warm_avoids_disk_bottleneck() {
     assert!(warm.last().unwrap() < qcow.last().unwrap());
     let spread = warm.iter().cloned().fold(f64::MIN, f64::max)
         / warm.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(spread < 1.1, "warm storage-mem line ~flat over IB: {warm:?}");
+    assert!(
+        spread < 1.1,
+        "warm storage-mem line ~flat over IB: {warm:?}"
+    );
 }
 
 #[test]
