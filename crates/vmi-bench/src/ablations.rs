@@ -398,6 +398,7 @@ pub fn cloud_day(scale: Scale) -> Result<TableData> {
         cache_aware: false,
         policy: Policy::Striping,
         seed: 7,
+        node_failures: vec![],
         recorder: Default::default(),
     };
     let mut rows = Vec::new();

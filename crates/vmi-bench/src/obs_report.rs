@@ -30,6 +30,16 @@ pub struct ReplaySummary {
     pub evictions: u64,
     /// `sched_place` events.
     pub placements: u64,
+    /// `retry_attempt` events.
+    pub retries: u64,
+    /// `cache_degraded` events.
+    pub degradations: u64,
+    /// `scrub_result` events.
+    pub scrubs: u64,
+    /// `node_failed` events.
+    pub node_failures: u64,
+    /// `boot_rescheduled` events.
+    pub reschedules: u64,
 }
 
 /// Replay parsed `(timestamp, event)` pairs into a [`ReplaySummary`].
@@ -49,6 +59,11 @@ pub fn replay(events: &[(u64, Event)]) -> ReplaySummary {
             Event::CacheEvict { .. } => s.evictions += 1,
             Event::SchedPlace { .. } => s.placements += 1,
             Event::BootPhase { .. } => {}
+            Event::RetryAttempt { .. } => s.retries += 1,
+            Event::CacheDegraded { .. } => s.degradations += 1,
+            Event::ScrubResult { .. } => s.scrubs += 1,
+            Event::NodeFailed { .. } => s.node_failures += 1,
+            Event::BootRescheduled { .. } => s.reschedules += 1,
         }
     }
     s
@@ -88,6 +103,10 @@ impl ReplaySummary {
             && self.fill_bytes == t.fill_bytes
             && self.space_errors == t.space_errors
             && self.evictions == t.evictions
+            && self.retries == t.retry_attempts
+            && self.degradations == t.caches_degraded
+            && self.node_failures == t.node_failures
+            && self.reschedules == t.boots_rescheduled
     }
 }
 
@@ -99,6 +118,18 @@ pub fn render_telemetry(t: &Telemetry) -> String {
     out.push_str(&format!("{:<22} {}\n", "fill bytes", t.fill_bytes));
     out.push_str(&format!("{:<22} {}\n", "space errors", t.space_errors));
     out.push_str(&format!("{:<22} {}\n", "evictions", t.evictions));
+    if t.retry_attempts + t.caches_degraded + t.node_failures + t.boots_rescheduled > 0 {
+        out.push_str(&format!("{:<22} {}\n", "retry attempts", t.retry_attempts));
+        out.push_str(&format!(
+            "{:<22} {}\n",
+            "caches degraded", t.caches_degraded
+        ));
+        out.push_str(&format!("{:<22} {}\n", "node failures", t.node_failures));
+        out.push_str(&format!(
+            "{:<22} {}\n",
+            "boots rescheduled", t.boots_rescheduled
+        ));
+    }
     if let (Some(p50), Some(p99)) = (t.p50_op_ns, t.p99_op_ns) {
         out.push_str(&format!("{:<22} {} ns\n", "p50 op latency", p50));
         out.push_str(&format!("{:<22} {} ns\n", "p99 op latency", p99));

@@ -2,10 +2,16 @@
 //!
 //! The cache read path must degrade gracefully when the cache fill fails
 //! mid-boot (quota space errors are the designed case; transient I/O errors
-//! the undesigned one). [`FaultDev`] lets tests fail the Nth read or write
-//! deterministically, or fail every operation touching a byte range.
+//! the undesigned one). [`FaultDev`] lets tests fail the Nth read, write or
+//! flush deterministically, fail every operation touching a byte range, or
+//! model flaky media: every-Nth failures, K-consecutive-failures-then-
+//! recover, and seeded probabilistic faults. All plans are deterministic —
+//! the probabilistic plan draws from a seeded [`rand::rngs::StdRng`], so the
+//! same seed reproduces the same fault sequence.
 
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::{BlockDev, BlockError, BlockErrorKind, ByteRange, Result, SharedDev};
 
@@ -16,8 +22,31 @@ pub enum FaultSite {
     Read,
     /// Fail writes only.
     Write,
-    /// Fail both reads and writes.
+    /// Fail flushes only (models a torn cache flush at VM shutdown).
+    Flush,
+    /// Fail reads, writes and flushes alike.
     Any,
+}
+
+/// Operation class of one call into the device (the thing a [`FaultSite`]
+/// filter is matched against).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Read,
+    Write,
+    Flush,
+}
+
+impl FaultSite {
+    fn matches(self, op: OpClass) -> bool {
+        matches!(
+            (self, op),
+            (FaultSite::Any, _)
+                | (FaultSite::Read, OpClass::Read)
+                | (FaultSite::Write, OpClass::Write)
+                | (FaultSite::Flush, OpClass::Flush)
+        )
+    }
 }
 
 /// A programmed fault.
@@ -33,7 +62,8 @@ pub enum FaultPlan {
         /// Error kind to return.
         kind: BlockErrorKind,
     },
-    /// Fail every matching operation that intersects `range`.
+    /// Fail every matching operation that intersects `range`. Flush
+    /// operations carry no byte range and never match a `Range` plan.
     Range {
         /// Which op class the fault applies to.
         site: FaultSite,
@@ -42,28 +72,71 @@ pub enum FaultPlan {
         /// Error kind to return.
         kind: BlockErrorKind,
     },
+    /// Fail every `n`th matching operation, persistently: ops with 1-based
+    /// sequence number divisible by `n` fail. `EveryNth { n: 1 }` fails
+    /// every matching op; `n: 3` fails ops #3, #6, #9, ... A flaky medium
+    /// whose failure pattern is exactly periodic — the canonical workload
+    /// for exercising retry loops deterministically.
+    EveryNth {
+        /// Which op class counts toward and triggers the fault.
+        site: FaultSite,
+        /// Period: every `n`th matching op fails (`n >= 1`).
+        n: u64,
+        /// Error kind to return.
+        kind: BlockErrorKind,
+    },
+    /// Fail the next `k` matching operations consecutively, then recover
+    /// (the plan removes itself). Models a brownout: a medium that is down
+    /// for a bounded window and then heals — a retry policy with at least
+    /// `k + 1` attempts rides it out.
+    FailK {
+        /// Which op class counts toward and triggers the fault.
+        site: FaultSite,
+        /// Number of consecutive matching ops to fail before recovering.
+        k: u64,
+        /// Error kind to return.
+        kind: BlockErrorKind,
+    },
+    /// Fail each matching operation independently with probability `p`,
+    /// drawn from a [`StdRng`] seeded with `seed` at arming time. Two
+    /// `FaultDev`s armed with the same seed fail the same op sequence.
+    Probabilistic {
+        /// Which op class the fault applies to.
+        site: FaultSite,
+        /// Per-op failure probability in `[0, 1]`.
+        p: f64,
+        /// RNG seed; the fault sequence is a pure function of it.
+        seed: u64,
+        /// Error kind to return.
+        kind: BlockErrorKind,
+    },
 }
 
 impl FaultPlan {
     fn site(&self) -> FaultSite {
         match self {
-            FaultPlan::NthOp { site, .. } | FaultPlan::Range { site, .. } => *site,
+            FaultPlan::NthOp { site, .. }
+            | FaultPlan::Range { site, .. }
+            | FaultPlan::EveryNth { site, .. }
+            | FaultPlan::FailK { site, .. }
+            | FaultPlan::Probabilistic { site, .. } => *site,
         }
-    }
-
-    fn matches_site(&self, is_read: bool) -> bool {
-        matches!(
-            (self.site(), is_read),
-            (FaultSite::Any, _) | (FaultSite::Read, true) | (FaultSite::Write, false)
-        )
     }
 }
 
-/// One armed plan plus its private progress counter.
+/// One armed plan plus its private progress state.
 #[derive(Debug)]
 struct Armed {
     plan: FaultPlan,
     matched: u64,
+    rng: Option<StdRng>,
+}
+
+/// What `check` decided for one plan.
+enum Verdict {
+    Pass,
+    Fire { kind: BlockErrorKind, msg: String },
+    FireAndRemove { kind: BlockErrorKind, msg: String },
 }
 
 /// Fault-injecting decorator around any [`BlockDev`].
@@ -81,10 +154,19 @@ impl FaultDev {
         }
     }
 
-    /// Program a fault. Faults are checked in insertion order; `NthOp`
-    /// counting starts at this call.
+    /// Program a fault. Faults are checked in insertion order; sequence
+    /// counting (`NthOp`, `EveryNth`, `FailK`, `Probabilistic`) starts at
+    /// this call.
     pub fn inject(&self, plan: FaultPlan) {
-        self.plans.lock().push(Armed { plan, matched: 0 });
+        let rng = match &plan {
+            FaultPlan::Probabilistic { seed, .. } => Some(StdRng::seed_from_u64(*seed)),
+            _ => None,
+        };
+        self.plans.lock().push(Armed {
+            plan,
+            matched: 0,
+            rng,
+        });
     }
 
     /// Remove all programmed faults.
@@ -92,36 +174,102 @@ impl FaultDev {
         self.plans.lock().clear();
     }
 
-    fn check(&self, is_read: bool, off: u64, len: usize) -> Result<()> {
+    fn check(&self, op: OpClass, off: u64, len: usize) -> Result<()> {
         let mut plans = self.plans.lock();
-        let mut fired: Option<(usize, BlockErrorKind, u64)> = None;
+        let mut fired: Option<(usize, BlockErrorKind, String, bool)> = None;
         for (i, armed) in plans.iter_mut().enumerate() {
-            if !armed.plan.matches_site(is_read) {
+            if !armed.plan.site().matches(op) {
                 continue;
             }
-            match &armed.plan {
+            let verdict = match &armed.plan {
                 FaultPlan::NthOp { n, kind, .. } => {
                     let seq = armed.matched;
                     armed.matched += 1;
                     if seq == *n {
-                        fired = Some((i, *kind, seq));
-                        break;
+                        Verdict::FireAndRemove {
+                            kind: *kind,
+                            msg: format!("injected fault at op #{seq}"),
+                        }
+                    } else {
+                        Verdict::Pass
                     }
                 }
                 FaultPlan::Range { range, kind, .. } => {
-                    let op = ByteRange::at(off, len as u64);
-                    if range.intersect(&op).is_some() {
-                        return Err(BlockError::new(*kind, "injected range fault"));
+                    // Flush carries no byte range and cannot intersect one.
+                    let overlaps = op != OpClass::Flush
+                        && range.intersect(&ByteRange::at(off, len as u64)).is_some();
+                    if overlaps {
+                        Verdict::Fire {
+                            kind: *kind,
+                            msg: "injected range fault".into(),
+                        }
+                    } else {
+                        Verdict::Pass
                     }
+                }
+                FaultPlan::EveryNth { n, kind, .. } => {
+                    let n = (*n).max(1);
+                    armed.matched += 1;
+                    if armed.matched % n == 0 {
+                        Verdict::Fire {
+                            kind: *kind,
+                            msg: format!("injected periodic fault (every {n}th op)"),
+                        }
+                    } else {
+                        Verdict::Pass
+                    }
+                }
+                FaultPlan::FailK { k, kind, .. } => {
+                    let seq = armed.matched;
+                    armed.matched += 1;
+                    if seq + 1 < *k {
+                        Verdict::Fire {
+                            kind: *kind,
+                            msg: format!("injected brownout fault #{seq}"),
+                        }
+                    } else if seq + 1 == *k {
+                        // Last failure of the brownout: recover afterwards.
+                        Verdict::FireAndRemove {
+                            kind: *kind,
+                            msg: format!("injected brownout fault #{seq} (recovering)"),
+                        }
+                    } else {
+                        Verdict::Pass
+                    }
+                }
+                FaultPlan::Probabilistic { p, kind, .. } => {
+                    let hit = armed
+                        .rng
+                        .as_mut()
+                        .map(|rng| rng.gen_bool(p.clamp(0.0, 1.0)))
+                        .unwrap_or(false);
+                    if hit {
+                        Verdict::Fire {
+                            kind: *kind,
+                            msg: "injected probabilistic fault".into(),
+                        }
+                    } else {
+                        Verdict::Pass
+                    }
+                }
+            };
+            match verdict {
+                Verdict::Pass => {}
+                Verdict::Fire { kind, msg } => {
+                    fired = Some((i, kind, msg, false));
+                    break;
+                }
+                Verdict::FireAndRemove { kind, msg } => {
+                    fired = Some((i, kind, msg, true));
+                    break;
                 }
             }
         }
-        if let Some((i, kind, seq)) = fired {
-            plans.remove(i); // one-shot
-            return Err(BlockError::new(
-                kind,
-                format!("injected fault at op #{seq}"),
-            ));
+        if let Some((i, kind, msg, remove)) = fired {
+            if remove {
+                plans.remove(i);
+            }
+            return Err(BlockError::new(kind, msg));
         }
         Ok(())
     }
@@ -129,12 +277,12 @@ impl FaultDev {
 
 impl BlockDev for FaultDev {
     fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
-        self.check(true, off, buf.len())?;
+        self.check(OpClass::Read, off, buf.len())?;
         self.inner.read_at(buf, off)
     }
 
     fn write_at(&self, buf: &[u8], off: u64) -> Result<()> {
-        self.check(false, off, buf.len())?;
+        self.check(OpClass::Write, off, buf.len())?;
         self.inner.write_at(buf, off)
     }
 
@@ -147,6 +295,7 @@ impl BlockDev for FaultDev {
     }
 
     fn flush(&self) -> Result<()> {
+        self.check(OpClass::Flush, 0, 0)?;
         self.inner.flush()
     }
 
@@ -214,5 +363,118 @@ mod tests {
         dev.clear();
         let mut buf = [0u8; 8];
         assert!(dev.read_at(&mut buf, 0).is_ok());
+    }
+
+    #[test]
+    fn flush_site_faults_flush_only() {
+        let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
+        dev.inject(FaultPlan::NthOp {
+            site: FaultSite::Flush,
+            n: 0,
+            kind: BlockErrorKind::Io,
+        });
+        let mut buf = [0u8; 8];
+        dev.read_at(&mut buf, 0).unwrap();
+        dev.write_at(&[1; 8], 0).unwrap();
+        assert!(dev.flush().is_err(), "first flush faults");
+        assert!(dev.flush().is_ok(), "one-shot");
+    }
+
+    #[test]
+    fn any_site_includes_flush() {
+        let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
+        dev.inject(FaultPlan::NthOp {
+            site: FaultSite::Any,
+            n: 2,
+            kind: BlockErrorKind::Io,
+        });
+        let mut buf = [0u8; 8];
+        dev.read_at(&mut buf, 0).unwrap(); // #0
+        dev.write_at(&[1; 8], 0).unwrap(); // #1
+        assert!(dev.flush().is_err(), "flush is op #2 under Any");
+    }
+
+    #[test]
+    fn range_plans_never_match_flush() {
+        let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
+        dev.inject(FaultPlan::Range {
+            site: FaultSite::Any,
+            range: ByteRange::at(0, 64),
+            kind: BlockErrorKind::Io,
+        });
+        assert!(dev.flush().is_ok(), "flush has no byte range");
+    }
+
+    #[test]
+    fn every_nth_is_periodic_and_persistent() {
+        let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
+        dev.inject(FaultPlan::EveryNth {
+            site: FaultSite::Read,
+            n: 3,
+            kind: BlockErrorKind::Injected,
+        });
+        let mut buf = [0u8; 8];
+        let results: Vec<bool> = (0..9).map(|_| dev.read_at(&mut buf, 0).is_ok()).collect();
+        assert_eq!(
+            results,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn fail_k_recovers_after_k_failures() {
+        let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
+        dev.inject(FaultPlan::FailK {
+            site: FaultSite::Read,
+            k: 3,
+            kind: BlockErrorKind::Injected,
+        });
+        let mut buf = [0u8; 8];
+        for i in 0..3 {
+            assert!(dev.read_at(&mut buf, 0).is_err(), "brownout op #{i}");
+        }
+        for _ in 0..4 {
+            assert!(dev.read_at(&mut buf, 0).is_ok(), "recovered");
+        }
+        assert!(dev.plans.lock().is_empty(), "plan removed itself");
+    }
+
+    #[test]
+    fn probabilistic_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
+            dev.inject(FaultPlan::Probabilistic {
+                site: FaultSite::Read,
+                p: 0.5,
+                seed,
+                kind: BlockErrorKind::Injected,
+            });
+            let mut buf = [0u8; 8];
+            (0..64).map(|_| dev.read_at(&mut buf, 0).is_ok()).collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same fault sequence");
+        assert_ne!(run(42), run(43), "different seeds diverge");
+        let oks = run(42).iter().filter(|&&ok| ok).count();
+        assert!((16..=48).contains(&oks), "p=0.5 over 64 ops: got {oks} oks");
+    }
+
+    #[test]
+    fn probabilistic_extremes() {
+        let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
+        dev.inject(FaultPlan::Probabilistic {
+            site: FaultSite::Write,
+            p: 1.0,
+            seed: 7,
+            kind: BlockErrorKind::Io,
+        });
+        assert!(dev.write_at(&[0; 8], 0).is_err(), "p=1 always fires");
+        dev.clear();
+        dev.inject(FaultPlan::Probabilistic {
+            site: FaultSite::Write,
+            p: 0.0,
+            seed: 7,
+            kind: BlockErrorKind::Io,
+        });
+        assert!(dev.write_at(&[0; 8], 0).is_ok(), "p=0 never fires");
     }
 }

@@ -27,6 +27,8 @@
 //!   "observed traffic at the storage node" series of the paper (Fig. 9/10).
 //! * [`ReadOnlyDev`] — enforces the read-only backing-image discipline.
 //! * [`FaultDev`] — deterministic failure injection for tests.
+//! * [`RetryDev`] — retries transient faults with deterministic backoff
+//!   driven by a [`RetryPolicy`]; the robustness layer for NFS-backed bases.
 //! * [`LatencyDev`] — charges a pluggable cost model per operation; the
 //!   simulator uses it to put devices "behind" a disk or network resource.
 //!
@@ -42,6 +44,7 @@ mod file;
 mod latency;
 mod mem;
 mod readonly;
+mod retry;
 mod sparse;
 mod zero;
 
@@ -53,6 +56,7 @@ pub use file::FileDev;
 pub use latency::{CostHook, LatencyDev, NoopCost, OpKind};
 pub use mem::MemDev;
 pub use readonly::ReadOnlyDev;
+pub use retry::{RetryDev, RetryPolicy};
 pub use sparse::SparseDev;
 pub use zero::ZeroDev;
 

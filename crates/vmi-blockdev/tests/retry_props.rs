@@ -1,0 +1,78 @@
+//! Property tests for retry/backoff: the schedule is a pure function of
+//! the policy, bounded by the configured cap, and jitter never widens the
+//! envelope beyond its advertised fraction.
+
+use proptest::prelude::*;
+use vmi_blockdev::RetryPolicy;
+
+proptest! {
+    /// Two policies with identical parameters produce identical backoff
+    /// schedules — the determinism the simulator depends on.
+    #[test]
+    fn schedule_is_deterministic_per_seed(
+        attempts in 1u32..16,
+        base in 1u64..1_000_000,
+        max in 1u64..100_000_000,
+        jitter in 0u32..=50,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: attempts,
+            base_delay_ns: base,
+            max_delay_ns: max,
+            jitter_frac: jitter as f64 / 100.0,
+            seed,
+        };
+        let a = policy.schedule();
+        let b = policy.schedule();
+        prop_assert_eq!(&a, &b, "same policy, same schedule");
+        prop_assert_eq!(a.len() as u32, attempts.saturating_sub(1));
+    }
+
+    /// Every delay stays inside the jittered envelope around the clamped
+    /// exponential value, and the zero-jitter schedule is exactly it.
+    #[test]
+    fn delays_respect_cap_and_jitter_envelope(
+        attempts in 2u32..12,
+        base in 1u64..1_000_000,
+        max in 1u64..100_000_000,
+        seed in any::<u64>(),
+    ) {
+        let exact = RetryPolicy {
+            max_attempts: attempts,
+            base_delay_ns: base,
+            max_delay_ns: max,
+            jitter_frac: 0.0,
+            seed,
+        };
+        for (i, d) in exact.schedule().into_iter().enumerate() {
+            let raw = base.checked_shl(i as u32).unwrap_or(u64::MAX).min(max);
+            prop_assert_eq!(d, raw, "no jitter → exact clamped exponential");
+        }
+        let jittered = RetryPolicy { jitter_frac: 0.25, ..exact };
+        for (i, d) in jittered.schedule().into_iter().enumerate() {
+            let raw = base.checked_shl(i as u32).unwrap_or(u64::MAX).min(max) as f64;
+            prop_assert!(d as f64 >= raw * 0.75 - 1.0, "below envelope: {d} vs {raw}");
+            prop_assert!(d as f64 <= raw * 1.25 + 1.0, "above envelope: {d} vs {raw}");
+        }
+    }
+
+    /// Different seeds with nonzero jitter are allowed to differ, but the
+    /// schedule length and the cap are seed-independent.
+    #[test]
+    fn cap_is_seed_independent(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        let mk = |seed| RetryPolicy {
+            max_attempts: 8,
+            base_delay_ns: 1000,
+            max_delay_ns: 50_000,
+            jitter_frac: 0.5,
+            seed,
+        };
+        let a = mk(seed_a).schedule();
+        let b = mk(seed_b).schedule();
+        prop_assert_eq!(a.len(), b.len());
+        for d in a.iter().chain(b.iter()) {
+            prop_assert!(*d <= 75_000, "cap × (1 + jitter) bounds everything: {d}");
+        }
+    }
+}

@@ -22,6 +22,10 @@ pub struct CacheEntry {
     pub size: u64,
     /// Last time this cache was used to boot a VM.
     pub last_used: Stamp,
+    /// Whether the cache latched degraded during a boot (a fill or cluster
+    /// read failed). Degraded caches never warm further and are preferred
+    /// eviction victims.
+    pub degraded: bool,
 }
 
 /// A bounded pool of cache images keyed by VMI name.
@@ -68,6 +72,40 @@ impl CachePool {
         }
     }
 
+    /// Mark a cache as degraded (its boot latched degraded mode). Degraded
+    /// entries stop warming, so they are the cheapest space to reclaim: the
+    /// LRU victim scan prefers them over healthy entries of any recency.
+    pub fn mark_degraded(&mut self, vmi: &str) -> bool {
+        match self.entries.get_mut(vmi) {
+            Some(e) => {
+                e.degraded = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the named cache is marked degraded.
+    pub fn is_degraded(&self, vmi: &str) -> bool {
+        self.entries.get(vmi).is_some_and(|e| e.degraded)
+    }
+
+    /// The single eviction path: drop `vmi`, release its space, and emit
+    /// the eviction event/metric. Both LRU pressure and explicit removal
+    /// route through here so no eviction escapes observability.
+    fn evict_entry(&mut self, vmi: &str, obs: &Obs, node: u64) -> Option<CacheEntry> {
+        let e = self.entries.remove(vmi)?;
+        self.used -= e.size;
+        obs.count(met::CACHE_EVICTIONS, 1);
+        let bytes = e.size;
+        obs.emit(|| Event::CacheEvict {
+            node,
+            vmi: vmi.to_string(),
+            bytes,
+        });
+        Some(e)
+    }
+
     /// Admit a cache of `size` bytes, evicting LRU entries as needed.
     /// Returns the names evicted, or `Err(())` if `size` exceeds capacity
     /// outright (nothing is changed in that case).
@@ -103,20 +141,16 @@ impl CachePool {
         }
         let mut evicted = Vec::new();
         while self.used + size > self.capacity {
+            // Degraded entries go first (they can never warm further);
+            // among equals, plain LRU with name as the deterministic tie.
             let victim = self
                 .entries
                 .iter()
-                .min_by_key(|(name, e)| (e.last_used, name.as_str().to_owned()))
+                .min_by_key(|(name, e)| (!e.degraded, e.last_used, name.as_str().to_owned()))
                 .map(|(name, _)| name.clone())
                 .expect("used > 0 implies entries exist");
-            let e = self.entries.remove(&victim).unwrap();
-            self.used -= e.size;
-            obs.count(met::CACHE_EVICTIONS, 1);
-            obs.emit(|| Event::CacheEvict {
-                node,
-                vmi: victim.clone(),
-                bytes: e.size,
-            });
+            self.evict_entry(&victim, obs, node)
+                .expect("victim was just found");
             evicted.push(victim);
         }
         self.used += size;
@@ -125,6 +159,7 @@ impl CachePool {
             CacheEntry {
                 size,
                 last_used: now,
+                degraded: false,
             },
         );
         Ok(evicted)
@@ -133,9 +168,13 @@ impl CachePool {
     /// Remove a cache explicitly (VMI deregistered / base image changed —
     /// immutability means a changed base invalidates its caches, §3).
     pub fn remove(&mut self, vmi: &str) -> Option<CacheEntry> {
-        let e = self.entries.remove(vmi)?;
-        self.used -= e.size;
-        Some(e)
+        self.remove_with_obs(vmi, &Obs::disabled(), 0)
+    }
+
+    /// [`CachePool::remove`] with an observability handle: the drop is
+    /// reported exactly like an LRU eviction (same event, same counter).
+    pub fn remove_with_obs(&mut self, vmi: &str, obs: &Obs, node: u64) -> Option<CacheEntry> {
+        self.evict_entry(vmi, obs, node)
     }
 
     /// Names currently stored, most recently used first.
@@ -222,5 +261,54 @@ mod tests {
     fn touch_missing_returns_false() {
         let mut p = CachePool::new(10);
         assert!(!p.touch("ghost", 1));
+    }
+
+    #[test]
+    fn degraded_entries_are_preferred_victims() {
+        let mut p = CachePool::new(250);
+        p.admit("a", 100, 1).unwrap();
+        p.admit("b", 100, 2).unwrap();
+        // b is more recent, but degraded: it must go before LRU a.
+        assert!(p.mark_degraded("b"));
+        assert!(p.is_degraded("b"));
+        let evicted = p.admit("c", 100, 3).unwrap();
+        assert_eq!(evicted, vec!["b".to_string()]);
+        assert!(p.contains("a") && p.contains("c"));
+    }
+
+    #[test]
+    fn readmit_clears_degraded_flag() {
+        let mut p = CachePool::new(300);
+        p.admit("a", 100, 1).unwrap();
+        p.mark_degraded("a");
+        // A fresh admission is a rebuilt cache: healthy again.
+        p.admit("a", 100, 2).unwrap();
+        assert!(!p.is_degraded("a"));
+    }
+
+    #[test]
+    fn explicit_remove_emits_the_evict_event() {
+        use std::sync::Arc;
+        use vmi_obs::{ManualClock, RecorderHandle};
+        let (rec, sink) = RecorderHandle::jsonl();
+        let obs = rec.attach(Arc::new(ManualClock::new(0)));
+        let mut p = CachePool::new(100);
+        p.admit("a", 80, 1).unwrap();
+        assert!(p.remove_with_obs("a", &obs, 3).is_some());
+        assert_eq!(obs.counter_value(met::CACHE_EVICTIONS), 1);
+        let lines = sink.lines();
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"cache_evict\"") && l.contains("\"node\":3")),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn mark_degraded_missing_returns_false() {
+        let mut p = CachePool::new(10);
+        assert!(!p.mark_degraded("ghost"));
+        assert!(!p.is_degraded("ghost"));
     }
 }

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vmi_blockdev::{Result, SharedDev, SparseDev};
-use vmi_obs::RecorderHandle;
+use vmi_obs::{met, Event, Obs, RecorderHandle};
 use vmi_remote::{MountOpts, NfsMount};
 use vmi_sim::{NetSpec, Ns, SimWorld};
 use vmi_trace::{BootTrace, VmiProfile};
@@ -79,6 +79,18 @@ pub fn generate_requests(
         .collect()
 }
 
+/// An injected node failure: `node` dies at simulated time `at`. Every VM
+/// running there is lost, its node-local caches vanish, and the scheduler
+/// stops placing on it. A VM booting on the node when it dies is
+/// rescheduled onto the next-best placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFailure {
+    /// Which compute node dies.
+    pub node: usize,
+    /// When it dies.
+    pub at: Ns,
+}
+
 /// Cloud configuration.
 #[derive(Debug, Clone)]
 pub struct CloudConfig {
@@ -104,6 +116,8 @@ pub struct CloudConfig {
     pub policy: Policy,
     /// Master seed.
     pub seed: u64,
+    /// Injected node failures (empty = every node survives the day).
+    pub node_failures: Vec<NodeFailure>,
     /// Event recorder for this run (default: record nothing).
     pub recorder: RecorderHandle,
 }
@@ -121,6 +135,10 @@ pub struct CloudReport {
     pub cold_boots: usize,
     /// Cache-pool evictions across the fleet.
     pub evictions: usize,
+    /// Injected node failures that actually took a node down.
+    pub node_failures: usize,
+    /// Boots that survived a mid-boot node death by rescheduling.
+    pub rescheduled_boots: usize,
     /// Mean boot time in seconds.
     pub mean_boot_secs: f64,
     /// 95th-percentile boot time in seconds.
@@ -133,9 +151,43 @@ pub struct CloudReport {
     pub telemetry: Telemetry,
 }
 
+/// Apply every injected failure at or before `now`: the node goes down,
+/// its running VMs are lost, and its node-local warm containers vanish.
+#[allow(clippy::too_many_arguments)]
+fn apply_failures(
+    failures: &[NodeFailure],
+    next: &mut usize,
+    now: Ns,
+    fleet: &mut [NodeState],
+    running: &mut Vec<(usize, Ns)>,
+    warm_local: &mut HashMap<(usize, usize), Arc<SparseDev>>,
+    obs: &Obs,
+    report: &mut CloudReport,
+) {
+    while *next < failures.len() && failures[*next].at <= now {
+        let f = failures[*next];
+        *next += 1;
+        if !fleet[f.node].up {
+            continue;
+        }
+        fleet[f.node].fail();
+        running.retain(|&(n, _)| n != f.node);
+        warm_local.retain(|&(n, _), _| n != f.node);
+        report.node_failures += 1;
+        obs.count(met::NODE_FAILURES, 1);
+        obs.emit(|| Event::NodeFailed {
+            node: f.node as u64,
+        });
+    }
+}
+
 /// Run the request stream through the cloud. Deterministic.
 pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudReport> {
     assert!(cfg.nodes >= 1 && cfg.slots_per_node >= 1 && cfg.vmis >= 1);
+    assert!(
+        cfg.node_failures.iter().all(|f| f.node < cfg.nodes),
+        "injected failure names a node outside the fleet"
+    );
     let world = SimWorld::new();
     let obs = cfg.recorder.attach(world.obs_clock());
     let mut storage = StorageNode::new(&world, cfg.net);
@@ -168,15 +220,30 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
         warm_boots: 0,
         cold_boots: 0,
         evictions: 0,
+        node_failures: 0,
+        rescheduled_boots: 0,
         mean_boot_secs: 0.0,
         p95_boot_secs: 0.0,
         storage_traffic_mb: 0.0,
         telemetry: Telemetry::default(),
     };
+    let mut failures: Vec<NodeFailure> = cfg.node_failures.clone();
+    failures.sort_by_key(|f| f.at);
+    let mut next_failure = 0usize;
     let mut boot_times: Vec<Ns> = Vec::new();
     let vmi_name = |v: usize| format!("vmi-{v}");
 
-    for req in requests {
+    for (vm_id, req) in requests.iter().enumerate() {
+        apply_failures(
+            &failures,
+            &mut next_failure,
+            req.at,
+            &mut fleet,
+            &mut running,
+            &mut warm_local,
+            &obs,
+            &mut report,
+        );
         // Release slots whose VMs ended before this arrival.
         running.retain(|&(node, ends_at)| {
             if ends_at <= req.at {
@@ -187,70 +254,115 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
             }
         });
 
-        let Some(decision) = sched.place_with_obs(&mut fleet, &vmi_name(req.vmi), req.at, &obs)
-        else {
+        // Place and boot; a node dying mid-boot sends the VM back to the
+        // scheduler for the next-best placement, restarted at the failure
+        // time (the controller notices the loss and retries).
+        let mut start_at = req.at;
+        let mut rescheduled_from: Option<usize> = None;
+        let booted = loop {
+            let Some(decision) =
+                sched.place_with_obs(&mut fleet, &vmi_name(req.vmi), start_at, &obs)
+            else {
+                break None;
+            };
+            let node_idx = decision.node;
+            if let Some(from) = rescheduled_from.take() {
+                report.rescheduled_boots += 1;
+                obs.count(met::BOOT_RESCHEDULES, 1);
+                let (vm, to) = (vm_id as u64, node_idx as u64);
+                obs.emit(|| Event::BootRescheduled {
+                    vm,
+                    from_node: from as u64,
+                    to_node: to,
+                });
+            }
+            let base_dev: SharedDev = NfsMount::new(
+                base_exports[req.vmi].clone(),
+                storage.nic,
+                MountOpts::default(),
+            );
+
+            // Decide the chain per Algorithm 1 at node level.
+            let warm_hit = cfg.use_caches
+                && decision.cache_hit
+                && warm_local.contains_key(&(node_idx, req.vmi));
+            let (mode, cache_dev): (Mode, Option<SharedDev>) = if !cfg.use_caches {
+                (Mode::Qcow2, None)
+            } else if warm_hit {
+                report.warm_boots += 1;
+                let container = warm_local[&(node_idx, req.vmi)].clone();
+                (
+                    Mode::WarmCache {
+                        placement: Placement::ComputeDisk,
+                        quota: cfg.quota,
+                        cluster_bits: 9,
+                    },
+                    Some(compute[node_idx].disk_file(Arc::new(container.fork()), false)),
+                )
+            } else {
+                report.cold_boots += 1;
+                let fresh = Arc::new(SparseDev::new());
+                warm_local.insert((node_idx, req.vmi), fresh.clone());
+                (
+                    Mode::ColdCache {
+                        placement: Placement::ComputeMem,
+                        quota: cfg.quota,
+                        cluster_bits: 9,
+                    },
+                    Some(compute[node_idx].mem_file(fresh)),
+                )
+            };
+            let cow_dev = compute[node_idx].disk_file(Arc::new(SparseDev::new()), false);
+            world.begin_op(start_at);
+            let chain = build_chain(ChainSpec {
+                mode,
+                profile: &cfg.profile,
+                base_dev,
+                cache_dev,
+                cow_dev,
+                cache_read_only: false,
+                obs: obs.clone(),
+            })?;
+            let setup_ns = world.end_op() - start_at;
+            let outcome = run_boots_with_obs(
+                &world,
+                vec![VmRun {
+                    chain: chain as SharedDev,
+                    trace: traces[req.vmi].clone(),
+                    start_at,
+                    setup_ns,
+                }],
+                &obs,
+            )?[0];
+            // Did the chosen node die while this boot was in flight?
+            let killed_at = failures[next_failure..]
+                .iter()
+                .take_while(|f| f.at < outcome.done_at)
+                .find(|f| f.node == node_idx)
+                .map(|f| f.at);
+            match killed_at {
+                Some(at) => {
+                    apply_failures(
+                        &failures,
+                        &mut next_failure,
+                        at,
+                        &mut fleet,
+                        &mut running,
+                        &mut warm_local,
+                        &obs,
+                        &mut report,
+                    );
+                    start_at = at;
+                    rescheduled_from = Some(node_idx);
+                }
+                None => break Some((node_idx, warm_hit, outcome)),
+            }
+        };
+        let Some((node_idx, warm_hit, outcome)) = booted else {
             report.rejected += 1;
             continue;
         };
         report.placed += 1;
-        let node_idx = decision.node;
-        let base_dev: SharedDev = NfsMount::new(
-            base_exports[req.vmi].clone(),
-            storage.nic,
-            MountOpts::default(),
-        );
-
-        // Decide the chain per Algorithm 1 at node level.
-        let warm_hit =
-            cfg.use_caches && decision.cache_hit && warm_local.contains_key(&(node_idx, req.vmi));
-        let (mode, cache_dev): (Mode, Option<SharedDev>) = if !cfg.use_caches {
-            (Mode::Qcow2, None)
-        } else if warm_hit {
-            report.warm_boots += 1;
-            let container = warm_local[&(node_idx, req.vmi)].clone();
-            (
-                Mode::WarmCache {
-                    placement: Placement::ComputeDisk,
-                    quota: cfg.quota,
-                    cluster_bits: 9,
-                },
-                Some(compute[node_idx].disk_file(Arc::new(container.fork()), false)),
-            )
-        } else {
-            report.cold_boots += 1;
-            let fresh = Arc::new(SparseDev::new());
-            warm_local.insert((node_idx, req.vmi), fresh.clone());
-            (
-                Mode::ColdCache {
-                    placement: Placement::ComputeMem,
-                    quota: cfg.quota,
-                    cluster_bits: 9,
-                },
-                Some(compute[node_idx].mem_file(fresh)),
-            )
-        };
-        let cow_dev = compute[node_idx].disk_file(Arc::new(SparseDev::new()), false);
-        world.begin_op(req.at);
-        let chain = build_chain(ChainSpec {
-            mode,
-            profile: &cfg.profile,
-            base_dev,
-            cache_dev,
-            cow_dev,
-            cache_read_only: false,
-            obs: obs.clone(),
-        })?;
-        let setup_ns = world.end_op() - req.at;
-        let outcome = run_boots_with_obs(
-            &world,
-            vec![VmRun {
-                chain: chain as SharedDev,
-                trace: traces[req.vmi].clone(),
-                start_at: req.at,
-                setup_ns,
-            }],
-            &obs,
-        )?[0];
         boot_times.push(outcome.boot_ns);
         running.push((node_idx, outcome.done_at + req.lifetime_ns));
 
@@ -311,6 +423,7 @@ mod tests {
             cache_aware,
             policy: Policy::Striping,
             seed: 9,
+            node_failures: vec![],
             recorder: RecorderHandle::none(),
         }
     }
@@ -370,6 +483,89 @@ mod tests {
         assert_eq!(a.mean_boot_secs, b.mean_boot_secs);
         assert_eq!(a.warm_boots, b.warm_boots);
         assert_eq!(a.evictions, b.evictions);
+    }
+
+    #[test]
+    fn node_failure_reschedules_in_flight_boots() {
+        let mut c = cfg(true, true);
+        let reqs = stream();
+        // Kill a node while the day is in full swing: mid-boot VMs must be
+        // rescheduled, not lost, and the request accounting must balance.
+        let mid = reqs[reqs.len() / 2].at + 1;
+        c.node_failures = vec![NodeFailure { node: 0, at: mid }];
+        let rep = run_cloud(&c, &reqs).unwrap();
+        assert_eq!(rep.placed + rep.rejected, reqs.len());
+        assert_eq!(rep.node_failures, 1);
+        assert_eq!(rep.telemetry.node_failures, 0, "no recorder, counters 0");
+        // Determinism holds with failures injected.
+        let rep2 = run_cloud(&c, &reqs).unwrap();
+        assert_eq!(rep.placed, rep2.placed);
+        assert_eq!(rep.rescheduled_boots, rep2.rescheduled_boots);
+        assert_eq!(rep.mean_boot_secs, rep2.mean_boot_secs);
+    }
+
+    #[test]
+    fn mid_boot_failure_emits_reschedule_events() {
+        use vmi_obs::{Event, RecorderHandle};
+        let mut c = cfg(true, true);
+        // One slow node fleet: every boot lands on node 0 until it dies.
+        c.nodes = 2;
+        c.slots_per_node = 8;
+        let reqs = generate_requests(3, 20, 2, 2_000_000_000, 60_000_000_000);
+        // Fail node 0 one nanosecond after the first request arrives: the
+        // first boot (still in flight) must move to node 1.
+        c.node_failures = vec![NodeFailure {
+            node: 0,
+            at: reqs[0].at + 1,
+        }];
+        let (rec, sink) = RecorderHandle::jsonl();
+        c.recorder = rec;
+        let rep = run_cloud(&c, &reqs).unwrap();
+        assert!(rep.rescheduled_boots >= 1, "{rep:?}");
+        assert_eq!(rep.node_failures, 1);
+        assert_eq!(rep.telemetry.node_failures, 1);
+        assert_eq!(
+            rep.telemetry.boots_rescheduled,
+            rep.rescheduled_boots as u64
+        );
+        let lines = sink.lines();
+        let failed: Vec<_> = lines
+            .iter()
+            .filter(|l| l.contains("\"node_failed\""))
+            .collect();
+        assert_eq!(failed.len(), 1);
+        let resched: Vec<_> = lines
+            .iter()
+            .filter(|l| l.contains("\"boot_rescheduled\""))
+            .collect();
+        assert_eq!(resched.len(), rep.rescheduled_boots);
+        // The reschedule is typed and points away from the dead node.
+        match Event::parse_line(resched[0]) {
+            Ok((
+                _,
+                Event::BootRescheduled {
+                    from_node, to_node, ..
+                },
+            )) => {
+                assert_eq!(from_node, 0);
+                assert_eq!(to_node, 1);
+            }
+            other => panic!("bad event: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whole_fleet_down_rejects_remaining_requests() {
+        let mut c = cfg(true, true);
+        let reqs = stream();
+        let mid = reqs[reqs.len() / 2].at;
+        c.node_failures = (0..c.nodes)
+            .map(|n| NodeFailure { node: n, at: mid })
+            .collect();
+        let rep = run_cloud(&c, &reqs).unwrap();
+        assert_eq!(rep.node_failures, c.nodes);
+        assert!(rep.rejected > 0, "dead fleet must reject: {rep:?}");
+        assert_eq!(rep.placed + rep.rejected, reqs.len());
     }
 
     #[test]

@@ -17,8 +17,8 @@ use std::sync::Arc;
 use vmi_blockdev::{BlockDev, Result, SharedDev, SparseDev};
 use vmi_obs::Obs;
 use vmi_qcow::{
-    create_cached_chain, create_cached_chain_with_obs, create_cow_chain_with_obs, CreateOpts,
-    MapResolver, QcowImage,
+    create_cached_chain, create_cached_chain_with_obs, create_cow_chain_with_obs,
+    open_cache_scrubbed, CreateOpts, MapResolver, QcowImage,
 };
 use vmi_trace::{BootTrace, OpKind, VmiProfile};
 
@@ -214,12 +214,19 @@ pub fn build_chain(spec: ChainSpec<'_>) -> Result<Arc<QcowImage>> {
                 writable: !spec.cache_read_only,
                 depth: 1,
             });
-            let cache = QcowImage::open_with_obs(
+            // Crash-consistent recovery: validate the warm container before
+            // trusting it. A torn `used` field is repaired in place; a
+            // structurally broken cache is discarded and the VM falls back
+            // to the plain-QCOW2 chain — a slower boot, never a failed one.
+            let Some(cache) = open_cache_scrubbed(
                 cache_dev,
                 Some(spec.base_dev.clone()),
                 spec.cache_read_only,
                 spec.obs.clone(),
-            )?;
+            )?
+            else {
+                return create_cow_chain_with_obs(&ns, "base", spec.cow_dev, vsize, &spec.obs);
+            };
             spec.obs.count(vmi_obs::met::CHAIN_OPENS, 1);
             spec.obs.emit(|| vmi_obs::Event::ChainOpen {
                 image: "cow".into(),
@@ -325,6 +332,43 @@ mod tests {
         assert!(
             fetched >= unique,
             "cold boot fetches at least the working set"
+        );
+    }
+
+    #[test]
+    fn corrupt_warm_cache_falls_back_to_plain_qcow2() {
+        let p = VmiProfile::tiny_test();
+        let trace = vmi_trace::generate(&p, 4);
+        let warm = prepare_warm_cache(&p, &trace, 16 << 20, 9).unwrap();
+        // Trash the container header: the scrub must discard it and the
+        // boot must proceed as a plain-QCOW2 deployment over the base.
+        let broken = Arc::new(warm.container.fork());
+        broken.write_at(&[0xFF; 64], 0).unwrap();
+        let base = Arc::new(vmi_blockdev::CountingDev::new(Arc::new(
+            SparseDev::with_len(p.virtual_size),
+        )));
+        let chain = build_chain(ChainSpec {
+            mode: Mode::WarmCache {
+                placement: Placement::ComputeDisk,
+                quota: 16 << 20,
+                cluster_bits: 9,
+            },
+            profile: &p,
+            base_dev: base.clone(),
+            cache_dev: Some(broken),
+            cow_dev: Arc::new(SparseDev::new()),
+            cache_read_only: false,
+            obs: Obs::disabled(),
+        })
+        .unwrap();
+        replay_unpriced(chain.as_ref(), &trace).unwrap();
+        assert!(
+            base.stats().snapshot().read_bytes > 0,
+            "fallback chain reads the base directly"
+        );
+        assert!(
+            chain.backing().is_some(),
+            "fallback still has the base as backing"
         );
     }
 

@@ -42,7 +42,7 @@ pub mod telemetry;
 pub mod vm;
 
 pub use cachepool::{CacheEntry, CachePool};
-pub use cloud::{generate_requests, run_cloud, CloudConfig, CloudReport, VmRequest};
+pub use cloud::{generate_requests, run_cloud, CloudConfig, CloudReport, NodeFailure, VmRequest};
 pub use deploy::{build_chain, prepare_warm_cache, ChainSpec, Mode, Placement, WarmCache};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentOutcome, WarmStore};
 pub use mixed::{

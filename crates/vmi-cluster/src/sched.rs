@@ -38,6 +38,9 @@ pub struct NodeState {
     pub capacity: usize,
     /// Reported load in [0, 1] (only consulted by [`Policy::LoadAware`]).
     pub load: f64,
+    /// Whether the node is alive. Failed nodes take no placements and
+    /// their caches are unreachable until the node is restored.
+    pub up: bool,
     /// The node's local VMI-cache pool.
     pub caches: CachePool,
 }
@@ -50,13 +53,30 @@ impl NodeState {
             running_vms: 0,
             capacity,
             load: 0.0,
+            up: true,
             caches: CachePool::new(cache_bytes),
         }
     }
 
-    /// Whether another VM fits.
+    /// Whether another VM fits (a down node never has room).
     pub fn has_room(&self) -> bool {
-        self.running_vms < self.capacity
+        self.up && self.running_vms < self.capacity
+    }
+
+    /// Take the node down: every running VM is lost and its cache pool is
+    /// emptied (node-local media are gone with the node).
+    pub fn fail(&mut self) {
+        self.up = false;
+        self.running_vms = 0;
+        let names = self.caches.names_by_recency();
+        for name in names {
+            self.caches.remove(&name);
+        }
+    }
+
+    /// Bring a previously failed node back, empty.
+    pub fn restore(&mut self) {
+        self.up = true;
     }
 }
 
@@ -248,6 +268,23 @@ mod tests {
             assert!(s.place(&mut nodes, "v", t).is_some());
         }
         assert!(s.place(&mut nodes, "v", 9).is_none());
+    }
+
+    #[test]
+    fn failed_nodes_take_no_placements() {
+        let s = Scheduler::new(Policy::Striping, true);
+        let mut nodes = fleet(2);
+        nodes[0].caches.admit("v", 100, 0).unwrap();
+        nodes[0].fail();
+        assert!(!nodes[0].has_room());
+        assert!(!nodes[0].caches.contains("v"), "caches die with the node");
+        // Even as the warm node, node 0 is excluded; node 1 takes the VM.
+        let d = s.place(&mut nodes, "v", 1).unwrap();
+        assert_eq!(d.node, 1);
+        assert!(!d.cache_hit);
+        nodes[0].restore();
+        assert!(nodes[0].has_room());
+        assert_eq!(nodes[0].running_vms, 0, "restored node comes back empty");
     }
 
     #[test]

@@ -56,6 +56,21 @@ pub struct Telemetry {
     pub space_errors: u64,
     /// Cache-pool evictions (cloud runs with bounded per-node pools).
     pub evictions: u64,
+    /// Transient-error retries performed by [`vmi_blockdev::RetryDev`]
+    /// layers (recorder required; 0 otherwise).
+    pub retry_attempts: u64,
+    /// Caches that latched into degraded mode (fill or cluster-read
+    /// failure) during the run.
+    pub caches_degraded: u64,
+    /// Crash-recovery scrubs that repaired a torn `used` field in place.
+    pub scrub_repairs: u64,
+    /// Crash-recovery scrubs that discarded an unusable cache (the boot
+    /// fell back to plain QCOW2).
+    pub scrub_discards: u64,
+    /// Injected node failures observed (cloud runs).
+    pub node_failures: u64,
+    /// Boots rescheduled onto another node after a mid-boot node death.
+    pub boots_rescheduled: u64,
     /// Median per-request latency through the image chains, ns. Requires a
     /// recorder ([`Obs`] enabled); `None` otherwise.
     pub p50_op_ns: Option<u64>,
@@ -109,6 +124,12 @@ impl Telemetry {
                 per_cache.iter().filter(|c| c.fill_rejects > 0).count() as u64
             },
             evictions: obs.counter_value(met::CACHE_EVICTIONS),
+            retry_attempts: obs.counter_value(met::RETRY_ATTEMPTS),
+            caches_degraded: obs.counter_value(met::CACHE_DEGRADED),
+            scrub_repairs: obs.counter_value(met::SCRUB_REPAIRS),
+            scrub_discards: obs.counter_value(met::SCRUB_DISCARDS),
+            node_failures: obs.counter_value(met::NODE_FAILURES),
+            boots_rescheduled: obs.counter_value(met::BOOT_RESCHEDULES),
             p50_op_ns: op_hist.as_ref().map(|h| h.quantile(0.5)),
             p99_op_ns: op_hist.as_ref().map(|h| h.quantile(0.99)),
             per_cache,

@@ -202,3 +202,61 @@ fn list_option_does_not_break_session() {
     let mut b = [0u8; 1];
     c.read_at(&mut b, 0).unwrap();
 }
+
+#[test]
+fn flaky_remote_base_is_ridden_out_by_retries() {
+    // The resilient compute-node shape: the storage node's base medium
+    // throws transient read errors; the compute node sees them as remote
+    // I/O errors and a RetryDev above the NBD client rides them out. Every
+    // guest read returns correct data, and the server's request count
+    // matches the client's wire attempts exactly (error replies included).
+    use vmi_blockdev::{CountingDev, FaultDev, FaultPlan, FaultSite, RetryDev, RetryPolicy};
+
+    let content: Vec<u8> = (0..(1usize << 20)).map(|i| (i % 241) as u8).collect();
+    let flaky_base = Arc::new(FaultDev::new(Arc::new(MemDev::from_vec(content.clone()))));
+    flaky_base.inject(FaultPlan::EveryNth {
+        site: FaultSite::Read,
+        n: 4,
+        kind: BlockErrorKind::Io,
+    });
+    let srv = server();
+    srv.add_export("base", flaky_base as SharedDev, true);
+
+    let remote = NbdClient::connect(&srv.addr().to_string(), "base").unwrap();
+    let wire = Arc::new(CountingDev::new(Arc::new(remote)));
+    let retry = Arc::new(RetryDev::new(
+        wire.clone() as SharedDev,
+        RetryPolicy::attempts(4).with_seed(3),
+    ));
+    let cache = QcowImage::create(
+        Arc::new(SparseDev::new()),
+        CreateOpts::cache(1 << 20, "nbd://base", 4 << 20),
+        Some(retry.clone() as SharedDev),
+    )
+    .unwrap();
+
+    let mut buf = vec![0u8; 4096];
+    for i in 0..32u64 {
+        let off = i * 16384;
+        cache.read_at(&mut buf, off).unwrap();
+        assert_eq!(
+            &buf[..],
+            &content[off as usize..off as usize + 4096],
+            "data wrong at {off}"
+        );
+    }
+    assert!(retry.retries() > 0, "every 4th remote read must be retried");
+    assert_eq!(retry.exhausted(), 0, "no read may run out of attempts");
+    // served_requests consistency: the server answered one request per
+    // successful wire read plus one per error reply — and each error reply
+    // is exactly one retry on the client side.
+    assert_eq!(
+        srv.served_requests(),
+        wire.stats().snapshot().reads + retry.retries(),
+        "server and client agree on the wire traffic"
+    );
+    // The cache warmed despite the flaky base: warm re-reads are free.
+    let before = srv.served_requests();
+    cache.read_at(&mut buf, 0).unwrap();
+    assert_eq!(srv.served_requests(), before, "warm read stays local");
+}

@@ -85,6 +85,46 @@ pub enum Event {
         /// Size of the evicted cache image.
         bytes: u64,
     },
+    /// A transient block-device fault triggered one retry.
+    RetryAttempt {
+        /// Operation class: `read`, `write`, `set_len` or `flush`.
+        op: String,
+        /// 1-based retry number within the failing operation.
+        attempt: u64,
+        /// Backoff delay charged before this retry, ns.
+        delay_ns: u64,
+    },
+    /// A cache image latched into degraded mode (emitted exactly once per
+    /// latch transition): fills stop, the chain keeps serving from backing.
+    CacheDegraded {
+        /// What latched the cache: `fill_failed` or `read_failed`.
+        reason: String,
+        /// Cache bytes used at the moment of the transition.
+        used: u64,
+    },
+    /// A crash-consistency scrub of a cache image finished.
+    ScrubResult {
+        /// Outcome: `clean`, `repaired` or `discarded`.
+        verdict: String,
+        /// Cache bytes actually referenced by the mapping tables.
+        used: u64,
+        /// The configured quota.
+        quota: u64,
+    },
+    /// A cluster node failed (injected or detected).
+    NodeFailed {
+        /// Failed node id.
+        node: u64,
+    },
+    /// A boot was re-placed on another node after its node failed.
+    BootRescheduled {
+        /// VM index within its experiment / cloud run.
+        vm: u64,
+        /// Node the boot was originally placed on.
+        from_node: u64,
+        /// Node the boot was retried on.
+        to_node: u64,
+    },
 }
 
 impl Event {
@@ -100,6 +140,11 @@ impl Event {
             Event::BootPhase { .. } => "boot_phase",
             Event::SchedPlace { .. } => "sched_place",
             Event::CacheEvict { .. } => "cache_evict",
+            Event::RetryAttempt { .. } => "retry_attempt",
+            Event::CacheDegraded { .. } => "cache_degraded",
+            Event::ScrubResult { .. } => "scrub_result",
+            Event::NodeFailed { .. } => "node_failed",
+            Event::BootRescheduled { .. } => "boot_rescheduled",
         }
     }
 
@@ -140,6 +185,39 @@ impl Event {
                 let _ = write!(s, ",\"node\":{node}");
                 push_str_field(&mut s, "vmi", vmi);
                 let _ = write!(s, ",\"bytes\":{bytes}");
+            }
+            Event::RetryAttempt {
+                op,
+                attempt,
+                delay_ns,
+            } => {
+                push_str_field(&mut s, "op", op);
+                let _ = write!(s, ",\"attempt\":{attempt},\"delay_ns\":{delay_ns}");
+            }
+            Event::CacheDegraded { reason, used } => {
+                push_str_field(&mut s, "reason", reason);
+                let _ = write!(s, ",\"used\":{used}");
+            }
+            Event::ScrubResult {
+                verdict,
+                used,
+                quota,
+            } => {
+                push_str_field(&mut s, "verdict", verdict);
+                let _ = write!(s, ",\"used\":{used},\"quota\":{quota}");
+            }
+            Event::NodeFailed { node } => {
+                let _ = write!(s, ",\"node\":{node}");
+            }
+            Event::BootRescheduled {
+                vm,
+                from_node,
+                to_node,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"vm\":{vm},\"from_node\":{from_node},\"to_node\":{to_node}"
+                );
             }
         }
         s.push('}');
@@ -187,6 +265,28 @@ impl Event {
                 node: fields.u64("node")?,
                 vmi: fields.str("vmi")?.to_string(),
                 bytes: fields.u64("bytes")?,
+            },
+            "retry_attempt" => Event::RetryAttempt {
+                op: fields.str("op")?.to_string(),
+                attempt: fields.u64("attempt")?,
+                delay_ns: fields.u64("delay_ns")?,
+            },
+            "cache_degraded" => Event::CacheDegraded {
+                reason: fields.str("reason")?.to_string(),
+                used: fields.u64("used")?,
+            },
+            "scrub_result" => Event::ScrubResult {
+                verdict: fields.str("verdict")?.to_string(),
+                used: fields.u64("used")?,
+                quota: fields.u64("quota")?,
+            },
+            "node_failed" => Event::NodeFailed {
+                node: fields.u64("node")?,
+            },
+            "boot_rescheduled" => Event::BootRescheduled {
+                vm: fields.u64("vm")?,
+                from_node: fields.u64("from_node")?,
+                to_node: fields.u64("to_node")?,
             },
             other => return Err(ParseError(format!("unknown event kind {other:?}"))),
         };
@@ -430,6 +530,38 @@ mod tests {
                 node: 0,
                 vmi: "centos".into(),
                 bytes: 1 << 30,
+            },
+        );
+        roundtrip(
+            8,
+            Event::RetryAttempt {
+                op: "read".into(),
+                attempt: 2,
+                delay_ns: 200_000,
+            },
+        );
+        roundtrip(
+            9,
+            Event::CacheDegraded {
+                reason: "fill_failed".into(),
+                used: 4096,
+            },
+        );
+        roundtrip(
+            10,
+            Event::ScrubResult {
+                verdict: "repaired".into(),
+                used: 8192,
+                quota: 1 << 20,
+            },
+        );
+        roundtrip(11, Event::NodeFailed { node: 3 });
+        roundtrip(
+            12,
+            Event::BootRescheduled {
+                vm: 7,
+                from_node: 3,
+                to_node: 1,
             },
         );
     }

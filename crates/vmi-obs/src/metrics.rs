@@ -44,6 +44,24 @@ pub mod met {
     pub const VM_OP_NS: &str = "cluster.vm.op_ns";
     /// Per-request NBD server latency, wall ns (histogram).
     pub const NBD_REQUEST_NS: &str = "nbd.request_ns";
+    /// Retries of transient block-device faults (counter).
+    pub const RETRY_ATTEMPTS: &str = "blockdev.retry.attempts";
+    /// Operations that failed even after the full retry budget (counter).
+    pub const RETRY_EXHAUSTED: &str = "blockdev.retry.exhausted";
+    /// Cache images latched into degraded mode (counter).
+    pub const CACHE_DEGRADED: &str = "qcow.cache.degraded";
+    /// Guest bytes served from backing because the cache was degraded (counter).
+    pub const DEGRADED_READ_BYTES: &str = "qcow.cache.degraded_read_bytes";
+    /// Crash-consistency scrubs run on cache open (counter).
+    pub const SCRUB_RUNS: &str = "qcow.scrub.runs";
+    /// Scrubs that repaired a torn header in place (counter).
+    pub const SCRUB_REPAIRS: &str = "qcow.scrub.repairs";
+    /// Scrubs that discarded an unrecoverable cache (counter).
+    pub const SCRUB_DISCARDS: &str = "qcow.scrub.discards";
+    /// Cluster node failures, injected or detected (counter).
+    pub const NODE_FAILURES: &str = "cluster.node.failures";
+    /// Boots re-placed on another node after a node failure (counter).
+    pub const BOOT_RESCHEDULES: &str = "cluster.vm.reschedules";
 }
 
 /// Slots per metric kind. Overflowing ids are dropped silently (the

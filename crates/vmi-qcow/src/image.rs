@@ -137,6 +137,11 @@ pub struct QcowImage {
     /// cache images and latches false on the first quota space error
     /// (§4.3: "we stop writing to the cache for the future cold reads").
     fill_enabled: AtomicBool,
+    /// Degraded-mode latch: set once on the first cache I/O failure (a
+    /// failed fill or a failed cluster read). A degraded cache stops
+    /// filling and serves cluster-read failures from its backing chain;
+    /// the guest never sees the fault. Mirrors the space-error latch.
+    degraded: AtomicBool,
     /// Set when this handle has been superseded (resize/rebase reopened the
     /// container): Drop must not write back stale header state.
     detached: AtomicBool,
@@ -146,6 +151,8 @@ pub struct QcowImage {
     miss_bytes: AtomicU64,
     fill_bytes: AtomicU64,
     fill_rejects: AtomicU64,
+    /// Guest bytes served from backing after a cache cluster-read failure.
+    degraded_read_bytes: AtomicU64,
     /// Observability handle; disabled by default (single branch per call).
     obs: Obs,
 }
@@ -244,6 +251,7 @@ impl QcowImage {
             geom,
             read_only: false,
             fill_enabled: AtomicBool::new(header.is_cache()),
+            degraded: AtomicBool::new(false),
             detached: AtomicBool::new(false),
             state: Mutex::new(MutState {
                 l1: vec![UNALLOCATED; l1_entries as usize],
@@ -265,6 +273,7 @@ impl QcowImage {
             miss_bytes: AtomicU64::new(0),
             fill_bytes: AtomicU64::new(0),
             fill_rejects: AtomicU64::new(0),
+            degraded_read_bytes: AtomicU64::new(0),
             obs,
         }))
     }
@@ -349,6 +358,7 @@ impl QcowImage {
             geom,
             read_only,
             fill_enabled: AtomicBool::new(is_cache && !read_only && has_room),
+            degraded: AtomicBool::new(false),
             detached: AtomicBool::new(false),
             state: Mutex::new(MutState {
                 l1,
@@ -370,6 +380,7 @@ impl QcowImage {
             miss_bytes: AtomicU64::new(0),
             fill_bytes: AtomicU64::new(0),
             fill_rejects: AtomicU64::new(0),
+            degraded_read_bytes: AtomicU64::new(0),
             obs,
         });
         if snaptab.count > 0 {
@@ -534,6 +545,32 @@ impl QcowImage {
     /// first quota space error).
     pub fn fill_enabled(&self) -> bool {
         self.fill_enabled.load(Ordering::Acquire)
+    }
+
+    /// Whether this cache has latched into degraded mode (a fill or a
+    /// cluster read failed). Degraded caches stop filling and serve
+    /// everything they can from their backing chain; the latch never
+    /// clears for the lifetime of the handle.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Guest bytes that were served from the backing chain because a
+    /// cache cluster read failed.
+    pub fn degraded_read_bytes(&self) -> u64 {
+        self.degraded_read_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Latch this image degraded, emitting the transition exactly once
+    /// (the same `swap` discipline as the space-error latch).
+    fn latch_degraded(&self, used: u64, reason: &'static str) {
+        if !self.degraded.swap(true, Ordering::AcqRel) {
+            self.obs.count(met::CACHE_DEGRADED, 1);
+            self.obs.emit(|| Event::CacheDegraded {
+                reason: reason.to_string(),
+                used,
+            });
+        }
     }
 
     /// Container bytes used by the image file (the Table 2 metric).
@@ -1142,7 +1179,8 @@ impl QcowImage {
             buf.fill(0);
             return Ok(());
         };
-        let want_fill = self.header.is_cache() && !self.read_only && self.fill_enabled();
+        let want_fill =
+            self.header.is_cache() && !self.read_only && self.fill_enabled() && !self.is_degraded();
         if !want_fill {
             backing.read_at_zero_pad(buf, vba)?;
             self.miss_bytes
@@ -1202,7 +1240,14 @@ impl QcowImage {
                     }
                     break;
                 }
-                Err(e) => return Err(e),
+                Err(_) => {
+                    // A failed fill must never fail the guest read: the data
+                    // is already in `span_buf`. Latch degraded (stops all
+                    // future fills) and serve from what we fetched.
+                    self.fill_rejects.fetch_add(1, Ordering::Relaxed);
+                    self.latch_degraded(st.cache_used, "fill_failed");
+                    break;
+                }
             }
             cluster_vba += cs;
         }
@@ -1286,11 +1331,30 @@ impl BlockDev for QcowImage {
                     let in_cluster = self.geom.in_cluster(pos);
                     let n = ((cs - in_cluster).min(end - pos)) as usize;
                     let out = &mut buf[(pos - off) as usize..][..n];
-                    self.dev.read_at(out, cluster_off + in_cluster)?;
-                    self.hit_bytes.fetch_add(n as u64, Ordering::Relaxed);
-                    if self.header.is_cache() {
-                        self.obs.count(met::CACHE_HIT_BYTES, n as u64);
-                        self.obs.emit(|| Event::CacheHit { bytes: n as u64 });
+                    match self.dev.read_at(out, cluster_off + in_cluster) {
+                        Ok(()) => {
+                            self.hit_bytes.fetch_add(n as u64, Ordering::Relaxed);
+                            if self.header.is_cache() {
+                                self.obs.count(met::CACHE_HIT_BYTES, n as u64);
+                                self.obs.emit(|| Event::CacheHit { bytes: n as u64 });
+                            }
+                        }
+                        Err(e) => {
+                            // A cache that cannot read its own cluster is not
+                            // fatal as long as the backing chain still has the
+                            // block: every cached cluster is a copy of backing
+                            // data (CoW images have no backing copy to lean
+                            // on, so they must propagate).
+                            let backing = match (self.header.is_cache(), &self.backing) {
+                                (true, Some(b)) => b,
+                                _ => return Err(e),
+                            };
+                            backing.read_at_zero_pad(out, pos)?;
+                            self.latch_degraded(st.cache_used, "read_failed");
+                            self.degraded_read_bytes
+                                .fetch_add(n as u64, Ordering::Relaxed);
+                            self.obs.count(met::DEGRADED_READ_BYTES, n as u64);
+                        }
                     }
                     pos += n as u64;
                 }

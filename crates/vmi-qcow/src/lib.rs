@@ -58,6 +58,7 @@ pub mod header;
 pub mod image;
 pub mod layout;
 pub mod ops;
+pub mod scrub;
 pub mod snapshot;
 
 pub use chain::{
@@ -70,4 +71,5 @@ pub use header::{CacheExt, Header};
 pub use image::{CorStats, CreateOpts, QcowImage};
 pub use layout::{Geometry, DEFAULT_CLUSTER_BITS, MIN_CLUSTER_BITS};
 pub use ops::{check, commit, compact, info, map, CheckReport, ImageInfo, MapExtent};
+pub use scrub::{open_cache_scrubbed, scrub_cache, ScrubReport, ScrubVerdict};
 pub use snapshot::{SnapshotInfo, SnapshotRec};

@@ -1,0 +1,355 @@
+//! Crash-consistent cache recovery: validate a cache container before open.
+//!
+//! The paper's in-memory caches are flushed back to their container only at
+//! VM shutdown (Fig. 8/10), so a crash mid-flush leaves a *torn* image: data
+//! clusters and mapping tables written, but the header's recorded used-size
+//! stale (or the reverse). [`scrub_cache`] walks the container the way
+//! `qemu-img check` would — header magic/version, L1/L2 alignment and
+//! bounds, recorded used-size vs. the clusters actually referenced — and
+//! returns one of three verdicts:
+//!
+//! * **Clean** — everything consistent; open it as-is.
+//! * **Repaired** — the mapping tables are intact but the recorded used-size
+//!   is wrong (the classic torn `close()`); the header is rewritten in place
+//!   from the recomputed value and the cache is safe to open.
+//! * **Discarded** — structural damage (bad magic, out-of-bounds tables,
+//!   over-quota referenced data). The cache cannot be trusted; the deploy
+//!   layer falls back to plain-QCOW2 deployment without it.
+//!
+//! Every scrub emits an [`Event::ScrubResult`] and counts
+//! [`met::SCRUB_RUNS`] / [`met::SCRUB_REPAIRS`] / [`met::SCRUB_DISCARDS`].
+
+use std::sync::Arc;
+
+use vmi_blockdev::{BlockDev, Result, SharedDev};
+use vmi_obs::{met, Event, Obs};
+
+use crate::header::Header;
+use crate::image::QcowImage;
+
+/// Outcome class of one scrub pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrubVerdict {
+    /// Container is consistent.
+    Clean,
+    /// Recorded used-size was wrong and has been rewritten in place.
+    Repaired,
+    /// Structural damage; the cache must not be opened.
+    Discarded,
+}
+
+impl ScrubVerdict {
+    /// Wire label used in the `scrub_result` event.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScrubVerdict::Clean => "clean",
+            ScrubVerdict::Repaired => "repaired",
+            ScrubVerdict::Discarded => "discarded",
+        }
+    }
+}
+
+/// Result of [`scrub_cache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Outcome class.
+    pub verdict: ScrubVerdict,
+    /// Bytes actually referenced by header + tables + data clusters
+    /// (recomputed; 0 when the container is too damaged to walk).
+    pub used: u64,
+    /// Quota recorded in the header (0 when unreadable).
+    pub quota: u64,
+    /// Human-readable findings (empty for a clean pass).
+    pub findings: Vec<String>,
+}
+
+impl ScrubReport {
+    /// `true` unless the verdict is `Discarded`.
+    pub fn is_usable(&self) -> bool {
+        self.verdict != ScrubVerdict::Discarded
+    }
+}
+
+/// Validate (and if needed repair) the cache container in `dev`.
+///
+/// Read-mostly: the only write a scrub ever performs is the in-place
+/// rewrite of the cache extension's `used` field on a `Repaired` verdict.
+/// Non-cache containers come back `Clean` untouched — scrubbing is a no-op
+/// for them, so callers can scrub unconditionally before open.
+pub fn scrub_cache(dev: &SharedDev, obs: &Obs) -> ScrubReport {
+    obs.count(met::SCRUB_RUNS, 1);
+    let report = scrub_inner(dev);
+    match report.verdict {
+        ScrubVerdict::Clean => {}
+        ScrubVerdict::Repaired => obs.count(met::SCRUB_REPAIRS, 1),
+        ScrubVerdict::Discarded => obs.count(met::SCRUB_DISCARDS, 1),
+    }
+    let (verdict, used, quota) = (report.verdict, report.used, report.quota);
+    obs.emit(|| Event::ScrubResult {
+        verdict: verdict.as_str().to_string(),
+        used,
+        quota,
+    });
+    report
+}
+
+fn discard(findings: Vec<String>, used: u64, quota: u64) -> ScrubReport {
+    ScrubReport {
+        verdict: ScrubVerdict::Discarded,
+        used,
+        quota,
+        findings,
+    }
+}
+
+fn scrub_inner(dev: &SharedDev) -> ScrubReport {
+    let header = match Header::decode(dev.as_ref() as &dyn BlockDev) {
+        Ok(h) => h,
+        Err(e) => return discard(vec![format!("unreadable header: {e}")], 0, 0),
+    };
+    let Some(cache) = header.cache else {
+        // Not a cache image; nothing to validate beyond the header.
+        return ScrubReport {
+            verdict: ScrubVerdict::Clean,
+            used: 0,
+            quota: 0,
+            findings: Vec::new(),
+        };
+    };
+    let quota = cache.quota;
+    let geom = match header.geometry() {
+        Ok(g) => g,
+        Err(e) => return discard(vec![format!("invalid geometry: {e}")], 0, quota),
+    };
+    if header.l1_size as u64 != geom.l1_entries() {
+        return discard(
+            vec![format!(
+                "l1_size {} does not match geometry {}",
+                header.l1_size,
+                geom.l1_entries()
+            )],
+            0,
+            quota,
+        );
+    }
+    let cs = geom.cluster_size();
+    let file_end = geom.align_up(dev.len());
+    let mut l1_raw = vec![0u8; header.l1_size as usize * 8];
+    if dev.read_at(&mut l1_raw, header.l1_table_offset).is_err() {
+        return discard(vec!["truncated L1 table".into()], 0, quota);
+    }
+    let mut findings = Vec::new();
+    let mut l2_tables = 0u64;
+    let mut data_clusters = 0u64;
+    for (l1_idx, e) in l1_raw.chunks_exact(8).enumerate() {
+        let l2_off = u64::from_be_bytes(e.try_into().unwrap());
+        if l2_off == 0 {
+            continue;
+        }
+        if l2_off % cs != 0 || l2_off + cs > file_end {
+            return discard(vec![format!("L1[{l1_idx}] invalid: {l2_off:#x}")], 0, quota);
+        }
+        l2_tables += 1;
+        let mut l2_raw = vec![0u8; cs as usize];
+        if dev.read_at(&mut l2_raw, l2_off).is_err() {
+            return discard(
+                vec![format!("unreadable L2 table at {l2_off:#x}")],
+                0,
+                quota,
+            );
+        }
+        for (l2_idx, d) in l2_raw.chunks_exact(8).enumerate() {
+            let doff = u64::from_be_bytes(d.try_into().unwrap());
+            if doff == 0 {
+                continue;
+            }
+            if doff % cs != 0 || doff + cs > file_end {
+                return discard(
+                    vec![format!("L2[{l1_idx}][{l2_idx}] invalid: {doff:#x}")],
+                    0,
+                    quota,
+                );
+            }
+            data_clusters += 1;
+        }
+    }
+    // The §4.3 accounting: header cluster + L1 table + every allocated
+    // cluster. This is the ground truth; the header's recorded value is
+    // only a cached copy written at close.
+    let recomputed = cs + geom.l1_table_bytes() + (l2_tables + data_clusters) * cs;
+    let initial = cs + geom.l1_table_bytes();
+    if recomputed > quota.max(initial) {
+        return discard(
+            vec![format!(
+                "referenced clusters ({recomputed} bytes) exceed quota {quota}"
+            )],
+            recomputed,
+            quota,
+        );
+    }
+    if recomputed != cache.used {
+        findings.push(format!(
+            "recorded used {} != referenced {recomputed} (torn flush); repaired",
+            cache.used
+        ));
+        if Header::update_cache_used(dev.as_ref() as &dyn BlockDev, recomputed).is_err()
+            || dev.flush().is_err()
+        {
+            findings.push("header rewrite failed".into());
+            return discard(findings, recomputed, quota);
+        }
+        return ScrubReport {
+            verdict: ScrubVerdict::Repaired,
+            used: recomputed,
+            quota,
+            findings,
+        };
+    }
+    ScrubReport {
+        verdict: ScrubVerdict::Clean,
+        used: recomputed,
+        quota,
+        findings,
+    }
+}
+
+/// Scrub `dev` and, when the verdict allows it, open the cache image.
+///
+/// Returns `Ok(None)` when the scrub discarded the cache — the caller
+/// should deploy without it (plain-QCOW2 fallback). A `Repaired` container
+/// opens like a clean one.
+pub fn open_cache_scrubbed(
+    dev: SharedDev,
+    backing: Option<SharedDev>,
+    read_only: bool,
+    obs: Obs,
+) -> Result<Option<Arc<QcowImage>>> {
+    let report = scrub_cache(&dev, &obs);
+    if !report.is_usable() {
+        return Ok(None);
+    }
+    QcowImage::open_with_obs(dev, backing, read_only, obs).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::CreateOpts;
+    use std::sync::Arc;
+    use vmi_blockdev::MemDev;
+
+    const MB: u64 = 1 << 20;
+
+    fn mem() -> SharedDev {
+        Arc::new(MemDev::new())
+    }
+
+    /// A closed cache container with some copied-on-read data in it.
+    fn warmed_cache_dev() -> (SharedDev, SharedDev) {
+        let base_dev = mem();
+        let base = QcowImage::create(base_dev.clone(), CreateOpts::plain(8 * MB), None).unwrap();
+        base.write_at(&[7u8; 65536], 0).unwrap();
+        base.close().unwrap();
+        drop(base);
+        let base = QcowImage::open(base_dev.clone(), None, true).unwrap();
+        let cache_dev = mem();
+        let cache = QcowImage::create(
+            cache_dev.clone(),
+            CreateOpts::cache(8 * MB, "base", 4 * MB),
+            Some(base as SharedDev),
+        )
+        .unwrap();
+        let mut buf = vec![0u8; 65536];
+        cache.read_at(&mut buf, 0).unwrap();
+        cache.close().unwrap();
+        drop(cache);
+        (cache_dev, base_dev)
+    }
+
+    #[test]
+    fn clean_cache_scrubs_clean() {
+        let (cache_dev, _base) = warmed_cache_dev();
+        let rep = scrub_cache(&cache_dev, &Obs::disabled());
+        assert_eq!(rep.verdict, ScrubVerdict::Clean, "{:?}", rep.findings);
+        assert!(rep.used > 0);
+        assert_eq!(rep.quota, 4 * MB);
+    }
+
+    #[test]
+    fn non_cache_container_is_a_noop() {
+        let dev = mem();
+        let img = QcowImage::create(dev.clone(), CreateOpts::plain(MB), None).unwrap();
+        img.close().unwrap();
+        drop(img);
+        let rep = scrub_cache(&dev, &Obs::disabled());
+        assert_eq!(rep.verdict, ScrubVerdict::Clean);
+    }
+
+    #[test]
+    fn torn_used_field_is_repaired() {
+        let (cache_dev, base_dev) = warmed_cache_dev();
+        let truth = Header::decode(&cache_dev).unwrap().cache.unwrap().used;
+        // Simulate the torn flush: the data clusters landed but the header's
+        // used field still holds the pre-boot value.
+        Header::update_cache_used(&cache_dev, 1024).unwrap();
+        let rep = scrub_cache(&cache_dev, &Obs::disabled());
+        assert_eq!(rep.verdict, ScrubVerdict::Repaired, "{:?}", rep.findings);
+        assert_eq!(rep.used, truth, "recomputed from the tables");
+        assert_eq!(
+            Header::decode(&cache_dev).unwrap().cache.unwrap().used,
+            truth,
+            "header rewritten in place"
+        );
+        // And the repaired cache opens normally.
+        let base = QcowImage::open(base_dev, None, true).unwrap();
+        let img = open_cache_scrubbed(cache_dev, Some(base as SharedDev), false, Obs::disabled())
+            .unwrap()
+            .expect("repaired cache is usable");
+        let mut buf = [0u8; 512];
+        img.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [7u8; 512]);
+    }
+
+    #[test]
+    fn smashed_magic_discards() {
+        let (cache_dev, _base) = warmed_cache_dev();
+        cache_dev.write_at(&[0u8; 4], 0).unwrap(); // clobber the magic
+        let rep = scrub_cache(&cache_dev, &Obs::disabled());
+        assert_eq!(rep.verdict, ScrubVerdict::Discarded);
+        assert!(rep.findings[0].contains("header"));
+        let opened = open_cache_scrubbed(cache_dev, None, false, Obs::disabled()).unwrap();
+        assert!(opened.is_none(), "discarded cache does not open");
+    }
+
+    #[test]
+    fn out_of_bounds_l1_discards() {
+        let (cache_dev, _base) = warmed_cache_dev();
+        let header = Header::decode(&cache_dev).unwrap();
+        // Point L1[0] far past the end of the container.
+        let bogus = (1u64 << 40).to_be_bytes();
+        cache_dev.write_at(&bogus, header.l1_table_offset).unwrap();
+        let rep = scrub_cache(&cache_dev, &Obs::disabled());
+        assert_eq!(rep.verdict, ScrubVerdict::Discarded);
+        assert!(rep.findings[0].contains("L1[0]"));
+    }
+
+    #[test]
+    fn scrub_emits_events_and_metrics() {
+        use vmi_obs::{ManualClock, RecorderHandle};
+        let (cache_dev, _base) = warmed_cache_dev();
+        Header::update_cache_used(&cache_dev, 777 * 512).unwrap();
+        let (rec, sink) = RecorderHandle::jsonl();
+        let obs = rec.attach(Arc::new(ManualClock::new(0)));
+        let rep = scrub_cache(&cache_dev, &obs);
+        assert_eq!(rep.verdict, ScrubVerdict::Repaired);
+        assert_eq!(obs.counter_value(met::SCRUB_RUNS), 1);
+        assert_eq!(obs.counter_value(met::SCRUB_REPAIRS), 1);
+        let lines = sink.lines();
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"scrub_result\"") && l.contains("\"verdict\":\"repaired\"")),
+            "{lines:?}"
+        );
+    }
+}

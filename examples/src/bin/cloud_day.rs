@@ -41,6 +41,7 @@ fn main() {
         cache_aware: false,
         policy: Policy::Striping,
         seed: 7,
+        node_failures: vec![],
         recorder: Default::default(),
     };
     for (label, use_caches, aware) in [

@@ -60,8 +60,16 @@ pub mod test_runner {
     }
 
     impl Default for ProptestConfig {
+        /// 128 cases, overridable via the `PROPTEST_CASES` environment
+        /// variable (matching the real proptest crate) so CI stress jobs
+        /// can crank the case count without touching the code.
         fn default() -> Self {
-            ProptestConfig { cases: 128 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(128);
+            ProptestConfig { cases }
         }
     }
 

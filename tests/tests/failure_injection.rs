@@ -58,10 +58,10 @@ fn base_read_error_propagates_without_corrupting_cache() {
 }
 
 #[test]
-fn cache_container_write_error_surfaces_on_fill() {
-    // A failing cache medium is not the quota space-error: it must surface,
-    // not be swallowed.
-    let (base, _) = base_with_content();
+fn cache_container_write_error_degrades_instead_of_failing() {
+    // A failing cache medium is not a guest error: the read is served from
+    // the base and the cache latches degraded (fills stop for good).
+    let (base, content) = base_with_content();
     let ns = MapResolver::new();
     ns.insert("base", base);
     let container = Arc::new(FaultDev::new(Arc::new(MemDev::new())));
@@ -84,10 +84,24 @@ fn cache_container_write_error_surfaces_on_fill() {
         kind: BlockErrorKind::Io,
     });
     let mut buf = [0u8; 512];
-    let err = cow.read_at(&mut buf, 0).unwrap_err();
-    assert_eq!(err.kind(), BlockErrorKind::Io);
-    // One-shot fault: the next read succeeds and the fill resumes.
     cow.read_at(&mut buf, 0).unwrap();
+    assert_eq!(
+        &buf[..],
+        &content[..512],
+        "served from base despite fill loss"
+    );
+    let cache = cow.backing().unwrap();
+    let cache_img = cache
+        .as_any()
+        .and_then(|a| a.downcast_ref::<QcowImage>())
+        .expect("cache layer");
+    assert!(cache_img.is_degraded(), "fill failure latches degraded");
+    // The one-shot fault is gone, but the latch is permanent: further cold
+    // reads stay correct without growing the cache.
+    let used = cache_img.cache_used();
+    cow.read_at(&mut buf, 8192).unwrap();
+    assert_eq!(&buf[..], &content[8192..8192 + 512]);
+    assert_eq!(cache_img.cache_used(), used, "degraded cache must not fill");
 }
 
 #[test]
@@ -183,16 +197,19 @@ fn reread_after_partial_fill_failure_is_consistent() {
     )
     .unwrap();
     // Fail the 5th container write: some clusters of the request fill, then
-    // the request errors.
+    // the fill dies halfway (the read itself succeeds, degraded-mode).
     container.inject(FaultPlan::NthOp {
         site: FaultSite::Write,
         n: 4,
         kind: BlockErrorKind::Io,
     });
     let mut buf = vec![0u8; 16384];
-    let _ = cow.read_at(&mut buf, 0); // may fail; that's fine
-                                      // After the fault clears, every byte must still be correct.
+    cow.read_at(&mut buf, 0).unwrap();
+    assert_eq!(&buf[..], &content[..16384]);
+    // After the fault clears, every byte must still be correct: mapped
+    // clusters serve from the cache, the rest from the base.
     container.clear();
+    buf.fill(0);
     cow.read_at(&mut buf, 0).unwrap();
     assert_eq!(&buf[..], &content[..16384]);
 }
