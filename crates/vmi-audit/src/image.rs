@@ -1,0 +1,290 @@
+//! Single-container audit: the fsck walk over header, L1, and L2 tables.
+
+use std::collections::HashSet;
+
+use vmi_blockdev::{be_u64, BlockDev};
+use vmi_obs::{met, Event, Obs};
+
+use crate::format::{parse_header, Geom};
+use crate::{AuditOpts, AuditReport, RepairHint, Severity, Violation, ViolationKind};
+
+/// Audit one container with default options.
+pub fn audit_image(dev: &dyn BlockDev) -> AuditReport {
+    audit_image_opts(dev, &AuditOpts::default())
+}
+
+/// Audit one container, emitting an obs event and metrics per violation.
+pub fn audit_image_with_obs(dev: &dyn BlockDev, opts: &AuditOpts, obs: &Obs) -> AuditReport {
+    obs.count(met::AUDIT_RUNS, 1);
+    let report = audit_image_opts(dev, opts);
+    for v in &report.violations {
+        obs.count(met::AUDIT_VIOLATIONS, 1);
+        obs.emit(|| Event::AuditViolation {
+            kind: v.kind.as_str().to_string(),
+            severity: v.severity.as_str().to_string(),
+            detail: v.detail.clone(),
+        });
+    }
+    report
+}
+
+/// Audit one container.
+///
+/// Never panics and never returns `Err`: problems — including I/O problems
+/// reading the container — are reported as [`Violation`]s. The walk collects
+/// as many findings as it can (up to [`AuditOpts::max_violations`]) instead
+/// of stopping at the first, so one fsck run paints the whole picture.
+pub fn audit_image_opts(dev: &dyn BlockDev, opts: &AuditOpts) -> AuditReport {
+    let mut rep = AuditReport::default();
+    let cap = opts.cap();
+
+    let raw = match parse_header(dev) {
+        Ok(r) => r,
+        Err(v) => {
+            rep.violations.push(v);
+            return rep;
+        }
+    };
+    rep.is_cache = raw.cache.is_some();
+    if let Some((quota, used)) = raw.cache {
+        rep.quota = quota;
+        rep.recorded_used = used;
+    }
+
+    let geom = match Geom::new(raw.cluster_bits, raw.size) {
+        Ok(g) => g,
+        Err(v) => {
+            rep.violations.push(v);
+            return rep;
+        }
+    };
+    let cs = geom.cluster_size();
+    if raw.l1_size as u64 != geom.l1_entries() {
+        rep.violations.push(Violation::error(
+            ViolationKind::L1SizeMismatch,
+            format!(
+                "l1_size {} does not match geometry ({} entries for size {} at {} B clusters)",
+                raw.l1_size,
+                geom.l1_entries(),
+                raw.size,
+                cs
+            ),
+        ));
+        return rep;
+    }
+
+    // The container may legitimately be shorter than the last allocated
+    // cluster's end (a tail data cluster is grown lazily by writes), so
+    // bounds are checked against the cluster-aligned end of file.
+    let file_end = geom.align_up(dev.len());
+
+    // L1 placement: cluster-aligned, after the header cluster, in bounds.
+    let l1_bytes = geom.l1_table_bytes();
+    if raw.l1_table_offset % cs != 0 || raw.l1_table_offset < cs {
+        rep.violations.push(Violation::error(
+            ViolationKind::L1TableMisplaced,
+            format!(
+                "L1 table offset {:#x} is {} (cluster size {} B)",
+                raw.l1_table_offset,
+                if raw.l1_table_offset < cs {
+                    "inside the header cluster"
+                } else {
+                    "not cluster-aligned"
+                },
+                cs
+            ),
+        ));
+        return rep;
+    }
+    let mut l1_raw = vec![0u8; raw.l1_size as usize * 8];
+    if raw.l1_table_offset + l1_bytes > file_end
+        || dev.read_at(&mut l1_raw, raw.l1_table_offset).is_err()
+    {
+        rep.violations.push(Violation::error(
+            ViolationKind::TruncatedL1,
+            format!(
+                "L1 table at {:#x}+{} extends past container end {:#x}",
+                raw.l1_table_offset, l1_bytes, file_end
+            ),
+        ));
+        return rep;
+    }
+
+    // Cluster-reference map for overlap detection: the header cluster and
+    // the L1 table clusters are implicitly referenced.
+    let mut refs: HashSet<u64> = HashSet::new();
+    refs.insert(0);
+    for c in 0..l1_bytes / cs {
+        refs.insert(raw.l1_table_offset / cs + c);
+    }
+    if let Some((snap_off, snap_len, _count)) = raw.snaptab {
+        if snap_len > 0 && (snap_off + snap_len as u64 > file_end || snap_off % cs != 0) {
+            rep.violations.push(Violation::error(
+                ViolationKind::SnapshotTableInvalid,
+                format!(
+                    "snapshot table at {snap_off:#x}+{snap_len} is misaligned or out of bounds"
+                ),
+            ));
+        }
+        // The snapshot table's own clusters are allocated like any others.
+        if snap_len > 0 {
+            for c in snap_off / cs..(snap_off + snap_len as u64).div_ceil(cs) {
+                refs.insert(c);
+            }
+        }
+    }
+
+    let mut l2_tables = 0u64;
+    let mut data_clusters = 0u64;
+    let push = |rep: &mut AuditReport, v: Violation| {
+        if rep.violations.len() < cap {
+            rep.violations.push(v);
+        }
+    };
+
+    for (l1_idx, e) in l1_raw.chunks_exact(8).enumerate() {
+        let l2_off = be_u64(e);
+        if l2_off == 0 {
+            continue;
+        }
+        l2_tables += 1;
+        if l2_off % cs != 0 {
+            push(
+                &mut rep,
+                Violation::error(
+                    ViolationKind::L1EntryUnaligned,
+                    format!("L1[{l1_idx}] invalid: {l2_off:#x} not aligned to {cs} B clusters"),
+                ),
+            );
+            continue;
+        }
+        if l2_off + cs > file_end {
+            push(
+                &mut rep,
+                Violation::error(
+                    ViolationKind::L1EntryOutOfBounds,
+                    format!("L1[{l1_idx}] invalid: {l2_off:#x} past container end {file_end:#x}"),
+                ),
+            );
+            continue;
+        }
+        if !refs.insert(l2_off / cs) {
+            push(
+                &mut rep,
+                Violation::error(
+                    ViolationKind::OverlappingClusters,
+                    format!(
+                        "L1[{l1_idx}] L2 table at {l2_off:#x} overlaps an already-referenced cluster"
+                    ),
+                ),
+            );
+        }
+        let mut l2_raw = vec![0u8; cs as usize];
+        if dev.read_at(&mut l2_raw, l2_off).is_err() {
+            push(
+                &mut rep,
+                Violation::error(
+                    ViolationKind::TruncatedL2,
+                    format!("unreadable L2 table at {l2_off:#x}"),
+                ),
+            );
+            continue;
+        }
+        for (l2_idx, d) in l2_raw.chunks_exact(8).enumerate() {
+            let doff = be_u64(d);
+            if doff == 0 {
+                continue;
+            }
+            data_clusters += 1;
+            if doff % cs != 0 {
+                push(
+                    &mut rep,
+                    Violation::error(
+                        ViolationKind::L2EntryUnaligned,
+                        format!(
+                            "L2[{l1_idx}][{l2_idx}] invalid: {doff:#x} not aligned to {cs} B clusters"
+                        ),
+                    ),
+                );
+                continue;
+            }
+            if doff + cs > file_end {
+                push(
+                    &mut rep,
+                    Violation::error(
+                        ViolationKind::L2EntryOutOfBounds,
+                        format!(
+                            "L2[{l1_idx}][{l2_idx}] invalid: {doff:#x} past container end {file_end:#x}"
+                        ),
+                    ),
+                );
+                continue;
+            }
+            let vba = geom.vba_of(l1_idx as u64, l2_idx as u64);
+            if vba >= raw.size {
+                push(
+                    &mut rep,
+                    Violation::error(
+                        ViolationKind::L2EntryOutOfBounds,
+                        format!(
+                            "L2[{l1_idx}][{l2_idx}] maps guest address {vba:#x} beyond virtual size {:#x}",
+                            raw.size
+                        ),
+                    ),
+                );
+                continue;
+            }
+            if !refs.insert(doff / cs) {
+                push(
+                    &mut rep,
+                    Violation::error(
+                        ViolationKind::OverlappingClusters,
+                        format!(
+                            "L2[{l1_idx}][{l2_idx}] data cluster at {doff:#x} overlaps an already-referenced cluster"
+                        ),
+                    ),
+                );
+            }
+        }
+    }
+    rep.l2_tables = l2_tables;
+    rep.data_clusters = data_clusters;
+
+    // §4.3 accounting ground truth: header cluster + L1 table + every
+    // allocated (L2 or data) cluster. The header's recorded value is only a
+    // cached copy written back at close.
+    let recomputed = cs + l1_bytes + (l2_tables + data_clusters) * cs;
+    rep.recomputed_used = recomputed;
+
+    if let Some((quota, recorded)) = raw.cache {
+        // A fresh cache legitimately starts above a tiny quota: creation
+        // always costs the header cluster + L1 table.
+        let initial = cs + l1_bytes;
+        if recomputed > quota.max(initial) {
+            push(
+                &mut rep,
+                Violation::error(
+                    ViolationKind::QuotaExceeded,
+                    format!("referenced clusters ({recomputed} bytes) exceed quota {quota}"),
+                )
+                .with_repair(RepairHint::DiscardCache),
+            );
+        } else {
+            let expected = opts.expected_used.unwrap_or(recorded);
+            if recomputed != expected {
+                push(
+                    &mut rep,
+                    Violation {
+                        kind: ViolationKind::UsedSizeMismatch,
+                        severity: Severity::Warning,
+                        detail: format!(
+                            "recorded used {expected} != referenced {recomputed} (torn flush)"
+                        ),
+                        repair: RepairHint::RewriteUsedSize(recomputed),
+                    },
+                );
+            }
+        }
+    }
+    rep
+}

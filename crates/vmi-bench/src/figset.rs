@@ -53,7 +53,7 @@ impl Figure {
             .iter()
             .flat_map(|s| s.points.iter().map(|p| p.x))
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(|a, b| a.total_cmp(b));
         xs.dedup();
         let width = self
             .series
@@ -83,7 +83,7 @@ impl Figure {
     /// Write `<id>.json` and `<id>.csv` into `dir`.
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let json = serde_json::to_string_pretty(self).expect("figure serializes");
+        let json = serde_json::to_string_pretty(self).map_err(std::io::Error::other)?;
         std::fs::write(dir.join(format!("{}.json", self.id)), json)?;
         let mut csv = std::fs::File::create(dir.join(format!("{}.csv", self.id)))?;
         writeln!(csv, "series,x,y")?;
@@ -141,7 +141,7 @@ impl TableData {
     /// Write `<id>.json` and `<id>.csv` into `dir`.
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let json = serde_json::to_string_pretty(self).expect("table serializes");
+        let json = serde_json::to_string_pretty(self).map_err(std::io::Error::other)?;
         std::fs::write(dir.join(format!("{}.json", self.id)), json)?;
         let mut csv = std::fs::File::create(dir.join(format!("{}.csv", self.id)))?;
         writeln!(csv, "{}", self.columns.join(","))?;

@@ -142,7 +142,7 @@ pub fn fig2(scale: Scale) -> Result<Figure> {
 /// node's disk is the bottleneck.
 pub fn fig3(scale: Scale) -> Result<Figure> {
     let store = WarmStore::new();
-    let nodes = *grid(scale).last().unwrap();
+    let nodes = grid(scale).last().copied().unwrap_or(1);
     let xs = grid(scale);
     let mut series = Vec::new();
     for net in [NetSpec::ib_32g(), NetSpec::gbe_1()] {
@@ -457,7 +457,7 @@ fn vmi_scaling_figure(
     cache_placement: Placement,
 ) -> Result<Figure> {
     let store = WarmStore::new();
-    let nodes = *grid(scale).last().unwrap();
+    let nodes = grid(scale).last().copied().unwrap_or(1);
     let xs = grid(scale);
     let quota = full_quota(scale);
     // The cold flow for storage memory is the Fig. 13 create-and-transfer
@@ -617,7 +617,7 @@ pub fn table2(scale: Scale) -> Result<TableData> {
 /// the fast network — the paper reports ≤ 1 % difference.
 pub fn sec6(scale: Scale) -> Result<TableData> {
     let store = WarmStore::new();
-    let nodes = *grid(scale).last().unwrap();
+    let nodes = grid(scale).last().copied().unwrap_or(1);
     let quota = full_quota(scale);
     let net = NetSpec::ib_32g();
     let mut secs = Vec::new();

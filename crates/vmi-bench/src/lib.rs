@@ -11,6 +11,8 @@
 //! figures --smoke table1   # seconds-fast reduced scale
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ablations;
 pub mod figset;
 pub mod figures;

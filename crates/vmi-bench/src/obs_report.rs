@@ -40,6 +40,8 @@ pub struct ReplaySummary {
     pub node_failures: u64,
     /// `boot_rescheduled` events.
     pub reschedules: u64,
+    /// `audit_violation` events.
+    pub audit_violations: u64,
 }
 
 /// Replay parsed `(timestamp, event)` pairs into a [`ReplaySummary`].
@@ -64,6 +66,7 @@ pub fn replay(events: &[(u64, Event)]) -> ReplaySummary {
             Event::ScrubResult { .. } => s.scrubs += 1,
             Event::NodeFailed { .. } => s.node_failures += 1,
             Event::BootRescheduled { .. } => s.reschedules += 1,
+            Event::AuditViolation { .. } => s.audit_violations += 1,
         }
     }
     s

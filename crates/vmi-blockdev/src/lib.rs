@@ -36,6 +36,8 @@
 //! with internal `parking_lot` locks so that device handles can be shared
 //! across image-chain layers and simulator actors via `Arc`.
 
+#![forbid(unsafe_code)]
+
 mod counting;
 mod dev;
 mod error;
@@ -59,6 +61,27 @@ pub use readonly::ReadOnlyDev;
 pub use retry::{RetryDev, RetryPolicy};
 pub use sparse::SparseDev;
 pub use zero::ZeroDev;
+
+/// Decode a big-endian `u32` from the first 4 bytes of `b`.
+///
+/// Centralizes the byte-slice conversions that on-disk format parsers do in
+/// bulk (QCOW2 integers are big-endian); callers pass slices produced by
+/// `chunks_exact` or fixed-offset indexing, so the length is statically
+/// guaranteed by the call site.
+#[inline]
+pub fn be_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_be_bytes(a)
+}
+
+/// Decode a big-endian `u64` from the first 8 bytes of `b`; see [`be_u32`].
+#[inline]
+pub fn be_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_be_bytes(a)
+}
 
 /// Copy the entire visible content of `src` into `dst`, growing `dst` as
 /// needed. Used e.g. when a cache image is transferred from compute-node

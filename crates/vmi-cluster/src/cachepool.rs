@@ -143,14 +143,19 @@ impl CachePool {
         while self.used + size > self.capacity {
             // Degraded entries go first (they can never warm further);
             // among equals, plain LRU with name as the deterministic tie.
-            let victim = self
+            let Some(victim) = self
                 .entries
                 .iter()
                 .min_by_key(|(name, e)| (!e.degraded, e.last_used, name.as_str().to_owned()))
                 .map(|(name, _)| name.clone())
-                .expect("used > 0 implies entries exist");
-            self.evict_entry(&victim, obs, node)
-                .expect("victim was just found");
+            else {
+                // used > 0 with no entries would mean the accounting broke;
+                // refuse the admit rather than loop forever.
+                return Err(());
+            };
+            if self.evict_entry(&victim, obs, node).is_none() {
+                return Err(());
+            }
             evicted.push(victim);
         }
         self.used += size;

@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use vmi_blockdev::{BlockDev, Result, SharedDev, SparseDev};
+use vmi_blockdev::{BlockDev, BlockError, Result, SharedDev, SparseDev};
 use vmi_obs::Obs;
 use vmi_qcow::{
     create_cached_chain, create_cached_chain_with_obs, create_cow_chain_with_obs,
@@ -191,7 +191,11 @@ pub fn build_chain(spec: ChainSpec<'_>) -> Result<Arc<QcowImage>> {
             cluster_bits,
             ..
         } => {
-            let cache_dev = spec.cache_dev.expect("cold cache needs a container");
+            let Some(cache_dev) = spec.cache_dev else {
+                return Err(BlockError::unsupported(
+                    "cold-cache deployment needs a cache container",
+                ));
+            };
             ns.insert("cache", cache_dev.clone());
             create_cached_chain_with_obs(
                 &ns,
@@ -206,7 +210,11 @@ pub fn build_chain(spec: ChainSpec<'_>) -> Result<Arc<QcowImage>> {
             )
         }
         Mode::WarmCache { .. } => {
-            let cache_dev = spec.cache_dev.expect("warm cache needs a container");
+            let Some(cache_dev) = spec.cache_dev else {
+                return Err(BlockError::unsupported(
+                    "warm-cache deployment needs a cache container",
+                ));
+            };
             spec.obs.count(vmi_obs::met::CHAIN_OPENS, 1);
             spec.obs.emit(|| vmi_obs::Event::ChainOpen {
                 image: "cache".into(),

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use vmi_blockdev::{BlockDev, Result, SharedDev, SparseDev};
+use vmi_blockdev::{BlockDev, BlockError, Result, SharedDev, SparseDev};
 use vmi_obs::RecorderHandle;
 use vmi_qcow::QcowImage;
 use vmi_remote::{MountOpts, NfsMount};
@@ -187,8 +187,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
         } => warm
             .iter()
             .map(|w| {
-                let container = w.as_ref().expect("warm prepared").container.clone();
-                Some(storage.export_on_tmpfs(container as SharedDev))
+                w.as_ref()
+                    .map(|w| storage.export_on_tmpfs(w.container.clone() as SharedDev))
             })
             .collect(),
         _ => (0..cfg.vmis).map(|_| None).collect(),
@@ -242,7 +242,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
                 (Some(dev), false)
             }
             Mode::WarmCache { placement, .. } => {
-                let w = warm[v].as_ref().expect("warm prepared");
+                let Some(w) = warm[v].as_ref() else {
+                    return Err(BlockError::unsupported("warm cache was not prepared"));
+                };
                 match placement {
                     Placement::ComputeDisk => (
                         Some(node.disk_file(Arc::new(w.container.fork()), false)),
@@ -252,7 +254,11 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
                         (Some(node.mem_file(Arc::new(w.container.fork()))), false)
                     }
                     Placement::StorageMem => {
-                        let exp = warm_exports[v].as_ref().expect("tmpfs export").clone();
+                        let Some(exp) = warm_exports[v].clone() else {
+                            return Err(BlockError::unsupported(
+                                "storage-memory placement without a tmpfs export",
+                            ));
+                        };
                         let mount: SharedDev =
                             NfsMount::new(exp, storage.nic, MountOpts::default());
                         (Some(mount), true)

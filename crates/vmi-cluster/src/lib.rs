@@ -30,6 +30,8 @@
 //! assert!(!sink.lines().is_empty(), "the run left a replayable event stream");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cachepool;
 pub mod cloud;
 pub mod deploy;

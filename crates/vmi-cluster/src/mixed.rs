@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use vmi_blockdev::{Result, SharedDev, SparseDev};
+use vmi_blockdev::{BlockError, Result, SharedDev, SparseDev};
 use vmi_obs::Obs;
 use vmi_qcow::{CreateOpts, QcowImage};
 use vmi_remote::{MountOpts, NfsMount};
@@ -85,9 +85,15 @@ pub fn run_mixed_experiment(cfg: &MixedConfig) -> Result<MixedOutcome> {
         .map(|i| NodeState::new(i, 1, 1 << 30))
         .collect();
     for node in fleet.iter_mut().rev().take(warm_count) {
-        node.caches
+        if node
+            .caches
             .admit(&cfg.profile.name, warm.file_size, 0)
-            .expect("fits");
+            .is_err()
+        {
+            return Err(BlockError::unsupported(
+                "warm cache larger than a node's cache capacity",
+            ));
+        }
     }
     let sched = Scheduler::new(cfg.policy, cfg.cache_aware);
 
@@ -96,9 +102,11 @@ pub fn run_mixed_experiment(cfg: &MixedConfig) -> Result<MixedOutcome> {
     let mut vms = Vec::with_capacity(cfg.vms);
     let mut warm_placements = 0;
     for t in 0..cfg.vms {
-        let decision = sched
-            .place(&mut fleet, &cfg.profile.name, t as u64)
-            .expect("fleet has capacity for every request");
+        let Some(decision) = sched.place(&mut fleet, &cfg.profile.name, t as u64) else {
+            return Err(BlockError::unsupported(
+                "fleet has no capacity for the next request",
+            ));
+        };
         let mut node = ComputeNode::new(&world, decision.node);
         let base_dev: SharedDev =
             NfsMount::new(base_export.clone(), storage.nic, MountOpts::default());

@@ -146,14 +146,11 @@ impl Scheduler {
         } else {
             candidates
         };
-        let best = *narrowed
-            .iter()
-            .min_by(|&&a, &&b| {
-                self.rank(&nodes[a])
-                    .partial_cmp(&self.rank(&nodes[b]))
-                    .unwrap()
-            })
-            .expect("narrowed nonempty");
+        let best = *narrowed.iter().min_by(|&&a, &&b| {
+            let (ra, ia) = self.rank(&nodes[a]);
+            let (rb, ib) = self.rank(&nodes[b]);
+            ra.total_cmp(&rb).then(ia.cmp(&ib))
+        })?;
         let node = &mut nodes[best];
         node.running_vms += 1;
         let cache_hit = node.caches.touch(vmi, now);

@@ -67,6 +67,9 @@ pub struct Telemetry {
     /// Crash-recovery scrubs that discarded an unusable cache (the boot
     /// fell back to plain QCOW2).
     pub scrub_discards: u64,
+    /// Invariant violations found by `vmi-audit` during scrubs (every scrub
+    /// is an audit run under the hood).
+    pub audit_violations: u64,
     /// Injected node failures observed (cloud runs).
     pub node_failures: u64,
     /// Boots rescheduled onto another node after a mid-boot node death.
@@ -128,6 +131,7 @@ impl Telemetry {
             caches_degraded: obs.counter_value(met::CACHE_DEGRADED),
             scrub_repairs: obs.counter_value(met::SCRUB_REPAIRS),
             scrub_discards: obs.counter_value(met::SCRUB_DISCARDS),
+            audit_violations: obs.counter_value(met::AUDIT_VIOLATIONS),
             node_failures: obs.counter_value(met::NODE_FAILURES),
             boots_rescheduled: obs.counter_value(met::BOOT_RESCHEDULES),
             p50_op_ns: op_hist.as_ref().map(|h| h.quantile(0.5)),

@@ -15,11 +15,16 @@
 //! Backing files are resolved relative to the image's directory, like QEMU
 //! does. All commands work on real files through [`vmi_blockdev::FileDev`].
 
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use vmi_blockdev::{BlockDev, BlockError, FileDev, Result, SharedDev};
 use vmi_qcow::{CreateOpts, DevResolver, Header, QcowImage};
+
+pub mod fixtures;
 
 /// Resolves backing-file names against a directory on the real filesystem.
 pub struct FsResolver {
@@ -61,6 +66,47 @@ pub fn open_image(path: &Path, read_only: bool) -> Result<Arc<QcowImage>> {
         .and_then(|n| n.to_str())
         .ok_or_else(|| BlockError::unsupported("invalid image path"))?;
     vmi_qcow::open_chain(&resolver, name, read_only)
+}
+
+/// Open `path` and every layer reachable through backing-file names as raw
+/// read-only devices, ordered top → base, for [`vmi_audit::audit_chain`].
+///
+/// This deliberately bypasses the driver's open path: an fsck must be able
+/// to look at containers too corrupt for [`open_image`] to accept. Backing
+/// names are resolved like the driver resolves them (relative to the layer
+/// naming them). A file reached twice yields the *same* `Arc`, so the
+/// auditor's device-identity check sees backing cycles; the walk itself
+/// stops at the first repeat, and anything deeper than the auditor's depth
+/// limit is left for the auditor to condemn.
+pub fn collect_chain_devs(path: &Path) -> Result<Vec<SharedDev>> {
+    let mut seen: HashMap<PathBuf, SharedDev> = HashMap::new();
+    let mut devs: Vec<SharedDev> = Vec::new();
+    let mut current = path.to_path_buf();
+    loop {
+        let canon = std::fs::canonicalize(&current).unwrap_or_else(|_| current.clone());
+        if let Some(dev) = seen.get(&canon) {
+            devs.push(dev.clone());
+            break;
+        }
+        let dev: SharedDev = Arc::new(FileDev::open_read_only(&current)?);
+        seen.insert(canon, dev.clone());
+        devs.push(dev.clone());
+        if devs.len() > vmi_audit::MAX_CHAIN_DEPTH {
+            break;
+        }
+        match vmi_audit::probe_backing(dev.as_ref() as &dyn BlockDev) {
+            Some(name) => {
+                let next = if Path::new(&name).is_absolute() {
+                    PathBuf::from(name)
+                } else {
+                    current.parent().unwrap_or(Path::new(".")).join(name)
+                };
+                current = next;
+            }
+            None => break,
+        }
+    }
+    Ok(devs)
 }
 
 /// Parameters for [`create_image`].

@@ -5,9 +5,11 @@
 //! vmi-img info    <path>
 //! vmi-img map     <path>
 //! vmi-img check   <path>
+//! vmi-img fsck    <path> [--chain] [--deep] [--json]
 //! vmi-img commit  <path>
 //! vmi-img chain   <base> --stem vm1 --size 8G --quota 200M
 //! vmi-img warm    <cache> [--profile centos|debian|windows|tiny] [--seed N]
+//! vmi-img make-fixtures <dir>
 //! ```
 
 use std::path::PathBuf;
@@ -29,6 +31,8 @@ fn main() {
         "info" => cmd_info(rest),
         "map" => cmd_map(rest),
         "check" => cmd_check(rest),
+        "fsck" => cmd_fsck(rest),
+        "make-fixtures" => cmd_make_fixtures(rest),
         "commit" => cmd_commit(rest),
         "compact" => cmd_compact(rest),
         "discard" => cmd_discard(rest),
@@ -57,12 +61,14 @@ fn usage() {
     eprintln!("usage: vmi-img <create|info|map|check|commit|chain|warm> ...");
     eprintln!("  create <path> --size N [--cluster N] [--backing F] [--cache-quota N]");
     eprintln!("  info|map|check|commit|compact <path>");
+    eprintln!("  fsck <path> [--chain] [--deep] [--json]   (--deep implies --chain)");
     eprintln!("  discard <path> --off N --len N");
     eprintln!("  resize <path> --size N   (grow only)");
     eprintln!("  rebase <path> [--backing F]   (unsafe rebase; omit --backing to detach)");
     eprintln!("  snapshot <path> --create NAME | --list | --apply ID | --delete ID");
     eprintln!("  chain <base> --stem S --size N [--quota N] [--cluster N]");
     eprintln!("  warm <cache> [--profile centos|debian|windows|tiny] [--seed N]");
+    eprintln!("  make-fixtures <dir>   (golden ok-*/bad-* fsck fixtures)");
     eprintln!("sizes accept K/M/G suffixes (powers of two)");
 }
 
@@ -152,6 +158,66 @@ fn cmd_check(rest: &[String]) -> CliResult {
         }
         Err(format!("{} error(s)", rep.errors.len()).into())
     }
+}
+
+fn cmd_fsck(rest: &[String]) -> CliResult {
+    let path = positional(rest)?;
+    let json = rest.iter().any(|a| a == "--json");
+    let deep = rest.iter().any(|a| a == "--deep");
+    let chain = deep || rest.iter().any(|a| a == "--chain");
+
+    let (violations, l2_tables, data_clusters) = if chain {
+        let devs = vmi_img::collect_chain_devs(&path)?;
+        let rep = vmi_audit::audit_chain(&devs, deep);
+        let top = rep.layers.first();
+        (
+            rep.all_violations(),
+            top.map_or(0, |l| l.l2_tables),
+            top.map_or(0, |l| l.data_clusters),
+        )
+    } else {
+        let dev = vmi_blockdev::FileDev::open_read_only(&path)?;
+        let rep = vmi_audit::audit_image(&dev);
+        (rep.violations, rep.l2_tables, rep.data_clusters)
+    };
+
+    if json {
+        let items: Vec<String> = violations.iter().map(|v| v.to_json()).collect();
+        println!(
+            "{{\"image\":\"{}\",\"clean\":{},\"l2_tables\":{},\"data_clusters\":{},\"violations\":[{}]}}",
+            path.display(),
+            violations.is_empty(),
+            l2_tables,
+            data_clusters,
+            items.join(",")
+        );
+    } else {
+        println!("L2 tables: {l2_tables}");
+        println!("data clusters: {data_clusters}");
+        if violations.is_empty() {
+            println!("No invariant violations were found.");
+        }
+        for v in &violations {
+            eprintln!("{v}");
+            if v.repair != vmi_audit::RepairHint::None {
+                eprintln!("    repair: {}", v.repair.describe());
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} violation(s)", violations.len()).into())
+    }
+}
+
+fn cmd_make_fixtures(rest: &[String]) -> CliResult {
+    let dir = positional(rest)?;
+    let made = vmi_img::fixtures::make_fixtures(&dir)?;
+    for p in &made {
+        println!("{}", p.display());
+    }
+    Ok(())
 }
 
 fn cmd_commit(rest: &[String]) -> CliResult {

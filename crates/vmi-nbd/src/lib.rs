@@ -33,6 +33,8 @@
 //! assert_eq!(&buf, b"hello nbd");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod proto;
 pub mod server;

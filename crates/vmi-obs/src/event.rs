@@ -111,6 +111,15 @@ pub enum Event {
         /// The configured quota.
         quota: u64,
     },
+    /// The invariant checker (`vmi-audit`) found one broken invariant.
+    AuditViolation {
+        /// Stable violation-kind label, e.g. `used_size_mismatch`.
+        kind: String,
+        /// `warning` (repairable) or `error` (structural).
+        severity: String,
+        /// Human-readable specifics (offsets, indices, expected vs. found).
+        detail: String,
+    },
     /// A cluster node failed (injected or detected).
     NodeFailed {
         /// Failed node id.
@@ -143,6 +152,7 @@ impl Event {
             Event::RetryAttempt { .. } => "retry_attempt",
             Event::CacheDegraded { .. } => "cache_degraded",
             Event::ScrubResult { .. } => "scrub_result",
+            Event::AuditViolation { .. } => "audit_violation",
             Event::NodeFailed { .. } => "node_failed",
             Event::BootRescheduled { .. } => "boot_rescheduled",
         }
@@ -205,6 +215,15 @@ impl Event {
             } => {
                 push_str_field(&mut s, "verdict", verdict);
                 let _ = write!(s, ",\"used\":{used},\"quota\":{quota}");
+            }
+            Event::AuditViolation {
+                kind,
+                severity,
+                detail,
+            } => {
+                push_str_field(&mut s, "kind", kind);
+                push_str_field(&mut s, "severity", severity);
+                push_str_field(&mut s, "detail", detail);
             }
             Event::NodeFailed { node } => {
                 let _ = write!(s, ",\"node\":{node}");
@@ -279,6 +298,11 @@ impl Event {
                 verdict: fields.str("verdict")?.to_string(),
                 used: fields.u64("used")?,
                 quota: fields.u64("quota")?,
+            },
+            "audit_violation" => Event::AuditViolation {
+                kind: fields.str("kind")?.to_string(),
+                severity: fields.str("severity")?.to_string(),
+                detail: fields.str("detail")?.to_string(),
             },
             "node_failed" => Event::NodeFailed {
                 node: fields.u64("node")?,
@@ -553,6 +577,14 @@ mod tests {
                 verdict: "repaired".into(),
                 used: 8192,
                 quota: 1 << 20,
+            },
+        );
+        roundtrip(
+            11,
+            Event::AuditViolation {
+                kind: "used_size_mismatch".into(),
+                severity: "warning".into(),
+                detail: "recorded used 1024 != referenced 2048 (torn flush)".into(),
             },
         );
         roundtrip(11, Event::NodeFailed { node: 3 });

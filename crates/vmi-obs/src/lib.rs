@@ -36,6 +36,8 @@
 //! assert_eq!(obs.counter_value(vmi_obs::met::CACHE_HIT_BYTES), 512);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod event;
 mod metrics;
 mod sink;

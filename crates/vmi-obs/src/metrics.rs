@@ -58,6 +58,10 @@ pub mod met {
     pub const SCRUB_REPAIRS: &str = "qcow.scrub.repairs";
     /// Scrubs that discarded an unrecoverable cache (counter).
     pub const SCRUB_DISCARDS: &str = "qcow.scrub.discards";
+    /// Invariant-checker (fsck) runs (counter).
+    pub const AUDIT_RUNS: &str = "audit.runs";
+    /// Invariant violations reported by the checker (counter).
+    pub const AUDIT_VIOLATIONS: &str = "audit.violations";
     /// Cluster node failures, injected or detected (counter).
     pub const NODE_FAILURES: &str = "cluster.node.failures";
     /// Boots re-placed on another node after a node failure (counter).
@@ -208,7 +212,7 @@ fn find_slot<'a, T>(
                 }
             }
             None => {
-                if slot_name(s).set(name).is_ok() || *slot_name(s).get().unwrap() == name {
+                if slot_name(s).set(name).is_ok() || slot_name(s).get().copied() == Some(name) {
                     return Some(s);
                 }
             }

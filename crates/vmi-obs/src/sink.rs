@@ -30,12 +30,12 @@ impl JsonlSink {
 
     /// Copy of all buffered lines, in emission order.
     pub fn lines(&self) -> Vec<String> {
-        self.lines.lock().unwrap().clone()
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Number of buffered events.
     pub fn len(&self) -> usize {
-        self.lines.lock().unwrap().len()
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// True when nothing has been recorded.
@@ -45,7 +45,7 @@ impl JsonlSink {
 
     /// The whole stream as one newline-terminated JSONL document.
     pub fn dump(&self) -> String {
-        let lines = self.lines.lock().unwrap();
+        let lines = self.lines.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::new();
         for l in lines.iter() {
             out.push_str(l);
@@ -58,9 +58,9 @@ impl JsonlSink {
     pub fn events(&self) -> Vec<(u64, Event)> {
         self.lines
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
-            .map(|l| Event::parse_line(l).expect("sink lines are well-formed"))
+            .filter_map(|l| Event::parse_line(l).ok())
             .collect()
     }
 }
@@ -68,7 +68,10 @@ impl JsonlSink {
 impl Recorder for JsonlSink {
     fn record(&self, t_ns: u64, ev: &Event) {
         let line = ev.to_json_line(t_ns);
-        self.lines.lock().unwrap().push(line);
+        self.lines
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(line);
     }
 }
 

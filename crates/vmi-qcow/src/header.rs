@@ -10,7 +10,7 @@
 //! All integers are big-endian, as in QCOW2.
 
 use bytes::{Buf, BufMut};
-use vmi_blockdev::{BlockDev, BlockError, Result};
+use vmi_blockdev::{be_u32, BlockDev, BlockError, Result};
 
 use crate::layout::Geometry;
 
@@ -194,8 +194,8 @@ impl Header {
             let mut frame = [0u8; 8];
             dev.read_at(&mut frame, pos)
                 .map_err(|_| BlockError::corrupt("truncated extension area"))?;
-            let ty = u32::from_be_bytes(frame[..4].try_into().unwrap());
-            let len = u32::from_be_bytes(frame[4..].try_into().unwrap()) as usize;
+            let ty = be_u32(&frame[..4]);
+            let len = be_u32(&frame[4..]) as usize;
             pos += 8;
             if ty == EXT_END {
                 break;
@@ -274,8 +274,8 @@ impl Header {
             let mut frame = [0u8; 8];
             dev.read_at(&mut frame, pos)
                 .map_err(|_| BlockError::corrupt("truncated extension area"))?;
-            let ty = u32::from_be_bytes(frame[..4].try_into().unwrap());
-            let len = u32::from_be_bytes(frame[4..].try_into().unwrap()) as usize;
+            let ty = be_u32(&frame[..4]);
+            let len = be_u32(&frame[4..]) as usize;
             pos += 8;
             match ty {
                 EXT_END => return Err(BlockError::corrupt("no snapshot extension to update")),
@@ -303,8 +303,8 @@ impl Header {
             let mut frame = [0u8; 8];
             dev.read_at(&mut frame, pos)
                 .map_err(|_| BlockError::corrupt("truncated extension area"))?;
-            let ty = u32::from_be_bytes(frame[..4].try_into().unwrap());
-            let len = u32::from_be_bytes(frame[4..].try_into().unwrap()) as usize;
+            let ty = be_u32(&frame[..4]);
+            let len = be_u32(&frame[4..]) as usize;
             pos += 8;
             match ty {
                 EXT_END => return Err(BlockError::corrupt("no cache extension to update")),

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use vmi_blockdev::{BlockDev, BlockError, Result, SharedDev};
+use vmi_blockdev::{be_u64, BlockDev, BlockError, Result, SharedDev};
 use vmi_obs::{met, Event, Obs};
 
 use crate::header::{CacheExt, Header, VERSION};
@@ -318,10 +318,7 @@ impl QcowImage {
         let mut l1_raw = vec![0u8; (header.l1_size as usize) * 8];
         dev.read_at(&mut l1_raw, header.l1_table_offset)
             .map_err(|_| BlockError::corrupt("truncated L1 table"))?;
-        let l1: Vec<u64> = l1_raw
-            .chunks_exact(8)
-            .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
-            .collect();
+        let l1: Vec<u64> = l1_raw.chunks_exact(8).map(be_u64).collect();
         let cluster_size = geom.cluster_size();
         for &e in &l1 {
             if e != UNALLOCATED && (e % cluster_size != 0 || e >= dev.len()) {
@@ -494,6 +491,32 @@ impl QcowImage {
         self.detached.store(true, Ordering::Release);
         QcowImage::open(self.dev.clone(), new_backing, false)
     }
+
+    /// Paranoid self-check: re-audit the whole container with `vmi-audit`
+    /// after a mutating op, comparing against the in-memory used counter
+    /// (the on-disk field is stale mid-session by design — §4.3 writes it
+    /// back at close). Active only with the `paranoid` feature in debug
+    /// builds: it re-reads every mapping table, so it is deliberately unfit
+    /// for release use. Degraded images are skipped — the latch already
+    /// marks them as known-inconsistent.
+    #[cfg(feature = "paranoid")]
+    fn paranoid_audit(&self, st: &MutState, op: &str) {
+        if !cfg!(debug_assertions) || self.is_degraded() {
+            return;
+        }
+        let opts = vmi_audit::AuditOpts {
+            expected_used: self.header.is_cache().then_some(st.cache_used),
+            ..Default::default()
+        };
+        let report = vmi_audit::audit_image_opts(self.dev.as_ref(), &opts);
+        if !report.is_clean() {
+            panic!("paranoid audit failed after {op}: {:?}", report.violations) // lint:allow(no-unwrap)
+        }
+    }
+
+    #[cfg(not(feature = "paranoid"))]
+    #[inline(always)]
+    fn paranoid_audit(&self, _st: &MutState, _op: &str) {}
 
     pub fn close(&self) -> Result<()> {
         if !self.read_only {
@@ -683,6 +706,7 @@ impl QcowImage {
             }
             self.obs.gauge(met::CACHE_USED_BYTES, st.cache_used);
         }
+        self.paranoid_audit(&st, "discard");
         Ok(discarded)
     }
 
@@ -767,6 +791,7 @@ impl QcowImage {
         self.persist_snapshot_table(&mut st)?;
         self.freeze_active_tree(&mut st)?;
         crate::snapshot::note_create(&self.obs);
+        self.paranoid_audit(&st, "create_snapshot");
         Ok(id)
     }
 
@@ -804,10 +829,7 @@ impl QcowImage {
         // Load the frozen L1 and make it active (memory + container).
         let mut raw = vec![0u8; rec.l1_entries as usize * 8];
         self.dev.read_at(&mut raw, rec.l1_offset)?;
-        let l1: Vec<u64> = raw
-            .chunks_exact(8)
-            .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
-            .collect();
+        let l1: Vec<u64> = raw.chunks_exact(8).map(be_u64).collect();
         self.dev.write_at(&raw, self.header.l1_table_offset)?;
         st.l1 = l1;
         st.l2_cache.clear();
@@ -815,6 +837,7 @@ impl QcowImage {
         // The active tree is now shared with the snapshot: refreeze.
         self.recompute_frozen(&mut st)?;
         crate::snapshot::note_apply(&self.obs);
+        self.paranoid_audit(&st, "apply_snapshot");
         Ok(())
     }
 
@@ -834,6 +857,7 @@ impl QcowImage {
         self.persist_snapshot_table(&mut st)?;
         self.recompute_frozen(&mut st)?;
         crate::snapshot::note_delete(&self.obs);
+        self.paranoid_audit(&st, "delete_snapshot");
         Ok(())
     }
 
@@ -962,7 +986,7 @@ impl QcowImage {
         let mut raw = vec![0u8; l1_entries * 8];
         self.dev.read_at(&mut raw, l1_offset)?;
         for e in raw.chunks_exact(8) {
-            let l2_off = u64::from_be_bytes(e.try_into().unwrap());
+            let l2_off = be_u64(e);
             if l2_off == UNALLOCATED {
                 continue;
             }
@@ -1016,12 +1040,9 @@ impl QcowImage {
         while st.l2_cache.len() > limit {
             // Evict the least-recently-used table. Tables are write-through:
             // dropping one loses nothing.
-            let victim = st
-                .l2_ticks
-                .iter()
-                .min_by_key(|&(_, &t)| t)
-                .map(|(&k, _)| k)
-                .expect("cache nonempty above limit");
+            let Some(victim) = st.l2_ticks.iter().min_by_key(|&(_, &t)| t).map(|(&k, _)| k) else {
+                break;
+            };
             st.l2_cache.remove(&victim);
             st.l2_ticks.remove(&victim);
         }
@@ -1030,10 +1051,7 @@ impl QcowImage {
     fn read_l2_table(&self, l2_off: u64) -> Result<Vec<u64>> {
         let mut raw = vec![0u8; self.geom.cluster_size() as usize];
         self.dev.read_at(&mut raw, l2_off)?;
-        Ok(raw
-            .chunks_exact(8)
-            .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
-            .collect())
+        Ok(raw.chunks_exact(8).map(be_u64).collect())
     }
 
     /// Look up the container offset of the data cluster holding `vba`.
@@ -1391,6 +1409,7 @@ impl BlockDev for QcowImage {
             self.write_segment(&mut st, &buf[done..done + seg.len], seg.vba)?;
             done += seg.len;
         }
+        self.paranoid_audit(&st, "write_at");
         Ok(())
     }
 

@@ -52,6 +52,8 @@
 //! assert_eq!(buf, [7u8; 4096]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod chain;
 pub mod dedup;
 pub mod header;

@@ -18,9 +18,16 @@
 //!
 //! Every scrub emits an [`Event::ScrubResult`] and counts
 //! [`met::SCRUB_RUNS`] / [`met::SCRUB_REPAIRS`] / [`met::SCRUB_DISCARDS`].
+//!
+//! The validation itself lives in the `vmi-audit` crate — an independent,
+//! driver-free reimplementation of the on-disk format — and this module is
+//! a thin consumer mapping its typed [`Violation`]s onto the three
+//! verdicts. Keeping the walk outside `vmi-qcow` means a driver bug cannot
+//! blind the scrub that is supposed to catch it.
 
 use std::sync::Arc;
 
+use vmi_audit::{audit_image_with_obs, AuditOpts, Violation, ViolationKind};
 use vmi_blockdev::{BlockDev, Result, SharedDev};
 use vmi_obs::{met, Event, Obs};
 
@@ -50,7 +57,7 @@ impl ScrubVerdict {
 }
 
 /// Result of [`scrub_cache`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScrubReport {
     /// Outcome class.
     pub verdict: ScrubVerdict,
@@ -61,6 +68,9 @@ pub struct ScrubReport {
     pub quota: u64,
     /// Human-readable findings (empty for a clean pass).
     pub findings: Vec<String>,
+    /// The typed invariant violations behind `findings`, straight from the
+    /// `vmi-audit` checker (same order).
+    pub violations: Vec<Violation>,
 }
 
 impl ScrubReport {
@@ -78,7 +88,7 @@ impl ScrubReport {
 /// for them, so callers can scrub unconditionally before open.
 pub fn scrub_cache(dev: &SharedDev, obs: &Obs) -> ScrubReport {
     obs.count(met::SCRUB_RUNS, 1);
-    let report = scrub_inner(dev);
+    let report = scrub_inner(dev, obs);
     match report.verdict {
         ScrubVerdict::Clean => {}
         ScrubVerdict::Repaired => obs.count(met::SCRUB_REPAIRS, 1),
@@ -93,123 +103,90 @@ pub fn scrub_cache(dev: &SharedDev, obs: &Obs) -> ScrubReport {
     report
 }
 
-fn discard(findings: Vec<String>, used: u64, quota: u64) -> ScrubReport {
-    ScrubReport {
-        verdict: ScrubVerdict::Discarded,
-        used,
-        quota,
-        findings,
-    }
+/// Violation kinds that condemn *any* container, cache or not: if the
+/// header cannot be trusted, nothing can.
+fn is_header_level(kind: ViolationKind) -> bool {
+    matches!(
+        kind,
+        ViolationKind::UnreadableHeader
+            | ViolationKind::BadMagic
+            | ViolationKind::BadVersion
+            | ViolationKind::BadHeaderLength
+            | ViolationKind::OversizedExtension
+            | ViolationKind::MalformedExtension
+            | ViolationKind::ZeroQuota
+            | ViolationKind::BackingNameInvalid
+    )
 }
 
-fn scrub_inner(dev: &SharedDev) -> ScrubReport {
-    let header = match Header::decode(dev.as_ref() as &dyn BlockDev) {
-        Ok(h) => h,
-        Err(e) => return discard(vec![format!("unreadable header: {e}")], 0, 0),
-    };
-    let Some(cache) = header.cache else {
-        // Not a cache image; nothing to validate beyond the header.
+fn scrub_inner(dev: &SharedDev, obs: &Obs) -> ScrubReport {
+    let audit = audit_image_with_obs(dev.as_ref() as &dyn BlockDev, &AuditOpts::default(), obs);
+    let findings: Vec<String> = audit.violations.iter().map(|v| v.to_string()).collect();
+
+    if audit.violations.iter().any(|v| is_header_level(v.kind)) {
+        return ScrubReport {
+            verdict: ScrubVerdict::Discarded,
+            used: 0,
+            quota: audit.quota,
+            findings,
+            violations: audit.violations,
+        };
+    }
+    if !audit.is_cache {
+        // Not a cache image; the paper's scrub exists for the crash
+        // consistency of cache flushes (§4.3), so plain containers pass
+        // through untouched.
         return ScrubReport {
             verdict: ScrubVerdict::Clean,
             used: 0,
             quota: 0,
             findings: Vec::new(),
+            violations: Vec::new(),
         };
-    };
-    let quota = cache.quota;
-    let geom = match header.geometry() {
-        Ok(g) => g,
-        Err(e) => return discard(vec![format!("invalid geometry: {e}")], 0, quota),
-    };
-    if header.l1_size as u64 != geom.l1_entries() {
-        return discard(
-            vec![format!(
-                "l1_size {} does not match geometry {}",
-                header.l1_size,
-                geom.l1_entries()
-            )],
-            0,
+    }
+    let (used, quota) = (audit.recomputed_used, audit.quota);
+    if audit.has_errors() {
+        // Structural damage (bad tables, overlaps, over-quota data): the
+        // cache must not be opened. The deploy layer falls back to
+        // plain-QCOW2 deployment without it.
+        return ScrubReport {
+            verdict: ScrubVerdict::Discarded,
+            used,
             quota,
-        );
+            findings,
+            violations: audit.violations,
+        };
     }
-    let cs = geom.cluster_size();
-    let file_end = geom.align_up(dev.len());
-    let mut l1_raw = vec![0u8; header.l1_size as usize * 8];
-    if dev.read_at(&mut l1_raw, header.l1_table_offset).is_err() {
-        return discard(vec!["truncated L1 table".into()], 0, quota);
-    }
-    let mut findings = Vec::new();
-    let mut l2_tables = 0u64;
-    let mut data_clusters = 0u64;
-    for (l1_idx, e) in l1_raw.chunks_exact(8).enumerate() {
-        let l2_off = u64::from_be_bytes(e.try_into().unwrap());
-        if l2_off == 0 {
-            continue;
-        }
-        if l2_off % cs != 0 || l2_off + cs > file_end {
-            return discard(vec![format!("L1[{l1_idx}] invalid: {l2_off:#x}")], 0, quota);
-        }
-        l2_tables += 1;
-        let mut l2_raw = vec![0u8; cs as usize];
-        if dev.read_at(&mut l2_raw, l2_off).is_err() {
-            return discard(
-                vec![format!("unreadable L2 table at {l2_off:#x}")],
-                0,
-                quota,
-            );
-        }
-        for (l2_idx, d) in l2_raw.chunks_exact(8).enumerate() {
-            let doff = u64::from_be_bytes(d.try_into().unwrap());
-            if doff == 0 {
-                continue;
-            }
-            if doff % cs != 0 || doff + cs > file_end {
-                return discard(
-                    vec![format!("L2[{l1_idx}][{l2_idx}] invalid: {doff:#x}")],
-                    0,
-                    quota,
-                );
-            }
-            data_clusters += 1;
-        }
-    }
-    // The §4.3 accounting: header cluster + L1 table + every allocated
-    // cluster. This is the ground truth; the header's recorded value is
-    // only a cached copy written at close.
-    let recomputed = cs + geom.l1_table_bytes() + (l2_tables + data_clusters) * cs;
-    let initial = cs + geom.l1_table_bytes();
-    if recomputed > quota.max(initial) {
-        return discard(
-            vec![format!(
-                "referenced clusters ({recomputed} bytes) exceed quota {quota}"
-            )],
-            recomputed,
-            quota,
-        );
-    }
-    if recomputed != cache.used {
-        findings.push(format!(
-            "recorded used {} != referenced {recomputed} (torn flush); repaired",
-            cache.used
-        ));
+    if let Some(recomputed) = audit.used_repair() {
+        // The classic torn close: tables intact, recorded used-size stale.
+        // Apply the checker's repair hint in place.
+        let mut findings = findings;
         if Header::update_cache_used(dev.as_ref() as &dyn BlockDev, recomputed).is_err()
             || dev.flush().is_err()
         {
             findings.push("header rewrite failed".into());
-            return discard(findings, recomputed, quota);
+            return ScrubReport {
+                verdict: ScrubVerdict::Discarded,
+                used,
+                quota,
+                findings,
+                violations: audit.violations,
+            };
         }
         return ScrubReport {
             verdict: ScrubVerdict::Repaired,
-            used: recomputed,
+            used,
             quota,
             findings,
+            violations: audit.violations,
         };
     }
     ScrubReport {
         verdict: ScrubVerdict::Clean,
-        used: recomputed,
+        used,
         quota,
         findings,
+        violations: audit.violations,
     }
 }
 

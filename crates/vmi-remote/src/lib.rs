@@ -14,6 +14,8 @@
 //! * [`sim_dev`] — cost hooks for node-local media (compute disk with
 //!   optional synchronous writes, memory).
 
+#![forbid(unsafe_code)]
+
 pub mod export;
 pub mod mount;
 pub mod sim_dev;

@@ -30,6 +30,8 @@
 //! assert!(mbps < 40.0, "random reads must be far below streaming speed");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod disk;
 pub mod net;
 pub mod pagecache;

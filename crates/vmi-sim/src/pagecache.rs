@@ -144,7 +144,9 @@ impl PageCache {
                 self.next_tick += 1;
                 let nt = self.next_tick;
                 self.order.insert(nt, k);
-                self.map.get_mut(&k).unwrap().tick = nt;
+                if let Some(e) = self.map.get_mut(&k) {
+                    e.tick = nt;
+                }
                 // If everything left is pinned, stop evicting.
                 if self.pinned_pages >= self.map.len() {
                     break;

@@ -217,7 +217,7 @@ fn sample_size(dist: &[SizeWeight], rng: &mut StdRng) -> u32 {
         }
         t -= s.weight;
     }
-    dist.last().unwrap().len
+    dist.last().map_or(0, |s| s.len)
 }
 
 /// Merge write ops into the tail half of the read sequence at random

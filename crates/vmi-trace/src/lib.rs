@@ -24,6 +24,8 @@
 //! assert_eq!(trace, vmi_trace::generate(&profile, 42));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analyze;
 pub mod gen;
 pub mod op;

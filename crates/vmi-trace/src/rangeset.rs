@@ -47,7 +47,9 @@ impl RangeSet {
         let mut new_end = end;
         let mut absorbed = 0u64;
         for rs in touching {
-            let re = self.ranges.remove(&rs).expect("key collected above");
+            let Some(re) = self.ranges.remove(&rs) else {
+                continue;
+            };
             new_start = new_start.min(rs);
             new_end = new_end.max(re);
             absorbed += re - rs;
