@@ -1,0 +1,34 @@
+use std::sync::Arc;
+use vmi_audit::audit_image;
+use vmi_blockdev::{BlockDev, MemDev, SharedDev};
+use vmi_qcow::{CreateOpts, QcowImage};
+
+#[test]
+fn crafted_huge_l1_entry_does_not_panic() {
+    let mem = Arc::new(MemDev::new());
+    let dev: SharedDev = mem.clone();
+    let img = QcowImage::create(dev.clone(), CreateOpts::plain(1 << 20), None).unwrap();
+    img.write_at(&[1u8; 4096], 0).unwrap();
+    img.close().unwrap();
+    let mut raw = mem.to_vec();
+    // Find first allocated L1 entry and point it at a cluster-aligned
+    // offset near u64::MAX so `l2_off + cs` overflows.
+    let l1_off = u64::from_be_bytes(raw[32..40].try_into().unwrap()) as usize;
+    let l1_size = u32::from_be_bytes(raw[40..44].try_into().unwrap()) as usize;
+    let cb = u32::from_be_bytes(raw[20..24].try_into().unwrap());
+    let cs: u64 = 1 << cb;
+    let evil = (u64::MAX / cs) * cs; // largest cluster-aligned u64
+    let mut patched = false;
+    for i in 0..l1_size {
+        let o = l1_off + i * 8;
+        if u64::from_be_bytes(raw[o..o + 8].try_into().unwrap()) != 0 {
+            raw[o..o + 8].copy_from_slice(&evil.to_be_bytes());
+            patched = true;
+            break;
+        }
+    }
+    assert!(patched);
+    let dev2 = MemDev::from_vec(raw);
+    let rep = audit_image(&dev2);
+    assert!(!rep.is_clean(), "evil entry must be flagged");
+}
