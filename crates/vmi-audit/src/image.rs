@@ -158,7 +158,9 @@ pub fn audit_image_opts(dev: &dyn BlockDev, opts: &AuditOpts) -> AuditReport {
             );
             continue;
         }
-        if l2_off + cs > file_end {
+        // checked_add: a crafted entry near u64::MAX must be flagged as
+        // out-of-bounds, not overflow the bound computation.
+        if l2_off.checked_add(cs).is_none_or(|end| end > file_end) {
             push(
                 &mut rep,
                 Violation::error(
@@ -208,7 +210,7 @@ pub fn audit_image_opts(dev: &dyn BlockDev, opts: &AuditOpts) -> AuditReport {
                 );
                 continue;
             }
-            if doff + cs > file_end {
+            if doff.checked_add(cs).is_none_or(|end| end > file_end) {
                 push(
                     &mut rep,
                     Violation::error(

@@ -1,3 +1,7 @@
+//! Regression probe: an L1 entry patched to a cluster-aligned offset near
+//! `u64::MAX` must be *flagged* by the auditor, not overflow its
+//! out-of-bounds arithmetic and panic in debug builds.
+
 use std::sync::Arc;
 use vmi_audit::audit_image;
 use vmi_blockdev::{BlockDev, MemDev, SharedDev};

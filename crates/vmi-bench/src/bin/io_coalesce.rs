@@ -1,0 +1,44 @@
+//! Run the PR-5 I/O coalescing microbenchmark and write `BENCH_pr5_io.json`.
+//!
+//! Usage: `io_coalesce [--check] [--out PATH]`
+//!
+//! `--check` exits non-zero unless the cold sequential workload issues at
+//! least 8× fewer device calls coalesced than scalar (the CI perf-smoke
+//! gate). `--out` overrides the artifact path (default `BENCH_pr5_io.json`
+//! in the current directory).
+
+use vmi_bench::io_coalesce::run_io_coalesce;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr5_io.json".to_string());
+
+    let rep = match run_io_coalesce() {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("io_coalesce failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", rep.render());
+    if let Err(e) = std::fs::write(&out, rep.to_json() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out}");
+
+    if check {
+        let ratio = rep.cold_seq_ratio();
+        if ratio < 8.0 {
+            eprintln!("FAIL: cold_seq call ratio {ratio:.1}x < 8x");
+            std::process::exit(1);
+        }
+        println!("OK: cold_seq call ratio {ratio:.1}x >= 8x");
+    }
+}

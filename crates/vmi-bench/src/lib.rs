@@ -16,6 +16,7 @@
 pub mod ablations;
 pub mod figset;
 pub mod figures;
+pub mod io_coalesce;
 pub mod obs_report;
 
 pub use figset::{Figure, Point, Series, TableData};

@@ -42,6 +42,12 @@ pub struct ReplaySummary {
     pub reschedules: u64,
     /// `audit_violation` events.
     pub audit_violations: u64,
+    /// `run_coalesced` events (multi-cluster extents issued as one op).
+    pub runs_coalesced: u64,
+    /// Bytes carried by `run_coalesced` events.
+    pub coalesced_bytes: u64,
+    /// Clusters carried by `run_coalesced` events.
+    pub coalesced_clusters: u64,
 }
 
 /// Replay parsed `(timestamp, event)` pairs into a [`ReplaySummary`].
@@ -67,6 +73,13 @@ pub fn replay(events: &[(u64, Event)]) -> ReplaySummary {
             Event::NodeFailed { .. } => s.node_failures += 1,
             Event::BootRescheduled { .. } => s.reschedules += 1,
             Event::AuditViolation { .. } => s.audit_violations += 1,
+            Event::RunCoalesced {
+                clusters, bytes, ..
+            } => {
+                s.runs_coalesced += 1;
+                s.coalesced_bytes += bytes;
+                s.coalesced_clusters += clusters;
+            }
         }
     }
     s
@@ -110,6 +123,8 @@ impl ReplaySummary {
             && self.degradations == t.caches_degraded
             && self.node_failures == t.node_failures
             && self.reschedules == t.boots_rescheduled
+            && self.runs_coalesced == t.runs_coalesced
+            && self.coalesced_bytes == t.coalesced_bytes
     }
 }
 
@@ -132,6 +147,16 @@ pub fn render_telemetry(t: &Telemetry) -> String {
             "{:<22} {}\n",
             "boots rescheduled", t.boots_rescheduled
         ));
+    }
+    if t.runs_coalesced > 0 {
+        out.push_str(&format!("{:<22} {}\n", "coalesced runs", t.runs_coalesced));
+        out.push_str(&format!(
+            "{:<22} {}\n",
+            "coalesced bytes", t.coalesced_bytes
+        ));
+    }
+    if t.l2_evictions > 0 {
+        out.push_str(&format!("{:<22} {}\n", "l2 evictions", t.l2_evictions));
     }
     if let (Some(p50), Some(p99)) = (t.p50_op_ns, t.p99_op_ns) {
         out.push_str(&format!("{:<22} {} ns\n", "p50 op latency", p50));

@@ -74,6 +74,10 @@ pub struct IoStats {
     read_bytes: AtomicU64,
     write_bytes: AtomicU64,
     flushes: AtomicU64,
+    run_reads: AtomicU64,
+    run_writes: AtomicU64,
+    run_read_bytes: AtomicU64,
+    run_write_bytes: AtomicU64,
     read_hist: Mutex<SizeHistogram>,
     write_hist: Mutex<SizeHistogram>,
 }
@@ -91,6 +95,16 @@ pub struct IoStatsSnapshot {
     pub write_bytes: u64,
     /// Number of flush operations.
     pub flushes: u64,
+    /// Reads that arrived through [`BlockDev::read_run_at`] — coalesced
+    /// extents issued as one operation. A subset of `reads`.
+    pub run_reads: u64,
+    /// Writes that arrived through [`BlockDev::write_run_at`]. A subset of
+    /// `writes`.
+    pub run_writes: u64,
+    /// Bytes moved by run reads. A subset of `read_bytes`.
+    pub run_read_bytes: u64,
+    /// Bytes moved by run writes. A subset of `write_bytes`.
+    pub run_write_bytes: u64,
     /// Request-size histogram for reads.
     pub read_hist: SizeHistogram,
     /// Request-size histogram for writes.
@@ -102,6 +116,12 @@ impl IoStatsSnapshot {
     /// traffic" metric.
     pub fn total_bytes(&self) -> u64 {
         self.read_bytes + self.write_bytes
+    }
+
+    /// Total data operations (reads + writes) — the per-op overhead metric
+    /// the extent-coalescing work drives down while `total_bytes` stays put.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes
     }
 }
 
@@ -118,6 +138,19 @@ impl IoStats {
         self.write_hist.lock().record(len);
     }
 
+    fn record_run_read(&self, len: usize) {
+        self.record_read(len);
+        self.run_reads.fetch_add(1, Ordering::Relaxed);
+        self.run_read_bytes.fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    fn record_run_write(&self, len: usize) {
+        self.record_write(len);
+        self.run_writes.fetch_add(1, Ordering::Relaxed);
+        self.run_write_bytes
+            .fetch_add(len as u64, Ordering::Relaxed);
+    }
+
     /// Copy the current counter values.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -126,6 +159,10 @@ impl IoStats {
             read_bytes: self.read_bytes.load(Ordering::Relaxed),
             write_bytes: self.write_bytes.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
+            run_reads: self.run_reads.load(Ordering::Relaxed),
+            run_writes: self.run_writes.load(Ordering::Relaxed),
+            run_read_bytes: self.run_read_bytes.load(Ordering::Relaxed),
+            run_write_bytes: self.run_write_bytes.load(Ordering::Relaxed),
             read_hist: self.read_hist.lock().clone(),
             write_hist: self.write_hist.lock().clone(),
         }
@@ -138,6 +175,10 @@ impl IoStats {
         self.read_bytes.store(0, Ordering::Relaxed);
         self.write_bytes.store(0, Ordering::Relaxed);
         self.flushes.store(0, Ordering::Relaxed);
+        self.run_reads.store(0, Ordering::Relaxed);
+        self.run_writes.store(0, Ordering::Relaxed);
+        self.run_read_bytes.store(0, Ordering::Relaxed);
+        self.run_write_bytes.store(0, Ordering::Relaxed);
         *self.read_hist.lock() = SizeHistogram::default();
         *self.write_hist.lock() = SizeHistogram::default();
     }
@@ -203,6 +244,18 @@ impl BlockDev for CountingDev {
         Ok(())
     }
 
+    fn read_run_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        self.inner.read_run_at(buf, off)?;
+        self.stats.record_run_read(buf.len());
+        Ok(())
+    }
+
+    fn write_run_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        self.inner.write_run_at(buf, off)?;
+        self.stats.record_run_write(buf.len());
+        Ok(())
+    }
+
     fn describe(&self) -> String {
         format!("counting({})", self.inner.describe())
     }
@@ -228,6 +281,30 @@ mod tests {
         assert_eq!(s.read_bytes, 1024);
         assert_eq!(s.flushes, 1);
         assert_eq!(s.total_bytes(), 5632);
+    }
+
+    #[test]
+    fn run_ops_count_once_and_classify() {
+        let dev = CountingDev::new(Arc::new(MemDev::new()));
+        dev.write_run_at(&[7u8; 4096], 0).unwrap();
+        let mut buf = [0u8; 2048];
+        dev.read_run_at(&mut buf, 0).unwrap();
+        dev.read_at(&mut buf[..512], 0).unwrap();
+        let s = dev.stats().snapshot();
+        // A run op is exactly one device op...
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.total_ops(), 3);
+        assert_eq!(s.read_bytes, 2048 + 512);
+        assert_eq!(s.write_bytes, 4096);
+        // ...and is additionally classified as a run.
+        assert_eq!(s.run_writes, 1);
+        assert_eq!(s.run_reads, 1);
+        assert_eq!(s.run_write_bytes, 4096);
+        assert_eq!(s.run_read_bytes, 2048);
+        // Histograms see run ops at full run size.
+        assert_eq!(s.write_hist.bucket(12), 1);
+        assert_eq!(s.read_hist.bucket(11), 1);
     }
 
     #[test]

@@ -96,6 +96,24 @@ pub trait BlockDev: Send + Sync {
         Ok(avail)
     }
 
+    /// Read one physically contiguous *run* — a range the caller has already
+    /// coalesced out of several logical units (e.g. consecutive qcow
+    /// clusters) — as a single device operation.
+    ///
+    /// Byte-for-byte identical to [`BlockDev::read_at`]; the separate entry
+    /// point exists so decorators can account, price, and fault-check the
+    /// run as **one** operation instead of one per logical unit. Plain media
+    /// inherit this default, which simply delegates.
+    fn read_run_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        self.read_at(buf, off)
+    }
+
+    /// Write one physically contiguous run as a single device operation.
+    /// See [`BlockDev::read_run_at`] for the contract.
+    fn write_run_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        self.write_at(buf, off)
+    }
+
     /// A short human-readable description (medium type), for diagnostics.
     fn describe(&self) -> String {
         "blockdev".to_string()
@@ -127,6 +145,12 @@ impl<T: BlockDev + ?Sized> BlockDev for Arc<T> {
     }
     fn read_at_zero_pad(&self, buf: &mut [u8], off: u64) -> Result<usize> {
         (**self).read_at_zero_pad(buf, off)
+    }
+    fn read_run_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        (**self).read_run_at(buf, off)
+    }
+    fn write_run_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        (**self).write_run_at(buf, off)
     }
     fn describe(&self) -> String {
         (**self).describe()

@@ -299,6 +299,19 @@ impl BlockDev for FaultDev {
         self.inner.flush()
     }
 
+    // A coalesced run consumes exactly one sequence slot per plan and is
+    // range-matched against the whole run, so fault schedules stay
+    // deterministic regardless of how callers batch their clusters.
+    fn read_run_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        self.check(OpClass::Read, off, buf.len())?;
+        self.inner.read_run_at(buf, off)
+    }
+
+    fn write_run_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        self.check(OpClass::Write, off, buf.len())?;
+        self.inner.write_run_at(buf, off)
+    }
+
     fn describe(&self) -> String {
         format!("fault({})", self.inner.describe())
     }

@@ -83,6 +83,22 @@ impl<H: CostHook> BlockDev for LatencyDev<H> {
         Ok(())
     }
 
+    // A coalesced run is one operation: the hook is charged once with the
+    // full run length, so per-op overhead is paid once while per-byte cost
+    // still covers every byte moved. Run-ness is forwarded so inner
+    // decorators classify the op the same way.
+    fn read_run_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        self.inner.read_run_at(buf, off)?;
+        self.hook.charge(OpKind::Read, off, buf.len());
+        Ok(())
+    }
+
+    fn write_run_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        self.inner.write_run_at(buf, off)?;
+        self.hook.charge(OpKind::Write, off, buf.len());
+        Ok(())
+    }
+
     fn describe(&self) -> String {
         format!("latency({})", self.inner.describe())
     }
@@ -120,6 +136,20 @@ mod tests {
                 (OpKind::Read, 10, 50),
                 (OpKind::Flush, 0, 0)
             ]
+        );
+    }
+
+    #[test]
+    fn run_op_is_charged_once_at_full_length() {
+        let rec = Arc::new(Recorder::default());
+        let dev = LatencyDev::new(Arc::new(MemDev::new()), Arc::clone(&rec));
+        dev.write_run_at(&[0; 4096], 0).unwrap();
+        let mut buf = [0u8; 4096];
+        dev.read_run_at(&mut buf, 0).unwrap();
+        let log = rec.0.lock();
+        assert_eq!(
+            *log,
+            vec![(OpKind::Write, 0, 4096), (OpKind::Read, 0, 4096)]
         );
     }
 

@@ -50,6 +50,14 @@ impl BlockDev for ReadOnlyDev {
         Ok(())
     }
 
+    fn read_run_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        self.inner.read_run_at(buf, off)
+    }
+
+    fn write_run_at(&self, _buf: &[u8], _off: u64) -> Result<()> {
+        Err(BlockError::read_only("write to read-only device"))
+    }
+
     fn describe(&self) -> String {
         format!("ro({})", self.inner.describe())
     }

@@ -224,6 +224,16 @@ impl BlockDev for RetryDev {
         self.run("flush", || self.inner.flush())
     }
 
+    // A coalesced run retries as a unit: a transient fault anywhere in the
+    // run re-issues the whole run, never a partial tail.
+    fn read_run_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        self.run("read_run", || self.inner.read_run_at(buf, off))
+    }
+
+    fn write_run_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        self.run("write_run", || self.inner.write_run_at(buf, off))
+    }
+
     fn describe(&self) -> String {
         format!("retry({})", self.inner.describe())
     }

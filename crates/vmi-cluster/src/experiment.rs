@@ -333,6 +333,316 @@ fn cache_layer_file_size(chain: &Arc<QcowImage>) -> Option<u64> {
     q.is_cache().then(|| q.file_size())
 }
 
+/// Everything one node thread brings back, merged by node id afterwards.
+struct NodeRun {
+    outcome: VmOutcome,
+    nic: LinkStats,
+    disk: DiskStats,
+    page_cache: (u64, u64),
+    telemetry: Telemetry,
+    op_hist: Option<vmi_obs::HistogramSnapshot>,
+    cache_file_size: Option<u64>,
+    /// Per-node event stream (empty without a recorder), already in
+    /// node-local time order.
+    events: Vec<(u64, vmi_obs::Event)>,
+    /// Registry hit/miss fallback (cloud-style aggregates without caches).
+    hit_counter: u64,
+    miss_counter: u64,
+}
+
+/// Run one experiment point with **one thread per compute node**.
+///
+/// Semantics differ from [`run_experiment`] in exactly one way: each node
+/// gets its own simulated world and its own *replica* of the storage node,
+/// so cross-node queueing on the shared storage link is not modeled — this
+/// is the contention-free upper bound (every node sees an idle server). Use
+/// it for embarrassingly parallel sweeps (per-node cache behaviour, traffic
+/// totals, CoR statistics); use the serial runner when the figure being
+/// reproduced *is* the contention (Fig. 3's shared-link collapse).
+///
+/// Determinism: per-node sim clocks all start at zero and node results are
+/// merged **sorted by node id** — outcomes, per-cache telemetry rows,
+/// cache file sizes, and the recorded JSONL stream (grouped by node, time
+/// ordered within each node) are bit-identical for a given config and seed,
+/// regardless of thread scheduling.
+pub fn run_experiment_parallel(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
+    assert!(cfg.nodes >= 1, "need at least one compute node");
+    assert!(
+        (1..=cfg.nodes).contains(&cfg.vmis),
+        "vmis must be in 1..=nodes"
+    );
+
+    // Shared, deterministic inputs prepared up front (warming is an offline
+    // replay and would otherwise be repeated per node).
+    let traces: Vec<Arc<BootTrace>> = (0..cfg.vmis)
+        .map(|v| Arc::new(vmi_trace::generate(&cfg.profile, vmi_seed(cfg.seed, v))))
+        .collect();
+    let warm: Vec<Option<Arc<WarmCache>>> = match cfg.mode {
+        Mode::WarmCache {
+            quota,
+            cluster_bits,
+            ..
+        } => (0..cfg.vmis)
+            .map(|v| match &cfg.warm_store {
+                Some(store) => store
+                    .get_or_prepare(&cfg.profile, &traces[v], quota, cluster_bits)
+                    .map(Some),
+                None => prepare_warm_cache(&cfg.profile, &traces[v], quota, cluster_bits)
+                    .map(|w| Some(Arc::new(w))),
+            })
+            .collect::<Result<_>>()?,
+        _ => (0..cfg.vmis).map(|_| None).collect(),
+    };
+
+    let runs: Vec<Result<NodeRun>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.nodes)
+            .map(|i| {
+                let traces = &traces;
+                let warm = &warm;
+                s.spawn(move || run_node(cfg, i, traces, warm))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(BlockError::unsupported("node thread panicked")),
+            })
+            .collect()
+    });
+    let runs: Vec<NodeRun> = runs.into_iter().collect::<Result<_>>()?;
+
+    // Deterministic merge, sorted by node id (the vec is already in id
+    // order — thread completion order never matters).
+    let outcomes: Vec<VmOutcome> = runs.iter().map(|r| r.outcome).collect();
+    let mut storage_nic = LinkStats::default();
+    let mut storage_disk = DiskStats::default();
+    let mut storage_page_cache = (0u64, 0u64);
+    for r in &runs {
+        storage_nic.messages += r.nic.messages;
+        storage_nic.bytes += r.nic.bytes;
+        storage_nic.busy_ns += r.nic.busy_ns;
+        storage_disk.read_ops += r.disk.read_ops;
+        storage_disk.write_ops += r.disk.write_ops;
+        storage_disk.read_bytes += r.disk.read_bytes;
+        storage_disk.write_bytes += r.disk.write_bytes;
+        storage_disk.seeks += r.disk.seeks;
+        storage_disk.busy_ns += r.disk.busy_ns;
+        storage_page_cache.0 += r.page_cache.0;
+        storage_page_cache.1 += r.page_cache.1;
+    }
+    let cache_file_sizes: Vec<u64> = runs.iter().filter_map(|r| r.cache_file_size).collect();
+    let telemetry = merge_telemetry(&runs);
+
+    // Re-emit the per-node streams into the caller's recorder, node by node,
+    // with the original per-node timestamps.
+    if cfg.recorder.is_set() {
+        let clock = Arc::new(vmi_obs::ManualClock::new(0));
+        let obs = cfg.recorder.attach(clock.clone());
+        for r in &runs {
+            for (t, ev) in &r.events {
+                clock.set(*t);
+                obs.emit(|| ev.clone());
+            }
+        }
+    }
+
+    Ok(ExperimentOutcome {
+        stats: BootStats::from(&outcomes),
+        outcomes,
+        storage_nic,
+        storage_disk,
+        storage_page_cache,
+        cache_file_sizes,
+        telemetry,
+    })
+}
+
+/// One node's slice of [`run_experiment_parallel`]: its own world, its own
+/// storage replica, one boot.
+fn run_node(
+    cfg: &ExperimentConfig,
+    i: usize,
+    traces: &[Arc<BootTrace>],
+    warm: &[Option<Arc<WarmCache>>],
+) -> Result<NodeRun> {
+    let v = i % cfg.vmis;
+    let world = SimWorld::new();
+    // Per-node recorder: streams are merged by node id by the caller.
+    let (rec, sink) = if cfg.recorder.is_set() {
+        let (handle, sink) = vmi_obs::RecorderHandle::jsonl();
+        (handle, Some(sink))
+    } else {
+        (RecorderHandle::none(), None)
+    };
+    let obs = rec.attach(world.obs_clock());
+    let mut storage = StorageNode::new(&world, cfg.net);
+    let base_dev: SharedDev = NfsMount::new(
+        storage.create_base_vmi(cfg.profile.virtual_size),
+        storage.nic,
+        MountOpts::default(),
+    );
+    let mut node = ComputeNode::new(&world, i);
+
+    // Fig. 13 cold flow: the first node per VMI creates and transfers the
+    // cache, everyone else boots plain QCOW2 (§5.3.2). Node ids replace the
+    // serial loop's first-seen order.
+    let cold_storage_mem = matches!(
+        cfg.mode,
+        Mode::ColdCache {
+            placement: Placement::StorageMem,
+            ..
+        }
+    );
+    let creator = cold_storage_mem && i < cfg.vmis;
+    let mut mode = cfg.mode;
+    if cold_storage_mem && !creator {
+        mode = Mode::Qcow2;
+    }
+
+    let (cache_dev, cache_read_only): (Option<SharedDev>, bool) = match mode {
+        Mode::Qcow2 => (None, false),
+        Mode::ColdCache { placement, .. } => {
+            let fresh: SharedDev = Arc::new(SparseDev::new());
+            let dev = match placement {
+                Placement::ComputeMem | Placement::StorageMem => node.mem_file(fresh),
+                Placement::ComputeDisk => node.disk_file(fresh, true),
+            };
+            (Some(dev), false)
+        }
+        Mode::WarmCache { placement, .. } => {
+            let Some(w) = warm[v].as_ref() else {
+                return Err(BlockError::unsupported("warm cache was not prepared"));
+            };
+            match placement {
+                Placement::ComputeDisk => (
+                    Some(node.disk_file(Arc::new(w.container.fork()), false)),
+                    false,
+                ),
+                Placement::ComputeMem => (Some(node.mem_file(Arc::new(w.container.fork()))), false),
+                Placement::StorageMem => {
+                    let exp = storage.export_on_tmpfs(w.container.clone() as SharedDev);
+                    let mount: SharedDev = NfsMount::new(exp, storage.nic, MountOpts::default());
+                    (Some(mount), true)
+                }
+            }
+        }
+    };
+    let cow_dev = node.disk_file(Arc::new(SparseDev::new()), false);
+
+    world.begin_op(0);
+    let chain = build_chain(ChainSpec {
+        mode,
+        profile: &cfg.profile,
+        base_dev,
+        cache_dev,
+        cow_dev,
+        cache_read_only,
+        obs: obs.clone(),
+    })?;
+    let setup_ns = world.end_op();
+
+    let vms = vec![VmRun {
+        chain: chain.clone() as SharedDev,
+        trace: traces[v].clone(),
+        start_at: 0,
+        setup_ns,
+    }];
+    let mut outcomes = run_boots_with_obs(&world, vms, &obs)?;
+    let mut outcome = outcomes.remove(0);
+
+    if creator {
+        let size = cache_layer_file_size(&chain).unwrap_or(0);
+        let done = world.bulk_transfer(storage.nic, outcome.done_at, size);
+        let extra = done - outcome.done_at;
+        outcome.done_at = done;
+        outcome.boot_ns += extra;
+        outcome.io_wait_ns += extra;
+    }
+
+    let chains = vec![chain];
+    Ok(NodeRun {
+        outcome,
+        nic: world.link_stats(storage.nic),
+        disk: world.disk_stats(storage.disk),
+        page_cache: world.cache_stats(storage.page_cache),
+        telemetry: Telemetry::collect(&chains, &obs),
+        op_hist: obs.histogram(vmi_obs::met::VM_OP_NS),
+        cache_file_size: cache_layer_file_size(&chains[0]),
+        events: sink.map(|s| s.events()).unwrap_or_default(),
+        hit_counter: obs.counter_value(vmi_obs::met::CACHE_HIT_BYTES),
+        miss_counter: obs.counter_value(vmi_obs::met::CACHE_MISS_BYTES),
+    })
+}
+
+/// Sum per-node telemetry into one snapshot; ratios are recomputed from the
+/// summed byte counts and latency percentiles from the merged histograms.
+fn merge_telemetry(runs: &[NodeRun]) -> Telemetry {
+    let per_cache: Vec<crate::telemetry::CacheTelemetry> = runs
+        .iter()
+        .flat_map(|r| r.telemetry.per_cache.iter().copied())
+        .collect();
+    let (hits, misses) = if per_cache.is_empty() {
+        (
+            runs.iter().map(|r| r.hit_counter).sum(),
+            runs.iter().map(|r| r.miss_counter).sum(),
+        )
+    } else {
+        (
+            per_cache.iter().map(|c| c.hit_bytes).sum::<u64>(),
+            per_cache.iter().map(|c| c.miss_bytes).sum::<u64>(),
+        )
+    };
+    let hist = merge_histograms(runs.iter().filter_map(|r| r.op_hist.as_ref()));
+    let sum = |f: fn(&Telemetry) -> u64| runs.iter().map(|r| f(&r.telemetry)).sum::<u64>();
+    Telemetry {
+        per_cache,
+        hit_ratio: if misses == 0 {
+            1.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+        fill_bytes: sum(|t| t.fill_bytes),
+        space_errors: sum(|t| t.space_errors),
+        evictions: sum(|t| t.evictions),
+        retry_attempts: sum(|t| t.retry_attempts),
+        caches_degraded: sum(|t| t.caches_degraded),
+        scrub_repairs: sum(|t| t.scrub_repairs),
+        scrub_discards: sum(|t| t.scrub_discards),
+        audit_violations: sum(|t| t.audit_violations),
+        runs_coalesced: sum(|t| t.runs_coalesced),
+        coalesced_bytes: sum(|t| t.coalesced_bytes),
+        l2_evictions: sum(|t| t.l2_evictions),
+        node_failures: sum(|t| t.node_failures),
+        boots_rescheduled: sum(|t| t.boots_rescheduled),
+        p50_op_ns: hist.as_ref().map(|h| h.quantile(0.5)),
+        p99_op_ns: hist.as_ref().map(|h| h.quantile(0.99)),
+    }
+}
+
+/// Merge log2-bucket histogram snapshots by summing bucket counts.
+fn merge_histograms<'a>(
+    snaps: impl Iterator<Item = &'a vmi_obs::HistogramSnapshot>,
+) -> Option<vmi_obs::HistogramSnapshot> {
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    let mut buckets = std::collections::BTreeMap::<u32, u64>::new();
+    let mut any = false;
+    for s in snaps {
+        any = true;
+        count += s.count;
+        sum += s.sum;
+        for &(k, n) in &s.buckets {
+            *buckets.entry(k).or_insert(0) += n;
+        }
+    }
+    any.then(|| vmi_obs::HistogramSnapshot {
+        count,
+        sum,
+        buckets: buckets.into_iter().collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,5 +845,79 @@ mod tests {
     #[should_panic(expected = "vmis must be in")]
     fn rejects_more_vmis_than_nodes() {
         let _ = run_experiment(&tiny(2, 3, Mode::Qcow2, NetSpec::gbe_1()));
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_one_node() {
+        // With a single node there is no contention to lose: the parallel
+        // runner must reproduce the serial outcome exactly.
+        for mode in [
+            Mode::Qcow2,
+            Mode::ColdCache {
+                placement: Placement::ComputeMem,
+                quota: QUOTA,
+                cluster_bits: 9,
+            },
+            Mode::WarmCache {
+                placement: Placement::ComputeDisk,
+                quota: QUOTA,
+                cluster_bits: 9,
+            },
+        ] {
+            let cfg = tiny(1, 1, mode, NetSpec::gbe_1());
+            let a = run_experiment(&cfg).unwrap();
+            let b = run_experiment_parallel(&cfg).unwrap();
+            assert_eq!(a.outcomes, b.outcomes, "{mode:?}");
+            assert_eq!(a.storage_nic, b.storage_nic, "{mode:?}");
+            assert_eq!(a.cache_file_sizes, b.cache_file_sizes, "{mode:?}");
+            assert_eq!(a.telemetry.per_cache, b.telemetry.per_cache, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_runs_are_bit_identical_per_seed() {
+        let mode = Mode::WarmCache {
+            placement: Placement::ComputeMem,
+            quota: QUOTA,
+            cluster_bits: 9,
+        };
+        let run = || {
+            let (rec, sink) = vmi_obs::RecorderHandle::jsonl();
+            let mut cfg = tiny(6, 2, mode, NetSpec::gbe_1());
+            cfg.recorder = rec;
+            let out = run_experiment_parallel(&cfg).unwrap();
+            (out, sink.lines())
+        };
+        let (a, lines_a) = run();
+        let (b, lines_b) = run();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.telemetry, b.telemetry);
+        assert_eq!(a.cache_file_sizes, b.cache_file_sizes);
+        assert_eq!(a.storage_nic, b.storage_nic);
+        assert_eq!(a.storage_disk, b.storage_disk);
+        assert_eq!(
+            lines_a, lines_b,
+            "merged JSONL is bit-identical across runs"
+        );
+        assert!(!lines_a.is_empty(), "recorder captured the node streams");
+        assert_eq!(a.outcomes.len(), 6);
+        assert_eq!(a.telemetry.per_cache.len(), 6, "one cache row per node");
+    }
+
+    #[test]
+    fn parallel_cold_storage_mem_has_one_creator_per_vmi() {
+        let out = run_experiment_parallel(&tiny(
+            4,
+            2,
+            Mode::ColdCache {
+                placement: Placement::StorageMem,
+                quota: QUOTA,
+                cluster_bits: 9,
+            },
+            NetSpec::ib_32g(),
+        ))
+        .unwrap();
+        assert_eq!(out.cache_file_sizes.len(), 2);
+        assert_eq!(out.outcomes.len(), 4);
     }
 }

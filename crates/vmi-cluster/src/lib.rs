@@ -46,7 +46,9 @@ pub mod vm;
 pub use cachepool::{CacheEntry, CachePool};
 pub use cloud::{generate_requests, run_cloud, CloudConfig, CloudReport, NodeFailure, VmRequest};
 pub use deploy::{build_chain, prepare_warm_cache, ChainSpec, Mode, Placement, WarmCache};
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentOutcome, WarmStore};
+pub use experiment::{
+    run_experiment, run_experiment_parallel, ExperimentConfig, ExperimentOutcome, WarmStore,
+};
 pub use mixed::{
     build_hybrid_chain, run_hybrid_boot, run_mixed_experiment, MixedConfig, MixedOutcome,
 };

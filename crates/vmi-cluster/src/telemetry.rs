@@ -70,6 +70,13 @@ pub struct Telemetry {
     /// Invariant violations found by `vmi-audit` during scrubs (every scrub
     /// is an audit run under the hood).
     pub audit_violations: u64,
+    /// Multi-cluster extents served/filled as one device op by the
+    /// coalescing I/O engine (recorder required; 0 otherwise).
+    pub runs_coalesced: u64,
+    /// Bytes moved by those coalesced extents.
+    pub coalesced_bytes: u64,
+    /// L2 mapping tables evicted from the bounded in-memory table cache.
+    pub l2_evictions: u64,
     /// Injected node failures observed (cloud runs).
     pub node_failures: u64,
     /// Boots rescheduled onto another node after a mid-boot node death.
@@ -132,6 +139,9 @@ impl Telemetry {
             scrub_repairs: obs.counter_value(met::SCRUB_REPAIRS),
             scrub_discards: obs.counter_value(met::SCRUB_DISCARDS),
             audit_violations: obs.counter_value(met::AUDIT_VIOLATIONS),
+            runs_coalesced: obs.counter_value(met::COALESCED_RUNS),
+            coalesced_bytes: obs.counter_value(met::COALESCED_BYTES),
+            l2_evictions: obs.counter_value(met::L2_EVICTIONS),
             node_failures: obs.counter_value(met::NODE_FAILURES),
             boots_rescheduled: obs.counter_value(met::BOOT_RESCHEDULES),
             p50_op_ns: op_hist.as_ref().map(|h| h.quantile(0.5)),

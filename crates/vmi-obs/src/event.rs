@@ -134,6 +134,17 @@ pub enum Event {
         /// Node the boot was retried on.
         to_node: u64,
     },
+    /// The extent-coalescing I/O engine served a multi-cluster run as one
+    /// device operation (emitted only for runs of 2+ clusters — single
+    /// clusters are indistinguishable from the scalar path).
+    RunCoalesced {
+        /// Operation class: `read`, `fill` or `write`.
+        op: String,
+        /// Clusters covered by the run.
+        clusters: u64,
+        /// Bytes moved by the single device op.
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -155,6 +166,7 @@ impl Event {
             Event::AuditViolation { .. } => "audit_violation",
             Event::NodeFailed { .. } => "node_failed",
             Event::BootRescheduled { .. } => "boot_rescheduled",
+            Event::RunCoalesced { .. } => "run_coalesced",
         }
     }
 
@@ -238,6 +250,14 @@ impl Event {
                     ",\"vm\":{vm},\"from_node\":{from_node},\"to_node\":{to_node}"
                 );
             }
+            Event::RunCoalesced {
+                op,
+                clusters,
+                bytes,
+            } => {
+                push_str_field(&mut s, "op", op);
+                let _ = write!(s, ",\"clusters\":{clusters},\"bytes\":{bytes}");
+            }
         }
         s.push('}');
         s
@@ -311,6 +331,11 @@ impl Event {
                 vm: fields.u64("vm")?,
                 from_node: fields.u64("from_node")?,
                 to_node: fields.u64("to_node")?,
+            },
+            "run_coalesced" => Event::RunCoalesced {
+                op: fields.str("op")?.to_string(),
+                clusters: fields.u64("clusters")?,
+                bytes: fields.u64("bytes")?,
             },
             other => return Err(ParseError(format!("unknown event kind {other:?}"))),
         };
@@ -594,6 +619,14 @@ mod tests {
                 vm: 7,
                 from_node: 3,
                 to_node: 1,
+            },
+        );
+        roundtrip(
+            13,
+            Event::RunCoalesced {
+                op: "read".into(),
+                clusters: 2048,
+                bytes: 1 << 20,
             },
         );
     }

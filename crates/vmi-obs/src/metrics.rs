@@ -66,6 +66,12 @@ pub mod met {
     pub const NODE_FAILURES: &str = "cluster.node.failures";
     /// Boots re-placed on another node after a node failure (counter).
     pub const BOOT_RESCHEDULES: &str = "cluster.vm.reschedules";
+    /// Multi-cluster extents served/filled as a single device op (counter).
+    pub const COALESCED_RUNS: &str = "qcow.io.coalesced_runs";
+    /// Bytes moved by coalesced multi-cluster extents (counter).
+    pub const COALESCED_BYTES: &str = "qcow.io.coalesced_bytes";
+    /// L2 mapping tables evicted from the bounded in-memory cache (counter).
+    pub const L2_EVICTIONS: &str = "qcow.l2.evictions";
 }
 
 /// Slots per metric kind. Overflowing ids are dropped silently (the

@@ -19,6 +19,22 @@ use crate::layout::Geometry;
 /// Sentinel L2/L1 value: unallocated.
 const UNALLOCATED: u64 = 0;
 
+/// Default memory budget for the in-memory L2 table cache, in bytes. The
+/// per-image table limit is this budget divided by the cluster size (one
+/// cached table occupies one cluster's worth of entries), floored at
+/// [`MIN_L2_CACHE_TABLES`]. Mirrors QEMU's bounded `l2-cache-size` — an
+/// unbounded table cache on a multi-TiB image is an OOM waiting to happen.
+pub const DEFAULT_L2_CACHE_BYTES: u64 = 32 << 20;
+
+/// Lower bound on the default L2 cache limit, so huge-cluster images keep a
+/// useful working set.
+pub const MIN_L2_CACHE_TABLES: usize = 64;
+
+/// The default L2 table-cache limit for a given geometry.
+fn default_l2_cache_limit(geom: &Geometry) -> usize {
+    ((DEFAULT_L2_CACHE_BYTES / geom.cluster_size()) as usize).max(MIN_L2_CACHE_TABLES)
+}
+
 /// Options for [`QcowImage::create`].
 #[derive(Debug, Clone)]
 pub struct CreateOpts {
@@ -145,6 +161,11 @@ pub struct QcowImage {
     /// Set when this handle has been superseded (resize/rebase reopened the
     /// container): Drop must not write back stale header state.
     detached: AtomicBool,
+    /// Extent coalescing: serve/fill physically contiguous cluster runs with
+    /// one device op instead of one per cluster. On by default; the scalar
+    /// path is kept selectable so benches and equivalence tests can compare
+    /// the two byte-for-byte.
+    coalesce: AtomicBool,
     state: Mutex<MutState>,
     // CoR statistics.
     hit_bytes: AtomicU64,
@@ -253,12 +274,13 @@ impl QcowImage {
             fill_enabled: AtomicBool::new(header.is_cache()),
             degraded: AtomicBool::new(false),
             detached: AtomicBool::new(false),
+            coalesce: AtomicBool::new(true),
             state: Mutex::new(MutState {
                 l1: vec![UNALLOCATED; l1_entries as usize],
                 l2_cache: HashMap::new(),
                 l2_ticks: HashMap::new(),
                 l2_clock: 0,
-                l2_cache_limit: None,
+                l2_cache_limit: Some(default_l2_cache_limit(&geom)),
                 eof,
                 cache_used: initial_used,
                 free_clusters: Vec::new(),
@@ -357,12 +379,13 @@ impl QcowImage {
             fill_enabled: AtomicBool::new(is_cache && !read_only && has_room),
             degraded: AtomicBool::new(false),
             detached: AtomicBool::new(false),
+            coalesce: AtomicBool::new(true),
             state: Mutex::new(MutState {
                 l1,
                 l2_cache: HashMap::new(),
                 l2_ticks: HashMap::new(),
                 l2_clock: 0,
-                l2_cache_limit: None,
+                l2_cache_limit: Some(default_l2_cache_limit(&geom)),
                 eof,
                 cache_used,
                 free_clusters: Vec::new(),
@@ -1006,19 +1029,37 @@ impl QcowImage {
     // table plumbing
     // ------------------------------------------------------------------
 
-    /// Bound the number of cached L2 tables (`None` = unbounded, the
-    /// default). Mirrors QEMU's `l2-cache-size` tunable: a small cache costs
-    /// re-reads of table clusters on workloads whose footprint exceeds the
-    /// covered range — measurable with the `l2_cache` bench.
+    /// Bound the number of cached L2 tables (`None` = unbounded). The
+    /// default is [`DEFAULT_L2_CACHE_BYTES`] worth of tables. Mirrors QEMU's
+    /// `l2-cache-size` tunable: a small cache costs re-reads of table
+    /// clusters on workloads whose footprint exceeds the covered range —
+    /// measurable with the `l2_cache` bench.
     pub fn set_l2_cache_limit(&self, limit: Option<usize>) {
         let mut st = self.state.lock();
         st.l2_cache_limit = limit.map(|l| l.max(1));
-        Self::l2_evict_to_limit(&mut st);
+        self.l2_evict_to_limit(&mut st);
+    }
+
+    /// The current L2 table-cache limit (`None` = unbounded).
+    pub fn l2_cache_limit(&self) -> Option<usize> {
+        self.state.lock().l2_cache_limit
     }
 
     /// Number of L2 tables currently cached in memory.
     pub fn l2_cache_len(&self) -> usize {
         self.state.lock().l2_cache.len()
+    }
+
+    /// Toggle extent coalescing (on by default). The scalar per-cluster path
+    /// is bit-identical in guest data and byte counters; it just issues one
+    /// device op per cluster instead of one per contiguous run.
+    pub fn set_coalescing(&self, on: bool) {
+        self.coalesce.store(on, Ordering::Release);
+    }
+
+    /// Whether extent coalescing is enabled.
+    pub fn coalescing(&self) -> bool {
+        self.coalesce.load(Ordering::Acquire)
     }
 
     fn l2_touch(st: &mut MutState, l1_idx: usize) {
@@ -1027,13 +1068,13 @@ impl QcowImage {
         st.l2_ticks.insert(l1_idx, clock);
     }
 
-    fn l2_cache_put(st: &mut MutState, l1_idx: usize, table: Vec<u64>) {
+    fn l2_cache_put(&self, st: &mut MutState, l1_idx: usize, table: Vec<u64>) {
         st.l2_cache.insert(l1_idx, table);
         Self::l2_touch(st, l1_idx);
-        Self::l2_evict_to_limit(st);
+        self.l2_evict_to_limit(st);
     }
 
-    fn l2_evict_to_limit(st: &mut MutState) {
+    fn l2_evict_to_limit(&self, st: &mut MutState) {
         let Some(limit) = st.l2_cache_limit else {
             return;
         };
@@ -1045,6 +1086,7 @@ impl QcowImage {
             };
             st.l2_cache.remove(&victim);
             st.l2_ticks.remove(&victim);
+            self.obs.count(met::L2_EVICTIONS, 1);
         }
     }
 
@@ -1064,13 +1106,72 @@ impl QcowImage {
         }
         if !st.l2_cache.contains_key(&l1_idx) {
             let table = self.read_l2_table(l2_off)?;
-            Self::l2_cache_put(st, l1_idx, table);
+            self.l2_cache_put(st, l1_idx, table);
         } else {
             Self::l2_touch(st, l1_idx);
         }
         let l2 = &st.l2_cache[&l1_idx];
         let entry = l2[self.geom.l2_index(vba)];
         Ok((entry != UNALLOCATED).then_some(entry))
+    }
+
+    /// Longest physically contiguous mapped extent starting at `vba`.
+    ///
+    /// Returns `(container_off, run_bytes, clusters)` where `container_off`
+    /// already includes the intra-cluster offset of `vba` and `run_bytes <=
+    /// max_bytes`. The run extends while consecutive virtual clusters map to
+    /// physically consecutive container clusters (scanning cached L2
+    /// entries, faulting tables in as needed). `Ok(None)` when `vba`'s own
+    /// cluster is unmapped in this layer.
+    ///
+    /// `stop_at_frozen` excludes snapshot-shared clusters from the run (the
+    /// in-place write path must copy those one at a time).
+    fn lookup_run(
+        &self,
+        st: &mut MutState,
+        vba: u64,
+        max_bytes: u64,
+        stop_at_frozen: bool,
+    ) -> Result<Option<(u64, u64, u64)>> {
+        let Some(first_off) = self.lookup(st, vba)? else {
+            return Ok(None);
+        };
+        if stop_at_frozen && st.frozen.contains(&first_off) {
+            return Ok(None);
+        }
+        let cs = self.geom.cluster_size();
+        let in_cluster = self.geom.in_cluster(vba);
+        let mut run_bytes = cs - in_cluster;
+        let mut clusters = 1u64;
+        let mut prev = first_off;
+        let mut next_vba = self.geom.cluster_start(vba) + cs;
+        while run_bytes < max_bytes && next_vba < self.geom.virtual_size {
+            match self.lookup(st, next_vba)? {
+                Some(off) if off == prev + cs && !(stop_at_frozen && st.frozen.contains(&off)) => {
+                    run_bytes += cs;
+                    clusters += 1;
+                    prev = off;
+                    next_vba += cs;
+                }
+                _ => break,
+            }
+        }
+        Ok(Some((
+            first_off + in_cluster,
+            run_bytes.min(max_bytes),
+            clusters,
+        )))
+    }
+
+    /// Record a multi-cluster extent issued as one device op.
+    fn note_coalesced(&self, op: &'static str, clusters: u64, bytes: u64) {
+        self.obs.count(met::COALESCED_RUNS, 1);
+        self.obs.count(met::COALESCED_BYTES, bytes);
+        self.obs.emit(|| Event::RunCoalesced {
+            op: op.to_string(),
+            clusters,
+            bytes,
+        });
     }
 
     /// Allocate one cluster at end of file. Honours the cache quota when
@@ -1119,12 +1220,30 @@ impl QcowImage {
             self.header.l1_table_offset + (l1_idx as u64) * 8,
         )?;
         st.l1[l1_idx] = l2_off;
-        Self::l2_cache_put(
+        self.l2_cache_put(
             st,
             l1_idx,
             vec![UNALLOCATED; self.geom.l2_entries() as usize],
         );
         Ok((l1_idx, l2_off))
+    }
+
+    /// Allocate up to `want` physically contiguous clusters, honouring the
+    /// cache quota. Returns `(start_offset, got)`; `got == 0` means the
+    /// quota has no room for even one cluster. Always grows the file —
+    /// single clusters from the free list could not be contiguous — so the
+    /// scalar path's free-list reuse is the one allocation behaviour the
+    /// coalesced path intentionally trades away for contiguity.
+    fn alloc_cluster_run(&self, st: &mut MutState, want: u64) -> (u64, u64) {
+        let cs = self.geom.cluster_size();
+        let got = match &self.header.cache {
+            Some(c) => want.min(c.quota.saturating_sub(st.cache_used) / cs),
+            None => want,
+        };
+        let off = st.eof;
+        st.eof += got * cs;
+        st.cache_used += got * cs;
+        (off, got)
     }
 
     /// Point the L2 entry for `vba` at `data_off` (write-through). If the
@@ -1150,6 +1269,42 @@ impl QcowImage {
         Ok(())
     }
 
+    /// Point `count` consecutive L2 entries (starting at `first_vba`'s slot)
+    /// at physically consecutive data clusters from `data_off`, with one
+    /// write-through container write. The caller guarantees the slots lie
+    /// within a single L2 table (runs are chunked at table boundaries).
+    fn set_l2_entries_run(
+        &self,
+        st: &mut MutState,
+        l1_idx: usize,
+        first_vba: u64,
+        data_off: u64,
+        count: u64,
+    ) -> Result<()> {
+        let mut l2_off = st.l1[l1_idx];
+        debug_assert_ne!(l2_off, UNALLOCATED, "caller must ensure_l2 first");
+        if st.frozen.contains(&l2_off) {
+            l2_off = self.cow_l2_table(st, l1_idx, l2_off)?;
+        }
+        let l2_idx = self.geom.l2_index(first_vba);
+        debug_assert!(
+            l2_idx as u64 + count <= self.geom.l2_entries(),
+            "entry run crosses an L2 table boundary"
+        );
+        let cs = self.geom.cluster_size();
+        let mut raw = vec![0u8; count as usize * 8];
+        for i in 0..count as usize {
+            raw[i * 8..i * 8 + 8].copy_from_slice(&(data_off + i as u64 * cs).to_be_bytes());
+        }
+        self.dev.write_run_at(&raw, l2_off + (l2_idx as u64) * 8)?;
+        if let Some(l2) = st.l2_cache.get_mut(&l1_idx) {
+            for i in 0..count as usize {
+                l2[l2_idx + i] = data_off + i as u64 * cs;
+            }
+        }
+        Ok(())
+    }
+
     /// Copy a frozen L2 table into a private cluster and point L1 at the
     /// copy. The frozen original stays in place for its snapshot(s).
     fn cow_l2_table(&self, st: &mut MutState, l1_idx: usize, old_off: u64) -> Result<u64> {
@@ -1169,7 +1324,7 @@ impl QcowImage {
             self.header.l1_table_offset + (l1_idx as u64) * 8,
         )?;
         st.l1[l1_idx] = new_off;
-        Self::l2_cache_put(st, l1_idx, table);
+        self.l2_cache_put(st, l1_idx, table);
         Ok(new_off)
     }
 
@@ -1211,7 +1366,6 @@ impl QcowImage {
             }
             return Ok(());
         }
-        let cs = self.geom.cluster_size();
         let (span_start, span_end) = self.geom.cluster_span(vba, buf.len() as u64);
         let mut span_buf = vec![0u8; (span_end - span_start) as usize];
         backing.read_at_zero_pad(&mut span_buf, span_start)?;
@@ -1222,6 +1376,21 @@ impl QcowImage {
             bytes: span_buf.len() as u64,
         });
 
+        if self.coalescing() {
+            self.fill_span_coalesced(st, &span_buf, span_start, span_end);
+        } else {
+            self.fill_span_scalar(st, &span_buf, span_start, span_end);
+        }
+        self.obs.gauge(met::CACHE_USED_BYTES, st.cache_used);
+        let in_span = (vba - span_start) as usize;
+        buf.copy_from_slice(&span_buf[in_span..in_span + buf.len()]);
+        Ok(())
+    }
+
+    /// Scalar copy-on-read fill: one `fill_cluster` (and hence one container
+    /// data write plus one 8-byte entry write) per covered cluster.
+    fn fill_span_scalar(&self, st: &mut MutState, span_buf: &[u8], span_start: u64, span_end: u64) {
+        let cs = self.geom.cluster_size();
         let mut cluster_vba = span_start;
         while cluster_vba < span_end {
             let chunk_start = (cluster_vba - span_start) as usize;
@@ -1238,24 +1407,9 @@ impl QcowImage {
                 &tail_pad
             };
             match self.fill_cluster(st, cluster_vba, chunk) {
-                Ok(()) => {
-                    self.fill_bytes
-                        .fetch_add(chunk_len as u64, Ordering::Relaxed);
-                    self.obs.count(met::COR_FILL_BYTES, chunk_len as u64);
-                    self.obs.emit(|| Event::CorFill {
-                        bytes: chunk_len as u64,
-                    });
-                }
+                Ok(()) => self.note_filled(chunk_len as u64),
                 Err(e) if e.is_no_space() => {
-                    self.fill_rejects.fetch_add(1, Ordering::Relaxed);
-                    // swap: emit the latch transition exactly once even if
-                    // racing readers hit the quota wall together.
-                    if self.fill_enabled.swap(false, Ordering::Release) {
-                        self.obs.count(met::SPACE_ERRORS, 1);
-                        let used = st.cache_used;
-                        let quota = self.header.cache.map(|c| c.quota).unwrap_or(0);
-                        self.obs.emit(|| Event::SpaceErrorLatched { used, quota });
-                    }
+                    self.latch_space_error(st);
                     break;
                 }
                 Err(_) => {
@@ -1269,10 +1423,107 @@ impl QcowImage {
             }
             cluster_vba += cs;
         }
-        self.obs.gauge(met::CACHE_USED_BYTES, st.cache_used);
-        let in_span = (vba - span_start) as usize;
-        buf.copy_from_slice(&span_buf[in_span..in_span + buf.len()]);
-        Ok(())
+    }
+
+    /// Coalesced copy-on-read fill: carve the span into extents bounded by
+    /// L2-table coverage, allocate each extent's clusters contiguously at
+    /// end-of-file, and land the data with ONE container write plus ONE
+    /// batched entry write per extent. Identical byte counters, latch
+    /// transitions, and (on a bump-only allocator) container layout to the
+    /// scalar path — the per-cluster op overhead of 512-byte clusters
+    /// (Fig. 9's read amplification) is what disappears.
+    fn fill_span_coalesced(
+        &self,
+        st: &mut MutState,
+        span_buf: &[u8],
+        span_start: u64,
+        span_end: u64,
+    ) {
+        let cs = self.geom.cluster_size();
+        let table_span = cs * self.geom.l2_entries();
+        let mut cluster_vba = span_start;
+        while cluster_vba < span_end {
+            let table_end = (cluster_vba / table_span + 1) * table_span;
+            let chunk_end = span_end.min(table_end);
+            let want = (chunk_end - cluster_vba).div_ceil(cs);
+            let l1_idx = match self.ensure_l2(st, cluster_vba) {
+                Ok((l1_idx, _)) => l1_idx,
+                Err(e) if e.is_no_space() => {
+                    self.latch_space_error(st);
+                    break;
+                }
+                Err(_) => {
+                    self.fill_rejects.fetch_add(1, Ordering::Relaxed);
+                    self.latch_degraded(st.cache_used, "fill_failed");
+                    break;
+                }
+            };
+            let (data_off, got) = self.alloc_cluster_run(st, want);
+            if got == 0 {
+                self.latch_space_error(st);
+                break;
+            }
+            // Bytes of backing data landing in the extent; the write itself
+            // is zero-padded to whole clusters like the scalar path.
+            let chunk_start = (cluster_vba - span_start) as usize;
+            let avail = ((span_end - cluster_vba) as usize).min((got * cs) as usize);
+            let write_res = if avail == (got * cs) as usize {
+                self.dev
+                    .write_run_at(&span_buf[chunk_start..chunk_start + avail], data_off)
+            } else {
+                let mut padded = vec![0u8; (got * cs) as usize];
+                padded[..avail].copy_from_slice(&span_buf[chunk_start..chunk_start + avail]);
+                self.dev.write_run_at(&padded, data_off)
+            };
+            let res = write_res.and_then(|()| {
+                if got == 1 {
+                    self.set_l2_entry(st, l1_idx, cluster_vba, data_off)
+                } else {
+                    self.set_l2_entries_run(st, l1_idx, cluster_vba, data_off, got)
+                }
+            });
+            match res {
+                Ok(()) => {
+                    self.note_filled(avail as u64);
+                    if got >= 2 {
+                        self.note_coalesced("fill", got, avail as u64);
+                    }
+                }
+                Err(_) => {
+                    self.fill_rejects.fetch_add(1, Ordering::Relaxed);
+                    self.latch_degraded(st.cache_used, "fill_failed");
+                    break;
+                }
+            }
+            if got < want {
+                // The quota truncated the extent: same terminal state as the
+                // scalar path rejecting the next cluster's allocation.
+                self.latch_space_error(st);
+                break;
+            }
+            cluster_vba += got * cs;
+        }
+    }
+
+    /// Account one successful fill of `bytes` backing bytes.
+    fn note_filled(&self, bytes: u64) {
+        self.fill_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.obs.count(met::COR_FILL_BYTES, bytes);
+        self.obs.emit(|| Event::CorFill { bytes });
+    }
+
+    /// Reject a fill for lack of quota and latch fills off (§4.3: "we stop
+    /// writing to the cache for the future cold reads").
+    fn latch_space_error(&self, st: &MutState) {
+        self.fill_rejects.fetch_add(1, Ordering::Relaxed);
+        // swap: emit the latch transition exactly once even if racing
+        // readers hit the quota wall together.
+        if self.fill_enabled.swap(false, Ordering::Release) {
+            self.obs.count(met::SPACE_ERRORS, 1);
+            let used = st.cache_used;
+            let quota = self.header.cache.map(|c| c.quota).unwrap_or(0);
+            self.obs.emit(|| Event::SpaceErrorLatched { used, quota });
+        }
     }
 
     /// Write one full cluster of backing data into this cache layer.
@@ -1327,6 +1578,88 @@ impl QcowImage {
         self.set_l2_entry(st, l1_idx, cluster_vba, data_off)?;
         Ok(())
     }
+
+    /// Extent-coalesced guest write. Three extent kinds, longest-first:
+    ///
+    /// * mapped, unfrozen, physically contiguous — one in-place
+    ///   `write_run_at` covering the whole extent (byte-granular; may start
+    ///   and end mid-cluster);
+    /// * unmapped, cluster-aligned, whole clusters — contiguous allocation,
+    ///   one data write, one batched entry write (no backing merge needed);
+    /// * everything else (frozen clusters, partial edge clusters) — the
+    ///   scalar [`QcowImage::write_segment`], one cluster at a time.
+    ///
+    /// Errors mid-request leave the same partially-applied state the scalar
+    /// loop would: clusters before the failure are written, the rest are
+    /// not, and the error propagates.
+    fn write_at_coalesced(&self, st: &mut MutState, buf: &[u8], off: u64) -> Result<()> {
+        let cs = self.geom.cluster_size();
+        let table_span = cs * self.geom.l2_entries();
+        let end = off + buf.len() as u64;
+        let mut pos = off;
+        while pos < end {
+            let remaining = end - pos;
+            if let Some((data_off, run_bytes, clusters)) =
+                self.lookup_run(st, pos, remaining, true)?
+            {
+                let data = &buf[(pos - off) as usize..][..run_bytes as usize];
+                if clusters >= 2 {
+                    self.dev.write_run_at(data, data_off)?;
+                    self.note_coalesced("write", clusters, run_bytes);
+                } else {
+                    self.dev.write_at(data, data_off)?;
+                }
+                pos += run_bytes;
+                continue;
+            }
+            let in_cluster = self.geom.in_cluster(pos);
+            if self.lookup(st, pos)?.is_some() || in_cluster != 0 || remaining < cs {
+                // Frozen cluster (mapped but excluded from the run above) or
+                // a partial cluster: scalar copy-on-write merge.
+                let n = (cs - in_cluster).min(remaining);
+                let data = &buf[(pos - off) as usize..][..n as usize];
+                self.write_segment(st, data, pos)?;
+                pos += n;
+                continue;
+            }
+            // Unmapped, aligned, at least one whole cluster: count how many
+            // consecutive unmapped whole clusters fit under one L2 table.
+            let table_end = (pos / table_span + 1) * table_span;
+            let max_clusters = (remaining / cs).min((table_end - pos) / cs);
+            let mut k = 1u64;
+            while k < max_clusters && self.lookup(st, pos + k * cs)?.is_none() {
+                k += 1;
+            }
+            if k == 1 {
+                // Single cluster: keep the scalar path (free-list reuse).
+                let data = &buf[(pos - off) as usize..][..cs as usize];
+                self.write_segment(st, data, pos)?;
+                pos += cs;
+                continue;
+            }
+            let (l1_idx, _l2_off) = self.ensure_l2(st, pos)?;
+            let (data_off, got) = self.alloc_cluster_run(st, k);
+            if got == 0 {
+                return Err(BlockError::no_space(format!(
+                    "cache quota {} exhausted (used {})",
+                    self.header.cache.map(|c| c.quota).unwrap_or(0),
+                    st.cache_used
+                )));
+            }
+            let data = &buf[(pos - off) as usize..][..(got * cs) as usize];
+            self.dev.write_run_at(data, data_off)?;
+            if got == 1 {
+                self.set_l2_entry(st, l1_idx, pos, data_off)?;
+            } else {
+                self.set_l2_entries_run(st, l1_idx, pos, data_off, got)?;
+                self.note_coalesced("write", got, got * cs);
+            }
+            // got < k: the next loop iteration re-attempts the shortfall and
+            // surfaces the quota error exactly where the scalar loop would.
+            pos += got * cs;
+        }
+        Ok(())
+    }
 }
 
 impl BlockDev for QcowImage {
@@ -1340,21 +1673,44 @@ impl BlockDev for QcowImage {
             ));
         }
         let cs = self.geom.cluster_size();
+        let coalesce = self.coalescing();
         let mut st = self.state.lock();
         let mut pos = off;
         while pos < end {
-            match self.lookup(&mut st, pos)? {
-                Some(cluster_off) => {
-                    // Serve up to the end of this mapped cluster locally.
+            // Scalar mode clamps every mapped extent to a single cluster, so
+            // both modes share one serve path below.
+            let mapped = if coalesce {
+                self.lookup_run(&mut st, pos, end - pos, false)?
+            } else {
+                self.lookup(&mut st, pos)?.map(|cluster_off| {
                     let in_cluster = self.geom.in_cluster(pos);
-                    let n = ((cs - in_cluster).min(end - pos)) as usize;
+                    (
+                        cluster_off + in_cluster,
+                        (cs - in_cluster).min(end - pos),
+                        1,
+                    )
+                })
+            };
+            match mapped {
+                Some((data_off, run_bytes, clusters)) => {
+                    // Serve the whole physically contiguous extent locally,
+                    // in one device op.
+                    let n = run_bytes as usize;
                     let out = &mut buf[(pos - off) as usize..][..n];
-                    match self.dev.read_at(out, cluster_off + in_cluster) {
+                    let served = if clusters >= 2 {
+                        self.dev.read_run_at(out, data_off)
+                    } else {
+                        self.dev.read_at(out, data_off)
+                    };
+                    match served {
                         Ok(()) => {
                             self.hit_bytes.fetch_add(n as u64, Ordering::Relaxed);
                             if self.header.is_cache() {
                                 self.obs.count(met::CACHE_HIT_BYTES, n as u64);
                                 self.obs.emit(|| Event::CacheHit { bytes: n as u64 });
+                            }
+                            if clusters >= 2 {
+                                self.note_coalesced("read", clusters, n as u64);
                             }
                         }
                         Err(e) => {
@@ -1404,10 +1760,14 @@ impl BlockDev for QcowImage {
             ));
         }
         let mut st = self.state.lock();
-        let mut done = 0usize;
-        for seg in self.geom.segments(off, buf.len()) {
-            self.write_segment(&mut st, &buf[done..done + seg.len], seg.vba)?;
-            done += seg.len;
+        if self.coalescing() {
+            self.write_at_coalesced(&mut st, buf, off)?;
+        } else {
+            let mut done = 0usize;
+            for seg in self.geom.segments(off, buf.len()) {
+                self.write_segment(&mut st, &buf[done..done + seg.len], seg.vba)?;
+                done += seg.len;
+            }
         }
         self.paranoid_audit(&st, "write_at");
         Ok(())
@@ -1806,5 +2166,122 @@ mod tests {
         );
         // Used size accounting matches the file tail (bump allocator).
         assert_eq!(cache.cache_used(), after);
+    }
+
+    #[test]
+    fn lookup_run_spans_contiguous_fills() {
+        let base = QcowImage::create(mem(), CreateOpts::plain(4 * MB), None).unwrap();
+        base.write_at(&[3u8; 64 << 10], 0).unwrap();
+        let cache = QcowImage::create(
+            mem(),
+            CreateOpts::cache(4 * MB, "b", 2 * MB),
+            Some(base as SharedDev),
+        )
+        .unwrap();
+        let cs = cache.geom.cluster_size();
+        let mut buf = vec![0u8; 16 * cs as usize];
+        cache.read_at(&mut buf, 0).unwrap(); // coalesced fill: contiguous clusters
+        let mut st = cache.state.lock();
+        let (_, run_bytes, clusters) = cache
+            .lookup_run(&mut st, 0, 16 * cs, false)
+            .unwrap()
+            .expect("filled clusters are mapped");
+        assert_eq!(run_bytes, 16 * cs, "fill landed physically contiguous");
+        assert_eq!(clusters, 16);
+        // A mid-cluster start still resolves, clamped to the request.
+        let (off_mid, mid_bytes, _) = cache
+            .lookup_run(&mut st, cs / 2, cs, false)
+            .unwrap()
+            .unwrap();
+        assert_eq!(mid_bytes, cs);
+        let (off_start, _, _) = cache.lookup_run(&mut st, 0, cs, false).unwrap().unwrap();
+        assert_eq!(off_mid, off_start + cs / 2);
+    }
+
+    #[test]
+    fn coalesced_and_scalar_caches_are_bit_identical() {
+        // Same workload against two caches over identical bases, one with
+        // coalescing disabled: guest data, CoR counters, and the entire
+        // container byte-for-byte must agree (fresh images allocate with the
+        // same bump sequence in both modes).
+        let mut content = vec![0u8; 2 * MB as usize];
+        for (i, b) in content.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        let run = |coalesce: bool| -> (Vec<u8>, Vec<u8>, CorStats, u64) {
+            let base = QcowImage::create(mem(), CreateOpts::plain(4 * MB), None).unwrap();
+            base.write_at(&content, 0).unwrap();
+            let cache_mem = Arc::new(MemDev::new());
+            let cache = QcowImage::create(
+                cache_mem.clone() as SharedDev,
+                CreateOpts::cache(4 * MB, "b", 3 * MB),
+                Some(base as SharedDev),
+            )
+            .unwrap();
+            cache.set_coalescing(coalesce);
+            let mut out = vec![0u8; MB as usize];
+            cache.read_at(&mut out, 4096).unwrap(); // cold: fills
+            let mut warm = vec![0u8; MB as usize];
+            cache.read_at(&mut warm, 4096).unwrap(); // warm: run reads
+            assert_eq!(out, warm);
+            let mut tail = vec![0u8; 8192];
+            cache.read_at(&mut tail, 2 * MB - 4096).unwrap(); // cold + zero tail
+            out.extend_from_slice(&tail);
+            let stats = cache.cor_stats();
+            let used = cache.cache_used();
+            cache.close().unwrap();
+            (out, cache_mem.to_vec(), stats, used)
+        };
+        let (data_c, raw_c, stats_c, used_c) = run(true);
+        let (data_s, raw_s, stats_s, used_s) = run(false);
+        assert_eq!(data_c, data_s, "guest data identical");
+        assert_eq!(stats_c, stats_s, "CoR byte counters identical");
+        assert_eq!(used_c, used_s, "quota accounting identical");
+        assert_eq!(raw_c, raw_s, "container bytes identical");
+    }
+
+    #[test]
+    fn l2_cache_is_bounded_by_default() {
+        let img = QcowImage::create(mem(), CreateOpts::plain(64 * MB), None).unwrap();
+        let expect =
+            ((DEFAULT_L2_CACHE_BYTES / img.geom.cluster_size()) as usize).max(MIN_L2_CACHE_TABLES);
+        assert_eq!(img.l2_cache_limit(), Some(expect));
+        // 512 B clusters: the same byte budget holds many more (small) tables.
+        let small = QcowImage::create(
+            mem(),
+            CreateOpts::plain(4 * MB).with_cluster_bits(crate::layout::MIN_CLUSTER_BITS),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            small.l2_cache_limit(),
+            Some((DEFAULT_L2_CACHE_BYTES / small.geom.cluster_size()) as usize)
+        );
+        // Unbounded remains opt-in.
+        small.set_l2_cache_limit(None);
+        assert_eq!(small.l2_cache_limit(), None);
+    }
+
+    #[test]
+    fn l2_eviction_is_counted() {
+        let clock = Arc::new(vmi_obs::ManualClock::new(0));
+        let obs = Obs::new(clock, Arc::new(vmi_obs::NullRecorder));
+        let img = QcowImage::create_with_obs(
+            mem(),
+            CreateOpts::plain(16 * MB).with_cluster_bits(crate::layout::MIN_CLUSTER_BITS),
+            None,
+            obs.clone(),
+        )
+        .unwrap();
+        img.set_l2_cache_limit(Some(2));
+        let table_span = img.geom.cluster_size() * img.geom.l2_entries();
+        for i in 0..4u64 {
+            img.write_at(&[1u8; 16], i * table_span).unwrap();
+        }
+        assert!(img.l2_cache_len() <= 2, "limit enforced");
+        assert!(
+            obs.counter_value(met::L2_EVICTIONS) >= 2,
+            "evictions surface in metrics"
+        );
     }
 }

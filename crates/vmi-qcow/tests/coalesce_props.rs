@@ -1,0 +1,162 @@
+//! Property tests pinning the extent-coalesced I/O engine to the scalar
+//! per-cluster path: for arbitrary sparse base layouts, cluster sizes, op
+//! sequences, and quota latch points, both modes must produce bit-identical
+//! guest data, identical copy-on-read accounting, and — because fresh
+//! images allocate with the same bump sequence either way — byte-identical
+//! cache containers.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vmi_blockdev::{BlockDev, MemDev, SharedDev};
+use vmi_qcow::{CorStats, CreateOpts, QcowImage};
+
+const VSIZE: u64 = 1 << 20;
+
+/// One guest operation against the cache layer.
+#[derive(Debug, Clone)]
+enum Op {
+    Read { off: u64, len: usize },
+    Write { off: u64, len: usize, fill: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let span = (0u64..VSIZE, 1usize..64 << 10);
+    prop_oneof![
+        span.clone().prop_map(|(off, len)| Op::Read { off, len }),
+        (span, any::<u8>()).prop_map(|((off, len), fill)| Op::Write { off, len, fill }),
+    ]
+}
+
+/// Sparse base content: a handful of patterned segments over zeroes.
+fn base_strategy() -> impl Strategy<Value = Vec<(u64, usize, u8)>> {
+    proptest::collection::vec((0u64..VSIZE, 1usize..16 << 10, 1u8..=255), 0..6)
+}
+
+/// What one mode observed: per-op outcomes, final image, and accounting.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    /// Per-op result: read data, or the error kind as a string.
+    ops: Vec<std::result::Result<Vec<u8>, String>>,
+    /// Full guest readback after the sequence.
+    image: Vec<u8>,
+    stats: CorStats,
+    cache_used: u64,
+    fill_enabled: bool,
+    /// Raw container bytes after close.
+    container: Vec<u8>,
+}
+
+fn run_mode(
+    coalesce: bool,
+    cluster_bits: u32,
+    base_segs: &[(u64, usize, u8)],
+    quota: u64,
+    ops: &[Op],
+) -> Observed {
+    let base = QcowImage::create(
+        Arc::new(MemDev::new()) as SharedDev,
+        CreateOpts::plain(VSIZE),
+        None,
+    )
+    .unwrap();
+    for &(off, len, fill) in base_segs {
+        let len = len.min((VSIZE - off) as usize);
+        base.write_at(&vec![fill; len], off).unwrap();
+    }
+    let cache_mem = Arc::new(MemDev::new());
+    let cache = QcowImage::create(
+        cache_mem.clone() as SharedDev,
+        CreateOpts::cache(VSIZE, "b", quota).with_cluster_bits(cluster_bits),
+        Some(base as SharedDev),
+    )
+    .unwrap();
+    cache.set_coalescing(coalesce);
+    let mut results = Vec::with_capacity(ops.len());
+    for op in ops {
+        let res = match op {
+            Op::Read { off, len } => {
+                let len = (*len).min((VSIZE - off) as usize);
+                let mut buf = vec![0u8; len];
+                cache
+                    .read_at(&mut buf, *off)
+                    .map(|()| buf)
+                    .map_err(|e| format!("{:?}", e.kind()))
+            }
+            Op::Write { off, len, fill } => {
+                let len = (*len).min((VSIZE - off) as usize);
+                cache
+                    .write_at(&vec![*fill; len], *off)
+                    .map(|()| Vec::new())
+                    .map_err(|e| format!("{:?}", e.kind()))
+            }
+        };
+        results.push(res);
+    }
+    let mut image = vec![0u8; VSIZE as usize];
+    cache.read_at(&mut image, 0).unwrap();
+    let stats = cache.cor_stats();
+    let cache_used = cache.cache_used();
+    let fill_enabled = cache.fill_enabled();
+    cache.close().unwrap();
+    Observed {
+        ops: results,
+        image,
+        stats,
+        cache_used,
+        fill_enabled,
+        container: cache_mem.to_vec(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    /// Arbitrary sparse layouts and op sequences with an ample quota:
+    /// everything down to the container bytes must match.
+    #[test]
+    fn coalesced_matches_scalar_on_sparse_layouts(
+        cluster_bits in 9u32..=12,
+        base_segs in base_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..10),
+    ) {
+        let quota = 4 * VSIZE; // never latches
+        let scalar = run_mode(false, cluster_bits, &base_segs, quota, &ops);
+        let coalesced = run_mode(true, cluster_bits, &base_segs, quota, &ops);
+        prop_assert_eq!(&scalar.ops, &coalesced.ops, "per-op outcomes diverged");
+        prop_assert_eq!(&scalar.image, &coalesced.image, "guest data diverged");
+        prop_assert_eq!(scalar.stats, coalesced.stats);
+        prop_assert_eq!(scalar.cache_used, coalesced.cache_used);
+        prop_assert_eq!(
+            &scalar.container,
+            &coalesced.container,
+            "container bytes diverged"
+        );
+    }
+
+    /// Quota latch points: a tight quota hits `no_space` mid-sequence. The
+    /// latch must trip at the same byte count and leave identical caches —
+    /// coalescing must not fill more (or less) than the scalar path before
+    /// rejecting.
+    #[test]
+    fn quota_latch_is_mode_independent(
+        cluster_bits in 9u32..=11,
+        quota_clusters in 1u64..64,
+        base_segs in base_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..10),
+    ) {
+        let quota = quota_clusters << cluster_bits;
+        let scalar = run_mode(false, cluster_bits, &base_segs, quota, &ops);
+        let coalesced = run_mode(true, cluster_bits, &base_segs, quota, &ops);
+        prop_assert_eq!(
+            scalar.fill_enabled,
+            coalesced.fill_enabled,
+            "latch state diverged"
+        );
+        prop_assert_eq!(&scalar.ops, &coalesced.ops, "per-op outcomes diverged");
+        prop_assert_eq!(&scalar.image, &coalesced.image, "guest data diverged");
+        prop_assert_eq!(scalar.stats, coalesced.stats);
+        prop_assert_eq!(scalar.cache_used, coalesced.cache_used);
+        prop_assert_eq!(&scalar.container, &coalesced.container);
+    }
+}
