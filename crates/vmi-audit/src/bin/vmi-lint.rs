@@ -15,6 +15,10 @@
 //!   sleep hook; real sleeping in library code stalls the simulator.
 //! * `obs-twin` — every public `*_with_obs` constructor keeps a delegating
 //!   non-obs twin, so the no-observability API never rots.
+//! * `span-pair` — no hand-emitted `Event::SpanStart` / `Event::SpanEnd`
+//!   outside `vmi-obs`; spans must come from `Obs::span`/`span_in`, whose
+//!   guard guarantees the matching end event. (Matching on the variants in
+//!   replay/analysis code is fine — only `emit` sites are flagged.)
 //!
 //! Exceptions live in an allowlist file (default `.vmi-lint.allow` at the
 //! scan root), one `rule:path-substring:line-substring` triple per line, or
@@ -27,7 +31,13 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 4] = ["no-unwrap", "no-raw-clock", "no-raw-sleep", "obs-twin"];
+const RULES: [&str; 5] = [
+    "no-unwrap",
+    "no-raw-clock",
+    "no-raw-sleep",
+    "obs-twin",
+    "span-pair",
+];
 
 #[derive(Debug)]
 struct Finding {
@@ -325,6 +335,21 @@ fn scan_file(
                     });
                 }
             }
+        }
+        if crate_name != "vmi-obs"
+            && code.contains("emit")
+            && (code.contains("Event::SpanStart") || code.contains("Event::SpanEnd"))
+            && !inline_allow("span-pair")
+        {
+            findings.push(Finding {
+                rule: "span-pair",
+                path: rel.to_string(),
+                line_no,
+                message: "hand-emitted span event; use `Obs::span`/`span_in` so the guard \
+                          emits the matching end"
+                    .to_string(),
+                line_text: raw.to_string(),
+            });
         }
         if code.contains("thread::sleep") && !inline_allow("no-raw-sleep") {
             findings.push(Finding {

@@ -1,0 +1,50 @@
+//! Run the PR-6 tracing-overhead microbenchmark and write `BENCH_pr6_obs.json`.
+//!
+//! Usage: `obs_overhead [--check] [--out PATH]`
+//!
+//! `--check` exits non-zero unless disabled tracing costs ≤ 2 % of the warm
+//! coalesced hot path (the CI obs-overhead gate). `--out` overrides the
+//! artifact path (default `BENCH_pr6_obs.json` in the current directory).
+
+use vmi_bench::obs_overhead::run_obs_overhead;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr6_obs.json".to_string());
+
+    let rep = match run_obs_overhead() {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("obs_overhead failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", rep.render());
+    if let Err(e) = std::fs::write(&out, rep.to_json() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out}");
+
+    if check {
+        if !rep.passes_gate() {
+            eprintln!(
+                "FAIL: disabled-tracing overhead {:.4}% > {:.1}%",
+                rep.overhead_fraction * 100.0,
+                rep.gate_fraction * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "OK: disabled-tracing overhead {:.4}% <= {:.1}%",
+            rep.overhead_fraction * 100.0,
+            rep.gate_fraction * 100.0
+        );
+    }
+}

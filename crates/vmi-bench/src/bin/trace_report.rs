@@ -1,0 +1,139 @@
+//! Reconstruct trace trees from span JSONL and report critical paths.
+//!
+//! Usage: `trace_report [INPUT.jsonl | --demo] [--check] [--out PATH] [--chrome PATH]`
+//!
+//! Reads a `vmi-obs` JSONL event stream (a file, or `--demo` to record a
+//! fresh seeded two-node cold-cache experiment), rebuilds the span forest,
+//! and prints per-boot critical paths plus the per-stage latency table.
+//! Malformed lines are fatal: each is reported with its 1-based line number
+//! and the process exits with status 2. `--check` additionally exits
+//! non-zero when the forest has unbalanced spans (or no spans at all).
+//! `--out` writes the report JSON; `--chrome` writes a Chrome `trace_event`
+//! file loadable in Perfetto / `chrome://tracing`.
+
+use vmi_bench::obs_report::replay_lines_strict;
+use vmi_bench::trace_report::{analyze, TraceForest};
+use vmi_obs::Event;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let demo = args.iter().any(|a| a == "--demo");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag("--out");
+    let chrome = flag("--chrome");
+    let input = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .find(|a| {
+            // Skip values consumed by --out/--chrome.
+            out.as_deref() != Some(a.as_str()) && chrome.as_deref() != Some(a.as_str())
+        })
+        .cloned();
+
+    let (source, lines) = match (&input, demo) {
+        (Some(path), false) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            (
+                path.clone(),
+                text.lines().map(str::to_string).collect::<Vec<_>>(),
+            )
+        }
+        (None, _) => ("demo".to_string(), record_demo()),
+        (Some(_), true) => {
+            eprintln!("pass either an input file or --demo, not both");
+            std::process::exit(2);
+        }
+    };
+
+    let (summary, bad) = replay_lines_strict(&lines);
+    if !bad.is_empty() {
+        for (line_no, err) in &bad {
+            eprintln!("{source}:{line_no}: malformed event line: {err}");
+        }
+        eprintln!("{}: {} malformed line(s)", source, bad.len());
+        std::process::exit(2);
+    }
+
+    let events: Vec<(u64, Event)> = lines
+        .iter()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| Event::parse_line(l).ok())
+        .collect();
+    let rep = analyze(&events);
+    print!("{}", rep.render());
+    println!(
+        "point events: {} span events: {}+{}",
+        summary.events as u64 - summary.span_starts - summary.span_ends,
+        summary.span_starts,
+        summary.span_ends
+    );
+
+    if let Some(path) = &out {
+        write_or_die(path, &(rep.to_json() + "\n"));
+    }
+    if let Some(path) = &chrome {
+        let forest = TraceForest::from_events(&events);
+        write_or_die(path, &forest.to_chrome_trace());
+    }
+
+    if check {
+        if rep.spans == 0 {
+            eprintln!("FAIL: stream contains no spans");
+            std::process::exit(1);
+        }
+        if rep.unbalanced > 0 {
+            eprintln!("FAIL: {} unbalanced span(s)", rep.unbalanced);
+            std::process::exit(1);
+        }
+        println!("OK: {} spans, all balanced", rep.spans);
+    }
+}
+
+fn write_or_die(path: &str, content: &str) {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {path}");
+}
+
+/// Record a fresh seeded two-node cold-cache experiment and return its
+/// JSONL stream — a self-contained way to produce a real trace (the CI
+/// artifact) without shipping fixture files.
+fn record_demo() -> Vec<String> {
+    use vmi_cluster::{run_experiment, ExperimentConfig, Mode, Placement};
+    use vmi_obs::{JsonlSink, RecorderHandle};
+
+    let sink = JsonlSink::new();
+    let cfg = ExperimentConfig {
+        nodes: 2,
+        vmis: 1,
+        profile: vmi_trace::VmiProfile::tiny_test(),
+        net: vmi_sim::NetSpec::gbe_1(),
+        mode: Mode::ColdCache {
+            placement: Placement::ComputeDisk,
+            quota: 16 << 20,
+            cluster_bits: 9,
+        },
+        seed: 42,
+        warm_store: None,
+        recorder: RecorderHandle::of(sink.clone()),
+    };
+    if let Err(e) = run_experiment(&cfg) {
+        eprintln!("demo experiment failed: {e}");
+        std::process::exit(2);
+    }
+    sink.lines()
+}

@@ -17,11 +17,13 @@ pub mod ablations;
 pub mod figset;
 pub mod figures;
 pub mod io_coalesce;
+pub mod obs_overhead;
 pub mod obs_report;
+pub mod trace_report;
 
 pub use figset::{Figure, Point, Series, TableData};
 pub use figures::{
     fig10, fig11, fig12, fig14, fig2, fig3, fig8, fig9, full_quota, sec6, table1, table2, Scale,
     CACHE_CLUSTER_BITS,
 };
-pub use obs_report::{render_telemetry, replay, replay_lines, ReplaySummary};
+pub use obs_report::{render_telemetry, replay, replay_lines, replay_lines_strict, ReplaySummary};

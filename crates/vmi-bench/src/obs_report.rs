@@ -48,6 +48,11 @@ pub struct ReplaySummary {
     pub coalesced_bytes: u64,
     /// Clusters carried by `run_coalesced` events.
     pub coalesced_clusters: u64,
+    /// `span_start` events (causal trace spans; see `trace_report` for full
+    /// tree reconstruction).
+    pub span_starts: u64,
+    /// `span_end` events.
+    pub span_ends: u64,
 }
 
 /// Replay parsed `(timestamp, event)` pairs into a [`ReplaySummary`].
@@ -80,6 +85,8 @@ pub fn replay(events: &[(u64, Event)]) -> ReplaySummary {
                 s.coalesced_bytes += bytes;
                 s.coalesced_clusters += clusters;
             }
+            Event::SpanStart { .. } => s.span_starts += 1,
+            Event::SpanEnd { .. } => s.span_ends += 1,
         }
     }
     s
@@ -88,18 +95,35 @@ pub fn replay(events: &[(u64, Event)]) -> ReplaySummary {
 /// Parse raw JSONL lines and replay them. Lines that fail to parse are
 /// counted and returned alongside the summary rather than silently dropped.
 pub fn replay_lines(lines: &[String]) -> (ReplaySummary, usize) {
+    let (s, bad) = replay_lines_strict(lines);
+    (s, bad.len())
+}
+
+/// [`replay_lines`], but malformed lines come back with their **1-based line
+/// number** and parse error, so a CLI can point at the exact offender and
+/// exit nonzero instead of silently skipping it.
+pub fn replay_lines_strict(lines: &[String]) -> (ReplaySummary, Vec<(usize, String)>) {
     let mut parsed = Vec::with_capacity(lines.len());
-    let mut bad = 0usize;
-    for line in lines {
+    let mut bad = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
         match Event::parse_line(line) {
             Ok(pair) => parsed.push(pair),
-            Err(_) => bad += 1,
+            Err(e) => bad.push((i + 1, e.to_string())),
         }
     }
     (replay(&parsed), bad)
 }
 
 impl ReplaySummary {
+    /// Every opened span was closed (a stream cut off mid-request fails
+    /// this; the count check is cheap enough to run on any stream).
+    pub fn spans_balanced(&self) -> bool {
+        self.span_starts == self.span_ends
+    }
+
     /// Hit ratio over the replayed stream (1.0 when nothing missed).
     pub fn hit_ratio(&self) -> f64 {
         if self.miss_bytes == 0 {
@@ -206,6 +230,31 @@ mod tests {
         let (s, bad) = replay_lines(&lines);
         assert_eq!(s.hit_bytes, 64);
         assert_eq!(bad, 1);
+    }
+
+    #[test]
+    fn strict_replay_reports_line_numbers_and_counts_spans() {
+        let lines = vec![
+            Event::SpanStart {
+                id: 1,
+                parent: 0,
+                kind: "nbd.request".into(),
+                detail: String::new(),
+            }
+            .to_json_line(5),
+            "{broken".to_string(),
+            String::new(), // blank lines are tolerated, not errors
+            Event::SpanEnd { id: 1 }.to_json_line(9),
+            "also broken".to_string(),
+        ];
+        let (s, bad) = replay_lines_strict(&lines);
+        assert_eq!(s.span_starts, 1);
+        assert_eq!(s.span_ends, 1);
+        assert!(s.spans_balanced());
+        let bad_lines: Vec<usize> = bad.iter().map(|(n, _)| *n).collect();
+        assert_eq!(bad_lines, vec![2, 5], "1-based offender line numbers");
+        let (_, count) = replay_lines(&lines);
+        assert_eq!(count, 2);
     }
 
     #[test]

@@ -114,6 +114,62 @@ pub trait BlockDev: Send + Sync {
         self.write_at(buf, off)
     }
 
+    /// [`BlockDev::read_at`] with an explicit trace-span parent.
+    ///
+    /// The `_in` family is how causal tracing crosses device layers without
+    /// thread-locals: instrumented callers pass their current span down, and
+    /// instrumented devices (image formats, the retry decorator) override
+    /// these to parent their own spans under it. Plain media inherit the
+    /// defaults, which ignore the parent and delegate — identical behaviour,
+    /// zero cost.
+    fn read_at_in(&self, buf: &mut [u8], off: u64, parent: Option<vmi_obs::SpanId>) -> Result<()> {
+        let _ = parent;
+        self.read_at(buf, off)
+    }
+
+    /// [`BlockDev::write_at`] with an explicit trace-span parent.
+    fn write_at_in(&self, buf: &[u8], off: u64, parent: Option<vmi_obs::SpanId>) -> Result<()> {
+        let _ = parent;
+        self.write_at(buf, off)
+    }
+
+    /// [`BlockDev::read_run_at`] with an explicit trace-span parent.
+    fn read_run_at_in(
+        &self,
+        buf: &mut [u8],
+        off: u64,
+        parent: Option<vmi_obs::SpanId>,
+    ) -> Result<()> {
+        let _ = parent;
+        self.read_run_at(buf, off)
+    }
+
+    /// [`BlockDev::write_run_at`] with an explicit trace-span parent.
+    fn write_run_at_in(&self, buf: &[u8], off: u64, parent: Option<vmi_obs::SpanId>) -> Result<()> {
+        let _ = parent;
+        self.write_run_at(buf, off)
+    }
+
+    /// [`BlockDev::read_at_zero_pad`] with an explicit trace-span parent,
+    /// routed through [`BlockDev::read_at_in`] so traced layers below keep
+    /// the causal chain.
+    fn read_at_zero_pad_in(
+        &self,
+        buf: &mut [u8],
+        off: u64,
+        parent: Option<vmi_obs::SpanId>,
+    ) -> Result<usize> {
+        let len = self.len();
+        if off >= len {
+            buf.fill(0);
+            return Ok(0);
+        }
+        let avail = ((len - off) as usize).min(buf.len());
+        self.read_at_in(&mut buf[..avail], off, parent)?;
+        buf[avail..].fill(0);
+        Ok(avail)
+    }
+
     /// A short human-readable description (medium type), for diagnostics.
     fn describe(&self) -> String {
         "blockdev".to_string()
@@ -151,6 +207,31 @@ impl<T: BlockDev + ?Sized> BlockDev for Arc<T> {
     }
     fn write_run_at(&self, buf: &[u8], off: u64) -> Result<()> {
         (**self).write_run_at(buf, off)
+    }
+    fn read_at_in(&self, buf: &mut [u8], off: u64, parent: Option<vmi_obs::SpanId>) -> Result<()> {
+        (**self).read_at_in(buf, off, parent)
+    }
+    fn write_at_in(&self, buf: &[u8], off: u64, parent: Option<vmi_obs::SpanId>) -> Result<()> {
+        (**self).write_at_in(buf, off, parent)
+    }
+    fn read_run_at_in(
+        &self,
+        buf: &mut [u8],
+        off: u64,
+        parent: Option<vmi_obs::SpanId>,
+    ) -> Result<()> {
+        (**self).read_run_at_in(buf, off, parent)
+    }
+    fn write_run_at_in(&self, buf: &[u8], off: u64, parent: Option<vmi_obs::SpanId>) -> Result<()> {
+        (**self).write_run_at_in(buf, off, parent)
+    }
+    fn read_at_zero_pad_in(
+        &self,
+        buf: &mut [u8],
+        off: u64,
+        parent: Option<vmi_obs::SpanId>,
+    ) -> Result<usize> {
+        (**self).read_at_zero_pad_in(buf, off, parent)
     }
     fn describe(&self) -> String {
         (**self).describe()

@@ -171,7 +171,16 @@ impl RetryDev {
         &self.policy
     }
 
-    fn run<T>(&self, op: &'static str, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+    fn run<T>(&self, op: &'static str, f: impl FnMut() -> Result<T>) -> Result<T> {
+        self.run_in(op, None, f)
+    }
+
+    fn run_in<T>(
+        &self,
+        op: &'static str,
+        parent: Option<vmi_obs::SpanId>,
+        mut f: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
         let budget = self.policy.max_attempts.max(1);
         let mut attempt: u32 = 0;
         loop {
@@ -187,9 +196,16 @@ impl RetryDev {
                         attempt: attempt as u64,
                         delay_ns: delay,
                     });
+                    // The backoff wait is a traced child of the operation
+                    // that caused it: the span brackets the sleep-hook call,
+                    // so under a sim clock its duration is the charged delay.
+                    let span = self.obs.span_in(parent, "retry.backoff", || {
+                        format!("op={op} attempt={attempt} delay_ns={delay}")
+                    });
                     if let Some(hook) = self.sleep.lock().as_ref() {
                         hook(delay);
                     }
+                    drop(span);
                 }
                 Err(e) => {
                     if e.is_transient() {
@@ -232,6 +248,34 @@ impl BlockDev for RetryDev {
 
     fn write_run_at(&self, buf: &[u8], off: u64) -> Result<()> {
         self.run("write_run", || self.inner.write_run_at(buf, off))
+    }
+
+    // Span-threaded variants: backoff spans parent under the caller's span,
+    // and the parent travels on to the inner device (which may itself be
+    // traced, e.g. an image layer over this decorator).
+    fn read_at_in(&self, buf: &mut [u8], off: u64, parent: Option<vmi_obs::SpanId>) -> Result<()> {
+        self.run_in("read", parent, || self.inner.read_at_in(buf, off, parent))
+    }
+
+    fn write_at_in(&self, buf: &[u8], off: u64, parent: Option<vmi_obs::SpanId>) -> Result<()> {
+        self.run_in("write", parent, || self.inner.write_at_in(buf, off, parent))
+    }
+
+    fn read_run_at_in(
+        &self,
+        buf: &mut [u8],
+        off: u64,
+        parent: Option<vmi_obs::SpanId>,
+    ) -> Result<()> {
+        self.run_in("read_run", parent, || {
+            self.inner.read_run_at_in(buf, off, parent)
+        })
+    }
+
+    fn write_run_at_in(&self, buf: &[u8], off: u64, parent: Option<vmi_obs::SpanId>) -> Result<()> {
+        self.run_in("write_run", parent, || {
+            self.inner.write_run_at_in(buf, off, parent)
+        })
     }
 
     fn describe(&self) -> String {
@@ -321,6 +365,74 @@ mod tests {
         dev.read_at(&mut buf, 0).unwrap();
         let expected = dev.policy().schedule();
         assert_eq!(*seen.lock(), expected[..3].to_vec());
+    }
+
+    #[test]
+    fn backoff_spans_are_balanced_and_parented() {
+        let mem = Arc::new(MemDev::with_len(4096));
+        let fault = Arc::new(FaultDev::new(mem));
+        fault.inject(FaultPlan::FailK {
+            site: FaultSite::Read,
+            k: 2,
+            kind: BlockErrorKind::Io,
+        });
+        let sink = vmi_obs::JsonlSink::new();
+        let clock = Arc::new(vmi_obs::ManualClock::new(0));
+        let obs = Obs::new(clock.clone(), sink.clone());
+        let dev = RetryDev::with_obs(fault, RetryPolicy::attempts(4), obs.clone());
+        let clock2 = clock.clone();
+        dev.set_sleep_hook(move |ns| clock2.advance(ns));
+
+        let root = obs.span("qcow.read", String::new);
+        let root_id = root.id().unwrap().0;
+        let mut buf = [0u8; 16];
+        dev.read_at_in(&mut buf, 0, root.id()).unwrap();
+        drop(root);
+
+        let events = sink.events();
+        let mut open: Vec<u64> = Vec::new();
+        let mut backoffs = 0;
+        for (_, e) in &events {
+            match e {
+                Event::SpanStart {
+                    id, parent, kind, ..
+                } => {
+                    if kind == "retry.backoff" {
+                        assert_eq!(*parent, root_id, "backoff parents under the caller");
+                        backoffs += 1;
+                    }
+                    open.push(*id);
+                }
+                Event::SpanEnd { id } => {
+                    assert_eq!(open.pop(), Some(*id), "spans nest properly");
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "every span closed");
+        assert_eq!(backoffs, 2, "one backoff span per retry");
+        // The backoff span's duration equals the charged delay.
+        let schedule = dev.policy().schedule();
+        let start = events
+            .iter()
+            .find(|(_, e)| matches!(e, Event::SpanStart { kind, .. } if kind == "retry.backoff"))
+            .map(|(t, _)| *t)
+            .unwrap();
+        let first_backoff_id = match &events
+            .iter()
+            .find(|(_, e)| matches!(e, Event::SpanStart { kind, .. } if kind == "retry.backoff"))
+            .unwrap()
+            .1
+        {
+            Event::SpanStart { id, .. } => *id,
+            _ => unreachable!(),
+        };
+        let end = events
+            .iter()
+            .find(|(_, e)| matches!(e, Event::SpanEnd { id } if *id == first_backoff_id))
+            .map(|(t, _)| *t)
+            .unwrap();
+        assert_eq!(end - start, schedule[0]);
     }
 
     #[test]

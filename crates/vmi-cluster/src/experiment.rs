@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use vmi_blockdev::{BlockDev, BlockError, Result, SharedDev, SparseDev};
-use vmi_obs::RecorderHandle;
+use vmi_obs::{MetricsSnapshot, RecorderHandle};
 use vmi_qcow::QcowImage;
 use vmi_remote::{MountOpts, NfsMount};
 use vmi_sim::{DiskStats, LinkStats, NetSpec, SimWorld};
@@ -122,6 +122,11 @@ pub struct ExperimentOutcome {
     /// Cache-layer and latency telemetry (per-cache hit ratios always;
     /// latency percentiles when a recorder was attached).
     pub telemetry: Telemetry,
+    /// Full metrics-registry snapshot, present when a recorder was attached
+    /// (the parallel runner merges per-node registries: counters and
+    /// histogram buckets summed, gauges taken at their max). Render with
+    /// [`MetricsSnapshot::to_prometheus`].
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl ExperimentOutcome {
@@ -272,6 +277,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
         // Chain creation is part of the measured boot (the paper times from
         // "invoking KVM").
         world.begin_op(0);
+        let csp = obs.span("chain.build", || format!("node={i}"));
         let chain = build_chain(ChainSpec {
             mode,
             profile: &cfg.profile,
@@ -281,6 +287,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
             cache_read_only,
             obs: obs.clone(),
         })?;
+        drop(csp);
         let setup_ns = world.end_op();
 
         chains.push(chain.clone());
@@ -301,7 +308,11 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
         order.sort_by_key(|&i| outcomes[i].done_at);
         for i in order {
             let size = cache_layer_file_size(&chains[i]).unwrap_or(0);
+            let tsp = world.with_time(outcomes[i].done_at, || {
+                obs.span("net.transfer", || format!("node={i} bytes={size}"))
+            });
             let done = world.bulk_transfer(storage.nic, outcomes[i].done_at, size);
+            world.with_time(done, || drop(tsp));
             let extra = done - outcomes[i].done_at;
             outcomes[i].done_at = done;
             outcomes[i].boot_ns += extra;
@@ -323,6 +334,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome> {
         storage_page_cache: world.cache_stats(storage.page_cache),
         cache_file_sizes,
         telemetry,
+        metrics: obs.metrics_snapshot(),
     })
 }
 
@@ -341,6 +353,7 @@ struct NodeRun {
     page_cache: (u64, u64),
     telemetry: Telemetry,
     op_hist: Option<vmi_obs::HistogramSnapshot>,
+    metrics: Option<MetricsSnapshot>,
     cache_file_size: Option<u64>,
     /// Per-node event stream (empty without a recorder), already in
     /// node-local time order.
@@ -433,6 +446,7 @@ pub fn run_experiment_parallel(cfg: &ExperimentConfig) -> Result<ExperimentOutco
     }
     let cache_file_sizes: Vec<u64> = runs.iter().filter_map(|r| r.cache_file_size).collect();
     let telemetry = merge_telemetry(&runs);
+    let metrics = merge_metrics(&runs);
 
     // Re-emit the per-node streams into the caller's recorder, node by node,
     // with the original per-node timestamps.
@@ -455,6 +469,7 @@ pub fn run_experiment_parallel(cfg: &ExperimentConfig) -> Result<ExperimentOutco
         storage_page_cache,
         cache_file_sizes,
         telemetry,
+        metrics,
     })
 }
 
@@ -475,7 +490,9 @@ fn run_node(
     } else {
         (RecorderHandle::none(), None)
     };
-    let obs = rec.attach(world.obs_clock());
+    // Node `i` allocates span ids in namespace `i << 48`, so node 0's
+    // stream matches the serial runner's and merged streams never collide.
+    let obs = rec.attach_with_span_base(world.obs_clock(), (i as u64) << 48);
     let mut storage = StorageNode::new(&world, cfg.net);
     let base_dev: SharedDev = NfsMount::new(
         storage.create_base_vmi(cfg.profile.virtual_size),
@@ -531,6 +548,7 @@ fn run_node(
     let cow_dev = node.disk_file(Arc::new(SparseDev::new()), false);
 
     world.begin_op(0);
+    let csp = obs.span("chain.build", || format!("node={i}"));
     let chain = build_chain(ChainSpec {
         mode,
         profile: &cfg.profile,
@@ -540,6 +558,7 @@ fn run_node(
         cache_read_only,
         obs: obs.clone(),
     })?;
+    drop(csp);
     let setup_ns = world.end_op();
 
     let vms = vec![VmRun {
@@ -553,7 +572,11 @@ fn run_node(
 
     if creator {
         let size = cache_layer_file_size(&chain).unwrap_or(0);
+        let tsp = world.with_time(outcome.done_at, || {
+            obs.span("net.transfer", || format!("node={i} bytes={size}"))
+        });
         let done = world.bulk_transfer(storage.nic, outcome.done_at, size);
+        world.with_time(done, || drop(tsp));
         let extra = done - outcome.done_at;
         outcome.done_at = done;
         outcome.boot_ns += extra;
@@ -568,6 +591,7 @@ fn run_node(
         page_cache: world.cache_stats(storage.page_cache),
         telemetry: Telemetry::collect(&chains, &obs),
         op_hist: obs.histogram(vmi_obs::met::VM_OP_NS),
+        metrics: obs.metrics_snapshot(),
         cache_file_size: cache_layer_file_size(&chains[0]),
         events: sink.map(|s| s.events()).unwrap_or_default(),
         hit_counter: obs.counter_value(vmi_obs::met::CACHE_HIT_BYTES),
@@ -618,6 +642,45 @@ fn merge_telemetry(runs: &[NodeRun]) -> Telemetry {
         p50_op_ns: hist.as_ref().map(|h| h.quantile(0.5)),
         p99_op_ns: hist.as_ref().map(|h| h.quantile(0.99)),
     }
+}
+
+/// Merge per-node metrics snapshots into one cluster view: counters and
+/// histogram buckets sum, gauges take their max (a gauge like
+/// `cache.used_bytes` is a per-node level, and the max is the conservative
+/// cluster-wide statement). Names stay sorted for deterministic output.
+fn merge_metrics(runs: &[NodeRun]) -> Option<MetricsSnapshot> {
+    use std::collections::BTreeMap;
+    let mut counters = BTreeMap::<&'static str, u64>::new();
+    let mut gauges = BTreeMap::<&'static str, u64>::new();
+    let mut hists = BTreeMap::<&'static str, vmi_obs::HistogramSnapshot>::new();
+    let mut any = false;
+    for r in &mut runs.iter().filter_map(|r| r.metrics.as_ref()) {
+        any = true;
+        for &(name, v) in &r.counters {
+            *counters.entry(name).or_insert(0) += v;
+        }
+        for &(name, v) in &r.gauges {
+            let g = gauges.entry(name).or_insert(0);
+            *g = (*g).max(v);
+        }
+        for (name, h) in &r.histograms {
+            match hists.entry(name) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if let Some(m) = merge_histograms([e.get() as &_, h].into_iter()) {
+                        *e.get_mut() = m;
+                    }
+                }
+            }
+        }
+    }
+    any.then(|| MetricsSnapshot {
+        counters: counters.into_iter().collect(),
+        gauges: gauges.into_iter().collect(),
+        histograms: hists.into_iter().collect(),
+    })
 }
 
 /// Merge log2-bucket histogram snapshots by summing bucket counts.

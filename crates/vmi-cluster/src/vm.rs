@@ -43,6 +43,9 @@ pub struct VmOutcome {
 struct VmState {
     run: VmRun,
     next_op: usize,
+    /// Open `boot.vm` span: created when the VM issues its first op, closed
+    /// (dropped) at connect-back so its duration is the measured boot time.
+    span: Option<vmi_obs::SpanGuard>,
 }
 
 /// Replay all `vms` to completion; returns one outcome per VM, in input
@@ -70,7 +73,11 @@ pub fn run_boots_with_obs(world: &SimWorld, vms: Vec<VmRun>, obs: &Obs) -> Resul
         let issue_at =
             run.start_at + run.setup_ns + run.trace.ops.first().map(|o| o.think_ns).unwrap_or(0);
         queue.push(issue_at, i);
-        states.push(VmState { run, next_op: 0 });
+        states.push(VmState {
+            run,
+            next_op: 0,
+            span: None,
+        });
     }
 
     while let Some((now, vm)) = queue.pop() {
@@ -86,38 +93,58 @@ pub fn run_boots_with_obs(world: &SimWorld, vms: Vec<VmRun>, obs: &Obs) -> Resul
                 boot_ns,
                 io_wait_ns: boot_ns.saturating_sub(think),
             });
-            obs.count(met::BOOTS_DONE, 1);
-            obs.emit(|| Event::BootPhase {
-                vm: vm as u64,
-                phase: "connect_back".into(),
+            // Stamp the connect-back marker and the boot span's end at the
+            // completion time (we are outside any priced op window here).
+            let span = st.span.take();
+            world.with_time(done_at, || {
+                obs.count(met::BOOTS_DONE, 1);
+                obs.emit(|| Event::BootPhase {
+                    vm: vm as u64,
+                    phase: "connect_back".into(),
+                });
+                drop(span);
             });
             continue;
         }
         if st.next_op == 0 {
-            obs.emit(|| Event::BootPhase {
-                vm: vm as u64,
-                phase: "issue".into(),
-            });
+            let nops = trace.ops.len();
+            st.span = Some(world.with_time(now, || {
+                obs.emit(|| Event::BootPhase {
+                    vm: vm as u64,
+                    phase: "issue".into(),
+                });
+                obs.span("boot.vm", || format!("vm={vm} ops={nops}"))
+            }));
         }
         let op = trace.ops[st.next_op];
         if scratch.len() < op.len as usize {
             scratch.resize(op.len as usize, 0);
         }
         world.begin_op(now);
+        let parent = st.span.as_ref().and_then(|g| g.id());
+        let osp = obs.span_in(parent, "vm.op", || {
+            let kind = match op.kind {
+                OpKind::Read => "read",
+                OpKind::Write => "write",
+            };
+            format!("vm={vm} kind={kind} bytes={}", op.len)
+        });
         let res = match op.kind {
-            OpKind::Read => st
-                .run
-                .chain
-                .read_at(&mut scratch[..op.len as usize], op.offset),
+            OpKind::Read => {
+                st.run
+                    .chain
+                    .read_at_in(&mut scratch[..op.len as usize], op.offset, osp.id())
+            }
             OpKind::Write => {
                 // Content is irrelevant to timing; zero data keeps sparse
                 // backing stores sparse.
                 scratch[..op.len as usize].fill(0);
                 st.run
                     .chain
-                    .write_at(&scratch[..op.len as usize], op.offset)
+                    .write_at_in(&scratch[..op.len as usize], op.offset, osp.id())
             }
         };
+        drop(osp);
         let completed = world.end_op();
         res?;
         obs.observe(met::VM_OP_NS, completed.saturating_sub(now));

@@ -58,6 +58,23 @@ impl DevResolver for FsResolver {
     }
 }
 
+/// [`open_image`] with an observability handle attached to every layer, so
+/// reads through the returned image feed `obs`'s metrics registry (the
+/// `vmi-img stats` command renders the result via
+/// [`vmi_obs::MetricsSnapshot::to_prometheus`]).
+pub fn open_image_with_obs(
+    path: &Path,
+    read_only: bool,
+    obs: &vmi_obs::Obs,
+) -> Result<Arc<QcowImage>> {
+    let resolver = FsResolver::for_image(path);
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| BlockError::unsupported("invalid image path"))?;
+    vmi_qcow::open_chain_with_obs(&resolver, name, read_only, obs)
+}
+
 /// Open the image at `path` together with its backing chain.
 pub fn open_image(path: &Path, read_only: bool) -> Result<Arc<QcowImage>> {
     let resolver = FsResolver::for_image(path);

@@ -41,6 +41,7 @@ fn main() {
         "snapshot" => cmd_snapshot(rest),
         "chain" => cmd_chain(rest),
         "warm" => cmd_warm(rest),
+        "stats" => cmd_stats(rest),
         "--help" | "-h" | "help" => {
             usage();
             return;
@@ -68,6 +69,7 @@ fn usage() {
     eprintln!("  snapshot <path> --create NAME | --list | --apply ID | --delete ID");
     eprintln!("  chain <base> --stem S --size N [--quota N] [--cluster N]");
     eprintln!("  warm <cache> [--profile centos|debian|windows|tiny] [--seed N]");
+    eprintln!("  stats <path> [--limit N]   (read pass; Prometheus metrics on stdout)");
     eprintln!("  make-fixtures <dir>   (golden ok-*/bad-* fsck fixtures)");
     eprintln!("sizes accept K/M/G suffixes (powers of two)");
 }
@@ -339,6 +341,37 @@ fn cmd_chain(rest: &[String]) -> CliResult {
     };
     let cow = create_chain(&base, &stem, size, quota, cluster)?;
     println!("chain ready: boot from {}", cow.display());
+    Ok(())
+}
+
+fn cmd_stats(rest: &[String]) -> CliResult {
+    use vmi_blockdev::BlockDev;
+    use vmi_obs::{ManualClock, NullRecorder, Obs};
+
+    let path = positional(rest)?;
+    let obs = Obs::new(
+        std::sync::Arc::new(ManualClock::new(0)),
+        std::sync::Arc::new(NullRecorder),
+    );
+    let img = vmi_img::open_image_with_obs(&path, true, &obs)?;
+    // One sequential read pass through the metrics-instrumented chain:
+    // every L2 lookup, cache hit/miss, and backing fetch lands in the
+    // registry, which then renders in the Prometheus text format.
+    let limit = match flag(rest, "--limit") {
+        Some(l) => parse_size(&l)?.min(img.virtual_size()),
+        None => img.virtual_size(),
+    };
+    let mut buf = vec![0u8; 1 << 20];
+    let mut off = 0u64;
+    while off < limit {
+        let n = buf.len().min((limit - off) as usize);
+        img.read_at(&mut buf[..n], off)?;
+        off += n as u64;
+    }
+    let snap = obs
+        .metrics_snapshot()
+        .ok_or("metrics snapshot unavailable")?;
+    print!("{}", snap.to_prometheus());
     Ok(())
 }
 

@@ -223,6 +223,16 @@ fn handle_connection(
         let req = read_request(&mut r)?;
         served.fetch_add(1, Ordering::Relaxed);
         let req_start = obs.enabled().then(std::time::Instant::now);
+        // One root span per request: everything the device layers emit while
+        // serving it (qcow reads, L2 walks, CoR fills, retries) parents here.
+        let span = obs.span("nbd.request", || {
+            format!(
+                "ty={} off={} len={}",
+                cmd_name(req.ty),
+                req.offset,
+                req.length
+            )
+        });
         match req.ty {
             NBD_CMD_DISC => return Ok(()),
             NBD_CMD_READ => {
@@ -230,7 +240,7 @@ fn handle_connection(
                     write_simple_reply(&mut w, NBD_EINVAL, req.handle)?;
                 } else {
                     data.resize(req.length as usize, 0);
-                    match export.dev.read_at(&mut data, req.offset) {
+                    match export.dev.read_at_in(&mut data, req.offset, span.id()) {
                         Ok(()) => {
                             write_simple_reply(&mut w, 0, req.handle)?;
                             write_all(&mut w, &data)?;
@@ -245,7 +255,7 @@ fn handle_connection(
                 let err = if export.read_only {
                     NBD_EPERM
                 } else {
-                    match export.dev.write_at(&data, req.offset) {
+                    match export.dev.write_at_in(&data, req.offset, span.id()) {
                         Ok(()) => 0,
                         Err(e) => errno(&e),
                     }
@@ -283,9 +293,21 @@ fn handle_connection(
             }
         }
         w.flush().map_err(io_err)?;
+        drop(span);
         if let Some(start) = req_start {
             obs.observe(met::NBD_REQUEST_NS, start.elapsed().as_nanos() as u64);
         }
+    }
+}
+
+fn cmd_name(ty: u16) -> &'static str {
+    match ty {
+        NBD_CMD_READ => "read",
+        NBD_CMD_WRITE => "write",
+        NBD_CMD_FLUSH => "flush",
+        NBD_CMD_TRIM => "trim",
+        NBD_CMD_DISC => "disc",
+        _ => "other",
     }
 }
 

@@ -145,6 +145,27 @@ pub enum Event {
         /// Bytes moved by the single device op.
         bytes: u64,
     },
+    /// A causal span opened. Spans form per-request trace trees: `id` is
+    /// unique within one recorded stream (a per-`Obs` sequence, offset by a
+    /// per-node base under the parallel runner), `parent` links to the
+    /// enclosing span (`0` = root). The matching [`Event::SpanEnd`] carries
+    /// the same `id`; the two timestamps bound the span's duration.
+    SpanStart {
+        /// Stream-unique span id (never 0).
+        id: u64,
+        /// Enclosing span id, or 0 for a root span.
+        parent: u64,
+        /// Span kind, dot-namespaced: `boot.vm`, `qcow.read`, `dev.write`,
+        /// `l2.lookup`, `cor.fill`, `retry.backoff`, ...
+        kind: String,
+        /// Free-form `k=v` attributes (e.g. `layer=cache bytes=4096`).
+        detail: String,
+    },
+    /// A causal span closed; `id` matches the opening [`Event::SpanStart`].
+    SpanEnd {
+        /// Id of the span being closed.
+        id: u64,
+    },
 }
 
 impl Event {
@@ -167,6 +188,8 @@ impl Event {
             Event::NodeFailed { .. } => "node_failed",
             Event::BootRescheduled { .. } => "boot_rescheduled",
             Event::RunCoalesced { .. } => "run_coalesced",
+            Event::SpanStart { .. } => "span_start",
+            Event::SpanEnd { .. } => "span_end",
         }
     }
 
@@ -258,6 +281,19 @@ impl Event {
                 push_str_field(&mut s, "op", op);
                 let _ = write!(s, ",\"clusters\":{clusters},\"bytes\":{bytes}");
             }
+            Event::SpanStart {
+                id,
+                parent,
+                kind,
+                detail,
+            } => {
+                let _ = write!(s, ",\"id\":{id},\"parent\":{parent}");
+                push_str_field(&mut s, "kind", kind);
+                push_str_field(&mut s, "detail", detail);
+            }
+            Event::SpanEnd { id } => {
+                let _ = write!(s, ",\"id\":{id}");
+            }
         }
         s.push('}');
         s
@@ -336,6 +372,15 @@ impl Event {
                 op: fields.str("op")?.to_string(),
                 clusters: fields.u64("clusters")?,
                 bytes: fields.u64("bytes")?,
+            },
+            "span_start" => Event::SpanStart {
+                id: fields.u64("id")?,
+                parent: fields.u64("parent")?,
+                kind: fields.str("kind")?.to_string(),
+                detail: fields.str("detail")?.to_string(),
+            },
+            "span_end" => Event::SpanEnd {
+                id: fields.u64("id")?,
             },
             other => return Err(ParseError(format!("unknown event kind {other:?}"))),
         };
@@ -629,6 +674,16 @@ mod tests {
                 bytes: 1 << 20,
             },
         );
+        roundtrip(
+            14,
+            Event::SpanStart {
+                id: (3 << 40) + 17,
+                parent: 3 << 40,
+                kind: "qcow.read".into(),
+                detail: "layer=cache bytes=4096".into(),
+            },
+        );
+        roundtrip(15, Event::SpanEnd { id: (3 << 40) + 17 });
     }
 
     #[test]
@@ -648,6 +703,19 @@ mod tests {
     fn wire_form_is_stable() {
         let line = Event::CacheHit { bytes: 512 }.to_json_line(1234);
         assert_eq!(line, r#"{"t":1234,"ev":"cache_hit","bytes":512}"#);
+        let line = Event::SpanStart {
+            id: 2,
+            parent: 1,
+            kind: "dev.read".into(),
+            detail: "bytes=512".into(),
+        }
+        .to_json_line(7);
+        assert_eq!(
+            line,
+            r#"{"t":7,"ev":"span_start","id":2,"parent":1,"kind":"dev.read","detail":"bytes=512"}"#
+        );
+        let line = Event::SpanEnd { id: 2 }.to_json_line(9);
+        assert_eq!(line, r#"{"t":9,"ev":"span_end","id":2}"#);
     }
 
     #[test]

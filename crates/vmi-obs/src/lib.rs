@@ -16,6 +16,10 @@
 //!   Default + Debug` so it can sit in experiment config structs, and it is
 //!   turned into an `Obs` with [`RecorderHandle::attach`] once the clock
 //!   exists.
+//! * [`Obs::span`] / [`Obs::span_in`] open **causal spans** — RAII guards
+//!   emitting [`Event::SpanStart`]/[`Event::SpanEnd`] pairs with
+//!   deterministic ids and explicit parent links (no thread-locals), from
+//!   which tools reconstruct per-request trace trees.
 //!
 //! ```
 //! use vmi_obs::{Event, ManualClock, RecorderHandle};
@@ -119,6 +123,12 @@ struct ObsInner {
     clock: Arc<dyn Clock>,
     metrics: MetricsRegistry,
     rec: Arc<dyn Recorder>,
+    /// Next span id minus the base; see [`Obs::span`]. Monotonic per `Obs`,
+    /// so a fixed seed fully determines every span id in a recorded stream.
+    span_seq: AtomicU64,
+    /// High-bits namespace OR-ed into every issued span id
+    /// ([`RecorderHandle::attach_with_span_base`]).
+    span_base: u64,
 }
 
 /// The observability handle threaded through instrumented code.
@@ -148,11 +158,21 @@ impl Obs {
 
     /// An enabled handle recording events to `rec`, stamped by `clock`.
     pub fn new(clock: Arc<dyn Clock>, rec: Arc<dyn Recorder>) -> Self {
+        Self::with_span_base(clock, rec, 0)
+    }
+
+    /// [`Obs::new`] with a span-id namespace: every span id issued by this
+    /// handle is `base | seq` (seq starting at 1). The parallel experiment
+    /// runner gives node *i* the base `i << 48` so per-node id sequences are
+    /// deterministic in isolation and never collide once streams merge.
+    pub fn with_span_base(clock: Arc<dyn Clock>, rec: Arc<dyn Recorder>, base: u64) -> Self {
         Self {
             inner: Some(Arc::new(ObsInner {
                 clock,
                 metrics: MetricsRegistry::new(),
                 rec,
+                span_seq: AtomicU64::new(0),
+                span_base: base,
             })),
         }
     }
@@ -214,6 +234,87 @@ impl Obs {
     pub fn clock(&self) -> Option<Arc<dyn Clock>> {
         self.inner.as_ref().map(|i| Arc::clone(&i.clock))
     }
+
+    /// Open a root span of `kind`. Emits [`Event::SpanStart`] now and
+    /// [`Event::SpanEnd`] when the returned guard drops; `detail` runs only
+    /// when enabled (build attribute strings inside it). When disabled this
+    /// is one branch: no allocation, no clock read, no id issued.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span(&self, kind: &'static str, detail: impl FnOnce() -> String) -> SpanGuard {
+        self.span_in(None, kind, detail)
+    }
+
+    /// Open a span as a child of `parent` (pass `None` for a root). This is
+    /// the explicit — no thread-local — way child operations attach to the
+    /// request that caused them: the parent's [`SpanGuard::id`] travels down
+    /// the call chain as a plain value.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span_in(
+        &self,
+        parent: Option<SpanId>,
+        kind: &'static str,
+        detail: impl FnOnce() -> String,
+    ) -> SpanGuard {
+        match &self.inner {
+            Some(inner) => {
+                let id = inner.span_base | (inner.span_seq.fetch_add(1, Ordering::Relaxed) + 1);
+                let parent = parent.map_or(0, |p| p.0);
+                inner.rec.record(
+                    inner.clock.now_ns(),
+                    &Event::SpanStart {
+                        id,
+                        parent,
+                        kind: kind.to_string(),
+                        detail: detail(),
+                    },
+                );
+                SpanGuard {
+                    obs: self.clone(),
+                    id,
+                }
+            }
+            None => SpanGuard {
+                obs: Obs::disabled(),
+                id: 0,
+            },
+        }
+    }
+}
+
+/// Identity of an open span, used to parent child spans explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// RAII guard for one span: created by [`Obs::span`] / [`Obs::span_in`],
+/// emits the matching [`Event::SpanEnd`] on drop. A guard from a disabled
+/// `Obs` is inert (id 0, nothing emitted).
+#[derive(Debug)]
+pub struct SpanGuard {
+    obs: Obs,
+    id: u64,
+}
+
+impl SpanGuard {
+    /// This span's id, to parent children under it — `None` when tracing is
+    /// disabled (children then become unparented no-ops too).
+    pub fn id(&self) -> Option<SpanId> {
+        (self.id != 0).then_some(SpanId(self.id))
+    }
+
+    /// Open a child span of this one.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn child(&self, kind: &'static str, detail: impl FnOnce() -> String) -> SpanGuard {
+        self.obs.span_in(self.id(), kind, detail)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id != 0 {
+            let id = self.id;
+            self.obs.emit(|| Event::SpanEnd { id });
+        }
+    }
 }
 
 /// A recorder choice that can live inside config structs: `Clone`, `Default`
@@ -258,8 +359,16 @@ impl RecorderHandle {
 
     /// Build the [`Obs`] handle: enabled iff a recorder was configured.
     pub fn attach(&self, clock: Arc<dyn Clock>) -> Obs {
+        self.attach_with_span_base(clock, 0)
+    }
+
+    /// [`attach`](Self::attach) with a span-id namespace (see
+    /// [`Obs::with_span_base`]): ids issued by the resulting handle are
+    /// `base | seq`, keeping per-thread sequences deterministic and
+    /// collision-free when several handles feed one recorder.
+    pub fn attach_with_span_base(&self, clock: Arc<dyn Clock>, base: u64) -> Obs {
         match &self.rec {
-            Some(rec) => Obs::new(clock, Arc::clone(rec)),
+            Some(rec) => Obs::with_span_base(clock, Arc::clone(rec), base),
             None => Obs::disabled(),
         }
     }
@@ -336,5 +445,101 @@ mod tests {
         let a = c.now_ns();
         let b = c.now_ns();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let obs = Obs::disabled();
+        let mut ran = false;
+        let sp = obs.span("qcow.read", || {
+            ran = true;
+            String::from("never built")
+        });
+        assert!(!ran, "detail closure must not run when disabled");
+        assert_eq!(sp.id(), None);
+        let child = sp.child("dev.read", || unreachable!("disabled child detail"));
+        assert_eq!(child.id(), None);
+        drop(child);
+        drop(sp);
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let clock = Arc::new(ManualClock::new(100));
+        let sink = JsonlSink::new();
+        let obs = Obs::new(clock.clone(), sink.clone());
+        {
+            let root = obs.span("boot.vm", || "vm=0".into());
+            clock.advance(10);
+            {
+                let read = root.child("qcow.read", || "bytes=512".into());
+                clock.advance(5);
+                let dev = obs.span_in(read.id(), "dev.read", String::new);
+                clock.advance(1);
+                drop(dev);
+            }
+            clock.advance(4);
+        }
+        let evs = sink.events();
+        assert_eq!(
+            evs[0],
+            (
+                100,
+                Event::SpanStart {
+                    id: 1,
+                    parent: 0,
+                    kind: "boot.vm".into(),
+                    detail: "vm=0".into(),
+                }
+            )
+        );
+        assert_eq!(
+            evs[1],
+            (
+                110,
+                Event::SpanStart {
+                    id: 2,
+                    parent: 1,
+                    kind: "qcow.read".into(),
+                    detail: "bytes=512".into(),
+                }
+            )
+        );
+        assert_eq!(
+            evs[2],
+            (
+                115,
+                Event::SpanStart {
+                    id: 3,
+                    parent: 2,
+                    kind: "dev.read".into(),
+                    detail: String::new(),
+                }
+            )
+        );
+        assert_eq!(evs[3], (116, Event::SpanEnd { id: 3 }));
+        assert_eq!(evs[4], (116, Event::SpanEnd { id: 2 }));
+        assert_eq!(evs[5], (120, Event::SpanEnd { id: 1 }));
+    }
+
+    #[test]
+    fn span_base_namespaces_ids() {
+        let (handle, sink) = RecorderHandle::jsonl();
+        let obs = handle.attach_with_span_base(Arc::new(ManualClock::new(0)), 5 << 48);
+        let sp = obs.span("vm.op", String::new);
+        assert_eq!(sp.id(), Some(SpanId((5 << 48) | 1)));
+        drop(sp);
+        let sp2 = obs.span("vm.op", String::new);
+        assert_eq!(sp2.id(), Some(SpanId((5 << 48) | 2)));
+        drop(sp2);
+        let ids: Vec<u64> = sink
+            .events()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Event::SpanStart { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![(5 << 48) | 1, (5 << 48) | 2]);
     }
 }

@@ -328,6 +328,52 @@ impl MetricsSnapshot {
             .find(|(n, _)| *n == id)
             .map(|(_, h)| h)
     }
+
+    /// Render the snapshot in the Prometheus text exposition format.
+    ///
+    /// Metric ids are mapped to Prometheus names by replacing `.` with `_`
+    /// (`qcow.cache.hit_bytes` → `qcow_cache_hit_bytes`). Histograms expose
+    /// the standard cumulative `_bucket{le="..."}` series (the upper edge of
+    /// log2 bucket `k` is `2^(k+1)-1`), `_sum` and `_count`, plus derived
+    /// `_p50` / `_p99` gauges so a scrape shows tail latency without
+    /// server-side quantile math.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        fn prom_name(id: &str) -> String {
+            id.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for &(id, v) in &self.counters {
+            let name = prom_name(id);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for &(id, v) in &self.gauges {
+            let name = prom_name(id);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (id, h) in &self.histograms {
+            let name = prom_name(id);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for &(k, n) in &h.buckets {
+                cum += n;
+                let le = 2u64.saturating_pow(k + 1) - 1;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+            let _ = writeln!(out, "# TYPE {name}_p50 gauge");
+            let _ = writeln!(out, "{name}_p50 {}", h.quantile(0.5));
+            let _ = writeln!(out, "# TYPE {name}_p99 gauge");
+            let _ = writeln!(out, "{name}_p99 {}", h.quantile(0.99));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -417,6 +463,42 @@ mod tests {
         let h = m.histogram(met::VM_OP_NS).unwrap();
         assert_eq!(h.count, THREADS as u64 * PER_THREAD);
         assert!(m.gauge(met::CACHE_USED_BYTES) < PER_THREAD);
+    }
+
+    #[test]
+    fn prometheus_exposition_format() {
+        let m = MetricsRegistry::new();
+        m.counter_add(met::CACHE_HIT_BYTES, 1024);
+        m.gauge_set(met::CACHE_USED_BYTES, 4096);
+        for _ in 0..90 {
+            m.observe(met::VM_OP_NS, 100); // bucket 6, le=127
+        }
+        for _ in 0..10 {
+            m.observe(met::VM_OP_NS, 1_000_000); // bucket 19, le=2^20-1
+        }
+        let text = m.snapshot().to_prometheus();
+        let has = |l: &str| text.lines().any(|x| x == l);
+        assert!(has("# TYPE qcow_cache_hit_bytes counter"), "{text}");
+        assert!(has("qcow_cache_hit_bytes 1024"), "{text}");
+        assert!(has("# TYPE qcow_cache_used_bytes gauge"), "{text}");
+        assert!(has("qcow_cache_used_bytes 4096"), "{text}");
+        assert!(has("# TYPE cluster_vm_op_ns histogram"), "{text}");
+        assert!(has("cluster_vm_op_ns_bucket{le=\"127\"} 90"), "{text}");
+        assert!(
+            has("cluster_vm_op_ns_bucket{le=\"1048575\"} 100"),
+            "buckets are cumulative: {text}"
+        );
+        assert!(has("cluster_vm_op_ns_bucket{le=\"+Inf\"} 100"), "{text}");
+        assert!(has("cluster_vm_op_ns_count 100"), "{text}");
+        assert!(
+            has(&format!(
+                "cluster_vm_op_ns_sum {}",
+                90 * 100 + 10 * 1_000_000
+            )),
+            "{text}"
+        );
+        assert!(has("cluster_vm_op_ns_p50 127"), "{text}");
+        assert!(has("cluster_vm_op_ns_p99 1048575"), "{text}");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use vmi_blockdev::{be_u64, BlockDev, BlockError, Result, SharedDev};
-use vmi_obs::{met, Event, Obs};
+use vmi_obs::{met, Event, Obs, SpanId};
 
 use crate::header::{CacheExt, Header, VERSION};
 use crate::layout::Geometry;
@@ -1347,7 +1347,13 @@ impl QcowImage {
     /// Batching the fetch keeps the cold cache's request pattern toward the
     /// storage node identical to plain QCOW2's, as the paper observes
     /// (Fig. 11: cold ≈ QCOW2).
-    fn read_unmapped_run(&self, st: &mut MutState, buf: &mut [u8], vba: u64) -> Result<()> {
+    fn read_unmapped_run(
+        &self,
+        st: &mut MutState,
+        buf: &mut [u8],
+        vba: u64,
+        parent: Option<SpanId>,
+    ) -> Result<()> {
         let Some(backing) = &self.backing else {
             buf.fill(0);
             return Ok(());
@@ -1355,7 +1361,11 @@ impl QcowImage {
         let want_fill =
             self.header.is_cache() && !self.read_only && self.fill_enabled() && !self.is_degraded();
         if !want_fill {
-            backing.read_at_zero_pad(buf, vba)?;
+            let bsp = self
+                .obs
+                .span_in(parent, "backing.fetch", || format!("bytes={}", buf.len()));
+            backing.read_at_zero_pad_in(buf, vba, bsp.id())?;
+            drop(bsp);
             self.miss_bytes
                 .fetch_add(buf.len() as u64, Ordering::Relaxed);
             if self.header.is_cache() {
@@ -1368,7 +1378,11 @@ impl QcowImage {
         }
         let (span_start, span_end) = self.geom.cluster_span(vba, buf.len() as u64);
         let mut span_buf = vec![0u8; (span_end - span_start) as usize];
-        backing.read_at_zero_pad(&mut span_buf, span_start)?;
+        let bsp = self.obs.span_in(parent, "backing.fetch", || {
+            format!("bytes={}", span_buf.len())
+        });
+        backing.read_at_zero_pad_in(&mut span_buf, span_start, bsp.id())?;
+        drop(bsp);
         self.miss_bytes
             .fetch_add(span_buf.len() as u64, Ordering::Relaxed);
         self.obs.count(met::CACHE_MISS_BYTES, span_buf.len() as u64);
@@ -1376,11 +1390,15 @@ impl QcowImage {
             bytes: span_buf.len() as u64,
         });
 
+        let fsp = self
+            .obs
+            .span_in(parent, "cor.fill", || format!("bytes={}", span_buf.len()));
         if self.coalescing() {
-            self.fill_span_coalesced(st, &span_buf, span_start, span_end);
+            self.fill_span_coalesced(st, &span_buf, span_start, span_end, fsp.id());
         } else {
-            self.fill_span_scalar(st, &span_buf, span_start, span_end);
+            self.fill_span_scalar(st, &span_buf, span_start, span_end, fsp.id());
         }
+        drop(fsp);
         self.obs.gauge(met::CACHE_USED_BYTES, st.cache_used);
         let in_span = (vba - span_start) as usize;
         buf.copy_from_slice(&span_buf[in_span..in_span + buf.len()]);
@@ -1389,7 +1407,14 @@ impl QcowImage {
 
     /// Scalar copy-on-read fill: one `fill_cluster` (and hence one container
     /// data write plus one 8-byte entry write) per covered cluster.
-    fn fill_span_scalar(&self, st: &mut MutState, span_buf: &[u8], span_start: u64, span_end: u64) {
+    fn fill_span_scalar(
+        &self,
+        st: &mut MutState,
+        span_buf: &[u8],
+        span_start: u64,
+        span_end: u64,
+        parent: Option<SpanId>,
+    ) {
         let cs = self.geom.cluster_size();
         let mut cluster_vba = span_start;
         while cluster_vba < span_end {
@@ -1406,7 +1431,12 @@ impl QcowImage {
                     .copy_from_slice(&span_buf[chunk_start..chunk_start + chunk_len]);
                 &tail_pad
             };
-            match self.fill_cluster(st, cluster_vba, chunk) {
+            let dsp = self
+                .obs
+                .span_in(parent, "dev.fill", || format!("bytes={chunk_len}"));
+            let filled = self.fill_cluster(st, cluster_vba, chunk, dsp.id());
+            drop(dsp);
+            match filled {
                 Ok(()) => self.note_filled(chunk_len as u64),
                 Err(e) if e.is_no_space() => {
                     self.latch_space_error(st);
@@ -1438,6 +1468,7 @@ impl QcowImage {
         span_buf: &[u8],
         span_start: u64,
         span_end: u64,
+        parent: Option<SpanId>,
     ) {
         let cs = self.geom.cluster_size();
         let table_span = cs * self.geom.l2_entries();
@@ -1467,14 +1498,21 @@ impl QcowImage {
             // is zero-padded to whole clusters like the scalar path.
             let chunk_start = (cluster_vba - span_start) as usize;
             let avail = ((span_end - cluster_vba) as usize).min((got * cs) as usize);
+            let dsp = self.obs.span_in(parent, "dev.fill", || {
+                format!("bytes={avail} clusters={got}")
+            });
             let write_res = if avail == (got * cs) as usize {
-                self.dev
-                    .write_run_at(&span_buf[chunk_start..chunk_start + avail], data_off)
+                self.dev.write_run_at_in(
+                    &span_buf[chunk_start..chunk_start + avail],
+                    data_off,
+                    dsp.id(),
+                )
             } else {
                 let mut padded = vec![0u8; (got * cs) as usize];
                 padded[..avail].copy_from_slice(&span_buf[chunk_start..chunk_start + avail]);
-                self.dev.write_run_at(&padded, data_off)
+                self.dev.write_run_at_in(&padded, data_off, dsp.id())
             };
+            drop(dsp);
             let res = write_res.and_then(|()| {
                 if got == 1 {
                     self.set_l2_entry(st, l1_idx, cluster_vba, data_off)
@@ -1527,10 +1565,16 @@ impl QcowImage {
     }
 
     /// Write one full cluster of backing data into this cache layer.
-    fn fill_cluster(&self, st: &mut MutState, cluster_vba: u64, data: &[u8]) -> Result<()> {
+    fn fill_cluster(
+        &self,
+        st: &mut MutState,
+        cluster_vba: u64,
+        data: &[u8],
+        parent: Option<SpanId>,
+    ) -> Result<()> {
         let (l1_idx, _l2_off) = self.ensure_l2(st, cluster_vba)?;
         let data_off = self.alloc_cluster(st, 0)?;
-        self.dev.write_at(data, data_off)?;
+        self.dev.write_at_in(data, data_off, parent)?;
         self.set_l2_entry(st, l1_idx, cluster_vba, data_off)?;
         Ok(())
     }
@@ -1539,11 +1583,20 @@ impl QcowImage {
     // write path (guest writes; CoW)
     // ------------------------------------------------------------------
 
-    fn write_segment(&self, st: &mut MutState, data: &[u8], vba: u64) -> Result<()> {
+    fn write_segment(
+        &self,
+        st: &mut MutState,
+        data: &[u8],
+        vba: u64,
+        parent: Option<SpanId>,
+    ) -> Result<()> {
         if let Some(off) = self.lookup(st, vba)? {
             if !st.frozen.contains(&off) {
                 let in_cluster = self.geom.in_cluster(vba);
-                return self.dev.write_at(data, off + in_cluster);
+                let dsp = self
+                    .obs
+                    .span_in(parent, "dev.write", || format!("bytes={}", data.len()));
+                return self.dev.write_at_in(data, off + in_cluster, dsp.id());
             }
             // Shared with a snapshot: copy the cluster, merge, remap.
             let cs = self.geom.cluster_size() as usize;
@@ -1554,7 +1607,11 @@ impl QcowImage {
             cluster_buf[in_cluster..in_cluster + data.len()].copy_from_slice(data);
             let l1_idx = self.geom.l1_index(vba);
             let new_off = self.alloc_cluster(st, 0)?;
-            self.dev.write_at(&cluster_buf, new_off)?;
+            let dsp = self
+                .obs
+                .span_in(parent, "dev.write", || format!("bytes={cs} cow=frozen"));
+            self.dev.write_at_in(&cluster_buf, new_off, dsp.id())?;
+            drop(dsp);
             self.set_l2_entry(st, l1_idx, vba, new_off)?;
             return Ok(());
         }
@@ -1566,7 +1623,11 @@ impl QcowImage {
         let whole_cluster = data.len() == cs;
         if !whole_cluster {
             if let Some(backing) = &self.backing {
-                backing.read_at_zero_pad(&mut cluster_buf, cluster_vba)?;
+                let bsp = self
+                    .obs
+                    .span_in(parent, "backing.fetch", || format!("bytes={cs}"));
+                backing.read_at_zero_pad_in(&mut cluster_buf, cluster_vba, bsp.id())?;
+                drop(bsp);
                 self.miss_bytes.fetch_add(cs as u64, Ordering::Relaxed);
             }
         }
@@ -1574,7 +1635,11 @@ impl QcowImage {
         cluster_buf[in_cluster..in_cluster + data.len()].copy_from_slice(data);
         let (l1_idx, _l2_off) = self.ensure_l2(st, cluster_vba)?;
         let data_off = self.alloc_cluster(st, 0)?;
-        self.dev.write_at(&cluster_buf, data_off)?;
+        let dsp = self
+            .obs
+            .span_in(parent, "dev.write", || format!("bytes={cs} cow=unmapped"));
+        self.dev.write_at_in(&cluster_buf, data_off, dsp.id())?;
+        drop(dsp);
         self.set_l2_entry(st, l1_idx, cluster_vba, data_off)?;
         Ok(())
     }
@@ -1592,22 +1657,34 @@ impl QcowImage {
     /// Errors mid-request leave the same partially-applied state the scalar
     /// loop would: clusters before the failure are written, the rest are
     /// not, and the error propagates.
-    fn write_at_coalesced(&self, st: &mut MutState, buf: &[u8], off: u64) -> Result<()> {
+    fn write_at_coalesced(
+        &self,
+        st: &mut MutState,
+        buf: &[u8],
+        off: u64,
+        parent: Option<SpanId>,
+    ) -> Result<()> {
         let cs = self.geom.cluster_size();
         let table_span = cs * self.geom.l2_entries();
         let end = off + buf.len() as u64;
         let mut pos = off;
         while pos < end {
             let remaining = end - pos;
-            if let Some((data_off, run_bytes, clusters)) =
-                self.lookup_run(st, pos, remaining, true)?
-            {
+            let lsp = self.obs.span_in(parent, "l2.lookup", String::new);
+            let run = self.lookup_run(st, pos, remaining, true)?;
+            drop(lsp);
+            if let Some((data_off, run_bytes, clusters)) = run {
                 let data = &buf[(pos - off) as usize..][..run_bytes as usize];
+                let dsp = self.obs.span_in(parent, "dev.write", || {
+                    format!("bytes={run_bytes} clusters={clusters}")
+                });
                 if clusters >= 2 {
-                    self.dev.write_run_at(data, data_off)?;
+                    self.dev.write_run_at_in(data, data_off, dsp.id())?;
+                    drop(dsp);
                     self.note_coalesced("write", clusters, run_bytes);
                 } else {
-                    self.dev.write_at(data, data_off)?;
+                    self.dev.write_at_in(data, data_off, dsp.id())?;
+                    drop(dsp);
                 }
                 pos += run_bytes;
                 continue;
@@ -1618,7 +1695,7 @@ impl QcowImage {
                 // a partial cluster: scalar copy-on-write merge.
                 let n = (cs - in_cluster).min(remaining);
                 let data = &buf[(pos - off) as usize..][..n as usize];
-                self.write_segment(st, data, pos)?;
+                self.write_segment(st, data, pos, parent)?;
                 pos += n;
                 continue;
             }
@@ -1633,7 +1710,7 @@ impl QcowImage {
             if k == 1 {
                 // Single cluster: keep the scalar path (free-list reuse).
                 let data = &buf[(pos - off) as usize..][..cs as usize];
-                self.write_segment(st, data, pos)?;
+                self.write_segment(st, data, pos, parent)?;
                 pos += cs;
                 continue;
             }
@@ -1662,8 +1739,24 @@ impl QcowImage {
     }
 }
 
-impl BlockDev for QcowImage {
-    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+impl QcowImage {
+    /// This image's position in a chain, for trace/diagnostic labels.
+    fn layer_kind(&self) -> &'static str {
+        if self.is_cache() {
+            "cache"
+        } else if self.backing.is_some() {
+            "cow"
+        } else {
+            "base"
+        }
+    }
+
+    /// [`BlockDev::read_at`] body, parented under `parent` when tracing.
+    ///
+    /// Opens one `qcow.read` span per request; each L2 walk and each device
+    /// serve gets its own child span, and unmapped runs descend into
+    /// `backing.fetch`/`cor.fill` via [`Self::read_unmapped_run`].
+    fn read_at_traced(&self, buf: &mut [u8], off: u64, parent: Option<SpanId>) -> Result<()> {
         let end = off + buf.len() as u64;
         if end > self.geom.virtual_size {
             return Err(BlockError::out_of_bounds(
@@ -1672,6 +1765,11 @@ impl BlockDev for QcowImage {
                 self.geom.virtual_size,
             ));
         }
+        let total = buf.len();
+        let root = self.obs.span_in(parent, "qcow.read", || {
+            format!("layer={} bytes={total}", self.layer_kind())
+        });
+        let me = root.id();
         let cs = self.geom.cluster_size();
         let coalesce = self.coalescing();
         let mut st = self.state.lock();
@@ -1679,6 +1777,7 @@ impl BlockDev for QcowImage {
         while pos < end {
             // Scalar mode clamps every mapped extent to a single cluster, so
             // both modes share one serve path below.
+            let lsp = self.obs.span_in(me, "l2.lookup", String::new);
             let mapped = if coalesce {
                 self.lookup_run(&mut st, pos, end - pos, false)?
             } else {
@@ -1691,17 +1790,22 @@ impl BlockDev for QcowImage {
                     )
                 })
             };
+            drop(lsp);
             match mapped {
                 Some((data_off, run_bytes, clusters)) => {
                     // Serve the whole physically contiguous extent locally,
                     // in one device op.
                     let n = run_bytes as usize;
                     let out = &mut buf[(pos - off) as usize..][..n];
+                    let dsp = self
+                        .obs
+                        .span_in(me, "dev.read", || format!("bytes={n} clusters={clusters}"));
                     let served = if clusters >= 2 {
-                        self.dev.read_run_at(out, data_off)
+                        self.dev.read_run_at_in(out, data_off, dsp.id())
                     } else {
-                        self.dev.read_at(out, data_off)
+                        self.dev.read_at_in(out, data_off, dsp.id())
                     };
+                    drop(dsp);
                     match served {
                         Ok(()) => {
                             self.hit_bytes.fetch_add(n as u64, Ordering::Relaxed);
@@ -1723,7 +1827,7 @@ impl BlockDev for QcowImage {
                                 (true, Some(b)) => b,
                                 _ => return Err(e),
                             };
-                            backing.read_at_zero_pad(out, pos)?;
+                            backing.read_at_zero_pad_in(out, pos, me)?;
                             self.latch_degraded(st.cache_used, "read_failed");
                             self.degraded_read_bytes
                                 .fetch_add(n as u64, Ordering::Relaxed);
@@ -1740,7 +1844,7 @@ impl BlockDev for QcowImage {
                         run_end = (run_end + cs).min(end);
                     }
                     let out = &mut buf[(pos - off) as usize..(run_end - off) as usize];
-                    self.read_unmapped_run(&mut st, out, pos)?;
+                    self.read_unmapped_run(&mut st, out, pos, me)?;
                     pos = run_end;
                 }
             }
@@ -1748,7 +1852,8 @@ impl BlockDev for QcowImage {
         Ok(())
     }
 
-    fn write_at(&self, buf: &[u8], off: u64) -> Result<()> {
+    /// [`BlockDev::write_at`] body, parented under `parent` when tracing.
+    fn write_at_traced(&self, buf: &[u8], off: u64, parent: Option<SpanId>) -> Result<()> {
         if self.read_only {
             return Err(BlockError::read_only("write to read-only image"));
         }
@@ -1759,18 +1864,41 @@ impl BlockDev for QcowImage {
                 self.geom.virtual_size,
             ));
         }
+        let total = buf.len();
+        let root = self.obs.span_in(parent, "qcow.write", || {
+            format!("layer={} bytes={total}", self.layer_kind())
+        });
+        let me = root.id();
         let mut st = self.state.lock();
         if self.coalescing() {
-            self.write_at_coalesced(&mut st, buf, off)?;
+            self.write_at_coalesced(&mut st, buf, off, me)?;
         } else {
             let mut done = 0usize;
             for seg in self.geom.segments(off, buf.len()) {
-                self.write_segment(&mut st, &buf[done..done + seg.len], seg.vba)?;
+                self.write_segment(&mut st, &buf[done..done + seg.len], seg.vba, me)?;
                 done += seg.len;
             }
         }
         self.paranoid_audit(&st, "write_at");
         Ok(())
+    }
+}
+
+impl BlockDev for QcowImage {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        self.read_at_traced(buf, off, None)
+    }
+
+    fn write_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        self.write_at_traced(buf, off, None)
+    }
+
+    fn read_at_in(&self, buf: &mut [u8], off: u64, parent: Option<SpanId>) -> Result<()> {
+        self.read_at_traced(buf, off, parent)
+    }
+
+    fn write_at_in(&self, buf: &[u8], off: u64, parent: Option<SpanId>) -> Result<()> {
+        self.write_at_traced(buf, off, parent)
     }
 
     fn len(&self) -> u64 {
@@ -1789,14 +1917,7 @@ impl BlockDev for QcowImage {
     }
 
     fn describe(&self) -> String {
-        let kind = if self.is_cache() {
-            "cache"
-        } else if self.backing.is_some() {
-            "cow"
-        } else {
-            "base"
-        };
-        format!("qcow[{kind}]({})", self.dev.describe())
+        format!("qcow[{}]({})", self.layer_kind(), self.dev.describe())
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -1889,6 +2010,74 @@ mod tests {
         let mut buf = [0u8; 16];
         assert!(img.read_at(&mut buf, MB - 8).is_err());
         assert!(img.write_at(&buf, MB - 8).is_err());
+    }
+
+    #[test]
+    fn cold_read_span_tree_is_balanced_and_causal() {
+        let clock = Arc::new(vmi_obs::ManualClock::new(0));
+        let sink = vmi_obs::JsonlSink::new();
+        let obs = Obs::new(clock, sink.clone());
+        let base = QcowImage::create_with_obs(mem(), CreateOpts::plain(4 * MB), None, obs.clone())
+            .unwrap();
+        base.write_at(&[0x5A; 4096], 8192).unwrap();
+        let cache = QcowImage::create_with_obs(
+            mem(),
+            CreateOpts::cache(4 * MB, "base", 2 * MB),
+            Some(base.clone() as SharedDev),
+            obs.clone(),
+        )
+        .unwrap();
+        let mut buf = [0u8; 4096];
+        cache.read_at(&mut buf, 8192).unwrap();
+        assert_eq!(buf, [0x5A; 4096]);
+
+        // Single-threaded flow: spans must close strictly LIFO, and every
+        // parent must still be open when its child starts.
+        let mut stack: Vec<u64> = Vec::new();
+        let mut starts = std::collections::HashMap::new();
+        for (_, ev) in sink.events() {
+            match ev {
+                Event::SpanStart {
+                    id,
+                    parent,
+                    kind,
+                    detail,
+                } => {
+                    assert!(
+                        parent == 0 || stack.contains(&parent),
+                        "parent {parent} of {kind} not open"
+                    );
+                    stack.push(id);
+                    starts.insert(id, (kind, detail, parent));
+                }
+                Event::SpanEnd { id } => {
+                    assert_eq!(stack.pop(), Some(id), "span end out of order");
+                }
+                _ => {}
+            }
+        }
+        assert!(stack.is_empty(), "unbalanced spans: {stack:?}");
+        let kind_of = |id: u64| starts.get(&id).map(|(k, _, _)| k.as_str()).unwrap_or("");
+        let mut base_read_under_fetch = false;
+        let mut fill_under_read = false;
+        for (kind, detail, parent) in starts.values() {
+            if kind == "qcow.read" && detail.contains("layer=base") {
+                assert_eq!(kind_of(*parent), "backing.fetch");
+                base_read_under_fetch = true;
+            }
+            if kind == "cor.fill" {
+                assert_eq!(kind_of(*parent), "qcow.read");
+                fill_under_read = true;
+            }
+        }
+        assert!(
+            base_read_under_fetch,
+            "base layer read must descend from backing.fetch"
+        );
+        assert!(
+            fill_under_read,
+            "copy-on-read fill must descend from qcow.read"
+        );
     }
 
     #[test]

@@ -118,6 +118,18 @@ impl SimWorld {
         std::sync::Arc::new(self.clone())
     }
 
+    /// Run `f` inside a `begin_op(now)`/`end_op()` window, so any
+    /// observability events it emits (span starts/ends, counters) are
+    /// stamped with simulated time `now` rather than whatever the op clock
+    /// last held. For bookkeeping that happens *outside* a priced operation —
+    /// e.g. closing a boot-level span at its completion event.
+    pub fn with_time<T>(&self, now: Ns, f: impl FnOnce() -> T) -> T {
+        self.begin_op(now);
+        let out = f();
+        self.end_op();
+        out
+    }
+
     /// Charge a disk access on the op clock.
     pub fn charge_disk(&self, id: DiskId, offset: u64, bytes: u64, is_write: bool) {
         let mut w = self.inner.lock();

@@ -6,6 +6,9 @@
 //! so what this binary prints is exactly what the telemetry tests assert.
 //!
 //! Run with: `cargo run --release -p vmcache-examples --bin obs_dump`
+//!
+//! `--prometheus` additionally dumps the merged metrics registry of the
+//! warm run in the Prometheus text exposition format.
 
 use std::sync::Arc;
 
@@ -60,6 +63,16 @@ fn main() {
     }
     if lines.len() > SHOWN_EVENTS {
         println!("  ... {} more", lines.len() - SHOWN_EVENTS);
+    }
+
+    if std::env::args().any(|a| a == "--prometheus") {
+        match &warm.metrics {
+            Some(snap) => {
+                println!("\n== warm-run metrics (Prometheus text format) ==");
+                print!("{}", snap.to_prometheus());
+            }
+            None => println!("\n(no metrics: recorder disabled)"),
+        }
     }
 }
 

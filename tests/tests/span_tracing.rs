@@ -1,0 +1,235 @@
+//! Span-tracing acceptance: the PR-6 causal trace layer must produce
+//! bit-identical JSONL for a fixed seed (serial and parallel), perfectly
+//! nested span trees even under fault injection, and span events that
+//! survive the wire format round trip for arbitrary attribute strings.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vmi_bench::obs_report::replay_lines_strict;
+use vmi_bench::trace_report::TraceForest;
+use vmi_blockdev::{
+    BlockDev, BlockErrorKind, FaultDev, FaultPlan, FaultSite, MemDev, RetryDev, RetryPolicy,
+    SharedDev,
+};
+use vmi_cluster::{
+    run_experiment, run_experiment_parallel, ExperimentConfig, Mode, Placement, WarmStore,
+};
+use vmi_obs::{Event, JsonlSink, ManualClock, RecorderHandle};
+use vmi_qcow::{create_cached_chain_with_obs, MapResolver};
+use vmi_sim::NetSpec;
+
+const QUOTA: u64 = 16 << 20;
+
+fn cfg(nodes: usize, seed: u64, recorder: RecorderHandle) -> ExperimentConfig {
+    ExperimentConfig {
+        nodes,
+        vmis: 1,
+        profile: vmi_trace::VmiProfile::tiny_test(),
+        net: NetSpec::gbe_1(),
+        mode: Mode::ColdCache {
+            placement: Placement::ComputeDisk,
+            quota: QUOTA,
+            cluster_bits: 9,
+        },
+        seed,
+        warm_store: Some(WarmStore::new()),
+        recorder,
+    }
+}
+
+fn record_serial(nodes: usize, seed: u64) -> Vec<String> {
+    let (rec, sink) = RecorderHandle::jsonl();
+    run_experiment(&cfg(nodes, seed, rec)).unwrap();
+    sink.lines()
+}
+
+fn record_parallel(nodes: usize, seed: u64) -> Vec<String> {
+    let (rec, sink) = RecorderHandle::jsonl();
+    run_experiment_parallel(&cfg(nodes, seed, rec)).unwrap();
+    sink.lines()
+}
+
+fn span_lines(lines: &[String]) -> Vec<&String> {
+    lines
+        .iter()
+        .filter(|l| l.contains("\"span_start\"") || l.contains("\"span_end\""))
+        .collect()
+}
+
+fn forest_of(lines: &[String]) -> TraceForest {
+    let events: Vec<(u64, Event)> = lines
+        .iter()
+        .map(|l| Event::parse_line(l).unwrap())
+        .collect();
+    TraceForest::from_events(&events)
+}
+
+#[test]
+fn serial_trace_jsonl_is_bit_identical_per_seed() {
+    let a = record_serial(2, 42);
+    let b = record_serial(2, 42);
+    assert_eq!(a, b, "serial JSONL must match bit for bit");
+    assert!(!span_lines(&a).is_empty(), "stream contains span events");
+
+    let c = record_serial(2, 43);
+    assert_ne!(a, c, "a different seed perturbs the stream");
+}
+
+#[test]
+fn parallel_trace_jsonl_is_bit_identical_per_seed() {
+    let a = record_parallel(3, 42);
+    let b = record_parallel(3, 42);
+    assert_eq!(a, b, "parallel JSONL must match bit for bit");
+    assert!(!span_lines(&a).is_empty(), "stream contains span events");
+}
+
+#[test]
+fn one_node_parallel_trace_matches_serial() {
+    // With one node the parallel runner's span base is 0 << 48 = 0, so the
+    // two runners must produce the very same trace, span ids included.
+    let serial = record_serial(1, 42);
+    let parallel = record_parallel(1, 42);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn experiment_traces_reconstruct_with_zero_unbalanced_spans() {
+    for lines in [record_serial(2, 42), record_parallel(3, 42)] {
+        let (summary, bad) = replay_lines_strict(&lines);
+        assert!(bad.is_empty(), "stream is parseable: {bad:?}");
+        assert!(summary.spans_balanced(), "start/end counts match");
+        let f = forest_of(&lines);
+        assert_eq!(f.unbalanced(), 0, "every span start has its end");
+        assert!(!f.roots.is_empty(), "boots form root spans");
+        assert!(
+            f.roots
+                .iter()
+                .any(|r| f.spans[r].kind == "boot.vm" || f.spans[r].kind == "chain.build"),
+            "cluster-level roots present"
+        );
+    }
+}
+
+/// The fault-injection rig from `boot_under_faults`, recording spans: base
+/// reads fail transiently behind retry/backoff and the cache container dies
+/// mid-boot. The trace must stay perfectly nested through both.
+#[test]
+fn fault_injected_boot_keeps_spans_balanced() {
+    const VSIZE: u64 = 4 << 20;
+    let content: Vec<u8> = (0..VSIZE as usize).map(|i| (i % 249) as u8).collect();
+    let sink = JsonlSink::new();
+    let obs = vmi_obs::Obs::new(Arc::new(ManualClock::new(0)), sink.clone());
+
+    let base_faults = Arc::new(FaultDev::new(Arc::new(MemDev::from_vec(content.clone()))));
+    base_faults.inject(FaultPlan::EveryNth {
+        site: FaultSite::Read,
+        n: 5,
+        kind: BlockErrorKind::Io,
+    });
+    let base = Arc::new(RetryDev::with_obs(
+        base_faults as SharedDev,
+        RetryPolicy::attempts(4).with_seed(7).with_jitter(0.25),
+        obs.clone(),
+    ));
+
+    let ns = MapResolver::new();
+    ns.insert("base", base as SharedDev);
+    let container = Arc::new(FaultDev::new(Arc::new(MemDev::new())));
+    ns.insert("cache", container.clone() as SharedDev);
+    let cow = create_cached_chain_with_obs(
+        &ns,
+        "base",
+        "cache",
+        container.clone() as SharedDev,
+        Arc::new(MemDev::new()),
+        VSIZE,
+        VSIZE,
+        9,
+        &obs,
+    )
+    .unwrap();
+    container.inject(FaultPlan::NthOp {
+        site: FaultSite::Write,
+        n: 40,
+        kind: BlockErrorKind::Io,
+    });
+
+    let mut buf = vec![0u8; 4096];
+    for i in 0..200u64 {
+        let off = (i * 7919 * 512) % (VSIZE - 4096);
+        cow.read_at(&mut buf, off).unwrap();
+    }
+
+    let lines = sink.lines();
+    let f = forest_of(&lines);
+    assert_eq!(
+        f.unbalanced(),
+        0,
+        "faults and retries must not leak open spans"
+    );
+    assert!(
+        f.spans.values().any(|s| s.kind == "retry.backoff"),
+        "backoff spans recorded under injected faults"
+    );
+    assert!(
+        f.spans.values().any(|s| s.kind == "qcow.read"),
+        "guest reads traced"
+    );
+}
+
+/// Arbitrary span-kind strings: dot-namespaced lowercase words.
+fn kind_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..26, 1..12)
+        .prop_map(|v| v.iter().map(|b| (b'a' + b) as char).collect())
+}
+
+/// Arbitrary attribute strings over a palette that stresses the JSONL
+/// escaper: quotes, backslashes, control characters, and unicode.
+fn detail_strategy() -> impl Strategy<Value = String> {
+    const PALETTE: [char; 12] = [
+        'a',
+        'Z',
+        '9',
+        ' ',
+        '=',
+        '"',
+        '\\',
+        '\n',
+        '\t',
+        '\u{1}',
+        'é',
+        '\u{1F600}',
+    ];
+    proptest::collection::vec(0usize..PALETTE.len(), 0..24)
+        .prop_map(|v| v.iter().map(|&i| PALETTE[i]).collect())
+}
+
+proptest! {
+    /// Span events survive the JSONL wire format for arbitrary ids and
+    /// attribute strings (quotes, backslashes, control chars, unicode).
+    #[test]
+    fn span_event_wire_roundtrip(
+        t in any::<u64>(),
+        id in 1..u64::MAX,
+        parent in any::<u64>(),
+        kind in kind_strategy(),
+        detail in detail_strategy(),
+    ) {
+        let ev = Event::SpanStart {
+            id,
+            parent,
+            kind: kind.clone(),
+            detail: detail.clone(),
+        };
+        let line = ev.to_json_line(t);
+        let (t2, ev2) = Event::parse_line(&line).unwrap();
+        prop_assert_eq!(t2, t);
+        prop_assert_eq!(ev2, ev);
+
+        let end = Event::SpanEnd { id };
+        let (t3, end2) = Event::parse_line(&end.to_json_line(t)).unwrap();
+        prop_assert_eq!(t3, t);
+        prop_assert_eq!(end2, end);
+    }
+}
