@@ -19,6 +19,10 @@
 //!   outside `vmi-obs`; spans must come from `Obs::span`/`span_in`, whose
 //!   guard guarantees the matching end event. (Matching on the variants in
 //!   replay/analysis code is fine — only `emit` sites are flagged.)
+//! * `qcow-barrier` — no direct `.flush()` on a device inside `vmi-qcow`
+//!   outside the `QcowImage::barrier` helper. Crash consistency rests on
+//!   metadata mutations being fenced by `barrier()`; an unfenced flush is
+//!   either redundant or (worse) a hint that ordering was hand-rolled.
 //!
 //! Exceptions live in an allowlist file (default `.vmi-lint.allow` at the
 //! scan root), one `rule:path-substring:line-substring` triple per line, or
@@ -31,12 +35,13 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 5] = [
+const RULES: [&str; 6] = [
     "no-unwrap",
     "no-raw-clock",
     "no-raw-sleep",
     "obs-twin",
     "span-pair",
+    "qcow-barrier",
 ];
 
 #[derive(Debug)]
@@ -347,6 +352,17 @@ fn scan_file(
                 line_no,
                 message: "hand-emitted span event; use `Obs::span`/`span_in` so the guard \
                           emits the matching end"
+                    .to_string(),
+                line_text: raw.to_string(),
+            });
+        }
+        if crate_name == "vmi-qcow" && code.contains(".flush()") && !inline_allow("qcow-barrier") {
+            findings.push(Finding {
+                rule: "qcow-barrier",
+                path: rel.to_string(),
+                line_no,
+                message: "direct `.flush()` in vmi-qcow; order metadata through \
+                          `QcowImage::barrier` (or justify with an allow entry)"
                     .to_string(),
                 line_text: raw.to_string(),
             });

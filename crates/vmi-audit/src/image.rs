@@ -154,7 +154,10 @@ pub fn audit_image_opts(dev: &dyn BlockDev, opts: &AuditOpts) -> AuditReport {
                 Violation::error(
                     ViolationKind::L1EntryUnaligned,
                     format!("L1[{l1_idx}] invalid: {l2_off:#x} not aligned to {cs} B clusters"),
-                ),
+                )
+                .with_repair(RepairHint::ClearL1Entry {
+                    index: l1_idx as u64,
+                }),
             );
             continue;
         }
@@ -166,7 +169,10 @@ pub fn audit_image_opts(dev: &dyn BlockDev, opts: &AuditOpts) -> AuditReport {
                 Violation::error(
                     ViolationKind::L1EntryOutOfBounds,
                     format!("L1[{l1_idx}] invalid: {l2_off:#x} past container end {file_end:#x}"),
-                ),
+                )
+                .with_repair(RepairHint::ClearL1Entry {
+                    index: l1_idx as u64,
+                }),
             );
             continue;
         }
@@ -206,7 +212,11 @@ pub fn audit_image_opts(dev: &dyn BlockDev, opts: &AuditOpts) -> AuditReport {
                         format!(
                             "L2[{l1_idx}][{l2_idx}] invalid: {doff:#x} not aligned to {cs} B clusters"
                         ),
-                    ),
+                    )
+                    .with_repair(RepairHint::ClearL2Entry {
+                        l1_index: l1_idx as u64,
+                        l2_index: l2_idx as u64,
+                    }),
                 );
                 continue;
             }
@@ -218,7 +228,11 @@ pub fn audit_image_opts(dev: &dyn BlockDev, opts: &AuditOpts) -> AuditReport {
                         format!(
                             "L2[{l1_idx}][{l2_idx}] invalid: {doff:#x} past container end {file_end:#x}"
                         ),
-                    ),
+                    )
+                    .with_repair(RepairHint::ClearL2Entry {
+                        l1_index: l1_idx as u64,
+                        l2_index: l2_idx as u64,
+                    }),
                 );
                 continue;
             }

@@ -173,6 +173,22 @@ pub enum RepairHint {
     DiscardCache,
     /// Rebuild the chain from intact layers.
     RebuildChain,
+    /// Zero the garbage L1 entry at this index. Safe for crash prefixes:
+    /// with write barriers a torn L1 entry was never flush-acked, so the L2
+    /// table it pointed at held no durable guest data.
+    ClearL1Entry {
+        /// Index into the L1 table.
+        index: u64,
+    },
+    /// Zero the garbage L2 entry `l2_index` in the L2 table referenced by
+    /// `L1[l1_index]`. Same crash-prefix reasoning as
+    /// [`RepairHint::ClearL1Entry`].
+    ClearL2Entry {
+        /// Index of the owning L1 entry.
+        l1_index: u64,
+        /// Entry index within that L2 table.
+        l2_index: u64,
+    },
 }
 
 impl RepairHint {
@@ -187,6 +203,13 @@ impl RepairHint {
                 "discard the cache and redeploy without it; the base is intact".to_string()
             }
             RepairHint::RebuildChain => "rebuild the backing chain from intact layers".to_string(),
+            RepairHint::ClearL1Entry { index } => {
+                format!("zero L1[{index}] (torn, never flush-acked; recover clears in place)")
+            }
+            RepairHint::ClearL2Entry { l1_index, l2_index } => format!(
+                "zero L2 entry {l2_index} under L1[{l1_index}] (torn, never flush-acked; \
+                 recover clears in place)"
+            ),
         }
     }
 }

@@ -1,0 +1,84 @@
+//! Run the PR-7 exhaustive power-cut sweep and write `BENCH_pr7_crash.json`.
+//!
+//! Usage: `crash_sweep [--check] [--stride N] [--out PATH]`
+//!
+//! `--check` exits non-zero if any cut point is unrecoverable, if the
+//! sweep explored fewer cut points than the CI floor, or if the refetch
+//! ratio regresses past its ceiling. `--stride N` samples every N-th
+//! write/flush index (default 1 = exhaustive; the gate requires 1).
+//! `--out` overrides the artifact path.
+
+use vmi_bench::crash_sweep::run_crash_sweep_strided;
+
+/// The exhaustive sweep must explore at least this many cut points; a
+/// workload shrink that silently drops coverage fails the gate.
+const MIN_CUT_POINTS: u64 = 500;
+/// Refetches only come from cuts that land before the image is fully
+/// created (there is nothing to repair yet). If more than this fraction
+/// of cuts refetch, repair coverage regressed.
+const MAX_REFETCH_RATIO: f64 = 0.5;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let stride: u64 = args
+        .iter()
+        .position(|a| a == "--stride")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr7_crash.json".to_string());
+
+    let rep = match run_crash_sweep_strided(stride) {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("crash_sweep failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", rep.render());
+    if let Err(e) = std::fs::write(&out, rep.to_json() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out}");
+
+    if check {
+        let mut failed = false;
+        if rep.unrecoverable != 0 {
+            eprintln!("FAIL: {} unrecoverable cut point(s)", rep.unrecoverable);
+            for w in &rep.workloads {
+                if !w.first_violation.is_empty() {
+                    eprintln!("  {}: {}", w.name, w.first_violation);
+                }
+            }
+            failed = true;
+        }
+        if stride == 1 && rep.total_cut_points < MIN_CUT_POINTS {
+            eprintln!(
+                "FAIL: only {} cut points explored (< {MIN_CUT_POINTS})",
+                rep.total_cut_points
+            );
+            failed = true;
+        }
+        if rep.refetch_ratio > MAX_REFETCH_RATIO {
+            eprintln!(
+                "FAIL: refetch ratio {:.3} > {MAX_REFETCH_RATIO}",
+                rep.refetch_ratio
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "OK: {} cut points, 0 unrecoverable, refetch ratio {:.3} <= {MAX_REFETCH_RATIO}",
+            rep.total_cut_points, rep.refetch_ratio
+        );
+    }
+}

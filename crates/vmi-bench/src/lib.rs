@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod crash_sweep;
 pub mod figset;
 pub mod figures;
 pub mod io_coalesce;
@@ -21,6 +22,7 @@ pub mod obs_overhead;
 pub mod obs_report;
 pub mod trace_report;
 
+pub use crash_sweep::{run_crash_sweep, run_crash_sweep_strided, CrashSweepReport, WorkloadSweep};
 pub use figset::{Figure, Point, Series, TableData};
 pub use figures::{
     fig10, fig11, fig12, fig14, fig2, fig3, fig8, fig9, full_quota, sec6, table1, table2, Scale,

@@ -36,6 +36,16 @@ pub struct ReplaySummary {
     pub degradations: u64,
     /// `scrub_result` events.
     pub scrubs: u64,
+    /// `recovery_result` events (crash-recovery engine runs).
+    pub recoveries: u64,
+    /// Repairs carried by `recovery_result` events.
+    pub recovery_repairs: u64,
+    /// `node_restarted` events.
+    pub node_restarts: u64,
+    /// Caches re-adopted warm, summed over `node_restarted` events.
+    pub caches_readopted: u64,
+    /// Caches dropped for refetch, summed over `node_restarted` events.
+    pub caches_refetched: u64,
     /// `node_failed` events.
     pub node_failures: u64,
     /// `boot_rescheduled` events.
@@ -75,6 +85,19 @@ pub fn replay(events: &[(u64, Event)]) -> ReplaySummary {
             Event::RetryAttempt { .. } => s.retries += 1,
             Event::CacheDegraded { .. } => s.degradations += 1,
             Event::ScrubResult { .. } => s.scrubs += 1,
+            Event::RecoveryResult { repairs, .. } => {
+                s.recoveries += 1;
+                s.recovery_repairs += repairs;
+            }
+            Event::NodeRestarted {
+                readopted,
+                refetched,
+                ..
+            } => {
+                s.node_restarts += 1;
+                s.caches_readopted += readopted;
+                s.caches_refetched += refetched;
+            }
             Event::NodeFailed { .. } => s.node_failures += 1,
             Event::BootRescheduled { .. } => s.reschedules += 1,
             Event::AuditViolation { .. } => s.audit_violations += 1,
@@ -149,6 +172,10 @@ impl ReplaySummary {
             && self.reschedules == t.boots_rescheduled
             && self.runs_coalesced == t.runs_coalesced
             && self.coalesced_bytes == t.coalesced_bytes
+            && self.recovery_repairs == t.recovery_repairs
+            && self.node_restarts == t.node_restarts
+            && self.caches_readopted == t.caches_readopted
+            && self.caches_refetched == t.caches_refetched
     }
 }
 
@@ -170,6 +197,21 @@ pub fn render_telemetry(t: &Telemetry) -> String {
         out.push_str(&format!(
             "{:<22} {}\n",
             "boots rescheduled", t.boots_rescheduled
+        ));
+    }
+    if t.node_restarts + t.caches_readopted + t.caches_refetched + t.recovery_repairs > 0 {
+        out.push_str(&format!("{:<22} {}\n", "node restarts", t.node_restarts));
+        out.push_str(&format!(
+            "{:<22} {}\n",
+            "caches readopted", t.caches_readopted
+        ));
+        out.push_str(&format!(
+            "{:<22} {}\n",
+            "caches refetched", t.caches_refetched
+        ));
+        out.push_str(&format!(
+            "{:<22} {}\n",
+            "recovery repairs", t.recovery_repairs
         ));
     }
     if t.runs_coalesced > 0 {

@@ -1,0 +1,595 @@
+//! Deterministic power-cut injection for crash-consistency tests.
+//!
+//! [`CrashDev`] models the one failure [`super::FaultDev`] cannot: the
+//! machine dying *mid-operation* and never coming back on this handle. At a
+//! seeded cut point the decorator lands a torn prefix of the in-flight write
+//! (whole 8-byte units only — the driver's metadata entries are 8 bytes, so
+//! this is the analogue of sector-atomicity scaled to the format), drops
+//! everything after it, and **poisons** the device: every subsequent
+//! operation fails. Recovery then happens on a *fresh* handle of the
+//! underlying medium, exactly like a node rebooting and re-opening its local
+//! cache file.
+//!
+//! Two durability models:
+//!
+//! * **write-through** ([`CrashDev::new`]) — every write is durable the
+//!   moment it returns; a cut tears the in-flight write only.
+//! * **write-back** ([`CrashDev::new_writeback`]) — writes land in a
+//!   volatile buffer and only become durable when [`BlockDev::flush`] drains
+//!   them, FIFO by default. A cut loses the entire un-drained buffer: acked
+//!   but unflushed writes vanish, which is precisely the contract `vmi-qcow`
+//!   must survive. [`CrashDev::set_drain_shuffle`] additionally reorders each
+//!   drain epoch with a seeded RNG, modelling a disk scheduler that commits
+//!   queued writes out of order — this is what makes the qcow write barriers
+//!   load-bearing rather than decorative.
+//!
+//! All cut points are deterministic: the same plan, seed, and workload
+//! produce the same crash state.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{BlockDev, BlockError, BlockErrorKind, Result, SharedDev};
+
+/// Write atomicity unit: a torn write lands a prefix that is a whole number
+/// of 8-byte units. QCOW-style table entries are 8 bytes, so an entry is
+/// atomically old-or-new — the format-scaled analogue of 512 B sector
+/// atomicity.
+pub const ATOMIC_UNIT: usize = 8;
+
+/// A programmed power cut. Mirrors the [`super::FaultPlan`] API shape; all
+/// counting starts when the plan is armed and refers to *durable* writes —
+/// in write-back mode that means drain-time at flush, not buffer-time.
+#[derive(Debug, Clone)]
+pub enum CrashPlan {
+    /// Cut power during the `n`th durable write (0-based). The first `keep`
+    /// bytes of that write land (rounded down to [`ATOMIC_UNIT`]); the rest
+    /// of it — and everything after — is lost. `keep: 0` loses the whole
+    /// write; `keep >= len` lands it fully and cuts just after. With a
+    /// mid-run `keep` this is the byte-offset-within-run tear for coalesced
+    /// `write_run_at` I/O.
+    NthWrite {
+        /// 0-based index among durable writes after arming.
+        n: u64,
+        /// Bytes of the in-flight write that survive (unit-truncated).
+        keep: usize,
+    },
+    /// Cut power during the `n`th flush (0-based). In write-back mode the
+    /// first `drain` buffered operations of that flush epoch become durable
+    /// before the cut; the rest of the buffer is lost. In write-through mode
+    /// nothing is in flight, so the cut merely poisons the device at that
+    /// flush.
+    NthFlush {
+        /// 0-based index among flushes after arming.
+        n: u64,
+        /// Buffered ops of the cut epoch that drain durably first.
+        drain: usize,
+    },
+    /// Cut power at each durable write independently with probability `p`,
+    /// drawn from a [`StdRng`] seeded with `seed` at arming time; the torn
+    /// write keeps `keep` bytes as in [`CrashPlan::NthWrite`].
+    Probabilistic {
+        /// Per-write cut probability in `[0, 1]`.
+        p: f64,
+        /// RNG seed; the cut point is a pure function of it.
+        seed: u64,
+        /// Bytes of the in-flight write that survive (unit-truncated).
+        keep: usize,
+    },
+}
+
+/// One armed plan plus its private progress state.
+#[derive(Debug)]
+struct ArmedCut {
+    plan: CrashPlan,
+    writes_seen: u64,
+    flushes_seen: u64,
+    rng: Option<StdRng>,
+}
+
+/// One acked-but-volatile write sitting in the write-back buffer.
+#[derive(Debug, Clone)]
+struct BufWrite {
+    off: u64,
+    data: Vec<u8>,
+    run: bool,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    plan: Option<ArmedCut>,
+    crashed: bool,
+    buffer: Vec<BufWrite>,
+    shuffle_seed: Option<u64>,
+    epochs: u64,
+    durable_writes: u64,
+    flushes: u64,
+}
+
+/// Power-cut-injecting decorator around any [`BlockDev`]. See the module
+/// docs for the crash model.
+pub struct CrashDev {
+    inner: SharedDev,
+    writeback: bool,
+    state: Mutex<State>,
+}
+
+impl CrashDev {
+    /// Wrap `inner` in write-through mode: every write is durable when it
+    /// returns, and a cut tears only the in-flight write.
+    pub fn new(inner: SharedDev) -> Self {
+        Self {
+            inner,
+            writeback: false,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Wrap `inner` in write-back mode: writes are acked into a volatile
+    /// buffer and only become durable when `flush` drains them. A cut
+    /// discards the un-drained buffer.
+    pub fn new_writeback(inner: SharedDev) -> Self {
+        Self {
+            inner,
+            writeback: true,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Program the power cut. At most one plan is armed at a time; arming
+    /// replaces any previous plan and restarts its sequence counting.
+    pub fn arm(&self, plan: CrashPlan) {
+        let rng = match &plan {
+            CrashPlan::Probabilistic { seed, .. } => Some(StdRng::seed_from_u64(*seed)),
+            _ => None,
+        };
+        let mut st = self.state.lock();
+        st.plan = Some(ArmedCut {
+            plan,
+            writes_seen: 0,
+            flushes_seen: 0,
+            rng,
+        });
+    }
+
+    /// Reorder each write-back drain epoch with a seeded shuffle (a disk
+    /// scheduler committing queued writes out of order). Deterministic per
+    /// seed and epoch index. No effect in write-through mode.
+    pub fn set_drain_shuffle(&self, seed: u64) {
+        self.state.lock().shuffle_seed = Some(seed);
+    }
+
+    /// `true` once the cut has fired; every operation fails from then on.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// Durable writes performed so far (drain-time in write-back mode).
+    /// The crash sweep uses this to enumerate every cut point of a workload.
+    pub fn durable_writes(&self) -> u64 {
+        self.state.lock().durable_writes
+    }
+
+    /// Flushes performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.state.lock().flushes
+    }
+
+    fn poisoned() -> BlockError {
+        BlockError::new(BlockErrorKind::Io, "power cut: device poisoned")
+    }
+
+    fn cut_error() -> BlockError {
+        BlockError::new(BlockErrorKind::Io, "power cut")
+    }
+
+    /// Decide whether the cut fires on this durable write; if so return the
+    /// unit-truncated number of bytes that land.
+    fn check_write(st: &mut State, len: usize) -> Option<usize> {
+        let armed = st.plan.as_mut()?;
+        let fired = match &armed.plan {
+            CrashPlan::NthWrite { n, keep } => {
+                let seq = armed.writes_seen;
+                armed.writes_seen += 1;
+                (seq == *n).then_some(*keep)
+            }
+            CrashPlan::NthFlush { .. } => None,
+            CrashPlan::Probabilistic { p, keep, .. } => {
+                let hit = armed
+                    .rng
+                    .as_mut()
+                    .map(|rng| rng.gen_bool(p.clamp(0.0, 1.0)))
+                    .unwrap_or(false);
+                hit.then_some(*keep)
+            }
+        };
+        fired.map(|keep| keep.min(len) / ATOMIC_UNIT * ATOMIC_UNIT)
+    }
+
+    /// Decide whether the cut fires on this flush; if so return how many
+    /// buffered ops drain before the cut.
+    fn check_flush(st: &mut State) -> Option<usize> {
+        let armed = st.plan.as_mut()?;
+        match &armed.plan {
+            CrashPlan::NthFlush { n, drain } => {
+                let seq = armed.flushes_seen;
+                armed.flushes_seen += 1;
+                (seq == *n).then_some(*drain)
+            }
+            _ => None,
+        }
+    }
+
+    /// Land one durable write on the inner device, honouring an armed cut.
+    /// Returns `Err` (and poisons) when the cut fires.
+    fn durable_write(&self, st: &mut State, buf: &[u8], off: u64, run: bool) -> Result<()> {
+        if let Some(keep) = Self::check_write(st, buf.len()) {
+            if keep > 0 {
+                // Land the torn prefix; a failure here is still a crash.
+                let _ = if run {
+                    self.inner.write_run_at(&buf[..keep], off)
+                } else {
+                    self.inner.write_at(&buf[..keep], off)
+                };
+            }
+            st.crashed = true;
+            st.buffer.clear();
+            return Err(Self::cut_error());
+        }
+        st.durable_writes += 1;
+        if run {
+            self.inner.write_run_at(buf, off)
+        } else {
+            self.inner.write_at(buf, off)
+        }
+    }
+
+    /// Virtual device length: the inner length extended by any buffered
+    /// (acked-but-volatile) writes.
+    fn virtual_len(&self, st: &State) -> u64 {
+        let mut len = self.inner.len();
+        for w in &st.buffer {
+            len = len.max(w.off + w.data.len() as u64);
+        }
+        len
+    }
+
+    fn buffered_write(&self, buf: &[u8], off: u64, run: bool) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.crashed {
+            return Err(Self::poisoned());
+        }
+        st.buffer.push(BufWrite {
+            off,
+            data: buf.to_vec(),
+            run,
+        });
+        Ok(())
+    }
+
+    fn overlay_read(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        let st = self.state.lock();
+        if st.crashed {
+            return Err(Self::poisoned());
+        }
+        crate::dev::check_bounds(off, buf.len(), self.virtual_len(&st))?;
+        // Base content from the durable layer, zero-filled past its end.
+        self.inner.read_at_zero_pad(buf, off)?;
+        // Overlay acked-but-volatile writes in program order.
+        let (start, end) = (off, off + buf.len() as u64);
+        for w in &st.buffer {
+            let (ws, we) = (w.off, w.off + w.data.len() as u64);
+            let (s, e) = (ws.max(start), we.min(end));
+            if s < e {
+                buf[(s - start) as usize..(e - start) as usize]
+                    .copy_from_slice(&w.data[(s - ws) as usize..(e - ws) as usize]);
+            }
+        }
+        Ok(())
+    }
+
+    fn do_flush(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.crashed {
+            return Err(Self::poisoned());
+        }
+        st.flushes += 1;
+        let cut_after = Self::check_flush(&mut st);
+        if !self.writeback {
+            if cut_after.is_some() {
+                st.crashed = true;
+                return Err(Self::cut_error());
+            }
+            return self.inner.flush();
+        }
+        // Drain this epoch, FIFO or seeded-shuffled.
+        let mut pending = std::mem::take(&mut st.buffer);
+        if let Some(seed) = st.shuffle_seed {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(st.epochs));
+            // Fisher–Yates, deterministic per (seed, epoch).
+            for i in (1..pending.len()).rev() {
+                pending.swap(i, rng.gen_range(0..=i));
+            }
+        }
+        st.epochs += 1;
+        let limit = cut_after.unwrap_or(pending.len());
+        for (i, w) in pending.iter().enumerate() {
+            if i >= limit {
+                st.crashed = true;
+                return Err(Self::cut_error());
+            }
+            self.durable_write(&mut st, &w.data, w.off, w.run)?;
+        }
+        if cut_after.is_some() {
+            // The cut epoch drained fully before the cut landed.
+            st.crashed = true;
+            return Err(Self::cut_error());
+        }
+        self.inner.flush()
+    }
+}
+
+impl BlockDev for CrashDev {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        if self.writeback {
+            return self.overlay_read(buf, off);
+        }
+        let st = self.state.lock();
+        if st.crashed {
+            return Err(Self::poisoned());
+        }
+        drop(st);
+        self.inner.read_at(buf, off)
+    }
+
+    fn write_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        if self.writeback {
+            return self.buffered_write(buf, off, false);
+        }
+        let mut st = self.state.lock();
+        if st.crashed {
+            return Err(Self::poisoned());
+        }
+        self.durable_write(&mut st, buf, off, false)
+    }
+
+    fn len(&self) -> u64 {
+        if self.writeback {
+            let st = self.state.lock();
+            self.virtual_len(&st)
+        } else {
+            self.inner.len()
+        }
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.crashed {
+            return Err(Self::poisoned());
+        }
+        if self.writeback {
+            // Trim acked writes past the new end; they can no longer be
+            // observed and must not resurrect on drain.
+            st.buffer.retain_mut(|w| {
+                if w.off >= len {
+                    return false;
+                }
+                let keep = ((len - w.off) as usize).min(w.data.len());
+                w.data.truncate(keep);
+                !w.data.is_empty()
+            });
+        }
+        self.inner.set_len(len)
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.do_flush()
+    }
+
+    fn read_run_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        if self.writeback {
+            return self.overlay_read(buf, off);
+        }
+        let st = self.state.lock();
+        if st.crashed {
+            return Err(Self::poisoned());
+        }
+        drop(st);
+        self.inner.read_run_at(buf, off)
+    }
+
+    fn write_run_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        if self.writeback {
+            return self.buffered_write(buf, off, true);
+        }
+        let mut st = self.state.lock();
+        if st.crashed {
+            return Err(Self::poisoned());
+        }
+        self.durable_write(&mut st, buf, off, true)
+    }
+
+    fn describe(&self) -> String {
+        let mode = if self.writeback { "wb" } else { "wt" };
+        format!("crash[{mode}]({})", self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDev;
+    use std::sync::Arc;
+
+    fn mem(len: u64) -> Arc<MemDev> {
+        Arc::new(MemDev::with_len(len))
+    }
+
+    #[test]
+    fn nth_write_tears_and_poisons() {
+        let inner = mem(64);
+        let dev = CrashDev::new(inner.clone());
+        dev.arm(CrashPlan::NthWrite { n: 1, keep: 8 });
+        dev.write_at(&[1u8; 16], 0).unwrap(); // #0 lands fully
+        let err = dev.write_at(&[2u8; 16], 16).unwrap_err(); // #1 torn
+        assert_eq!(err.kind(), BlockErrorKind::Io);
+        assert!(dev.crashed());
+        // Everything afterwards is poisoned.
+        let mut buf = [0u8; 8];
+        assert!(dev.read_at(&mut buf, 0).is_err());
+        assert!(dev.write_at(&[3u8; 8], 32).is_err());
+        assert!(dev.flush().is_err());
+        // The underlying medium holds write #0 and the 8-byte torn prefix.
+        inner.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [1; 8]);
+        inner.read_at(&mut buf, 16).unwrap();
+        assert_eq!(buf, [2; 8]);
+        inner.read_at(&mut buf, 24).unwrap();
+        assert_eq!(buf, [0; 8], "torn tail never landed");
+    }
+
+    #[test]
+    fn torn_prefix_rounds_down_to_atomic_units() {
+        let inner = mem(64);
+        let dev = CrashDev::new(inner.clone());
+        dev.arm(CrashPlan::NthWrite { n: 0, keep: 13 });
+        dev.write_at(&[7u8; 32], 0).unwrap_err();
+        let mut buf = [0u8; 32];
+        inner.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf[..8], &[7; 8], "one whole unit landed");
+        assert_eq!(&buf[8..], &[0; 24], "partial unit discarded");
+    }
+
+    #[test]
+    fn writeback_buffers_until_flush() {
+        let inner = mem(64);
+        let dev = CrashDev::new_writeback(inner.clone());
+        dev.write_at(&[5u8; 8], 0).unwrap();
+        let mut buf = [0u8; 8];
+        dev.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [5; 8], "acked write visible through the buffer");
+        inner.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [0; 8], "not durable before flush");
+        dev.flush().unwrap();
+        inner.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [5; 8], "durable after flush");
+        assert_eq!(dev.durable_writes(), 1);
+    }
+
+    #[test]
+    fn writeback_overlay_respects_program_order_and_growth() {
+        let inner = mem(8);
+        let dev = CrashDev::new_writeback(inner);
+        dev.write_at(&[1u8; 16], 0).unwrap();
+        dev.write_at(&[2u8; 8], 4).unwrap();
+        assert_eq!(dev.len(), 16, "buffered writes extend the virtual length");
+        let mut buf = [0u8; 16];
+        dev.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf[..4], &[1; 4]);
+        assert_eq!(&buf[4..12], &[2; 8], "later write wins the overlap");
+        assert_eq!(&buf[12..], &[1; 4]);
+    }
+
+    #[test]
+    fn nth_flush_drops_undrained_buffer() {
+        let inner = mem(64);
+        let dev = CrashDev::new_writeback(inner.clone());
+        dev.write_at(&[1u8; 8], 0).unwrap();
+        dev.write_at(&[2u8; 8], 8).unwrap();
+        dev.write_at(&[3u8; 8], 16).unwrap();
+        dev.arm(CrashPlan::NthFlush { n: 0, drain: 2 });
+        assert!(dev.flush().is_err(), "cut at flush");
+        assert!(dev.crashed());
+        let mut buf = [0u8; 8];
+        inner.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [1; 8], "drained before the cut");
+        inner.read_at(&mut buf, 8).unwrap();
+        assert_eq!(buf, [2; 8], "drained before the cut");
+        inner.read_at(&mut buf, 16).unwrap();
+        assert_eq!(buf, [0; 8], "lost with the buffer");
+    }
+
+    #[test]
+    fn writeback_cut_counts_drain_time_writes() {
+        let inner = mem(64);
+        let dev = CrashDev::new_writeback(inner.clone());
+        dev.arm(CrashPlan::NthWrite { n: 1, keep: 0 });
+        dev.write_at(&[1u8; 8], 0).unwrap(); // buffered: not a durable write
+        dev.write_at(&[2u8; 8], 8).unwrap();
+        dev.write_at(&[3u8; 8], 16).unwrap();
+        assert!(dev.flush().is_err(), "cut at drain of the second op");
+        let mut buf = [0u8; 8];
+        inner.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [1; 8]);
+        inner.read_at(&mut buf, 8).unwrap();
+        assert_eq!(buf, [0; 8], "cut write lost entirely (keep: 0)");
+    }
+
+    #[test]
+    fn drain_shuffle_is_deterministic_per_seed() {
+        let order = |seed: u64| -> Vec<u8> {
+            let inner = mem(64);
+            let dev = CrashDev::new_writeback(inner.clone());
+            dev.set_drain_shuffle(seed);
+            // Tag each op; cut after draining 2 so the landed set reveals
+            // the drain order.
+            for i in 0..4u8 {
+                dev.write_at(&[i + 1; 8], u64::from(i) * 8).unwrap();
+            }
+            dev.arm(CrashPlan::NthFlush { n: 0, drain: 2 });
+            dev.flush().unwrap_err();
+            let mut out = vec![0u8; 32];
+            inner.read_at(&mut out, 0).unwrap();
+            (0..4).map(|i| out[i * 8]).collect()
+        };
+        assert_eq!(order(11), order(11), "same seed, same drain order");
+        let distinct: std::collections::BTreeSet<Vec<u8>> = (0..8).map(order).collect();
+        assert!(distinct.len() > 1, "shuffle actually reorders some epoch");
+    }
+
+    #[test]
+    fn probabilistic_cut_is_deterministic_per_seed() {
+        let cut_at = |seed: u64| -> u64 {
+            let dev = CrashDev::new(mem(1 << 16));
+            dev.arm(CrashPlan::Probabilistic {
+                p: 0.2,
+                seed,
+                keep: 0,
+            });
+            let mut n = 0;
+            while dev.write_at(&[9u8; 8], n * 8).is_ok() {
+                n += 1;
+                assert!(n < 1000, "p=0.2 must cut well before 1000 writes");
+            }
+            n
+        };
+        assert_eq!(cut_at(3), cut_at(3));
+    }
+
+    #[test]
+    fn set_len_trims_buffered_writes() {
+        let inner = mem(8);
+        let dev = CrashDev::new_writeback(inner.clone());
+        dev.write_at(&[4u8; 24], 0).unwrap();
+        dev.set_len(12).unwrap();
+        assert_eq!(dev.len(), 12);
+        dev.flush().unwrap();
+        assert_eq!(inner.len(), 12, "truncated write does not resurrect");
+        let mut buf = [0u8; 12];
+        inner.read_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [4; 12]);
+    }
+
+    #[test]
+    fn unarmed_crashdev_is_transparent() {
+        let dev = CrashDev::new_writeback(mem(0));
+        dev.write_at(b"hello-world!!!!!", 0).unwrap();
+        dev.flush().unwrap();
+        let mut buf = [0u8; 16];
+        dev.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"hello-world!!!!!");
+        assert!(!dev.crashed());
+        assert_eq!(dev.flushes(), 1);
+    }
+}

@@ -20,8 +20,12 @@ use crate::{BlockDev, BlockError, BlockErrorKind, ByteRange, Result, SharedDev};
 pub enum FaultSite {
     /// Fail reads only.
     Read,
-    /// Fail writes only.
+    /// Fail writes — both scalar `write_at` and coalesced `write_run_at`
+    /// (back-compat: plans written before runs existed keep firing on them).
     Write,
+    /// Fail coalesced `write_run_at` operations only, leaving scalar writes
+    /// alone. Lets tests target the extent-coalesced path specifically.
+    WriteRun,
     /// Fail flushes only (models a torn cache flush at VM shutdown).
     Flush,
     /// Fail reads, writes and flushes alike.
@@ -34,6 +38,7 @@ pub enum FaultSite {
 enum OpClass {
     Read,
     Write,
+    WriteRun,
     Flush,
 }
 
@@ -43,7 +48,8 @@ impl FaultSite {
             (self, op),
             (FaultSite::Any, _)
                 | (FaultSite::Read, OpClass::Read)
-                | (FaultSite::Write, OpClass::Write)
+                | (FaultSite::Write, OpClass::Write | OpClass::WriteRun)
+                | (FaultSite::WriteRun, OpClass::WriteRun)
                 | (FaultSite::Flush, OpClass::Flush)
         )
     }
@@ -308,7 +314,7 @@ impl BlockDev for FaultDev {
     }
 
     fn write_run_at(&self, buf: &[u8], off: u64) -> Result<()> {
-        self.check(OpClass::Write, off, buf.len())?;
+        self.check(OpClass::WriteRun, off, buf.len())?;
         self.inner.write_run_at(buf, off)
     }
 
@@ -450,6 +456,53 @@ mod tests {
             assert!(dev.read_at(&mut buf, 0).is_ok(), "recovered");
         }
         assert!(dev.plans.lock().is_empty(), "plan removed itself");
+    }
+
+    #[test]
+    fn write_run_site_matrix() {
+        // Pin the FaultSite × OpClass matrix for the run/scalar write split:
+        // Write matches both (back-compat), WriteRun matches runs only, Any
+        // matches everything, Read/Flush match neither kind of write.
+        let hits = |site: FaultSite| -> (bool, bool) {
+            let scalar = {
+                let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
+                dev.inject(FaultPlan::EveryNth {
+                    site,
+                    n: 1,
+                    kind: BlockErrorKind::Injected,
+                });
+                dev.write_at(&[0; 8], 0).is_err()
+            };
+            let run = {
+                let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
+                dev.inject(FaultPlan::EveryNth {
+                    site,
+                    n: 1,
+                    kind: BlockErrorKind::Injected,
+                });
+                dev.write_run_at(&[0; 8], 0).is_err()
+            };
+            (scalar, run)
+        };
+        assert_eq!(hits(FaultSite::Write), (true, true), "Write matches both");
+        assert_eq!(hits(FaultSite::WriteRun), (false, true), "WriteRun: runs");
+        assert_eq!(hits(FaultSite::Any), (true, true), "Any matches both");
+        assert_eq!(hits(FaultSite::Read), (false, false), "Read matches none");
+        assert_eq!(hits(FaultSite::Flush), (false, false), "Flush: none");
+    }
+
+    #[test]
+    fn write_run_consumes_write_site_sequence() {
+        // A coalesced run counts toward a Write-site sequence plan exactly
+        // like a scalar write (one slot per run).
+        let dev = FaultDev::new(Arc::new(MemDev::with_len(64)));
+        dev.inject(FaultPlan::NthOp {
+            site: FaultSite::Write,
+            n: 1,
+            kind: BlockErrorKind::Injected,
+        });
+        assert!(dev.write_run_at(&[0; 8], 0).is_ok()); // #0
+        assert!(dev.write_at(&[0; 8], 8).is_err()); // #1 fires
     }
 
     #[test]

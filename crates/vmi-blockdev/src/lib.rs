@@ -27,6 +27,9 @@
 //!   "observed traffic at the storage node" series of the paper (Fig. 9/10).
 //! * [`ReadOnlyDev`] — enforces the read-only backing-image discipline.
 //! * [`FaultDev`] — deterministic failure injection for tests.
+//! * [`CrashDev`] — seeded power-cut injection: torn-write prefixes,
+//!   dropped write-back buffers, and a poisoned device afterwards; the
+//!   substrate for crash-consistency sweeps.
 //! * [`RetryDev`] — retries transient faults with deterministic backoff
 //!   driven by a [`RetryPolicy`]; the robustness layer for NFS-backed bases.
 //! * [`LatencyDev`] — charges a pluggable cost model per operation; the
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 mod counting;
+mod crash;
 mod dev;
 mod error;
 mod fault;
@@ -51,6 +55,7 @@ mod sparse;
 mod zero;
 
 pub use counting::{CountingDev, IoStats, IoStatsSnapshot, SizeHistogram};
+pub use crash::{CrashDev, CrashPlan, ATOMIC_UNIT};
 pub use dev::{BlockDev, ByteRange, SharedDev};
 pub use error::{BlockError, BlockErrorKind, Result};
 pub use fault::{FaultDev, FaultPlan, FaultSite};

@@ -18,8 +18,9 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vmi_blockdev::{Result, SharedDev, SparseDev};
+use vmi_blockdev::{BlockDev, Result, SharedDev, SparseDev};
 use vmi_obs::{met, Event, Obs, RecorderHandle};
+use vmi_qcow::{recover_with_obs, Header};
 use vmi_remote::{MountOpts, NfsMount};
 use vmi_sim::{NetSpec, Ns, SimWorld};
 use vmi_trace::{BootTrace, VmiProfile};
@@ -80,15 +81,48 @@ pub fn generate_requests(
 }
 
 /// An injected node failure: `node` dies at simulated time `at`. Every VM
-/// running there is lost, its node-local caches vanish, and the scheduler
-/// stops placing on it. A VM booting on the node when it dies is
-/// rescheduled onto the next-best placement.
+/// running there is lost and the scheduler stops placing on it. A VM
+/// booting on the node when it dies is rescheduled onto the next-best
+/// placement.
+///
+/// A *permanent* failure (`restart_after: None`) also loses the node-local
+/// cache containers. A *power-cut* failure (`restart_after: Some(downtime)`)
+/// models the paper's monetized scenario: the containers survive on local
+/// disk — possibly torn mid-flush — and when the node comes back it runs
+/// crash recovery over its cache set, re-adopting clean/repaired caches
+/// warm and refetching the rest cold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeFailure {
     /// Which compute node dies.
     pub node: usize,
     /// When it dies.
     pub at: Ns,
+    /// `Some(downtime)` brings the node back at `at + downtime` with its
+    /// on-disk cache containers intact (modulo crash tearing); `None` is a
+    /// permanent loss, containers included.
+    pub restart_after: Option<Ns>,
+}
+
+impl NodeFailure {
+    /// A permanent failure: the node never returns and its local media are
+    /// lost with it.
+    pub fn permanent(node: usize, at: Ns) -> Self {
+        Self {
+            node,
+            at,
+            restart_after: None,
+        }
+    }
+
+    /// A power-cut failure: the node restarts after `downtime` and recovers
+    /// whatever its local disk still holds.
+    pub fn power_cut(node: usize, at: Ns, downtime: Ns) -> Self {
+        Self {
+            node,
+            at,
+            restart_after: Some(downtime),
+        }
+    }
 }
 
 /// Cloud configuration.
@@ -139,6 +173,14 @@ pub struct CloudReport {
     pub node_failures: usize,
     /// Boots that survived a mid-boot node death by rescheduling.
     pub rescheduled_boots: usize,
+    /// Power-cut nodes that came back after their seeded downtime.
+    pub node_restarts: usize,
+    /// Surviving cache containers re-adopted warm after restart recovery
+    /// (verdict `Clean` or `Repaired`).
+    pub caches_readopted: usize,
+    /// Containers condemned by restart recovery (`Refetch`): dropped, so
+    /// the next boot of that VMI on the node pulls cold from storage.
+    pub caches_refetched: usize,
     /// Mean boot time in seconds.
     pub mean_boot_secs: f64,
     /// 95th-percentile boot time in seconds.
@@ -151,20 +193,65 @@ pub struct CloudReport {
     pub telemetry: Telemetry,
 }
 
-/// Apply every injected failure at or before `now`: the node goes down,
-/// its running VMs are lost, and its node-local warm containers vanish.
+/// A cache container stranded on a powered-off node's local disk, waiting
+/// for the node to restart and recover it: `(node, vmi, container)`.
+type DownedCache = (usize, usize, Arc<SparseDev>);
+
+/// Seeded model of what the power cut did to one on-disk cache container.
+/// Most survive intact (the close barrier completed before the cut), some
+/// lose the used-size write-back (the classic torn close, repairable in
+/// place), and some lose the header cluster itself (unrecoverable — the
+/// restart refetches them cold). Deterministic per `(seed, node, vmi)`.
+fn inject_crash_tear(dev: &Arc<SparseDev>, seed: u64, node: usize, vmi: usize) {
+    let mut rng = StdRng::seed_from_u64(vmi_seed(seed, node * 8191 + vmi) ^ 0x09C0_FFEE);
+    let p: f64 = rng.gen();
+    if p < 0.25 {
+        // Cut during the header write: magic gone, nothing trustworthy.
+        let _ = dev.write_at(&[0u8; 8], 0);
+    } else if p < 0.60 {
+        // Cut between the table barriers and the used write-back: tables
+        // intact, recorded used-size stale.
+        let bogus = 512 + (rng.gen::<u64>() % 4096) * 8;
+        let _ = Header::update_cache_used(dev.as_ref(), bogus);
+    }
+    // else: the close flush completed before the cut; container intact.
+}
+
+/// Apply every injected failure *and* pending restart at or before `now`,
+/// in event-time order. A failure takes the node down, loses its running
+/// VMs, and — for a power-cut failure — strands its cache containers
+/// (seeded tearing) until the scheduled restart; a permanent failure drops
+/// them. A restart restores the node, runs crash recovery over the
+/// stranded containers, re-adopts the usable ones warm, and refetches the
+/// rest cold.
 #[allow(clippy::too_many_arguments)]
-fn apply_failures(
+fn advance_fleet(
     failures: &[NodeFailure],
     next: &mut usize,
+    restarts: &mut Vec<(Ns, usize)>,
+    downed: &mut Vec<DownedCache>,
     now: Ns,
+    seed: u64,
     fleet: &mut [NodeState],
     running: &mut Vec<(usize, Ns)>,
     warm_local: &mut HashMap<(usize, usize), Arc<SparseDev>>,
     obs: &Obs,
     report: &mut CloudReport,
 ) {
-    while *next < failures.len() && failures[*next].at <= now {
+    loop {
+        let tf = failures.get(*next).map(|f| f.at).filter(|&t| t <= now);
+        let tr = restarts.first().map(|r| r.0).filter(|&t| t <= now);
+        let restart_first = match (tf, tr) {
+            (None, None) => break,
+            (Some(tf), Some(tr)) => tr < tf,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+        };
+        if restart_first {
+            let (at, node) = restarts.remove(0);
+            restart_node(node, at, fleet, warm_local, downed, obs, report);
+            continue;
+        }
         let f = failures[*next];
         *next += 1;
         if !fleet[f.node].up {
@@ -172,13 +259,94 @@ fn apply_failures(
         }
         fleet[f.node].fail();
         running.retain(|&(n, _)| n != f.node);
+        // Harvest (power cut) or drop (permanent) the node's containers;
+        // sorted by VMI so the tear injection order is deterministic.
+        let mut lost: Vec<(usize, Arc<SparseDev>)> = warm_local
+            .iter()
+            .filter(|((n, _), _)| *n == f.node)
+            .map(|((_, v), d)| (*v, d.clone()))
+            .collect();
+        lost.sort_unstable_by_key(|&(v, _)| v);
         warm_local.retain(|&(n, _), _| n != f.node);
+        if let Some(downtime) = f.restart_after {
+            for (v, dev) in lost {
+                inject_crash_tear(&dev, seed, f.node, v);
+                downed.push((f.node, v, dev));
+            }
+            let t = f.at + downtime;
+            let pos = restarts.partition_point(|&r| r <= (t, f.node));
+            restarts.insert(pos, (t, f.node));
+        }
         report.node_failures += 1;
         obs.count(met::NODE_FAILURES, 1);
         obs.emit(|| Event::NodeFailed {
             node: f.node as u64,
         });
     }
+}
+
+/// Bring a power-cut node back: restore it for placements, recover every
+/// stranded cache container, re-adopt the usable ones into the pool (and
+/// `warm_local`), refetch the rest.
+fn restart_node(
+    node: usize,
+    now: Ns,
+    fleet: &mut [NodeState],
+    warm_local: &mut HashMap<(usize, usize), Arc<SparseDev>>,
+    downed: &mut Vec<DownedCache>,
+    obs: &Obs,
+    report: &mut CloudReport,
+) {
+    fleet[node].restore();
+    report.node_restarts += 1;
+    obs.count(met::NODE_RESTARTS, 1);
+    let mut mine: Vec<(usize, Arc<SparseDev>)> = Vec::new();
+    downed.retain(|&(n, v, ref d)| {
+        if n == node {
+            mine.push((v, d.clone()));
+            false
+        } else {
+            true
+        }
+    });
+    mine.sort_unstable_by_key(|&(v, _)| v);
+    let (mut readopted, mut refetched) = (0u64, 0u64);
+    for (v, container) in mine {
+        let dev: SharedDev = container.clone();
+        let rec = recover_with_obs(&dev, obs);
+        let mut adopted = false;
+        if rec.is_usable() {
+            let size = container.len();
+            if let Ok(evicted) =
+                fleet[node]
+                    .caches
+                    .admit_with_obs(format!("vmi-{v}"), size, now, obs, node as u64)
+            {
+                for name in evicted {
+                    if let Some(ev) = name.strip_prefix("vmi-").and_then(|s| s.parse().ok()) {
+                        warm_local.remove(&(node, ev));
+                        report.evictions += 1;
+                    }
+                }
+                warm_local.insert((node, v), container);
+                adopted = true;
+            }
+        }
+        if adopted {
+            readopted += 1;
+            obs.count(met::CACHES_READOPTED, 1);
+        } else {
+            refetched += 1;
+            obs.count(met::CACHES_REFETCHED, 1);
+        }
+    }
+    report.caches_readopted += readopted as usize;
+    report.caches_refetched += refetched as usize;
+    obs.emit(|| Event::NodeRestarted {
+        node: node as u64,
+        readopted,
+        refetched,
+    });
 }
 
 /// Run the request stream through the cloud. Deterministic.
@@ -222,6 +390,9 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
         evictions: 0,
         node_failures: 0,
         rescheduled_boots: 0,
+        node_restarts: 0,
+        caches_readopted: 0,
+        caches_refetched: 0,
         mean_boot_secs: 0.0,
         p95_boot_secs: 0.0,
         storage_traffic_mb: 0.0,
@@ -230,14 +401,21 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
     let mut failures: Vec<NodeFailure> = cfg.node_failures.clone();
     failures.sort_by_key(|f| f.at);
     let mut next_failure = 0usize;
+    // Pending power-cut restarts `(at, node)` and the cache containers
+    // stranded on powered-off nodes until then.
+    let mut restarts: Vec<(Ns, usize)> = Vec::new();
+    let mut downed: Vec<DownedCache> = Vec::new();
     let mut boot_times: Vec<Ns> = Vec::new();
     let vmi_name = |v: usize| format!("vmi-{v}");
 
     for (vm_id, req) in requests.iter().enumerate() {
-        apply_failures(
+        advance_fleet(
             &failures,
             &mut next_failure,
+            &mut restarts,
+            &mut downed,
             req.at,
+            cfg.seed,
             &mut fleet,
             &mut running,
             &mut warm_local,
@@ -342,10 +520,13 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
                 .map(|f| f.at);
             match killed_at {
                 Some(at) => {
-                    apply_failures(
+                    advance_fleet(
                         &failures,
                         &mut next_failure,
+                        &mut restarts,
+                        &mut downed,
                         at,
+                        cfg.seed,
                         &mut fleet,
                         &mut running,
                         &mut warm_local,
@@ -492,7 +673,7 @@ mod tests {
         // Kill a node while the day is in full swing: mid-boot VMs must be
         // rescheduled, not lost, and the request accounting must balance.
         let mid = reqs[reqs.len() / 2].at + 1;
-        c.node_failures = vec![NodeFailure { node: 0, at: mid }];
+        c.node_failures = vec![NodeFailure::permanent(0, mid)];
         let rep = run_cloud(&c, &reqs).unwrap();
         assert_eq!(rep.placed + rep.rejected, reqs.len());
         assert_eq!(rep.node_failures, 1);
@@ -514,10 +695,7 @@ mod tests {
         let reqs = generate_requests(3, 20, 2, 2_000_000_000, 60_000_000_000);
         // Fail node 0 one nanosecond after the first request arrives: the
         // first boot (still in flight) must move to node 1.
-        c.node_failures = vec![NodeFailure {
-            node: 0,
-            at: reqs[0].at + 1,
-        }];
+        c.node_failures = vec![NodeFailure::permanent(0, reqs[0].at + 1)];
         let (rec, sink) = RecorderHandle::jsonl();
         c.recorder = rec;
         let rep = run_cloud(&c, &reqs).unwrap();
@@ -555,12 +733,99 @@ mod tests {
     }
 
     #[test]
+    fn power_cut_node_restarts_and_readopts_warm_caches() {
+        let mut c = cfg(true, true);
+        let reqs = stream();
+        // Cut power to two nodes a third of the way through the day; both
+        // come back two arrivals later with their containers on disk.
+        let at = reqs[reqs.len() / 3].at + 1;
+        let downtime = reqs[reqs.len() / 3 + 2].at - at;
+        c.node_failures = vec![
+            NodeFailure::power_cut(0, at, downtime),
+            NodeFailure::power_cut(1, at, downtime),
+        ];
+        let rep = run_cloud(&c, &reqs).unwrap();
+        assert_eq!(rep.placed + rep.rejected, reqs.len());
+        assert_eq!(rep.node_failures, 2);
+        assert_eq!(rep.node_restarts, 2, "{rep:?}");
+        assert!(
+            rep.caches_readopted >= 1,
+            "restart recovery must re-adopt surviving caches warm: {rep:?}"
+        );
+        // The seeded tear model also condemns some containers.
+        assert!(rep.caches_readopted + rep.caches_refetched > 0, "{rep:?}");
+        // Determinism: an identical day replays bit-identically.
+        let rep2 = run_cloud(&c, &reqs).unwrap();
+        assert_eq!(rep.placed, rep2.placed);
+        assert_eq!(rep.caches_readopted, rep2.caches_readopted);
+        assert_eq!(rep.caches_refetched, rep2.caches_refetched);
+        assert_eq!(rep.mean_boot_secs, rep2.mean_boot_secs);
+    }
+
+    #[test]
+    fn restart_emits_events_and_telemetry_and_bit_identical_jsonl() {
+        use vmi_obs::{Event, RecorderHandle};
+        let run = || {
+            let mut c = cfg(true, true);
+            let reqs = stream();
+            let at = reqs[reqs.len() / 3].at + 1;
+            c.node_failures = vec![NodeFailure::power_cut(0, at, 4_000_000_000)];
+            let (rec, sink) = RecorderHandle::jsonl();
+            c.recorder = rec;
+            let rep = run_cloud(&c, &reqs).unwrap();
+            (rep, sink.lines())
+        };
+        let (rep, lines) = run();
+        assert_eq!(rep.node_restarts, 1);
+        assert_eq!(rep.telemetry.node_restarts, 1);
+        assert_eq!(rep.telemetry.caches_readopted, rep.caches_readopted as u64);
+        assert_eq!(rep.telemetry.caches_refetched, rep.caches_refetched as u64);
+        let restarted: Vec<_> = lines
+            .iter()
+            .filter(|l| l.contains("\"node_restarted\""))
+            .collect();
+        assert_eq!(restarted.len(), 1);
+        match Event::parse_line(restarted[0]) {
+            Ok((
+                _,
+                Event::NodeRestarted {
+                    node,
+                    readopted,
+                    refetched,
+                },
+            )) => {
+                assert_eq!(node, 0);
+                assert_eq!(readopted, rep.caches_readopted as u64);
+                assert_eq!(refetched, rep.caches_refetched as u64);
+            }
+            other => panic!("bad event: {other:?}"),
+        }
+        // Every stranded container went through the recovery engine (the
+        // warm-open deploy path also recovers, so ≥, not ==).
+        let recoveries = lines
+            .iter()
+            .filter(|l| l.contains("\"recovery_result\""))
+            .count();
+        assert!(
+            recoveries >= rep.caches_readopted + rep.caches_refetched,
+            "at least one recovery per stranded container: {recoveries} < {}",
+            rep.caches_readopted + rep.caches_refetched
+        );
+        if rep.telemetry.recovery_repairs > 0 {
+            assert!(lines.iter().any(|l| l.contains("\"verdict\":\"repaired\"")));
+        }
+        // The full merged event stream is bit-identical per seed.
+        let (_, lines2) = run();
+        assert_eq!(lines, lines2, "restart day JSONL must be reproducible");
+    }
+
+    #[test]
     fn whole_fleet_down_rejects_remaining_requests() {
         let mut c = cfg(true, true);
         let reqs = stream();
         let mid = reqs[reqs.len() / 2].at;
         c.node_failures = (0..c.nodes)
-            .map(|n| NodeFailure { node: n, at: mid })
+            .map(|n| NodeFailure::permanent(n, mid))
             .collect();
         let rep = run_cloud(&c, &reqs).unwrap();
         assert_eq!(rep.node_failures, c.nodes);

@@ -18,7 +18,7 @@ use vmi_blockdev::{BlockDev, BlockError, Result, SharedDev, SparseDev};
 use vmi_obs::Obs;
 use vmi_qcow::{
     create_cached_chain, create_cached_chain_with_obs, create_cow_chain_with_obs,
-    open_cache_scrubbed, CreateOpts, MapResolver, QcowImage,
+    open_cache_recovered, CreateOpts, MapResolver, QcowImage,
 };
 use vmi_trace::{BootTrace, OpKind, VmiProfile};
 
@@ -222,11 +222,12 @@ pub fn build_chain(spec: ChainSpec<'_>) -> Result<Arc<QcowImage>> {
                 writable: !spec.cache_read_only,
                 depth: 1,
             });
-            // Crash-consistent recovery: validate the warm container before
-            // trusting it. A torn `used` field is repaired in place; a
-            // structurally broken cache is discarded and the VM falls back
-            // to the plain-QCOW2 chain — a slower boot, never a failed one.
-            let Some(cache) = open_cache_scrubbed(
+            // Crash-consistent recovery: repair the warm container before
+            // trusting it. A torn `used` field or a never-flush-acked table
+            // entry is repaired in place; an unrepairable cache is refetched
+            // and the VM falls back to the plain-QCOW2 chain — a slower
+            // boot, never a failed one.
+            let Some(cache) = open_cache_recovered(
                 cache_dev,
                 Some(spec.base_dev.clone()),
                 spec.cache_read_only,

@@ -639,6 +639,10 @@ fn merge_telemetry(runs: &[NodeRun]) -> Telemetry {
         l2_evictions: sum(|t| t.l2_evictions),
         node_failures: sum(|t| t.node_failures),
         boots_rescheduled: sum(|t| t.boots_rescheduled),
+        node_restarts: sum(|t| t.node_restarts),
+        caches_readopted: sum(|t| t.caches_readopted),
+        caches_refetched: sum(|t| t.caches_refetched),
+        recovery_repairs: sum(|t| t.recovery_repairs),
         p50_op_ns: hist.as_ref().map(|h| h.quantile(0.5)),
         p99_op_ns: hist.as_ref().map(|h| h.quantile(0.99)),
     }

@@ -81,6 +81,15 @@ pub struct Telemetry {
     pub node_failures: u64,
     /// Boots rescheduled onto another node after a mid-boot node death.
     pub boots_rescheduled: u64,
+    /// Failed nodes that came back after their seeded downtime (cloud runs
+    /// with restart semantics).
+    pub node_restarts: u64,
+    /// Caches re-adopted warm after restart recovery said clean/repaired.
+    pub caches_readopted: u64,
+    /// Caches dropped at restart for a cold refetch (recovery said refetch).
+    pub caches_refetched: u64,
+    /// Individual repairs applied by the crash-recovery engine.
+    pub recovery_repairs: u64,
     /// Median per-request latency through the image chains, ns. Requires a
     /// recorder ([`Obs`] enabled); `None` otherwise.
     pub p50_op_ns: Option<u64>,
@@ -144,6 +153,10 @@ impl Telemetry {
             l2_evictions: obs.counter_value(met::L2_EVICTIONS),
             node_failures: obs.counter_value(met::NODE_FAILURES),
             boots_rescheduled: obs.counter_value(met::BOOT_RESCHEDULES),
+            node_restarts: obs.counter_value(met::NODE_RESTARTS),
+            caches_readopted: obs.counter_value(met::CACHES_READOPTED),
+            caches_refetched: obs.counter_value(met::CACHES_REFETCHED),
+            recovery_repairs: obs.counter_value(met::RECOVERY_REPAIRS),
             p50_op_ns: op_hist.as_ref().map(|h| h.quantile(0.5)),
             p99_op_ns: op_hist.as_ref().map(|h| h.quantile(0.99)),
             per_cache,

@@ -32,6 +32,7 @@ fn main() {
         "map" => cmd_map(rest),
         "check" => cmd_check(rest),
         "fsck" => cmd_fsck(rest),
+        "recover" => cmd_recover(rest),
         "make-fixtures" => cmd_make_fixtures(rest),
         "commit" => cmd_commit(rest),
         "compact" => cmd_compact(rest),
@@ -63,6 +64,7 @@ fn usage() {
     eprintln!("  create <path> --size N [--cluster N] [--backing F] [--cache-quota N]");
     eprintln!("  info|map|check|commit|compact <path>");
     eprintln!("  fsck <path> [--chain] [--deep] [--json]   (--deep implies --chain)");
+    eprintln!("  recover <path> [--json]   (crash recovery in place; exit 1 on refetch verdict)");
     eprintln!("  discard <path> --off N --len N");
     eprintln!("  resize <path> --size N   (grow only)");
     eprintln!("  rebase <path> [--backing F]   (unsafe rebase; omit --backing to detach)");
@@ -210,6 +212,35 @@ fn cmd_fsck(rest: &[String]) -> CliResult {
         Ok(())
     } else {
         Err(format!("{} violation(s)", violations.len()).into())
+    }
+}
+
+fn cmd_recover(rest: &[String]) -> CliResult {
+    let path = positional(rest)?;
+    let json = rest.iter().any(|a| a == "--json");
+    let dev: vmi_blockdev::SharedDev = std::sync::Arc::new(vmi_blockdev::FileDev::open(&path)?);
+    let rep = vmi_qcow::recover(&dev);
+    if json {
+        println!("{}", rep.to_json());
+    } else {
+        println!(
+            "{}: {} ({} repair(s), {} pass(es))",
+            path.display(),
+            rep.verdict.as_str(),
+            rep.verdict.repairs(),
+            rep.passes
+        );
+        for r in &rep.repairs {
+            println!("  applied: {r}");
+        }
+        for v in &rep.remaining {
+            eprintln!("  unrepaired: {v}");
+        }
+    }
+    if rep.is_usable() {
+        Ok(())
+    } else {
+        Err("unrecoverable image: refetch from the storage node".into())
     }
 }
 

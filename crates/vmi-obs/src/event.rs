@@ -134,6 +134,28 @@ pub enum Event {
         /// Node the boot was retried on.
         to_node: u64,
     },
+    /// The crash-recovery engine finished one image (superseding scrubs for
+    /// cache opens after PR 7).
+    RecoveryResult {
+        /// Outcome: `clean`, `repaired` or `refetch`.
+        verdict: String,
+        /// Repairs applied across all recovery passes.
+        repairs: u64,
+        /// Cache bytes recorded as used after recovery (0 on refetch).
+        used: u64,
+        /// The configured quota (0 on refetch).
+        quota: u64,
+    },
+    /// A failed cluster node came back after its seeded downtime, ran
+    /// recovery over its local cache set and rejoined the fleet.
+    NodeRestarted {
+        /// Restarted node id.
+        node: u64,
+        /// Caches re-adopted warm (recovery said clean/repaired).
+        readopted: u64,
+        /// Caches dropped for a cold refetch (recovery said refetch).
+        refetched: u64,
+    },
     /// The extent-coalescing I/O engine served a multi-cluster run as one
     /// device operation (emitted only for runs of 2+ clusters — single
     /// clusters are indistinguishable from the scalar path).
@@ -187,6 +209,8 @@ impl Event {
             Event::AuditViolation { .. } => "audit_violation",
             Event::NodeFailed { .. } => "node_failed",
             Event::BootRescheduled { .. } => "boot_rescheduled",
+            Event::RecoveryResult { .. } => "recovery_result",
+            Event::NodeRestarted { .. } => "node_restarted",
             Event::RunCoalesced { .. } => "run_coalesced",
             Event::SpanStart { .. } => "span_start",
             Event::SpanEnd { .. } => "span_end",
@@ -271,6 +295,28 @@ impl Event {
                 let _ = write!(
                     s,
                     ",\"vm\":{vm},\"from_node\":{from_node},\"to_node\":{to_node}"
+                );
+            }
+            Event::RecoveryResult {
+                verdict,
+                repairs,
+                used,
+                quota,
+            } => {
+                push_str_field(&mut s, "verdict", verdict);
+                let _ = write!(
+                    s,
+                    ",\"repairs\":{repairs},\"used\":{used},\"quota\":{quota}"
+                );
+            }
+            Event::NodeRestarted {
+                node,
+                readopted,
+                refetched,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{node},\"readopted\":{readopted},\"refetched\":{refetched}"
                 );
             }
             Event::RunCoalesced {
@@ -367,6 +413,17 @@ impl Event {
                 vm: fields.u64("vm")?,
                 from_node: fields.u64("from_node")?,
                 to_node: fields.u64("to_node")?,
+            },
+            "recovery_result" => Event::RecoveryResult {
+                verdict: fields.str("verdict")?.to_string(),
+                repairs: fields.u64("repairs")?,
+                used: fields.u64("used")?,
+                quota: fields.u64("quota")?,
+            },
+            "node_restarted" => Event::NodeRestarted {
+                node: fields.u64("node")?,
+                readopted: fields.u64("readopted")?,
+                refetched: fields.u64("refetched")?,
             },
             "run_coalesced" => Event::RunCoalesced {
                 op: fields.str("op")?.to_string(),
@@ -664,6 +721,23 @@ mod tests {
                 vm: 7,
                 from_node: 3,
                 to_node: 1,
+            },
+        );
+        roundtrip(
+            12,
+            Event::RecoveryResult {
+                verdict: "repaired".into(),
+                repairs: 3,
+                used: 8192,
+                quota: 1 << 20,
+            },
+        );
+        roundtrip(
+            13,
+            Event::NodeRestarted {
+                node: 2,
+                readopted: 4,
+                refetched: 1,
             },
         );
         roundtrip(

@@ -72,6 +72,18 @@ pub mod met {
     pub const COALESCED_BYTES: &str = "qcow.io.coalesced_bytes";
     /// L2 mapping tables evicted from the bounded in-memory cache (counter).
     pub const L2_EVICTIONS: &str = "qcow.l2.evictions";
+    /// Crash-recovery runs on cache images (counter).
+    pub const RECOVERY_RUNS: &str = "qcow.recovery.runs";
+    /// Individual repairs applied by the recovery engine (counter).
+    pub const RECOVERY_REPAIRS: &str = "qcow.recovery.repairs";
+    /// Recoveries that gave up and demanded a refetch (counter).
+    pub const RECOVERY_REFETCHES: &str = "qcow.recovery.refetches";
+    /// Cluster nodes restarted after a failure (counter).
+    pub const NODE_RESTARTS: &str = "cluster.node.restarts";
+    /// Caches re-adopted warm after node restart recovery (counter).
+    pub const CACHES_READOPTED: &str = "cluster.cache.readopted";
+    /// Caches found unrecoverable at restart and refetched cold (counter).
+    pub const CACHES_REFETCHED: &str = "cluster.cache.refetched";
 }
 
 /// Slots per metric kind. Overflowing ids are dropped silently (the

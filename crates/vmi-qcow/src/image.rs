@@ -268,7 +268,7 @@ impl QcowImage {
         if header.cache.is_some() {
             Header::update_cache_used(dev.as_ref() as &dyn BlockDev, initial_used)?;
         }
-        Ok(Arc::new(Self {
+        let img = Arc::new(Self {
             geom,
             read_only: false,
             fill_enabled: AtomicBool::new(header.is_cache()),
@@ -297,7 +297,11 @@ impl QcowImage {
             fill_rejects: AtomicU64::new(0),
             degraded_read_bytes: AtomicU64::new(0),
             obs,
-        }))
+        });
+        // A freshly created image is durable before it is handed out: a
+        // crash afterwards can tear later mutations but never the skeleton.
+        img.barrier()?;
+        Ok(img)
     }
 
     /// Open an existing image stored in `dev`.
@@ -510,7 +514,7 @@ impl QcowImage {
             ));
         }
         self.dev.write_at(&encoded, 0)?;
-        self.dev.flush()?;
+        self.barrier()?;
         self.detached.store(true, Ordering::Release);
         QcowImage::open(self.dev.clone(), new_backing, false)
     }
@@ -544,10 +548,14 @@ impl QcowImage {
     pub fn close(&self) -> Result<()> {
         if !self.read_only {
             if self.header.is_cache() {
+                // All data and table writes durable before the used-size is
+                // published — a crash between the two leaves a stale used
+                // field, which `recover` rewrites from the tables.
+                self.barrier()?;
                 let used = self.state.lock().cache_used;
                 Header::update_cache_used(self.dev.as_ref() as &dyn BlockDev, used)?;
             }
-            self.dev.flush()?;
+            self.barrier()?;
         }
         Ok(())
     }
@@ -1201,6 +1209,24 @@ impl QcowImage {
         Ok(off)
     }
 
+    /// Write barrier: durably order every prior container write before any
+    /// subsequent one. This is the ONLY place `vmi-qcow` may flush its
+    /// container (enforced by the `qcow-barrier` source lint), and it is
+    /// what makes every crash prefix recoverable:
+    ///
+    /// * a data cluster is barriered before the L2 entry that publishes it,
+    /// * a new L2 table's contents are barriered before the L1 entry that
+    ///   publishes the table,
+    /// * everything is barriered before the used-size header write at close.
+    ///
+    /// So a durable table entry always implies durable referenced data, and
+    /// any torn tail is by construction unpublished (repairable by zeroing —
+    /// see `recover`). On memory-backed containers `flush` is a no-op, so
+    /// the barriers cost nothing in simulation.
+    fn barrier(&self) -> Result<()> {
+        self.dev.flush() // lint:allow(qcow-barrier)
+    }
+
     /// Ensure an L2 table exists for `vba`; returns (l1_idx, l2_offset).
     fn ensure_l2(&self, st: &mut MutState, vba: u64) -> Result<(usize, u64)> {
         let l1_idx = self.geom.l1_index(vba);
@@ -1215,6 +1241,8 @@ impl QcowImage {
         // at it (write-through).
         let zeros = vec![0u8; self.geom.cluster_size() as usize];
         self.dev.write_at(&zeros, l2_off)?;
+        // Table contents durable before L1 publishes the table.
+        self.barrier()?;
         self.dev.write_at(
             &l2_off.to_be_bytes(),
             self.header.l1_table_offset + (l1_idx as u64) * 8,
@@ -1319,6 +1347,8 @@ impl QcowImage {
             raw[i * 8..i * 8 + 8].copy_from_slice(&e.to_be_bytes());
         }
         self.dev.write_at(&raw, new_off)?;
+        // Copied table durable before L1 repoints at it.
+        self.barrier()?;
         self.dev.write_at(
             &new_off.to_be_bytes(),
             self.header.l1_table_offset + (l1_idx as u64) * 8,
@@ -1514,6 +1544,8 @@ impl QcowImage {
             };
             drop(dsp);
             let res = write_res.and_then(|()| {
+                // Extent data durable before the batched entries publish it.
+                self.barrier()?;
                 if got == 1 {
                     self.set_l2_entry(st, l1_idx, cluster_vba, data_off)
                 } else {
@@ -1575,6 +1607,8 @@ impl QcowImage {
         let (l1_idx, _l2_off) = self.ensure_l2(st, cluster_vba)?;
         let data_off = self.alloc_cluster(st, 0)?;
         self.dev.write_at_in(data, data_off, parent)?;
+        // Data durable before the L2 entry publishes it.
+        self.barrier()?;
         self.set_l2_entry(st, l1_idx, cluster_vba, data_off)?;
         Ok(())
     }
@@ -1612,6 +1646,8 @@ impl QcowImage {
                 .span_in(parent, "dev.write", || format!("bytes={cs} cow=frozen"));
             self.dev.write_at_in(&cluster_buf, new_off, dsp.id())?;
             drop(dsp);
+            // Merged copy durable before the L2 entry remaps to it.
+            self.barrier()?;
             self.set_l2_entry(st, l1_idx, vba, new_off)?;
             return Ok(());
         }
@@ -1640,6 +1676,8 @@ impl QcowImage {
             .span_in(parent, "dev.write", || format!("bytes={cs} cow=unmapped"));
         self.dev.write_at_in(&cluster_buf, data_off, dsp.id())?;
         drop(dsp);
+        // CoW data durable before the L2 entry publishes it.
+        self.barrier()?;
         self.set_l2_entry(st, l1_idx, cluster_vba, data_off)?;
         Ok(())
     }
@@ -1725,6 +1763,8 @@ impl QcowImage {
             }
             let data = &buf[(pos - off) as usize..][..(got * cs) as usize];
             self.dev.write_run_at(data, data_off)?;
+            // Run data durable before the batched entries publish it.
+            self.barrier()?;
             if got == 1 {
                 self.set_l2_entry(st, l1_idx, pos, data_off)?;
             } else {
@@ -1913,7 +1953,8 @@ impl BlockDev for QcowImage {
         if self.read_only {
             return Ok(());
         }
-        self.dev.flush()
+        // A guest flush is exactly a barrier on the container.
+        self.barrier()
     }
 
     fn describe(&self) -> String {

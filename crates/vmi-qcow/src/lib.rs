@@ -60,6 +60,7 @@ pub mod header;
 pub mod image;
 pub mod layout;
 pub mod ops;
+pub mod recover;
 pub mod scrub;
 pub mod snapshot;
 
@@ -73,5 +74,8 @@ pub use header::{CacheExt, Header};
 pub use image::{CorStats, CreateOpts, QcowImage};
 pub use layout::{Geometry, DEFAULT_CLUSTER_BITS, MIN_CLUSTER_BITS};
 pub use ops::{check, commit, compact, info, map, CheckReport, ImageInfo, MapExtent};
+pub use recover::{
+    open_cache_recovered, recover, recover_with_obs, RecoveryReport, RecoveryVerdict,
+};
 pub use scrub::{open_cache_scrubbed, scrub_cache, ScrubReport, ScrubVerdict};
 pub use snapshot::{SnapshotInfo, SnapshotRec};
