@@ -23,6 +23,13 @@
 //!   outside the `QcowImage::barrier` helper. Crash consistency rests on
 //!   metadata mutations being fenced by `barrier()`; an unfenced flush is
 //!   either redundant or (worse) a hint that ordering was hand-rolled.
+//! * `no-std-lock` — no `std::sync::Mutex`/`std::sync::RwLock` (nor the
+//!   poison-unwrap idioms `.lock().unwrap()` / `.read().unwrap()` /
+//!   `.write().unwrap()`) in non-test crate code; use the `parking_lot`
+//!   facade. Hot request paths (the PR-8 sharded driver, the NBD reply
+//!   writer) take these locks per I/O — the facade is non-poisoning, so
+//!   there is no `.unwrap()` to sprinkle, and a panicking peer cannot
+//!   cascade poison errors through every other in-flight request.
 //!
 //! Exceptions live in an allowlist file (default `.vmi-lint.allow` at the
 //! scan root), one `rule:path-substring:line-substring` triple per line, or
@@ -35,13 +42,14 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 6] = [
+const RULES: [&str; 7] = [
     "no-unwrap",
     "no-raw-clock",
     "no-raw-sleep",
     "obs-twin",
     "span-pair",
     "qcow-barrier",
+    "no-std-lock",
 ];
 
 #[derive(Debug)]
@@ -366,6 +374,25 @@ fn scan_file(
                     .to_string(),
                 line_text: raw.to_string(),
             });
+        }
+        for needle in [
+            "std::sync::Mutex",
+            "std::sync::RwLock",
+            ".lock().unwrap()",
+            ".read().unwrap()",
+            ".write().unwrap()",
+        ] {
+            if code.contains(needle) && !inline_allow("no-std-lock") {
+                findings.push(Finding {
+                    rule: "no-std-lock",
+                    path: rel.to_string(),
+                    line_no,
+                    message: format!(
+                        "`{needle}`: use the non-poisoning `parking_lot` facade on request paths"
+                    ),
+                    line_text: raw.to_string(),
+                });
+            }
         }
         if code.contains("thread::sleep") && !inline_allow("no-raw-sleep") {
             findings.push(Finding {

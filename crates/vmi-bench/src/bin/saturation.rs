@@ -1,0 +1,65 @@
+//! `saturation` — run the PR-8 concurrency saturation benchmark.
+//!
+//! ```text
+//! saturation [--out PATH] [--check]
+//! ```
+//!
+//! Writes `BENCH_pr8_concurrency.json` (or `--out PATH`) and prints the
+//! summary table. `--check` additionally enforces the PR-8 acceptance
+//! floor — warm read throughput must scale ≥ 2× from depth 1 to depth 8 —
+//! and exits non-zero if it does not.
+
+use vmi_bench::saturation::run_saturation;
+
+fn main() {
+    let mut out = "BENCH_pr8_concurrency.json".to_string();
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => {
+                    eprintln!("--out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--check" => check = true,
+            "-h" | "--help" => {
+                eprintln!("usage: saturation [--out PATH] [--check]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rep = match run_saturation() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("saturation: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", rep.render());
+    if let Err(e) = std::fs::write(&out, rep.to_json()) {
+        eprintln!("saturation: write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+    if check && rep.read_scaling < 2.0 {
+        eprintln!(
+            "saturation: FAIL — read scaling {:.2}x < 2.0x (depth 1 → 8)",
+            rep.read_scaling
+        );
+        std::process::exit(1);
+    }
+    if check {
+        println!(
+            "saturation: OK — read scaling {:.2}x ≥ 2.0x",
+            rep.read_scaling
+        );
+    }
+}

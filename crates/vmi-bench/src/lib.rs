@@ -20,6 +20,7 @@ pub mod figures;
 pub mod io_coalesce;
 pub mod obs_overhead;
 pub mod obs_report;
+pub mod saturation;
 pub mod trace_report;
 
 pub use crash_sweep::{run_crash_sweep, run_crash_sweep_strided, CrashSweepReport, WorkloadSweep};

@@ -1,0 +1,406 @@
+//! The PR-8 saturation benchmark: request concurrency vs. throughput.
+//!
+//! The paper's deployment keeps many guests in flight against one warm
+//! cache image; what limits them is whether the driver can overlap device
+//! service time across requests. This bench models the device with a
+//! fixed per-operation service delay ([`SleepDev`] — a real `thread::sleep`,
+//! so overlap is genuine even on a single-CPU runner), then drives a warm
+//! [`ConcurrentImage`] through a [`RequestEngine`] at increasing queue
+//! depths and measures throughput and latency percentiles per depth.
+//!
+//! Two mixes run at every depth — pure reads (the warm fast path, fully
+//! parallel under shared range locks) and a 70/30 read/write mix (writes
+//! deterministically serialize on the mutation order lock) — plus a
+//! baseline: the *plain* `QcowImage` at depth 8, whose single state mutex
+//! is held across device I/O and therefore cannot overlap anything.
+//!
+//! The binary `saturation` writes `BENCH_pr8_concurrency.json`; `--check`
+//! enforces the PR acceptance floor (≥ 2× read throughput from depth 1 to
+//! depth 8).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use vmi_blockdev::{BlockDev, BlockError, MemDev, Result, SharedDev};
+use vmi_qcow::{share_concurrent, CreateOpts, QcowImage, Request, RequestEngine};
+
+/// Virtual size of the image under test.
+const VSIZE: u64 = 4 << 20;
+/// The warmed region all requests land in.
+const REGION: u64 = 1 << 20;
+
+/// Benchmark parameters; [`SatConfig::default`] is what CI runs.
+#[derive(Debug, Clone)]
+pub struct SatConfig {
+    /// Modeled device service time per operation, microseconds.
+    pub service_us: u64,
+    /// Requests driven per (mix, depth) cell.
+    pub requests: usize,
+    /// Request payload size in bytes.
+    pub request_bytes: usize,
+    /// Queue depths swept.
+    pub depths: Vec<usize>,
+}
+
+impl Default for SatConfig {
+    fn default() -> Self {
+        Self {
+            service_us: 150,
+            requests: 192,
+            request_bytes: 4096,
+            depths: vec![1, 2, 4, 8],
+        }
+    }
+}
+
+/// What one (mix, depth) cell measured.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct DepthPoint {
+    /// Queue depth (engine workers = in-flight window).
+    pub depth: usize,
+    /// Wall time for the whole cell, nanoseconds.
+    pub wall_ns: u64,
+    /// Payload throughput, MiB/s.
+    pub mib_per_s: f64,
+    /// Mean per-request latency, microseconds.
+    pub mean_us: f64,
+    /// 99th-percentile per-request latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// One workload mix swept across every depth.
+#[derive(Debug, Clone, Serialize)]
+pub struct MixReport {
+    /// Mix id: `read` or `mixed_70_30`.
+    pub name: String,
+    /// Percentage of requests that are writes.
+    pub write_pct: u32,
+    /// One point per swept depth.
+    pub points: Vec<DepthPoint>,
+}
+
+/// The whole `BENCH_pr8_concurrency.json` artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct SaturationReport {
+    /// Artifact id.
+    pub bench: String,
+    /// Modeled device service time, microseconds.
+    pub service_us: u64,
+    /// Request payload bytes.
+    pub request_bytes: usize,
+    /// Requests per cell.
+    pub requests: usize,
+    /// Swept mixes over the concurrent driver.
+    pub mixes: Vec<MixReport>,
+    /// Plain (single-mutex) `QcowImage` at the deepest depth: the
+    /// non-scaling baseline the refactor exists to beat.
+    pub plain_depth8: DepthPoint,
+    /// Read-mix throughput ratio, deepest depth vs. depth 1 — the gated
+    /// acceptance number.
+    pub read_scaling: f64,
+}
+
+impl SaturationReport {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes") // lint:allow(no-unwrap): serde on POD structs is infallible
+    }
+
+    /// Render an aligned text summary.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== pr8 saturation — depth vs throughput (warm cache) ==\n");
+        out.push_str(&format!(
+            "{:>12} {:>6} {:>10} {:>10} {:>10}\n",
+            "mix", "depth", "MiB/s", "mean µs", "p99 µs"
+        ));
+        for m in &self.mixes {
+            for p in &m.points {
+                out.push_str(&format!(
+                    "{:>12} {:>6} {:>10.1} {:>10.1} {:>10.1}\n",
+                    m.name, p.depth, p.mib_per_s, p.mean_us, p.p99_us
+                ));
+            }
+        }
+        let b = &self.plain_depth8;
+        out.push_str(&format!(
+            "{:>12} {:>6} {:>10.1} {:>10.1} {:>10.1}\n",
+            "plain_read", b.depth, b.mib_per_s, b.mean_us, b.p99_us
+        ));
+        out.push_str(&format!("read scaling 1→8: {:.2}x\n", self.read_scaling));
+        out
+    }
+}
+
+/// Service-time-modeling decorator: every read/write costs one fixed
+/// sleep, so concurrent requests only go faster if the driver genuinely
+/// overlaps them. Run entry points cost one sleep per *run* — the same
+/// accounting unit the PR-5 coalescer buys.
+struct SleepDev {
+    inner: SharedDev,
+    service: Duration,
+}
+
+impl SleepDev {
+    fn new(inner: SharedDev, service_us: u64) -> Self {
+        Self {
+            inner,
+            service: Duration::from_micros(service_us),
+        }
+    }
+
+    fn serve(&self) {
+        // The bench models real device latency; genuine sleeping is the
+        // entire point (overlap must be real, not simulated).
+        std::thread::sleep(self.service); // lint:allow(no-raw-sleep)
+    }
+}
+
+impl BlockDev for SleepDev {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        self.serve();
+        self.inner.read_at(buf, off)
+    }
+    fn write_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        self.serve();
+        self.inner.write_at(buf, off)
+    }
+    fn read_run_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        self.serve();
+        self.inner.read_run_at(buf, off)
+    }
+    fn write_run_at(&self, buf: &[u8], off: u64) -> Result<()> {
+        self.serve();
+        self.inner.write_run_at(buf, off)
+    }
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.inner.set_len(len)
+    }
+    fn flush(&self) -> Result<()> {
+        self.inner.flush()
+    }
+    fn describe(&self) -> String {
+        format!("sleep({})", self.inner.describe())
+    }
+}
+
+/// Deterministic 64-bit xorshift; same sequence every run.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Build a warmed cache image whose container pays `service_us` per op.
+fn build_warm_image(service_us: u64) -> Result<Arc<QcowImage>> {
+    let base = QcowImage::create(
+        Arc::new(MemDev::new()) as SharedDev,
+        CreateOpts::plain(VSIZE),
+        None,
+    )?;
+    let mut content = vec![0u8; REGION as usize];
+    for (i, byte) in content.iter_mut().enumerate() {
+        *byte = (i % 241) as u8 ^ (i / 4093) as u8;
+    }
+    base.write_at(&content, 0)?;
+    let container = Arc::new(SleepDev::new(
+        Arc::new(MemDev::new()) as SharedDev,
+        service_us,
+    ));
+    let cache = QcowImage::create(
+        container as SharedDev,
+        CreateOpts::cache(VSIZE, "base", VSIZE),
+        Some(base as SharedDev),
+    )?;
+    // Warm the whole region: every benchmark request hits mapped clusters.
+    let mut warm = vec![0u8; REGION as usize];
+    cache.read_at(&mut warm, 0)?;
+    Ok(cache)
+}
+
+/// The deterministic request schedule for one cell: aligned offsets in the
+/// warm region, every `write_pct`% of them writes.
+fn schedule(cfg: &SatConfig, write_pct: u32) -> Vec<Request> {
+    let mut seed = 0x5A7_0F00D_u64 | 1;
+    let slots = REGION / cfg.request_bytes as u64;
+    (0..cfg.requests)
+        .map(|i| {
+            let off = (xorshift(&mut seed) % slots) * cfg.request_bytes as u64;
+            if (xorshift(&mut seed) % 100) < write_pct as u64 {
+                Request::Write {
+                    off,
+                    data: vec![(i % 251) as u8; cfg.request_bytes],
+                }
+            } else {
+                Request::Read {
+                    off,
+                    len: cfg.request_bytes,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Drive one cell: `reqs` through `dev` with a `depth`-wide window.
+fn drive(dev: SharedDev, depth: usize, reqs: &[Request]) -> Result<DepthPoint> {
+    let engine = RequestEngine::new(dev, depth);
+    let mut starts: HashMap<u64, Instant> = HashMap::with_capacity(depth);
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(reqs.len());
+    let mut next = 0usize;
+    let mut inflight = 0usize;
+    let mut done = 0usize;
+    let t0 = Instant::now(); // lint:allow(no-raw-clock): the bench reports real wall time
+    while done < reqs.len() {
+        while inflight < depth && next < reqs.len() {
+            let start = Instant::now(); // lint:allow(no-raw-clock): per-request latency
+            let id = engine.submit(reqs[next].clone());
+            starts.insert(id, start);
+            next += 1;
+            inflight += 1;
+        }
+        let c = engine
+            .next_completion()
+            .ok_or_else(|| BlockError::unsupported("engine drained early"))?;
+        c.result?;
+        let start = starts
+            .remove(&c.id)
+            .ok_or_else(|| BlockError::unsupported("unknown completion id"))?;
+        lat_ns.push(start.elapsed().as_nanos() as u64);
+        inflight -= 1;
+        done += 1;
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    engine.shutdown();
+    lat_ns.sort_unstable();
+    let total_bytes: usize = reqs
+        .iter()
+        .map(|r| match r {
+            Request::Read { len, .. } => *len,
+            Request::Write { data, .. } => data.len(),
+            Request::Flush => 0,
+        })
+        .sum();
+    let mean_ns = lat_ns.iter().sum::<u64>() as f64 / lat_ns.len().max(1) as f64;
+    let p99_ns = *lat_ns
+        .get(lat_ns.len().saturating_sub(1) * 99 / 100)
+        .unwrap_or(&0);
+    Ok(DepthPoint {
+        depth,
+        wall_ns,
+        mib_per_s: total_bytes as f64 / (1 << 20) as f64 / (wall_ns as f64 / 1e9),
+        mean_us: mean_ns / 1e3,
+        p99_us: p99_ns as f64 / 1e3,
+    })
+}
+
+/// Sweep one mix across the configured depths over the concurrent driver.
+fn sweep_mix(cfg: &SatConfig, name: &str, write_pct: u32) -> Result<MixReport> {
+    let reqs = schedule(cfg, write_pct);
+    let mut points = Vec::with_capacity(cfg.depths.len());
+    for &depth in &cfg.depths {
+        // A fresh image per cell: each depth sees identical warm state.
+        let img = build_warm_image(cfg.service_us)?;
+        points.push(drive(share_concurrent(img), depth, &reqs)?);
+    }
+    Ok(MixReport {
+        name: name.to_string(),
+        write_pct,
+        points,
+    })
+}
+
+/// Run the full saturation sweep with `cfg`.
+pub fn run_saturation_with(cfg: &SatConfig) -> Result<SaturationReport> {
+    let mixes = vec![
+        sweep_mix(cfg, "read", 0)?,
+        sweep_mix(cfg, "mixed_70_30", 30)?,
+    ];
+    // Baseline: the un-sharded image at the deepest depth. Its state mutex
+    // covers all device I/O, so depth buys nothing.
+    let deepest = cfg.depths.iter().copied().max().unwrap_or(1);
+    let plain_img = build_warm_image(cfg.service_us)?;
+    let plain_depth8 = drive(plain_img as SharedDev, deepest, &schedule(cfg, 0))?;
+    let read = &mixes[0].points;
+    let first = read
+        .first()
+        .ok_or_else(|| BlockError::unsupported("empty depth sweep"))?;
+    let last = read
+        .last()
+        .ok_or_else(|| BlockError::unsupported("empty depth sweep"))?;
+    let read_scaling = last.mib_per_s / first.mib_per_s.max(f64::MIN_POSITIVE);
+    Ok(SaturationReport {
+        bench: "pr8_saturation".to_string(),
+        service_us: cfg.service_us,
+        request_bytes: cfg.request_bytes,
+        requests: cfg.requests,
+        mixes,
+        plain_depth8,
+        read_scaling,
+    })
+}
+
+/// Run the full saturation sweep with the CI configuration.
+pub fn run_saturation() -> Result<SaturationReport> {
+    run_saturation_with(&SatConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> SatConfig {
+        SatConfig {
+            service_us: 100,
+            requests: 64,
+            request_bytes: 4096,
+            depths: vec![1, 8],
+        }
+    }
+
+    #[test]
+    fn warm_reads_scale_with_depth() {
+        let rep = run_saturation_with(&quick_cfg()).unwrap();
+        assert!(
+            rep.read_scaling >= 2.0,
+            "read scaling {:.2}x < 2x:\n{}",
+            rep.read_scaling,
+            rep.render()
+        );
+    }
+
+    #[test]
+    fn plain_image_does_not_scale() {
+        let rep = run_saturation_with(&quick_cfg()).unwrap();
+        let conc8 = rep.mixes[0].points.last().unwrap().mib_per_s;
+        assert!(
+            rep.plain_depth8.mib_per_s < conc8 / 1.5,
+            "single-mutex image at depth 8 ({:.1} MiB/s) should trail the \
+             concurrent driver ({:.1} MiB/s)",
+            rep.plain_depth8.mib_per_s,
+            conc8
+        );
+    }
+
+    #[test]
+    fn report_serializes_with_both_mixes() {
+        let rep = run_saturation_with(&SatConfig {
+            service_us: 50,
+            requests: 16,
+            request_bytes: 4096,
+            depths: vec![1, 2],
+        })
+        .unwrap();
+        let json = rep.to_json();
+        assert!(json.contains("\"read\""));
+        assert!(json.contains("mixed_70_30"));
+        assert!(json.contains("read_scaling"));
+        assert!(rep.render().contains("read scaling"));
+    }
+}

@@ -185,6 +185,12 @@ impl IoStats {
 }
 
 /// Transparent I/O-accounting wrapper around any [`BlockDev`].
+///
+/// Thread-safety: counters are lone atomics (`Relaxed` — totals, not
+/// ordering) and the size histograms sit behind their own mutexes, so
+/// concurrent ops account correctly; a snapshot taken during a racing op
+/// may be mid-update across *different* counters (reads bumped, bytes not
+/// yet), which is fine for statistics.
 pub struct CountingDev {
     inner: SharedDev,
     stats: Arc<IoStats>,

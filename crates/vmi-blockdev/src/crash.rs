@@ -109,6 +109,13 @@ struct State {
 
 /// Power-cut-injecting decorator around any [`BlockDev`]. See the module
 /// docs for the crash model.
+///
+/// Thread-safety: all crash state (armed plan, crashed latch, write-back
+/// buffer, counters) lives under one mutex; every decision-plus-mutation —
+/// including applying a buffered write or draining an epoch — happens in a
+/// single lock hold, so concurrent ops observe each cut point atomically.
+/// Write-through *reads* drop the lock before delegating; a cut firing
+/// concurrently counts the read as started before the cut.
 pub struct CrashDev {
     inner: SharedDev,
     writeback: bool,

@@ -57,8 +57,37 @@ impl ByteRange {
 /// * `flush` orders prior writes before subsequent observation by crash-
 ///   consistency-sensitive callers; memory devices treat it as a no-op.
 ///
-/// Implementations take `&self` and are internally synchronized, so a device
-/// can sit in an `Arc` referenced by several image layers at once.
+/// # Concurrency
+///
+/// `BlockDev: Send + Sync` is a **contract**, not a formality: every method
+/// takes `&self`, and callers (the qcow driver under [`crate::SharedDev`],
+/// the request engine's worker pool, one NBD connection thread per client)
+/// invoke them from many threads at once without external locking. An
+/// implementation must therefore be internally synchronized:
+///
+/// * Each individual operation must be atomic with respect to the device's
+///   *own* state — counters, fault plans, crash buffers, file cursors. The
+///   in-tree decorators all follow the same pattern: decision + state
+///   mutation under one `parking_lot` lock hold (or lone atomics), so an
+///   op never observes a decorator mid-decision.
+/// * **No torn-byte visibility**: a read racing a write to the same range
+///   may see the old bytes, the new bytes, or (for decorators that delegate
+///   without holding their lock across the inner call) a mix of complete
+///   operations — but never a partially-applied single operation from a
+///   device that buffers internally ([`crate::MemDev`] holds its `RwLock`
+///   for the whole copy; [`crate::CrashDev`] write-back applies each
+///   buffered write under its state lock).
+/// * **Cross-operation ordering is the caller's job.** The trait promises
+///   nothing about the order in which two concurrent operations land;
+///   `vmi-qcow`'s `ConcurrentImage` builds that ordering with byte-range
+///   locks above this interface. Decorators likewise only promise that
+///   their decision sequence (e.g. `FaultDev` op counting) reflects *some*
+///   serialization of the concurrent ops.
+///
+/// Decorator fine print: a decorator that checks its state and then
+/// delegates *outside* the lock (e.g. `CrashDev` write-through reads) may
+/// let an inner op complete concurrently with a state flip (a firing power
+/// cut); the model counts such an op as having started before the flip.
 pub trait BlockDev: Send + Sync {
     /// Read exactly `buf.len()` bytes starting at `off`.
     fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()>;
@@ -296,6 +325,21 @@ mod tests {
         let n = dev.read_at_zero_pad(&mut buf, 100).unwrap();
         assert_eq!(n, 0);
         assert_eq!(buf, [0; 4]);
+    }
+
+    #[test]
+    fn devices_and_decorators_are_send_sync() {
+        // The concurrency contract in the trait docs, enforced at compile
+        // time for every in-tree device and decorator.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemDev>();
+        assert_send_sync::<crate::FileDev>();
+        assert_send_sync::<crate::SparseDev>();
+        assert_send_sync::<crate::CountingDev>();
+        assert_send_sync::<crate::CrashDev>();
+        assert_send_sync::<crate::FaultDev>();
+        assert_send_sync::<crate::RetryDev>();
+        assert_send_sync::<SharedDev>();
     }
 
     #[test]

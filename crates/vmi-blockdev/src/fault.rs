@@ -146,6 +146,13 @@ enum Verdict {
 }
 
 /// Fault-injecting decorator around any [`BlockDev`].
+///
+/// Thread-safety: the armed plans (including their sequence counters and
+/// per-plan RNGs) live under one mutex, and [`FaultDev::check`] runs the
+/// whole match-count-fire decision in a single lock hold — concurrent ops
+/// draw distinct sequence numbers, so an `NthOp` plan fires exactly once
+/// no matter how many threads race it. The order in which racing ops draw
+/// numbers is whichever serialization the lock gives.
 pub struct FaultDev {
     inner: SharedDev,
     plans: Mutex<Vec<Armed>>,

@@ -119,6 +119,11 @@ type SleepHook = Box<dyn Fn(u64) + Send + Sync>;
 /// retried up to the policy's attempt budget; permanent errors and
 /// exhausted budgets propagate unchanged. Each retry counts
 /// [`met::RETRY_ATTEMPTS`] and emits an [`Event::RetryAttempt`].
+///
+/// Thread-safety: the jitter RNG and sleep hook are mutex-guarded (held
+/// only to draw / clone, never across the inner I/O or the sleep itself),
+/// and the stats are atomics — concurrent requests retry independently
+/// without serializing on each other.
 pub struct RetryDev {
     inner: SharedDev,
     policy: RetryPolicy,

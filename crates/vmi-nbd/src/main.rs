@@ -15,11 +15,12 @@ use vmi_nbd::NbdServer;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) != Some("serve") {
-        eprintln!("usage: vmi-nbd serve [--addr HOST:PORT] [--ro] NAME=PATH ...");
+        eprintln!("usage: vmi-nbd serve [--addr HOST:PORT] [--ro] [--pipeline N] NAME=PATH ...");
         std::process::exit(2);
     }
     let mut addr = "127.0.0.1:10809".to_string();
     let mut read_only = false;
+    let mut pipeline = 1usize;
     let mut exports: Vec<(String, String)> = Vec::new();
     let mut iter = args[1..].iter();
     while let Some(a) = iter.next() {
@@ -31,6 +32,12 @@ fn main() {
                 })
             }
             "--ro" => read_only = true,
+            "--pipeline" => {
+                pipeline = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--pipeline needs a positive integer");
+                    std::process::exit(2);
+                })
+            }
             spec => match spec.split_once('=') {
                 Some((name, path)) => exports.push((name.to_string(), path.to_string())),
                 None => {
@@ -52,6 +59,7 @@ fn main() {
             std::process::exit(1);
         }
     };
+    server.set_pipeline_depth(pipeline);
     for (name, path) in &exports {
         match vmi_img_open(path, read_only) {
             Ok(dev) => {

@@ -63,6 +63,12 @@ pub const NBD_CMD_FLUSH: u16 = 3;
 /// Command: trim (discard).
 pub const NBD_CMD_TRIM: u16 = 4;
 
+/// Maximum payload a single transmission request may carry (the protocol
+/// document suggests servers SHOULD support at least 32 MiB; we cap there).
+/// Requests beyond this get a proper `NBD_EINVAL` *reply* — never an
+/// unbounded allocation, and never a dropped connection.
+pub const MAX_REQUEST_BYTES: u32 = 32 << 20;
+
 /// POSIX-style error codes carried in replies.
 pub const NBD_EIO: u32 = 5;
 /// Invalid argument (out-of-range request).
@@ -91,6 +97,22 @@ pub struct Request {
 pub fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<()> {
     r.read_exact(buf)
         .map_err(|e| BlockError::new(vmi_blockdev::BlockErrorKind::Io, format!("nbd read: {e}")))
+}
+
+/// Consume and discard exactly `n` payload bytes in bounded chunks.
+///
+/// Used when a request must be rejected but its payload is already on the
+/// wire (e.g. an oversized `WRITE`): the stream stays framed so the
+/// connection can carry further requests after the error reply.
+pub fn drain_payload(r: &mut impl Read, n: u64) -> Result<()> {
+    let mut remaining = n;
+    let mut sink = [0u8; 8192];
+    while remaining > 0 {
+        let take = (remaining as usize).min(sink.len());
+        read_exact(r, &mut sink[..take])?;
+        remaining -= take as u64;
+    }
+    Ok(())
 }
 
 /// Write all bytes.

@@ -761,9 +761,29 @@ impl QcowImage {
         self.state.lock().l1.clone()
     }
 
+    /// A single live L1 entry (container offset of the L2 table for
+    /// `idx`, or 0 if unallocated). Cheap: one brief state-lock hold.
+    /// Out-of-range indexes read as unallocated. Used by
+    /// [`crate::ConcurrentImage`] to refresh its lock-free L1 mirror
+    /// after a serialized mutation.
+    pub fn l1_entry(&self, idx: usize) -> u64 {
+        self.state
+            .lock()
+            .l1
+            .get(idx)
+            .copied()
+            .unwrap_or(UNALLOCATED)
+    }
+
     /// Read an L2 table at a given container offset (for `check`).
     pub fn l2_snapshot(&self, l2_off: u64) -> Result<Vec<u64>> {
         self.read_l2_table(l2_off)
+    }
+
+    /// The observability handle attached at create/open time (shared so
+    /// layered wrappers can emit into the same stream).
+    pub(crate) fn obs_handle(&self) -> &Obs {
+        &self.obs
     }
 
     // ------------------------------------------------------------------

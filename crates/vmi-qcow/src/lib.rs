@@ -55,7 +55,9 @@
 #![forbid(unsafe_code)]
 
 pub mod chain;
+pub mod concurrent;
 pub mod dedup;
+pub mod engine;
 pub mod header;
 pub mod image;
 pub mod layout;
@@ -69,7 +71,9 @@ pub use chain::{
     create_cow_over_cache, create_cow_over_cache_with_obs, open_chain, open_chain_with_obs,
     DevResolver, MapResolver,
 };
+pub use concurrent::{share_concurrent, ConcStats, ConcurrentImage};
 pub use dedup::{analyze as dedup_analyze, DedupReport};
+pub use engine::{Completion, Request, RequestEngine};
 pub use header::{CacheExt, Header};
 pub use image::{CorStats, CreateOpts, QcowImage};
 pub use layout::{Geometry, DEFAULT_CLUSTER_BITS, MIN_CLUSTER_BITS};
