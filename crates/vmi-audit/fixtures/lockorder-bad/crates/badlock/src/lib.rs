@@ -1,0 +1,61 @@
+//! Intentionally broken lock ordering — analyzer self-test corpus.
+//!
+//! Not a workspace member and never compiled; `vmi-lint --root` is pointed
+//! at the fixture root by CI (and by `tests/lint_engine.rs`) and must exit
+//! 1 with at least: a rank inversion, an acquisition cycle, an illegal
+//! self-nest, and a blocking call under a `blocking = "forbid"` class.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+pub struct Pair {
+    pub front: Mutex<u64>,
+    pub back: Mutex<u64>,
+    pub dev: Arc<dyn BlockDev>,
+}
+
+pub trait BlockDev: Send + Sync {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<(), ()>;
+}
+
+/// Correct order: front (10) then back (20). This one is fine.
+pub fn good_nesting(p: &Pair) -> u64 {
+    let f = p.front.lock();
+    let b = p.back.lock();
+    *f + *b
+}
+
+/// Rank inversion: back (20) held while acquiring front (10) — and one half
+/// of a front -> back -> front cycle with `good_nesting`.
+pub fn bad_inversion(p: &Pair) -> u64 {
+    let b = p.back.lock();
+    let f = p.front.lock();
+    *f + *b
+}
+
+/// Illegal self-nest: `front` is not a chained class.
+pub fn bad_self_nest(p: &Pair, q: &Pair) -> u64 {
+    let a = p.front.lock();
+    let b = q.front.lock();
+    *a + *b
+}
+
+/// Blocking device I/O while holding `front`, whose manifest entry says
+/// `blocking = "forbid"`.
+pub fn bad_blocking_read(p: &Pair) -> Result<(), ()> {
+    let mut buf = [0u8; 512];
+    let _g = p.front.lock();
+    p.dev.read_at(&mut buf, 0)
+}
+
+/// The inversion hides one call deep: the analyzer's interprocedural pass
+/// must carry `helper_takes_front`'s acquisition up into the caller.
+pub fn bad_transitive(p: &Pair) -> u64 {
+    let b = p.back.lock();
+    helper_takes_front(p) + *b
+}
+
+fn helper_takes_front(p: &Pair) -> u64 {
+    let f = p.front.lock();
+    *f
+}

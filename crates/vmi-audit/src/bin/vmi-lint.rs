@@ -1,546 +1,59 @@
 //! vmi-lint — project-specific source lints for the vmcache workspace.
 //!
-//! A deliberately small, dependency-free line scanner (no rustc internals,
-//! no external parser) enforcing rules that `clippy` cannot know about:
-//!
-//! * `no-unwrap` — no `.unwrap()` / `.expect(...)` / `panic!` in non-test
-//!   *library* code. Recoverable storage errors must travel as
-//!   `BlockError`s; a panic in the image driver takes the VM down with it.
-//!   Binary entry points (`src/bin/`, `main.rs`) and `#[cfg(test)]` /
-//!   `#[test]` code are exempt.
-//! * `no-raw-clock` — no `Instant::now` / `SystemTime::now` outside the
-//!   `vmi-obs` clock abstraction; everything else must take a `Clock` so
-//!   simulated time works (and events stay deterministic in tests).
-//! * `no-raw-sleep` — no `std::thread::sleep` outside the `RetryPolicy`
-//!   sleep hook; real sleeping in library code stalls the simulator.
-//! * `obs-twin` — every public `*_with_obs` constructor keeps a delegating
-//!   non-obs twin, so the no-observability API never rots.
-//! * `span-pair` — no hand-emitted `Event::SpanStart` / `Event::SpanEnd`
-//!   outside `vmi-obs`; spans must come from `Obs::span`/`span_in`, whose
-//!   guard guarantees the matching end event. (Matching on the variants in
-//!   replay/analysis code is fine — only `emit` sites are flagged.)
-//! * `qcow-barrier` — no direct `.flush()` on a device inside `vmi-qcow`
-//!   outside the `QcowImage::barrier` helper. Crash consistency rests on
-//!   metadata mutations being fenced by `barrier()`; an unfenced flush is
-//!   either redundant or (worse) a hint that ordering was hand-rolled.
-//! * `no-std-lock` — no `std::sync::Mutex`/`std::sync::RwLock` (nor the
-//!   poison-unwrap idioms `.lock().unwrap()` / `.read().unwrap()` /
-//!   `.write().unwrap()`) in non-test crate code; use the `parking_lot`
-//!   facade. Hot request paths (the PR-8 sharded driver, the NBD reply
-//!   writer) take these locks per I/O — the facade is non-poisoning, so
-//!   there is no `.unwrap()` to sprinkle, and a panicking peer cannot
-//!   cascade poison errors through every other in-flight request.
+//! Thin CLI over [`vmi_audit::lint`]; see that module for the rule list
+//! (seven per-line rules plus the `LOCK_ORDER.toml`-driven `lock-order`
+//! and `blocking-under-lock` analysis) and the engine internals.
 //!
 //! Exceptions live in an allowlist file (default `.vmi-lint.allow` at the
 //! scan root), one `rule:path-substring:line-substring` triple per line, or
-//! inline as `lint:allow(rule)` in a comment on the offending line.
+//! inline as `lint:allow(rule)` in a comment on the offending line. Under
+//! `--strict`, allowlist entries that match nothing are failures.
 //!
 //! Exit status: 0 clean, 1 findings, 2 usage/I-O error.
 
-use std::collections::BTreeMap;
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-const RULES: [&str; 7] = [
-    "no-unwrap",
-    "no-raw-clock",
-    "no-raw-sleep",
-    "obs-twin",
-    "span-pair",
-    "qcow-barrier",
-    "no-std-lock",
-];
+use vmi_audit::lint;
 
-#[derive(Debug)]
-struct Finding {
-    rule: &'static str,
-    path: String,
-    line_no: usize,
-    message: String,
-    line_text: String,
-}
-
-#[derive(Debug, Clone)]
-struct AllowEntry {
-    rule: String,
-    path_sub: String,
-    line_sub: String,
-    /// Set when the entry matched at least one finding (unused entries are
-    /// reported so the allowlist cannot silently rot).
-    used: std::cell::Cell<bool>,
-}
+const USAGE: &str =
+    "usage: vmi-lint [--root DIR] [--allowlist FILE] [--manifest FILE] [--json] [--strict]";
 
 fn main() -> ExitCode {
-    let mut root = PathBuf::from(".");
-    let mut allow_path: Option<PathBuf> = None;
-    let mut json = false;
+    let mut opts = lint::Options::new(".");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => match args.next() {
-                Some(v) => root = PathBuf::from(v),
+                Some(v) => opts.root = PathBuf::from(v),
                 None => return usage("--root needs a value"),
             },
             "--allowlist" => match args.next() {
-                Some(v) => allow_path = Some(PathBuf::from(v)),
+                Some(v) => opts.allow_path = Some(PathBuf::from(v)),
                 None => return usage("--allowlist needs a value"),
             },
-            "--json" => json = true,
+            "--manifest" => match args.next() {
+                Some(v) => opts.manifest_path = Some(PathBuf::from(v)),
+                None => return usage("--manifest needs a value"),
+            },
+            "--json" => opts.json = true,
+            "--strict" => opts.strict = true,
             "-h" | "--help" => {
-                eprintln!("usage: vmi-lint [--root DIR] [--allowlist FILE] [--json]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
 
-    let allow_file = allow_path.unwrap_or_else(|| root.join(".vmi-lint.allow"));
-    let allow = match load_allowlist(&allow_file) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("vmi-lint: cannot read {}: {e}", allow_file.display());
-            return ExitCode::from(2);
-        }
-    };
-
-    let crates_dir = root.join("crates");
-    if !crates_dir.is_dir() {
-        eprintln!("vmi-lint: {} is not a directory", crates_dir.display());
-        return ExitCode::from(2);
-    }
-
-    let mut files = Vec::new();
-    let mut crate_dirs: Vec<PathBuf> = match fs::read_dir(&crates_dir) {
-        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).collect(),
-        Err(e) => {
-            eprintln!("vmi-lint: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    crate_dirs.sort();
-    for dir in crate_dirs {
-        let src = dir.join("src");
-        if src.is_dir() {
-            collect_rs(&src, &mut files);
-        }
-    }
-    files.sort();
-
-    let mut findings = Vec::new();
-    // crate name -> (pub fn names, [(file, line_no, with_obs name)])
-    let mut pub_fns: BTreeMap<String, ObsTwinRegistry> = BTreeMap::new();
-    for f in &files {
-        let rel = f
-            .strip_prefix(&root)
-            .unwrap_or(f)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let crate_name = rel.split('/').nth(1).unwrap_or("").to_string();
-        let text = match fs::read_to_string(f) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("vmi-lint: cannot read {rel}: {e}");
-                return ExitCode::from(2);
-            }
-        };
-        let entry = pub_fns.entry(crate_name.clone()).or_default();
-        scan_file(&rel, &crate_name, &text, &mut findings, entry);
-    }
-
-    // obs-twin closes over the whole crate: the twin may live in another
-    // module of the same crate.
-    for (names, with_obs) in pub_fns.values() {
-        for (path, line_no, name) in with_obs {
-            let base = name.trim_end_matches("_with_obs");
-            if !names.iter().any(|n| n == base) {
-                findings.push(Finding {
-                    rule: "obs-twin",
-                    path: path.clone(),
-                    line_no: *line_no,
-                    message: format!(
-                        "pub fn {name} has no delegating non-obs twin `pub fn {base}` in this crate"
-                    ),
-                    line_text: String::new(),
-                });
-            }
-        }
-    }
-
-    let mut reported = 0usize;
-    findings.sort_by(|a, b| (&a.path, a.line_no).cmp(&(&b.path, b.line_no)));
-    for f in &findings {
-        if allow.iter().any(|a| {
-            a.rule == f.rule && f.path.contains(&a.path_sub) && f.line_text.contains(&a.line_sub)
-        }) {
-            if let Some(a) = allow.iter().find(|a| {
-                a.rule == f.rule
-                    && f.path.contains(&a.path_sub)
-                    && f.line_text.contains(&a.line_sub)
-            }) {
-                a.used.set(true);
-            }
-            continue;
-        }
-        reported += 1;
-        if json {
-            println!(
-                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
-                f.rule,
-                f.path,
-                f.line_no,
-                f.message.replace('"', "\\\"")
-            );
-        } else {
-            println!("{}:{}: [{}] {}", f.path, f.line_no, f.rule, f.message);
-        }
-    }
-    for a in &allow {
-        if !a.used.get() {
-            eprintln!(
-                "vmi-lint: warning: allowlist entry `{}:{}:{}` matched nothing (stale?)",
-                a.rule, a.path_sub, a.line_sub
-            );
-        }
-    }
-    if reported == 0 {
-        if !json {
-            println!(
-                "vmi-lint: clean ({} files, {} rules, {} allowlisted)",
-                files.len(),
-                RULES.len(),
-                findings.len() - reported
-            );
-        }
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("vmi-lint: {reported} finding(s)");
-        ExitCode::FAILURE
-    }
+    let out = lint::run(&opts);
+    print!("{}", out.stdout);
+    eprint!("{}", out.stderr);
+    ExitCode::from(out.exit)
 }
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("vmi-lint: {msg}");
-    eprintln!("usage: vmi-lint [--root DIR] [--allowlist FILE] [--json]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
-}
-
-fn load_allowlist(path: &Path) -> std::io::Result<Vec<AllowEntry>> {
-    if !path.exists() {
-        return Ok(Vec::new());
-    }
-    let mut out = Vec::new();
-    for line in fs::read_to_string(path)?.lines() {
-        let line = line.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let mut parts = line.splitn(3, ':');
-        let (Some(rule), Some(path_sub), Some(line_sub)) =
-            (parts.next(), parts.next(), parts.next())
-        else {
-            continue;
-        };
-        out.push(AllowEntry {
-            rule: rule.trim().to_string(),
-            path_sub: path_sub.trim().to_string(),
-            line_sub: line_sub.trim().to_string(),
-            used: std::cell::Cell::new(false),
-        });
-    }
-    Ok(out)
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(rd) = fs::read_dir(dir) else { return };
-    let mut entries: Vec<PathBuf> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
-    entries.sort();
-    for p in entries {
-        if p.is_dir() {
-            collect_rs(&p, out);
-        } else if p.extension().is_some_and(|e| e == "rs") {
-            out.push(p);
-        }
-    }
-}
-
-/// Carries multi-line scanner state: block comments and `#[cfg(test)]`
-/// brace-skip regions.
-#[derive(Default)]
-struct ScanState {
-    block_comment_depth: usize,
-    brace_depth: i64,
-    /// Brace depths at which a test region opened; non-empty means "inside
-    /// test code".
-    test_regions: Vec<i64>,
-    /// A test attribute was seen and applies to the next opened brace.
-    test_pending: bool,
-}
-
-/// Per-crate registry for the obs-twin rule: the crate's `pub fn` names and
-/// every `*_with_obs` definition as `(file, line, name)`.
-type ObsTwinRegistry = (Vec<String>, Vec<(String, usize, String)>);
-
-fn scan_file(
-    rel: &str,
-    crate_name: &str,
-    text: &str,
-    findings: &mut Vec<Finding>,
-    pub_fns: &mut ObsTwinRegistry,
-) {
-    // Binary entry points may use unwrap/expect freely: a CLI aborting with
-    // a message is the intended behaviour there.
-    let is_bin = rel.contains("/src/bin/") || rel.ends_with("/main.rs");
-    let mut st = ScanState::default();
-
-    for (i, raw) in text.lines().enumerate() {
-        let line_no = i + 1;
-        let (code, comment) = strip_line(raw, &mut st);
-        let trimmed_code = code.trim();
-
-        // Test attributes put the next brace-delimited item in test land.
-        if comment_or_code_has_attr(raw, "#[cfg(test)]") || comment_or_code_has_attr(raw, "#[test]")
-        {
-            st.test_pending = true;
-        }
-        let in_test = !st.test_regions.is_empty();
-        track_braces(&code, &mut st);
-        let inline_allow = |rule: &str| comment.contains(&format!("lint:allow({rule})"));
-
-        // Collect the pub fn inventory (non-test code only).
-        if !in_test {
-            if let Some(name) = pub_fn_name(trimmed_code) {
-                pub_fns.0.push(name.to_string());
-                if name.ends_with("_with_obs") && !inline_allow("obs-twin") {
-                    pub_fns.1.push((rel.to_string(), line_no, name.to_string()));
-                }
-            }
-        }
-
-        if in_test {
-            continue;
-        }
-
-        if !is_bin {
-            for needle in [".unwrap()", ".expect(", "panic!", "unimplemented!", "todo!"] {
-                if code.contains(needle) && !inline_allow("no-unwrap") {
-                    findings.push(Finding {
-                        rule: "no-unwrap",
-                        path: rel.to_string(),
-                        line_no,
-                        message: format!(
-                            "`{needle}` in library code; return a typed error instead"
-                        ),
-                        line_text: raw.to_string(),
-                    });
-                }
-            }
-        }
-        if crate_name != "vmi-obs" {
-            for needle in ["Instant::now", "SystemTime::now"] {
-                if code.contains(needle) && !inline_allow("no-raw-clock") {
-                    findings.push(Finding {
-                        rule: "no-raw-clock",
-                        path: rel.to_string(),
-                        line_no,
-                        message: format!("`{needle}` outside vmi-obs clocks; take a `Clock`"),
-                        line_text: raw.to_string(),
-                    });
-                }
-            }
-        }
-        if crate_name != "vmi-obs"
-            && code.contains("emit")
-            && (code.contains("Event::SpanStart") || code.contains("Event::SpanEnd"))
-            && !inline_allow("span-pair")
-        {
-            findings.push(Finding {
-                rule: "span-pair",
-                path: rel.to_string(),
-                line_no,
-                message: "hand-emitted span event; use `Obs::span`/`span_in` so the guard \
-                          emits the matching end"
-                    .to_string(),
-                line_text: raw.to_string(),
-            });
-        }
-        if crate_name == "vmi-qcow" && code.contains(".flush()") && !inline_allow("qcow-barrier") {
-            findings.push(Finding {
-                rule: "qcow-barrier",
-                path: rel.to_string(),
-                line_no,
-                message: "direct `.flush()` in vmi-qcow; order metadata through \
-                          `QcowImage::barrier` (or justify with an allow entry)"
-                    .to_string(),
-                line_text: raw.to_string(),
-            });
-        }
-        for needle in [
-            "std::sync::Mutex",
-            "std::sync::RwLock",
-            ".lock().unwrap()",
-            ".read().unwrap()",
-            ".write().unwrap()",
-        ] {
-            if code.contains(needle) && !inline_allow("no-std-lock") {
-                findings.push(Finding {
-                    rule: "no-std-lock",
-                    path: rel.to_string(),
-                    line_no,
-                    message: format!(
-                        "`{needle}`: use the non-poisoning `parking_lot` facade on request paths"
-                    ),
-                    line_text: raw.to_string(),
-                });
-            }
-        }
-        if code.contains("thread::sleep") && !inline_allow("no-raw-sleep") {
-            findings.push(Finding {
-                rule: "no-raw-sleep",
-                path: rel.to_string(),
-                line_no,
-                message: "`thread::sleep` outside the RetryPolicy sleep hook".to_string(),
-                line_text: raw.to_string(),
-            });
-        }
-    }
-}
-
-fn comment_or_code_has_attr(raw: &str, attr: &str) -> bool {
-    raw.trim_start().starts_with(attr)
-}
-
-fn pub_fn_name(code: &str) -> Option<&str> {
-    let rest = code.strip_prefix("pub fn ").or_else(|| {
-        code.strip_prefix("pub const fn ")
-            .or_else(|| code.strip_prefix("pub async fn "))
-    })?;
-    let end = rest.find(|c: char| !c.is_alphanumeric() && c != '_')?;
-    (end > 0).then(|| &rest[..end])
-}
-
-fn track_braces(code: &str, st: &mut ScanState) {
-    for c in code.chars() {
-        match c {
-            '{' => {
-                if st.test_pending {
-                    st.test_regions.push(st.brace_depth);
-                    st.test_pending = false;
-                }
-                st.brace_depth += 1;
-            }
-            '}' => {
-                st.brace_depth -= 1;
-                if st.test_regions.last() == Some(&st.brace_depth) {
-                    st.test_regions.pop();
-                }
-            }
-            // A same-line terminator (e.g. `#[cfg(test)] use ...;`) cancels
-            // a pending test attribute that never opened a brace.
-            ';' if st.test_pending => st.test_pending = false,
-            _ => {}
-        }
-    }
-}
-
-/// Remove comments, string literals, and char literals from one line,
-/// returning `(code, comments)`. Multi-line state (block comments) is kept
-/// in `st`. Raw strings that span lines are not handled — the workspace
-/// style avoids them — but single-line `r"..."`/`r#"..."#` are.
-fn strip_line(raw: &str, st: &mut ScanState) -> (String, String) {
-    let mut code = String::with_capacity(raw.len());
-    let mut comment = String::new();
-    let b: Vec<char> = raw.chars().collect();
-    let mut i = 0;
-    while i < b.len() {
-        if st.block_comment_depth > 0 {
-            if b[i] == '*' && b.get(i + 1) == Some(&'/') {
-                st.block_comment_depth -= 1;
-                i += 2;
-            } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
-                st.block_comment_depth += 1;
-                i += 2;
-            } else {
-                comment.push(b[i]);
-                i += 1;
-            }
-            continue;
-        }
-        match b[i] {
-            '/' if b.get(i + 1) == Some(&'/') => {
-                comment.extend(&b[i..]);
-                break;
-            }
-            '/' if b.get(i + 1) == Some(&'*') => {
-                st.block_comment_depth += 1;
-                i += 2;
-            }
-            '"' => {
-                i += 1;
-                while i < b.len() {
-                    match b[i] {
-                        '\\' => i += 2,
-                        '"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                code.push_str("\"\"");
-            }
-            'r' if b.get(i + 1) == Some(&'"') || (b.get(i + 1) == Some(&'#')) => {
-                // r"..." or r#"..."# on one line.
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while b.get(j) == Some(&'#') {
-                    hashes += 1;
-                    j += 1;
-                }
-                if b.get(j) == Some(&'"') {
-                    j += 1;
-                    'rs: while j < b.len() {
-                        if b[j] == '"' {
-                            let mut k = 0;
-                            while k < hashes && b.get(j + 1 + k) == Some(&'#') {
-                                k += 1;
-                            }
-                            if k == hashes {
-                                j += 1 + hashes;
-                                break 'rs;
-                            }
-                        }
-                        j += 1;
-                    }
-                    code.push_str("\"\"");
-                    i = j;
-                } else {
-                    code.push(b[i]);
-                    i += 1;
-                }
-            }
-            '\'' => {
-                // Char literal vs. lifetime: a literal closes with a quote.
-                if b.get(i + 1) == Some(&'\\') {
-                    let mut j = i + 2;
-                    while j < b.len() && b[j] != '\'' {
-                        j += 1;
-                    }
-                    i = j + 1;
-                    code.push_str("' '");
-                } else if b.get(i + 2) == Some(&'\'') {
-                    i += 3;
-                    code.push_str("' '");
-                } else {
-                    code.push(b[i]);
-                    i += 1;
-                }
-            }
-            c => {
-                code.push(c);
-                i += 1;
-            }
-        }
-    }
-    (code, comment)
 }

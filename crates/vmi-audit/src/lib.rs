@@ -35,6 +35,7 @@
 mod chain;
 mod format;
 mod image;
+pub mod lint;
 
 use std::fmt;
 

@@ -1,0 +1,646 @@
+//! Static lock-order analysis over the workspace sources.
+//!
+//! Lock classes and their ranks are declared in a checked-in manifest
+//! (`LOCK_ORDER.toml`); the analyzer extracts per-function *held →
+//! acquired* edges from guard lifetimes, closes them over an
+//! interprocedural call graph, and reports:
+//!
+//! * **`lock-order`** — an acquisition whose class rank is not strictly
+//!   above every rank already held (rank inversion), re-acquisition of a
+//!   non-`chained` class, or any cycle in the acquisition graph.
+//! * **`blocking-under-lock`** — a blocking call (device I/O, `barrier`,
+//!   `recv`, drains) while holding a class whose manifest entry says
+//!   `blocking = "forbid"`.
+//!
+//! The model is deliberately an approximation with a bias towards *no
+//! false positives* (the runtime lock-rank witness in the `parking_lot`
+//! facade covers what the static pass under-approximates):
+//!
+//! * An acquisition site is a manifest-declared receiver-path substring
+//!   (e.g. `.mut_order.lock(`), optionally scoped to a crate and a file.
+//! * A `let`-bound guard is held to the end of its enclosing block (brace
+//!   depth), an explicit `drop(name)` releases early, `let _ =` and
+//!   temporaries are line-scoped.
+//! * Calls are resolved by name: manifest `[indirect]` names (the dyn
+//!   `BlockDev` surface) map straight to a class; stop-listed names are
+//!   ignored; otherwise same-crate definitions win, then a unique
+//!   workspace-wide definition. Effects propagate by fixpoint.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::tokenizer::FileView;
+use super::{toml, Finding};
+
+/// One lock class from the manifest.
+#[derive(Debug, Clone)]
+pub struct LockClass {
+    /// Acquisition rank; locks must be taken in strictly ascending rank.
+    pub rank: u32,
+    /// When false, blocking calls are forbidden while the class is held.
+    pub blocking_allowed: bool,
+    /// When true, nesting the class inside itself is legal (reentrant
+    /// range guards; per-depth chained image state).
+    pub chained: bool,
+}
+
+/// An acquisition-site pattern from the manifest.
+#[derive(Debug, Clone)]
+pub struct SitePattern {
+    /// Class this site acquires.
+    pub class: String,
+    /// Code substring that identifies the acquisition (receiver path).
+    pub pattern: String,
+    /// Restrict to one crate (directory name under `crates/`).
+    pub krate: Option<String>,
+    /// Restrict to paths containing this substring.
+    pub file: Option<String>,
+}
+
+/// Parsed `LOCK_ORDER.toml`.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// Class name → declaration.
+    pub classes: BTreeMap<String, LockClass>,
+    /// Acquisition sites.
+    pub sites: Vec<SitePattern>,
+    /// Callee name → class acquired behind a dynamic dispatch boundary.
+    pub indirect: BTreeMap<String, String>,
+    /// Callee names that block (I/O, drains, channel receives).
+    pub blocking: BTreeSet<String>,
+    /// Callee names never resolved to workspace functions (ubiquitous
+    /// std/collection names that would otherwise alias).
+    pub stop: BTreeSet<String>,
+}
+
+impl Manifest {
+    /// Parse and validate manifest text.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let doc = toml::parse(text)?;
+        let mut m = Manifest::default();
+        for (name, table) in &doc.tables {
+            if let Some(class) = name.strip_prefix("class.") {
+                let rank = table
+                    .get("rank")
+                    .and_then(|v| v.as_int())
+                    .ok_or_else(|| format!("class `{class}`: missing integer `rank`"))?;
+                if !(0..=u32::MAX as i64).contains(&rank) {
+                    return Err(format!("class `{class}`: rank {rank} out of range"));
+                }
+                let blocking_allowed = match table.get("blocking").and_then(|v| v.as_str()) {
+                    Some("allow") => true,
+                    Some("forbid") | None => false,
+                    Some(other) => {
+                        return Err(format!(
+                            "class `{class}`: blocking = {other:?} (want \"allow\" or \"forbid\")"
+                        ))
+                    }
+                };
+                let chained = table
+                    .get("chained")
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false);
+                m.classes.insert(
+                    class.to_string(),
+                    LockClass {
+                        rank: rank as u32,
+                        blocking_allowed,
+                        chained,
+                    },
+                );
+            }
+        }
+        if m.classes.is_empty() {
+            return Err("no [class.*] tables".to_string());
+        }
+        let mut by_rank: BTreeMap<u32, &String> = BTreeMap::new();
+        for (name, c) in &m.classes {
+            if let Some(prev) = by_rank.insert(c.rank, name) {
+                return Err(format!(
+                    "classes `{prev}` and `{name}` share rank {}; ranks must be unique",
+                    c.rank
+                ));
+            }
+        }
+        for site in doc.arrays.get("site").map(Vec::as_slice).unwrap_or(&[]) {
+            let class = site
+                .get("class")
+                .and_then(|v| v.as_str())
+                .ok_or("a [[site]] is missing `class`")?
+                .to_string();
+            if !m.classes.contains_key(&class) {
+                return Err(format!("[[site]] names undeclared class `{class}`"));
+            }
+            let pattern = site
+                .get("pattern")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("[[site]] for `{class}` is missing `pattern`"))?
+                .to_string();
+            if pattern.is_empty() {
+                return Err(format!("[[site]] for `{class}` has an empty pattern"));
+            }
+            m.sites.push(SitePattern {
+                class,
+                pattern,
+                krate: site
+                    .get("crate")
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string),
+                file: site
+                    .get("file")
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string),
+            });
+        }
+        if m.sites.is_empty() {
+            return Err("no [[site]] acquisition patterns".to_string());
+        }
+        if let Some(ind) = doc.tables.get("indirect") {
+            for (callee, v) in ind {
+                let class = v
+                    .as_str()
+                    .ok_or_else(|| format!("[indirect] {callee}: value must be a class string"))?;
+                if !m.classes.contains_key(class) {
+                    return Err(format!(
+                        "[indirect] {callee} names undeclared class `{class}`"
+                    ));
+                }
+                m.indirect.insert(callee.clone(), class.to_string());
+            }
+        }
+        if let Some(analysis) = doc.tables.get("analysis") {
+            if let Some(list) = analysis.get("blocking").and_then(|v| v.as_list()) {
+                m.blocking.extend(list.iter().cloned());
+            }
+            if let Some(list) = analysis.get("stop").and_then(|v| v.as_list()) {
+                m.stop.extend(list.iter().cloned());
+            }
+        }
+        Ok(m)
+    }
+}
+
+/// One scanned source file handed to the analyzer.
+pub struct SourceFile<'a> {
+    /// Root-relative path with forward slashes.
+    pub rel: &'a str,
+    /// Crate directory name.
+    pub krate: &'a str,
+    /// Tokenized view.
+    pub view: &'a FileView,
+    /// Original source lines (for finding `line_text`).
+    pub raw_lines: &'a [&'a str],
+}
+
+#[derive(Debug, Clone)]
+struct Acq {
+    class: String,
+    line: usize, // 0-based index into the file's lines
+    col: usize,
+    release_line: usize, // inclusive
+}
+
+#[derive(Debug, Default)]
+struct FnSummary {
+    name: String,
+    krate: String,
+    file: usize,
+    /// Classes acquired directly (patterns + indirect callees).
+    direct: BTreeSet<String>,
+    /// Direct held → acquired edges with their site.
+    edges: Vec<(String, String, usize, usize)>, // held, acquired, file, line(0-based)
+    /// Calls made while holding a class: (class, callee, line).
+    held_calls: Vec<(String, String, usize)>,
+    /// Every callee name (for transitive effects).
+    calls: BTreeSet<String>,
+}
+
+/// Run the analysis; returns `lock-order` / `blocking-under-lock` findings.
+pub fn analyze(manifest: &Manifest, files: &[SourceFile<'_>]) -> Vec<Finding> {
+    let mut fns: Vec<FnSummary> = Vec::new();
+    for (fidx, sf) in files.iter().enumerate() {
+        for span in &sf.view.fns {
+            if span.in_test {
+                continue;
+            }
+            fns.push(extract_fn(manifest, sf, fidx, span));
+        }
+    }
+
+    // Name resolution index: name -> fn indices, per crate and global.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(i);
+    }
+    // `caller` is excluded from its own resolution: a wrapper delegating to
+    // an inner impl of the same name (`self.img.discard(...)` inside
+    // `ConcurrentImage::discard`) must not alias to itself.
+    let resolve = |callee: &str, from_crate: &str, caller: usize| -> Vec<usize> {
+        if manifest.stop.contains(callee) || manifest.indirect.contains_key(callee) {
+            return Vec::new();
+        }
+        let Some(cands) = by_name.get(callee) else {
+            return Vec::new();
+        };
+        let cands: Vec<usize> = cands.iter().copied().filter(|&i| i != caller).collect();
+        let same: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| fns[i].krate == from_crate)
+            .collect();
+        if !same.is_empty() {
+            same
+        } else if cands.len() == 1 {
+            cands
+        } else {
+            Vec::new()
+        }
+    };
+
+    // Fixpoint: may_acquire(fn) = direct ∪ ⋃ may_acquire(resolved callees).
+    let mut may: Vec<BTreeSet<String>> = fns.iter().map(|f| f.direct.clone()).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for callee in &fns[i].calls {
+                for j in resolve(callee, &fns[i].krate, i) {
+                    add.extend(may[j].iter().cloned());
+                }
+            }
+            for c in add {
+                if may[i].insert(c) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final edge set with one witness site per (held, acquired) pair.
+    let mut edges: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        for (held, acq, file, line) in &f.edges {
+            edges
+                .entry((held.clone(), acq.clone()))
+                .or_insert((*file, *line));
+        }
+        for (held, callee, line) in &f.held_calls {
+            if let Some(class) = manifest.indirect.get(callee) {
+                edges
+                    .entry((held.clone(), class.clone()))
+                    .or_insert((f.file, *line));
+            }
+            for j in resolve(callee, &f.krate, i) {
+                for acq in &may[j] {
+                    edges
+                        .entry((held.clone(), acq.clone()))
+                        .or_insert((f.file, *line));
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    let site = |file: usize, line: usize| -> (String, usize, String) {
+        let sf = &files[file];
+        (
+            sf.rel.to_string(),
+            line + 1,
+            sf.raw_lines.get(line).copied().unwrap_or("").to_string(),
+        )
+    };
+
+    for ((held, acq), (file, line)) in &edges {
+        let hc = &manifest.classes[held];
+        let ac = &manifest.classes[acq];
+        if held == acq {
+            if !hc.chained {
+                let (path, line_no, line_text) = site(*file, *line);
+                findings.push(Finding {
+                    rule: "lock-order",
+                    path,
+                    line_no,
+                    message: format!(
+                        "re-acquiring `{held}` (rank {}) while already holding it; \
+                         class is not marked chained in LOCK_ORDER.toml",
+                        hc.rank
+                    ),
+                    line_text,
+                });
+            }
+        } else if ac.rank <= hc.rank {
+            let (path, line_no, line_text) = site(*file, *line);
+            findings.push(Finding {
+                rule: "lock-order",
+                path,
+                line_no,
+                message: format!(
+                    "acquiring `{acq}` (rank {}) while holding `{held}` (rank {}); \
+                     lock order requires ascending ranks (see LOCK_ORDER.toml)",
+                    ac.rank, hc.rank
+                ),
+                line_text,
+            });
+        }
+    }
+
+    // Cycle reporting over the acquisition graph (legal chained self-edges
+    // excluded). Any multi-class cycle also contains an inversion edge, but
+    // naming the loop makes the report actionable at a glance.
+    for cycle in find_cycles(&edges) {
+        let key = (cycle[0].clone(), cycle[1].clone());
+        let (file, line) = edges[&key];
+        let (path, line_no, line_text) = site(file, line);
+        let shown: Vec<String> = cycle
+            .iter()
+            .chain(std::iter::once(&cycle[0]))
+            .map(|c| format!("`{c}`"))
+            .collect();
+        findings.push(Finding {
+            rule: "lock-order",
+            path,
+            line_no,
+            message: format!("lock acquisition cycle: {}", shown.join(" -> ")),
+            line_text,
+        });
+    }
+
+    // Blocking calls under a forbid class.
+    for f in &fns {
+        for (held, callee, line) in &f.held_calls {
+            if manifest.blocking.contains(callee) && !manifest.classes[held].blocking_allowed {
+                let (path, line_no, line_text) = site(f.file, *line);
+                findings.push(Finding {
+                    rule: "blocking-under-lock",
+                    path,
+                    line_no,
+                    message: format!(
+                        "blocking call `{callee}` while holding `{held}` (rank {}); \
+                         LOCK_ORDER.toml forbids blocking under this class",
+                        manifest.classes[held].rank
+                    ),
+                    line_text,
+                });
+            }
+        }
+    }
+
+    findings
+}
+
+/// Extract acquisitions, edges, and calls for one function span.
+fn extract_fn(
+    manifest: &Manifest,
+    sf: &SourceFile<'_>,
+    fidx: usize,
+    span: &super::tokenizer::FnSpan,
+) -> FnSummary {
+    let lines = &sf.view.lines;
+    let lo = span.start - 1;
+    let hi = (span.end - 1).min(lines.len().saturating_sub(1));
+    let mut out = FnSummary {
+        name: span.name.clone(),
+        krate: sf.krate.to_string(),
+        file: fidx,
+        ..FnSummary::default()
+    };
+
+    // Pass 1: acquisitions with release lines.
+    let mut acqs: Vec<Acq> = Vec::new();
+    for l in lo..=hi {
+        let code = lines[l].code.as_str();
+        for sp in &manifest.sites {
+            if let Some(k) = &sp.krate {
+                if sf.krate != k {
+                    continue;
+                }
+            }
+            if let Some(fsub) = &sp.file {
+                if !sf.rel.contains(fsub.as_str()) {
+                    continue;
+                }
+            }
+            for (col, _) in code.match_indices(sp.pattern.as_str()) {
+                let binding =
+                    let_binding(code).filter(|_| guard_is_bound(code, col, sp.pattern.len()));
+                let release_line = match binding.as_deref() {
+                    // `let _ = x.lock()` drops immediately; temporaries (and
+                    // chained calls like `.lock().keys().collect()`, where
+                    // the guard dies at end of statement) live on their own
+                    // line only.
+                    None | Some("_") => l,
+                    Some(name) => {
+                        let depth = lines[l].depth_start;
+                        let mut rel = hi;
+                        let needle = format!("drop({name})");
+                        for (j, ln) in lines.iter().enumerate().take(hi + 1).skip(l + 1) {
+                            if ln.code.contains(&needle) || ln.depth_end < depth {
+                                rel = j;
+                                break;
+                            }
+                        }
+                        rel
+                    }
+                };
+                acqs.push(Acq {
+                    class: sp.class.clone(),
+                    line: l,
+                    col,
+                    release_line,
+                });
+                out.direct.insert(sp.class.clone());
+            }
+        }
+    }
+
+    // Pass 2: edges and calls.
+    for (l, ln) in lines.iter().enumerate().take(hi + 1).skip(lo) {
+        let calls = extract_calls(&ln.code);
+        for (callee, _) in &calls {
+            out.calls.insert(callee.clone());
+            if let Some(class) = manifest.indirect.get(callee.as_str()) {
+                out.direct.insert(class.clone());
+            }
+        }
+        let same_line: Vec<&Acq> = {
+            let mut v: Vec<&Acq> = acqs.iter().filter(|a| a.line == l).collect();
+            v.sort_by_key(|a| a.col);
+            v
+        };
+        // Same-line acquisitions nest in textual order.
+        for (i, a) in same_line.iter().enumerate() {
+            for b in &same_line[i + 1..] {
+                out.edges.push((a.class.clone(), b.class.clone(), fidx, l));
+            }
+        }
+        for g in acqs.iter().filter(|a| a.line < l && a.release_line >= l) {
+            for a in &same_line {
+                out.edges.push((g.class.clone(), a.class.clone(), fidx, l));
+            }
+            for (callee, _) in &calls {
+                if callee != "drop" {
+                    out.held_calls.push((g.class.clone(), callee.clone(), l));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether the acquisition at `col` is what the `let` actually binds: the
+/// pattern must be value-initial (only a receiver path between the `=` and
+/// the pattern — not buried inside an argument list) and un-chained (no
+/// further `.method()` after the call closes, which would reduce the guard
+/// to a temporary).
+fn guard_is_bound(code: &str, col: usize, pat_len: usize) -> bool {
+    let Some(eq) = code.find('=') else {
+        return false;
+    };
+    if eq >= col {
+        return false;
+    }
+    let between = &code[eq + 1..col];
+    if !between
+        .chars()
+        .all(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':' | ' ' | '\t' | '&' | '*'))
+    {
+        return false;
+    }
+    // Balance parens from the pattern's opening `(`; a `.` right after the
+    // matching close means a chained call.
+    let mut depth = 1i32;
+    let mut rest = code[col + pat_len..].char_indices();
+    for (i, c) in rest.by_ref() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    let tail = code[col + pat_len + i + c.len_utf8()..].trim_start();
+                    return !tail.starts_with('.');
+                }
+            }
+            _ => {}
+        }
+    }
+    // Call spans lines; assume bound.
+    true
+}
+
+/// The simple `let`-binding name of a line, if it starts one.
+fn let_binding(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    // Require a plain `name =` binding; destructuring patterns (`let Some(g)`,
+    // `let (a, b)`) get temporary treatment.
+    let after = rest[name.len()..].trim_start();
+    if after.starts_with('=') || after.starts_with(':') {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+const KEYWORDS: [&str; 18] = [
+    "if", "while", "for", "match", "return", "fn", "as", "in", "loop", "move", "ref", "mut",
+    "else", "impl", "dyn", "where", "unsafe", "let",
+];
+
+/// Identifiers followed by `(` — candidate calls. Macros (`name!(`),
+/// keywords, uppercase-initial names (tuple structs, enum variants), and
+/// `fn` definition names are skipped.
+fn extract_calls(code: &str) -> Vec<(String, usize)> {
+    let b: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i].is_alphabetic() || b[i] == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            let word: String = b[start..i].iter().collect();
+            let mut j = i;
+            while j < b.len() && b[j] == ' ' {
+                j += 1;
+            }
+            if j < b.len() && b[j] == '(' {
+                let first = word.chars().next().unwrap_or('_');
+                let prev = b[..start].iter().rev().find(|c| **c != ' ');
+                let after_fn_kw = code[..start].trim_end().ends_with("fn");
+                if !first.is_uppercase()
+                    && prev != Some(&'!')
+                    && !after_fn_kw
+                    && !KEYWORDS.contains(&word.as_str())
+                {
+                    out.push((word, start));
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Distinct simple cycles (as class-name sequences), excluding chained
+/// self-loops. One representative cycle is reported per strongly connected
+/// component to keep output readable.
+fn find_cycles(edges: &BTreeMap<(String, String), (usize, usize)>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (held, acq) in edges.keys() {
+        if held == acq {
+            continue; // self-loops handled by the chained check
+        }
+        adj.entry(held.as_str()).or_default().push(acq.as_str());
+    }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for &start in adj.keys() {
+        if done.contains(start) {
+            continue;
+        }
+        // DFS from `start` looking for a path back to `start`.
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        let mut on_path: BTreeSet<&str> = [start].into();
+        while let Some(&(node, next)) = stack.last() {
+            let succs = adj.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            if next < succs.len() {
+                let top = stack.len() - 1;
+                stack[top].1 += 1;
+                let s = succs[next];
+                if s == start {
+                    cycles.push(path.iter().map(|c| c.to_string()).collect());
+                    for c in &path {
+                        done.insert(*c);
+                    }
+                    break;
+                }
+                if !on_path.contains(s) {
+                    on_path.insert(s);
+                    path.push(s);
+                    stack.push((s, 0));
+                }
+            } else {
+                stack.pop();
+                if let Some(popped) = path.pop() {
+                    on_path.remove(popped);
+                }
+            }
+        }
+        done.insert(start);
+    }
+    cycles
+}

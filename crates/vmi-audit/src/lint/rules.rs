@@ -1,0 +1,177 @@
+//! The per-line lint rules, ported onto the [`tokenizer`](super::tokenizer).
+//!
+//! Rule semantics (needles, messages, exemptions) are bit-compatible with
+//! the historical `vmi-lint` line scanner; only the lexical substrate
+//! changed (the tokenizer handles multi-line raw strings and nested block
+//! comments that the old per-line stripper could not).
+
+use super::tokenizer::FileView;
+use super::{Finding, ObsTwinRegistry};
+
+/// Every rule the linter knows, in reporting order. The lock-order rules
+/// are implemented in [`lockorder`](super::lockorder) but share this
+/// registry (and the allowlist machinery).
+pub const RULES: [&str; 9] = [
+    "no-unwrap",
+    "no-raw-clock",
+    "no-raw-sleep",
+    "obs-twin",
+    "span-pair",
+    "qcow-barrier",
+    "no-std-lock",
+    "lock-order",
+    "blocking-under-lock",
+];
+
+/// Run the seven per-line rules over one scanned file.
+///
+/// `rel` is the root-relative path (forward slashes), `raw_lines` the
+/// original source lines (for `line_text` used by allowlist matching).
+pub fn scan_file(
+    rel: &str,
+    crate_name: &str,
+    view: &FileView,
+    raw_lines: &[&str],
+    findings: &mut Vec<Finding>,
+    pub_fns: &mut ObsTwinRegistry,
+) {
+    // Binary entry points may use unwrap/expect freely: a CLI aborting with
+    // a message is the intended behaviour there.
+    let is_bin = rel.contains("/src/bin/") || rel.ends_with("/main.rs");
+
+    for (i, lv) in view.lines.iter().enumerate() {
+        let line_no = i + 1;
+        let raw = raw_lines.get(i).copied().unwrap_or("");
+        let code = lv.code.as_str();
+        let comment = lv.comment.as_str();
+        let trimmed_code = code.trim();
+        let in_test = lv.in_test;
+        let inline_allow = |rule: &str| comment.contains(&format!("lint:allow({rule})"));
+
+        // Collect the pub fn inventory (non-test code only).
+        if !in_test {
+            if let Some(name) = pub_fn_name(trimmed_code) {
+                pub_fns.0.push(name.to_string());
+                if name.ends_with("_with_obs") && !inline_allow("obs-twin") {
+                    pub_fns.1.push((rel.to_string(), line_no, name.to_string()));
+                }
+            }
+        }
+
+        if in_test {
+            continue;
+        }
+
+        if !is_bin {
+            for needle in [".unwrap()", ".expect(", "panic!", "unimplemented!", "todo!"] {
+                if code.contains(needle) && !inline_allow("no-unwrap") {
+                    findings.push(Finding {
+                        rule: "no-unwrap",
+                        path: rel.to_string(),
+                        line_no,
+                        message: format!(
+                            "`{needle}` in library code; return a typed error instead"
+                        ),
+                        line_text: raw.to_string(),
+                    });
+                }
+            }
+        }
+        if crate_name != "vmi-obs" {
+            for needle in ["Instant::now", "SystemTime::now"] {
+                if code.contains(needle) && !inline_allow("no-raw-clock") {
+                    findings.push(Finding {
+                        rule: "no-raw-clock",
+                        path: rel.to_string(),
+                        line_no,
+                        message: format!("`{needle}` outside vmi-obs clocks; take a `Clock`"),
+                        line_text: raw.to_string(),
+                    });
+                }
+            }
+        }
+        if crate_name != "vmi-obs"
+            && code.contains("emit")
+            && (code.contains("Event::SpanStart") || code.contains("Event::SpanEnd"))
+            && !inline_allow("span-pair")
+        {
+            findings.push(Finding {
+                rule: "span-pair",
+                path: rel.to_string(),
+                line_no,
+                message: "hand-emitted span event; use `Obs::span`/`span_in` so the guard \
+                          emits the matching end"
+                    .to_string(),
+                line_text: raw.to_string(),
+            });
+        }
+        if crate_name == "vmi-qcow" && code.contains(".flush()") && !inline_allow("qcow-barrier") {
+            findings.push(Finding {
+                rule: "qcow-barrier",
+                path: rel.to_string(),
+                line_no,
+                message: "direct `.flush()` in vmi-qcow; order metadata through \
+                          `QcowImage::barrier` (or justify with an allow entry)"
+                    .to_string(),
+                line_text: raw.to_string(),
+            });
+        }
+        for needle in [
+            "std::sync::Mutex",
+            "std::sync::RwLock",
+            ".lock().unwrap()",
+            ".read().unwrap()",
+            ".write().unwrap()",
+        ] {
+            if code.contains(needle) && !inline_allow("no-std-lock") {
+                findings.push(Finding {
+                    rule: "no-std-lock",
+                    path: rel.to_string(),
+                    line_no,
+                    message: format!(
+                        "`{needle}`: use the non-poisoning `parking_lot` facade on request paths"
+                    ),
+                    line_text: raw.to_string(),
+                });
+            }
+        }
+        if code.contains("thread::sleep") && !inline_allow("no-raw-sleep") {
+            findings.push(Finding {
+                rule: "no-raw-sleep",
+                path: rel.to_string(),
+                line_no,
+                message: "`thread::sleep` outside the RetryPolicy sleep hook".to_string(),
+                line_text: raw.to_string(),
+            });
+        }
+    }
+}
+
+/// Cross-file pass for `obs-twin`: every `pub fn *_with_obs` needs a
+/// delegating non-obs twin somewhere in the same crate.
+pub fn check_obs_twins(registry: &ObsTwinRegistry, findings: &mut Vec<Finding>) {
+    let (names, with_obs) = registry;
+    for (path, line_no, name) in with_obs {
+        let base = name.trim_end_matches("_with_obs");
+        if !names.iter().any(|n| n == base) {
+            findings.push(Finding {
+                rule: "obs-twin",
+                path: path.clone(),
+                line_no: *line_no,
+                message: format!(
+                    "pub fn {name} has no delegating non-obs twin `pub fn {base}` in this crate"
+                ),
+                line_text: String::new(),
+            });
+        }
+    }
+}
+
+fn pub_fn_name(code: &str) -> Option<&str> {
+    let rest = code.strip_prefix("pub fn ").or_else(|| {
+        code.strip_prefix("pub const fn ")
+            .or_else(|| code.strip_prefix("pub async fn "))
+    })?;
+    let end = rest.find(|c: char| !c.is_alphanumeric() && c != '_')?;
+    (end > 0).then(|| &rest[..end])
+}

@@ -1,0 +1,384 @@
+//! Lightweight, dependency-free lexical scanner for Rust sources.
+//!
+//! This is not a parser: it produces, for each **line** of a file, the code
+//! with string/char literals blanked and comments removed (`code`), the
+//! comment text (`comment`), whether the line starts inside `#[cfg(test)]` /
+//! `#[test]` code (`in_test`), and the brace depth at the start and end of
+//! the line. On top of that it recovers the spans of named `fn` items
+//! (innermost-enclosing attribution: a nested `fn` owns its own body).
+//!
+//! Handled correctly, because lint rules must not fire inside them:
+//! ordinary strings (including multi-line and escapes), raw strings with
+//! any number of `#`s (including multi-line), byte/char literals vs.
+//! lifetimes, line comments, and **nested** block comments. Attributes are
+//! not stripped — rules match on them deliberately (`#[cfg(test)]`).
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct LineView {
+    /// The line with comments removed and string/char literal *contents*
+    /// blanked (`"…"` becomes `""`, `'x'` becomes `' '`).
+    pub code: String,
+    /// The comment text of the line (line comments and the interior of
+    /// block comments), used for `lint:allow(...)` markers.
+    pub comment: String,
+    /// True when the line *starts* inside a test region (the line that
+    /// opens the region — e.g. `mod tests {` after `#[cfg(test)]` — is
+    /// itself non-test, matching the historical scanner).
+    pub in_test: bool,
+    /// Brace depth before the first character of the line.
+    pub depth_start: i64,
+    /// Brace depth after the last character of the line.
+    pub depth_end: i64,
+}
+
+/// A named `fn` item span (1-based, inclusive lines). Bodies of nested fns
+/// belong to the nested entry; `start` is the line of the `fn` keyword and
+/// `end` the line of the matching closing brace. Bodyless declarations
+/// (trait methods ending in `;`) are not recorded.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// Line of the `fn` keyword (1-based).
+    pub start: usize,
+    /// Line of the closing brace of the body (1-based).
+    pub end: usize,
+    /// True when the whole fn lives in test code.
+    pub in_test: bool,
+}
+
+/// A scanned file: per-line views plus the fn item index.
+#[derive(Debug)]
+pub struct FileView {
+    /// One entry per source line, in order.
+    pub lines: Vec<LineView>,
+    /// Named fn spans, in source order.
+    pub fns: Vec<FnSpan>,
+}
+
+#[derive(Default)]
+struct LexState {
+    block_comment_depth: usize,
+    /// Inside a `"…"` string that continues past a line break.
+    in_string: bool,
+    /// Inside a raw string; the value is the `#` count of its delimiter.
+    in_raw_string: Option<usize>,
+}
+
+/// Scan a whole file.
+pub fn scan(text: &str) -> FileView {
+    let mut lex = LexState::default();
+    let mut brace_depth: i64 = 0;
+    let mut test_regions: Vec<i64> = Vec::new();
+    let mut test_pending = false;
+    let mut lines = Vec::new();
+
+    for raw in text.lines() {
+        let depth_start = brace_depth;
+        let in_test = !test_regions.is_empty();
+        let (code, comment) = strip_line(raw, &mut lex);
+        // Attributes appear outside literals; match on the raw line like the
+        // historical scanner (doc text never starts with `#[`).
+        let t = raw.trim_start();
+        if t.starts_with("#[cfg(test)]") || t.starts_with("#[test]") {
+            test_pending = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if test_pending {
+                        test_regions.push(brace_depth);
+                        test_pending = false;
+                    }
+                    brace_depth += 1;
+                }
+                '}' => {
+                    brace_depth -= 1;
+                    if test_regions.last() == Some(&brace_depth) {
+                        test_regions.pop();
+                    }
+                }
+                // A same-line terminator (e.g. `#[cfg(test)] use ...;`)
+                // cancels a pending test attribute that never opened a brace.
+                ';' if test_pending => test_pending = false,
+                _ => {}
+            }
+        }
+        lines.push(LineView {
+            code,
+            comment,
+            in_test,
+            depth_start,
+            depth_end: brace_depth,
+        });
+    }
+
+    let fns = find_fns(&lines);
+    FileView { lines, fns }
+}
+
+/// Find named fn item spans over the cleaned lines.
+fn find_fns(lines: &[LineView]) -> Vec<FnSpan> {
+    // Open fns as (name, body_open_depth, start_line, in_test).
+    let mut open: Vec<(String, i64, usize, bool)> = Vec::new();
+    // Declared-but-unopened fn header being carried across lines.
+    let mut pending: Option<(String, usize, bool)> = None;
+    let mut out = Vec::new();
+    let mut depth;
+
+    for (idx, lv) in lines.iter().enumerate() {
+        depth = lv.depth_start;
+        let code = lv.code.as_str();
+        let mut chars = code.char_indices().peekable();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '{' => {
+                    if let Some((name, start, in_test)) = pending.take() {
+                        open.push((name, depth, start, in_test));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    while let Some((name, d, start, in_test)) = open.last().cloned() {
+                        if depth == d {
+                            out.push(FnSpan {
+                                name,
+                                start,
+                                end: idx + 1,
+                                in_test,
+                            });
+                            open.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                ';' => {
+                    // Bodyless declaration (trait method signature).
+                    pending = None;
+                }
+                'f' => {
+                    // `fn NAME` with a word boundary on each side.
+                    let bytes = code.as_bytes();
+                    let before_ok = i == 0 || !is_ident(bytes[i - 1] as char);
+                    if before_ok && code[i..].starts_with("fn ") {
+                        let rest = &code[i + 3..];
+                        let name: String = rest
+                            .trim_start()
+                            .chars()
+                            .take_while(|c| is_ident(*c))
+                            .collect();
+                        if !name.is_empty() {
+                            pending = Some((name, idx + 1, lv.in_test));
+                        }
+                        // Skip past "fn " so the name's chars are not
+                        // re-examined (harmless either way).
+                        while let Some((j, _)) = chars.peek() {
+                            if *j < i + 3 {
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Unclosed fns at EOF (truncated file): close them at the last line.
+    for (name, _, start, in_test) in open {
+        out.push(FnSpan {
+            name,
+            start,
+            end: lines.len(),
+            in_test,
+        });
+    }
+    out.sort_by_key(|f| f.start);
+    out
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Remove comments and blank literal contents from one line, carrying
+/// multi-line state (block comments, plain and raw strings) in `lex`.
+fn strip_line(raw: &str, lex: &mut LexState) -> (String, String) {
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let b: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        if lex.block_comment_depth > 0 {
+            if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                lex.block_comment_depth -= 1;
+                i += 2;
+            } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                lex.block_comment_depth += 1;
+                i += 2;
+            } else {
+                comment.push(b[i]);
+                i += 1;
+            }
+            continue;
+        }
+        if let Some(hashes) = lex.in_raw_string {
+            if b[i] == '"' && (0..hashes).all(|k| b.get(i + 1 + k) == Some(&'#')) {
+                lex.in_raw_string = None;
+                code.push_str("\"\"");
+                i += 1 + hashes;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if lex.in_string {
+            match b[i] {
+                '\\' => i += 2,
+                '"' => {
+                    lex.in_string = false;
+                    code.push_str("\"\"");
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+            continue;
+        }
+        match b[i] {
+            '/' if b.get(i + 1) == Some(&'/') => {
+                comment.extend(&b[i..]);
+                break;
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                lex.block_comment_depth += 1;
+                i += 2;
+            }
+            '"' => {
+                lex.in_string = true;
+                i += 1;
+            }
+            'b' if b.get(i + 1) == Some(&'"') => {
+                // Byte string b"...": same lexing as a plain string.
+                lex.in_string = true;
+                i += 2;
+            }
+            'r' if matches!(b.get(i + 1), Some(&'"') | Some(&'#')) => {
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while b.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if b.get(j) == Some(&'"') {
+                    lex.in_raw_string = Some(hashes);
+                    i = j + 1;
+                } else {
+                    // `r#ident` raw identifier, not a string.
+                    code.push(b[i]);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs. lifetime: a literal closes with a quote.
+                if b.get(i + 1) == Some(&'\\') {
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != '\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                    code.push_str("' '");
+                } else if b.get(i + 2) == Some(&'\'') {
+                    i += 3;
+                    code.push_str("' '");
+                } else {
+                    code.push(b[i]);
+                    i += 1;
+                }
+            }
+            c => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    // A plain string left open at end of line continues (multi-line string);
+    // nothing to emit for it.
+    (code, comment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_strings_and_comments() {
+        let v = scan("let x = \"a.unwrap()\"; // .unwrap()\nlet y = 1;\n");
+        assert_eq!(v.lines[0].code, "let x = \"\"; ");
+        assert!(v.lines[0].comment.contains(".unwrap()"));
+        assert_eq!(v.lines[1].code, "let y = 1;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let v = scan("a /* one /* two */ still */ b\nc\n");
+        assert_eq!(v.lines[0].code.replace(' ', ""), "ab");
+        assert_eq!(v.lines[1].code, "c");
+    }
+
+    #[test]
+    fn multiline_raw_string_is_blanked() {
+        let v = scan("let s = r#\"first .unwrap()\nsecond panic!\"#;\nlet t = 2;\n");
+        assert!(!v.lines[0].code.contains("unwrap"));
+        assert!(!v.lines[1].code.contains("panic"));
+        assert_eq!(v.lines[2].code, "let t = 2;");
+    }
+
+    #[test]
+    fn multiline_plain_string_is_blanked() {
+        let v = scan("let s = \"first\nsecond .unwrap()\";\nlet t = 2;\n");
+        assert!(!v.lines[1].code.contains("unwrap"));
+        assert_eq!(v.lines[2].code, "let t = 2;");
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_bodies() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let v = scan(src);
+        assert!(!v.lines[0].in_test);
+        assert!(!v.lines[2].in_test, "opening line itself is non-test");
+        assert!(v.lines[3].in_test);
+        assert!(!v.lines[5].in_test);
+    }
+
+    #[test]
+    fn fn_spans_are_found_with_nesting() {
+        let src = "fn outer() {\n    let c = 1;\n    fn inner() {\n        let d = 2;\n    }\n}\n";
+        let v = scan(src);
+        let names: Vec<_> = v.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        let outer = &v.fns[0];
+        let inner = &v.fns[1];
+        assert_eq!((outer.start, outer.end), (1, 6));
+        assert_eq!((inner.start, inner.end), (3, 5));
+    }
+
+    #[test]
+    fn bodyless_trait_fn_is_skipped() {
+        let v =
+            scan("trait T {\n    fn sig(&self) -> u32;\n    fn with_body(&self) -> u32 { 1 }\n}\n");
+        let names: Vec<_> = v.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["with_body"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let v = scan("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert_eq!(v.fns.len(), 1);
+        assert!(v.lines[0].code.contains("&'a str"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Dependency-free parser for the TOML subset used by `LOCK_ORDER.toml`.
+//!
+//! Supported: `# comments`, `[table]` / `[dotted.table]` headers,
+//! `[[array.of.tables]]` headers, and `key = value` pairs where a value is
+//! a `"string"`, an integer, `true`/`false`, or a single-line array of
+//! strings. That is all the manifest needs; anything else is a parse error
+//! (loudly, with a line number) rather than a silent skip, so a typo in the
+//! manifest cannot disable the analyzer.
+
+use std::collections::BTreeMap;
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `"…"`.
+    Str(String),
+    /// Decimal integer.
+    Int(i64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `["a", "b"]`.
+    List(Vec<String>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The bool payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The list payload, if this is a list of strings.
+    pub fn as_list(&self) -> Option<&[String]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+/// Key → value pairs of one table.
+pub type Table = BTreeMap<String, Value>;
+
+/// A parsed document: plain tables and arrays-of-tables, keyed by their
+/// dotted header names.
+#[derive(Debug, Default)]
+pub struct Doc {
+    /// `[name]` tables (dotted names kept verbatim).
+    pub tables: BTreeMap<String, Table>,
+    /// `[[name]]` arrays of tables, in file order.
+    pub arrays: BTreeMap<String, Vec<Table>>,
+}
+
+enum Cursor {
+    Table(String),
+    Array(String),
+}
+
+/// Parse a document; errors carry the 1-based line number.
+pub fn parse(text: &str) -> Result<Doc, String> {
+    let mut doc = Doc::default();
+    let mut cursor: Option<Cursor> = None;
+    let mut lines = text.lines().enumerate();
+    while let Some((i, raw)) = lines.next() {
+        let line_no = i + 1;
+        let mut owned;
+        let mut line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Multi-line arrays: keep appending lines until the bracket closes.
+        if line.contains('=') && line.contains('[') && !line.trim_end().ends_with(']') {
+            owned = line.to_string();
+            for (_, next) in lines.by_ref() {
+                let frag = strip_comment(next).trim().to_string();
+                owned.push(' ');
+                owned.push_str(&frag);
+                if frag.ends_with(']') {
+                    break;
+                }
+            }
+            line = owned.as_str();
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            let name = name.trim().to_string();
+            doc.arrays
+                .entry(name.clone())
+                .or_default()
+                .push(Table::new());
+            cursor = Some(Cursor::Array(name));
+        } else if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let name = name.trim().to_string();
+            doc.tables.entry(name.clone()).or_default();
+            cursor = Some(Cursor::Table(name));
+        } else if let Some((key, val)) = line.split_once('=') {
+            let key = key.trim();
+            if key.is_empty() {
+                return Err(format!("line {line_no}: empty key"));
+            }
+            let val = parse_value(val.trim()).map_err(|e| format!("line {line_no}: {e}"))?;
+            let table = match &cursor {
+                Some(Cursor::Table(name)) => doc.tables.entry(name.clone()).or_default(),
+                Some(Cursor::Array(name)) => {
+                    let v = doc.arrays.entry(name.clone()).or_default();
+                    if v.is_empty() {
+                        v.push(Table::new());
+                    }
+                    let last = v.len() - 1;
+                    &mut v[last]
+                }
+                None => return Err(format!("line {line_no}: key outside any [table]")),
+            };
+            table.insert(key.to_string(), val);
+        } else {
+            return Err(format!("line {line_no}: cannot parse `{line}`"));
+        }
+    }
+    Ok(doc)
+}
+
+/// Strip a `#` comment, respecting string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_value(v: &str) -> Result<Value, String> {
+    if v == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if v == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = v.strip_prefix('"') {
+        let s = inner
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string `{v}`"))?;
+        return Ok(Value::Str(unescape(s)));
+    }
+    if let Some(inner) = v.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated array `{v}` (arrays must be single-line)"))?
+            .trim();
+        let mut items = Vec::new();
+        if !inner.is_empty() {
+            for item in split_items(inner) {
+                let item = item.trim();
+                let s = item
+                    .strip_prefix('"')
+                    .and_then(|r| r.strip_suffix('"'))
+                    .ok_or_else(|| format!("array item `{item}` is not a string"))?;
+                items.push(unescape(s));
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    v.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("cannot parse value `{v}`"))
+}
+
+/// Split array items on commas outside string literals.
+fn split_items(inner: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    let mut start = 0;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            ',' if !in_str => {
+                out.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    if !inner[start..].trim().is_empty() {
+        out.push(&inner[start..]);
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_and_values() {
+        let doc = parse(
+            "# top comment\n[class.a]\nrank = 10  # trailing\nblocking = \"allow\"\nchained = true\n",
+        )
+        .unwrap();
+        let t = &doc.tables["class.a"];
+        assert_eq!(t["rank"].as_int(), Some(10));
+        assert_eq!(t["blocking"].as_str(), Some("allow"));
+        assert_eq!(t["chained"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parses_array_of_tables() {
+        let doc = parse("[[site]]\nclass = \"a\"\n[[site]]\nclass = \"b\"\n").unwrap();
+        let sites = &doc.arrays["site"];
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[1]["class"].as_str(), Some("b"));
+    }
+
+    #[test]
+    fn parses_string_arrays_with_commas_and_hashes() {
+        let doc = parse("[t]\nxs = [\"a,b\", \"c#d\"]\n").unwrap();
+        assert_eq!(
+            doc.tables["t"]["xs"].as_list().unwrap(),
+            &["a,b".to_string(), "c#d".to_string()]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_number() {
+        let err = parse("[t]\nnot a kv pair\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_keys_outside_tables() {
+        assert!(parse("x = 1\n").is_err());
+    }
+}

@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{lockrank, Mutex};
 
 use crate::{BlockDev, Result, SharedDev};
 
@@ -67,7 +67,7 @@ impl SizeHistogram {
 }
 
 /// Live counters shared by a [`CountingDev`] and its observers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct IoStats {
     reads: AtomicU64,
     writes: AtomicU64,
@@ -80,6 +80,30 @@ pub struct IoStats {
     run_write_bytes: AtomicU64,
     read_hist: Mutex<SizeHistogram>,
     write_hist: Mutex<SizeHistogram>,
+}
+
+impl Default for IoStats {
+    fn default() -> Self {
+        let read_hist = Mutex::new(SizeHistogram::default());
+        read_hist.set_rank(lockrank::DEV_COUNTING);
+        // snapshot() holds both histogram locks at once (read first), so the
+        // pair gets two ascending ranks within the dev.counting class.
+        let write_hist = Mutex::new(SizeHistogram::default());
+        write_hist.set_rank(lockrank::DEV_COUNTING_W);
+        Self {
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            read_bytes: AtomicU64::new(0),
+            write_bytes: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            run_reads: AtomicU64::new(0),
+            run_writes: AtomicU64::new(0),
+            run_read_bytes: AtomicU64::new(0),
+            run_write_bytes: AtomicU64::new(0),
+            read_hist,
+            write_hist,
+        }
+    }
 }
 
 /// A point-in-time copy of [`IoStats`].
@@ -260,6 +284,10 @@ impl BlockDev for CountingDev {
         self.inner.write_run_at(buf, off)?;
         self.stats.record_run_write(buf.len());
         Ok(())
+    }
+
+    fn inner_dev(&self) -> Option<&SharedDev> {
+        Some(&self.inner)
     }
 
     fn describe(&self) -> String {

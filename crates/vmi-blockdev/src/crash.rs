@@ -26,7 +26,7 @@
 //! All cut points are deterministic: the same plan, seed, and workload
 //! produce the same crash state.
 
-use parking_lot::Mutex;
+use parking_lot::{lockrank, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -126,10 +126,12 @@ impl CrashDev {
     /// Wrap `inner` in write-through mode: every write is durable when it
     /// returns, and a cut tears only the in-flight write.
     pub fn new(inner: SharedDev) -> Self {
+        let state = Mutex::new(State::default());
+        state.set_rank(lockrank::DEV_CRASH);
         Self {
             inner,
             writeback: false,
-            state: Mutex::new(State::default()),
+            state,
         }
     }
 
@@ -137,10 +139,12 @@ impl CrashDev {
     /// buffer and only become durable when `flush` drains them. A cut
     /// discards the un-drained buffer.
     pub fn new_writeback(inner: SharedDev) -> Self {
+        let state = Mutex::new(State::default());
+        state.set_rank(lockrank::DEV_CRASH);
         Self {
             inner,
             writeback: true,
-            state: Mutex::new(State::default()),
+            state,
         }
     }
 
@@ -415,6 +419,10 @@ impl BlockDev for CrashDev {
             return Err(Self::poisoned());
         }
         self.durable_write(&mut st, buf, off, true)
+    }
+
+    fn inner_dev(&self) -> Option<&SharedDev> {
+        Some(&self.inner)
     }
 
     fn describe(&self) -> String {

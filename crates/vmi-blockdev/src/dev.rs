@@ -210,6 +210,14 @@ pub trait BlockDev: Send + Sync {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
     }
+
+    /// Decorator hook: pass-through wrappers (counting, retry, fault,
+    /// crash, read-only…) return the device they wrap so structural walks
+    /// — in particular the lock-rank probe for backing chains — can see
+    /// through them. Leaf media return `None`.
+    fn inner_dev(&self) -> Option<&SharedDev> {
+        None
+    }
 }
 
 impl<T: BlockDev + ?Sized> BlockDev for Arc<T> {
@@ -267,6 +275,9 @@ impl<T: BlockDev + ?Sized> BlockDev for Arc<T> {
     }
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         (**self).as_any()
+    }
+    fn inner_dev(&self) -> Option<&SharedDev> {
+        (**self).inner_dev()
     }
 }
 

@@ -9,7 +9,7 @@
 //! the probabilistic plan draws from a seeded [`rand::rngs::StdRng`], so the
 //! same seed reproduces the same fault sequence.
 
-use parking_lot::Mutex;
+use parking_lot::{lockrank, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -163,7 +163,11 @@ impl FaultDev {
     pub fn new(inner: SharedDev) -> Self {
         Self {
             inner,
-            plans: Mutex::new(Vec::new()),
+            plans: {
+                let plans = Mutex::new(Vec::new());
+                plans.set_rank(lockrank::DEV_FAULT);
+                plans
+            },
         }
     }
 
@@ -323,6 +327,10 @@ impl BlockDev for FaultDev {
     fn write_run_at(&self, buf: &[u8], off: u64) -> Result<()> {
         self.check(OpClass::WriteRun, off, buf.len())?;
         self.inner.write_run_at(buf, off)
+    }
+
+    fn inner_dev(&self) -> Option<&SharedDev> {
+        Some(&self.inner)
     }
 
     fn describe(&self) -> String {

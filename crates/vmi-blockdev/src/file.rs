@@ -5,7 +5,7 @@ use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use parking_lot::{lockrank, Mutex};
 
 use crate::dev::check_bounds;
 use crate::{BlockDev, BlockError, Result};
@@ -33,8 +33,10 @@ impl FileDev {
             .create(true)
             .truncate(true)
             .open(&path)?;
+        let file = Mutex::new(file);
+        file.set_rank(lockrank::DEV_LEAF);
         Ok(Self {
-            file: Mutex::new(file),
+            file,
             len: AtomicU64::new(0),
             path,
             read_only: false,
@@ -59,8 +61,10 @@ impl FileDev {
             .write(!read_only)
             .open(&path)?;
         let len = file.metadata()?.len();
+        let file = Mutex::new(file);
+        file.set_rank(lockrank::DEV_LEAF);
         Ok(Self {
-            file: Mutex::new(file),
+            file,
             len: AtomicU64::new(len),
             path,
             read_only,

@@ -57,6 +57,10 @@ impl<H: CostHook> LatencyDev<H> {
 }
 
 impl<H: CostHook> BlockDev for LatencyDev<H> {
+    fn inner_dev(&self) -> Option<&SharedDev> {
+        Some(&self.inner)
+    }
+
     fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
         self.inner.read_at(buf, off)?;
         self.hook.charge(OpKind::Read, off, buf.len());

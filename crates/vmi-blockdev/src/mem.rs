@@ -1,6 +1,6 @@
 //! Contiguous in-memory device — models `tmpfs` and node RAM.
 
-use parking_lot::RwLock;
+use parking_lot::{lockrank, RwLock};
 
 use crate::dev::check_bounds;
 use crate::{BlockDev, Result};
@@ -11,29 +11,33 @@ use crate::{BlockDev, Result};
 /// memory to keep cache writes off the boot critical path (§5.1, Fig. 7),
 /// and the storage node's `tmpfs` exports (§5). Writes past the current end
 /// grow the buffer, zero-filling any gap, like a POSIX file.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemDev {
     data: RwLock<Vec<u8>>,
+}
+
+impl Default for MemDev {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MemDev {
     /// An empty device of length zero.
     pub fn new() -> Self {
-        Self::default()
+        Self::from_vec(Vec::new())
     }
 
     /// A zero-filled device of `len` bytes.
     pub fn with_len(len: u64) -> Self {
-        Self {
-            data: RwLock::new(vec![0; len as usize]),
-        }
+        Self::from_vec(vec![0; len as usize])
     }
 
     /// A device initialized with `content`.
     pub fn from_vec(content: Vec<u8>) -> Self {
-        Self {
-            data: RwLock::new(content),
-        }
+        let data = RwLock::new(content);
+        data.set_rank(lockrank::DEV_LEAF);
+        Self { data }
     }
 
     /// Clone out the full contents (test/diagnostic helper).

@@ -58,6 +58,10 @@ impl BlockDev for ReadOnlyDev {
         Err(BlockError::read_only("write to read-only device"))
     }
 
+    fn inner_dev(&self) -> Option<&SharedDev> {
+        Some(&self.inner)
+    }
+
     fn describe(&self) -> String {
         format!("ro({})", self.inner.describe())
     }

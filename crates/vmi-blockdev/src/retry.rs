@@ -17,7 +17,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use parking_lot::{lockrank, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vmi_obs::{met, Event, Obs};
@@ -142,13 +142,16 @@ impl RetryDev {
 
     /// Wrap `inner` with `policy`, reporting retries through `obs`.
     pub fn with_obs(inner: SharedDev, policy: RetryPolicy, obs: Obs) -> Self {
-        let rng = StdRng::seed_from_u64(policy.seed);
+        let rng = Mutex::new(StdRng::seed_from_u64(policy.seed));
+        rng.set_rank(lockrank::DEV_RETRY);
+        let sleep = Mutex::new(None);
+        sleep.set_rank(lockrank::DEV_RETRY);
         Self {
             inner,
             policy,
-            rng: Mutex::new(rng),
+            rng,
             obs,
-            sleep: Mutex::new(None),
+            sleep,
             retries: AtomicU64::new(0),
             exhausted: AtomicU64::new(0),
         }
@@ -281,6 +284,10 @@ impl BlockDev for RetryDev {
         self.run_in("write_run", parent, || {
             self.inner.write_run_at_in(buf, off, parent)
         })
+    }
+
+    fn inner_dev(&self) -> Option<&SharedDev> {
+        Some(&self.inner)
     }
 
     fn describe(&self) -> String {

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::RwLock;
+use parking_lot::{lockrank, RwLock};
 
 use crate::dev::check_bounds;
 use crate::{BlockDev, Result};
@@ -27,25 +27,35 @@ struct Inner {
 /// Unwritten regions read as zeroes. The logical length is tracked
 /// explicitly so the device behaves like a file of that size regardless of
 /// how many pages are materialized.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SparseDev {
     inner: RwLock<Inner>,
+}
+
+impl Default for SparseDev {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SparseDev {
     /// An empty device of length zero.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_len(0)
     }
 
     /// A zero device of logical size `len` with no materialized pages.
     pub fn with_len(len: u64) -> Self {
-        Self {
-            inner: RwLock::new(Inner {
-                pages: HashMap::new(),
-                len,
-            }),
-        }
+        Self::from_inner(Inner {
+            pages: HashMap::new(),
+            len,
+        })
+    }
+
+    fn from_inner(content: Inner) -> Self {
+        let inner = RwLock::new(content);
+        inner.set_rank(lockrank::DEV_LEAF);
+        Self { inner }
     }
 
     /// Number of pages actually materialized (resident footprint /
@@ -66,12 +76,10 @@ impl SparseDev {
     /// warm cache image.
     pub fn fork(&self) -> Self {
         let inner = self.inner.read();
-        Self {
-            inner: RwLock::new(Inner {
-                pages: inner.pages.clone(),
-                len: inner.len,
-            }),
-        }
+        Self::from_inner(Inner {
+            pages: inner.pages.clone(),
+            len: inner.len,
+        })
     }
 }
 

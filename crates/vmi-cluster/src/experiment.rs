@@ -24,9 +24,16 @@ use crate::vm::{run_boots_with_obs, BootStats, VmOutcome, VmRun};
 /// Memoizes warm-cache preparation across experiment points: warming a
 /// CentOS cache is an offline boot replay, and a figure sweep re-uses the
 /// same `(profile, trace seed, quota, cluster)` warm cache at every x value.
-#[derive(Default)]
 pub struct WarmStore {
     map: parking_lot::Mutex<WarmMap>,
+}
+
+impl Default for WarmStore {
+    fn default() -> Self {
+        let map = parking_lot::Mutex::new(WarmMap::new());
+        map.set_rank(parking_lot::lockrank::CLUSTER_WARM);
+        Self { map }
+    }
 }
 
 /// Key: (profile name, trace seed, quota, cluster_bits).

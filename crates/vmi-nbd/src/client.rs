@@ -9,7 +9,7 @@
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
-use parking_lot::Mutex;
+use parking_lot::{lockrank, Mutex};
 use vmi_blockdev::{BlockDev, BlockError, BlockErrorKind, Result};
 
 use crate::proto::*;
@@ -71,12 +71,14 @@ impl NbdClient {
             let mut pad = [0u8; 124];
             read_exact(&mut r, &mut pad)?;
         }
+        let conn = Mutex::new(Conn {
+            r,
+            w,
+            next_handle: 1,
+        });
+        conn.set_rank(lockrank::NBD_CLIENT);
         Ok(Self {
-            conn: Mutex::new(Conn {
-                r,
-                w,
-                next_handle: 1,
-            }),
+            conn,
             size,
             read_only: tflags & NBD_FLAG_READ_ONLY != 0,
             export: export.to_string(),

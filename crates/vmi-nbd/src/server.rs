@@ -13,7 +13,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{lockrank, Mutex};
 use vmi_blockdev::{BlockErrorKind, Result, SharedDev};
 use vmi_obs::{met, Obs};
 use vmi_qcow::{ConcurrentImage, QcowImage, RequestEngine};
@@ -99,6 +99,7 @@ impl NbdServer {
         listener.set_nonblocking(true).ok();
         let exports: Arc<Mutex<HashMap<String, Arc<Export>>>> =
             Arc::new(Mutex::new(HashMap::new()));
+        exports.set_rank(lockrank::NBD_EXPORTS);
         let stop = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
         let pipeline_depth = Arc::new(AtomicUsize::new(1));
@@ -421,7 +422,9 @@ fn transmission_pipelined(
 ) -> Result<()> {
     let engine = Arc::new(RequestEngine::new(export.dev.clone(), depth));
     let writer = Arc::new(Mutex::new(w));
+    writer.set_rank(lockrank::NBD_WRITER);
     let pending: Arc<Mutex<HashMap<u64, Pending>>> = Arc::new(Mutex::new(HashMap::new()));
+    pending.set_rank(lockrank::NBD_PENDING);
 
     let drain = {
         let engine = engine.clone();

@@ -52,9 +52,16 @@ pub trait DevResolver {
 }
 
 /// A simple in-memory name → device map (the test/simulation namespace).
-#[derive(Default)]
 pub struct MapResolver {
     map: Mutex<HashMap<String, SharedDev>>,
+}
+
+impl Default for MapResolver {
+    fn default() -> Self {
+        let map = Mutex::new(HashMap::new());
+        map.set_rank(parking_lot::lockrank::QCOW_CHAIN);
+        Self { map }
+    }
 }
 
 impl MapResolver {

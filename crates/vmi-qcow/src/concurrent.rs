@@ -31,7 +31,12 @@
 //!
 //! Lock ordering (deadlock-free because it is acyclic and each request
 //! acquires exactly one range atomically): range lock → mutation-order lock
-//! → `QcowImage` state mutex → shard `RwLock` / device.
+//! → `QcowImage` state mutex → shard `RwLock` / device. The authoritative
+//! ranked form of this hierarchy — covering every lock in the workspace —
+//! lives in `LOCK_ORDER.toml` at the repository root; it is enforced
+//! statically by `vmi-lint lock-order` and dynamically by the
+//! `parking_lot::lockrank` witness (ranks registered in
+//! [`ConcurrentImage::new_with_obs`]).
 //!
 //! Not supported concurrently: snapshot create/apply/delete, `resize`, and
 //! `rebase` swap whole tables out from under the mirror — quiesce the
@@ -42,7 +47,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{lockrank, rank, Condvar, Mutex, RwLock};
 use vmi_blockdev::{BlockDev, BlockError, ByteRange, Result, SharedDev};
 use vmi_obs::{Obs, SpanId};
 
@@ -108,12 +113,18 @@ impl RangeLocks {
             if !blocked_active && !blocked_earlier {
                 st.waiting.retain(|(t, _, _)| *t != ticket);
                 st.active.push((range, mode, ticket));
-                return RangeGuard {
-                    locks: self,
-                    ticket,
-                };
+                break;
             }
             self.cv.wait(&mut st);
+        }
+        // The admission mutex (rank 32) must be released before the logical
+        // range rank (30) joins the witness stack: ranks ascend range →
+        // admission, because RangeGuard::drop re-enters the admission lock.
+        drop(st);
+        RangeGuard {
+            locks: self,
+            ticket,
+            _token: rank::held_reentrant(lockrank::QCOW_RANGE),
         }
     }
 }
@@ -122,6 +133,10 @@ impl RangeLocks {
 struct RangeGuard<'a> {
     locks: &'a RangeLocks,
     ticket: u64,
+    /// Witness token for [`lockrank::QCOW_RANGE`]; re-entrant because one
+    /// thread may legally hold several shared/disjoint range guards. Pops
+    /// after `Drop::drop` releases the range under the admission lock.
+    _token: rank::Held,
 }
 
 impl Drop for RangeGuard<'_> {
@@ -220,13 +235,22 @@ impl ConcurrentImage {
     pub fn new_with_obs(img: Arc<QcowImage>, obs: Obs) -> Arc<Self> {
         let geom = img.geometry();
         let l1 = RwLock::new(img.l1_snapshot());
+        l1.set_rank(lockrank::QCOW_L1);
+        let shards: Vec<Shard> = (0..SHARDS).map(|_| Shard::default()).collect();
+        for s in &shards {
+            s.map.set_rank(lockrank::QCOW_SHARD);
+        }
+        let locks = RangeLocks::default();
+        locks.st.set_rank(lockrank::QCOW_RANGE_ADMISSION);
+        let mut_order = Mutex::new(());
+        mut_order.set_rank(lockrank::QCOW_MUT_ORDER);
         Arc::new(Self {
             img,
             geom,
             l1,
-            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
-            locks: RangeLocks::default(),
-            mut_order: Mutex::new(()),
+            shards,
+            locks,
+            mut_order,
             stamp: AtomicU64::new(0),
             warm_reads: AtomicU64::new(0),
             warm_bytes: AtomicU64::new(0),

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{lockrank, Condvar, Mutex};
 use vmi_blockdev::{BlockError, Result, SharedDev};
 use vmi_obs::SpanId;
 
@@ -102,6 +102,7 @@ impl RequestEngine {
             complete_cv: Condvar::new(),
             next_id: AtomicU64::new(0),
         });
+        sh.st.set_rank(lockrank::ENGINE_QUEUE);
         let n = workers.max(1);
         let workers = (0..n)
             .map(|i| {
@@ -114,10 +115,9 @@ impl RequestEngine {
                     .expect("spawn engine worker") // lint:allow(no-unwrap)
             })
             .collect();
-        Self {
-            sh,
-            workers: Mutex::new(workers),
-        }
+        let workers = Mutex::new(workers);
+        workers.set_rank(lockrank::ENGINE_WORKERS);
+        Self { sh, workers }
     }
 
     /// Queue a request; returns its completion id immediately.

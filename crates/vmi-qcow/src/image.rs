@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{lockrank, Mutex};
 use vmi_blockdev::{be_u64, BlockDev, BlockError, Result, SharedDev};
 use vmi_obs::{met, Event, Obs, SpanId};
 
@@ -189,6 +189,24 @@ impl std::fmt::Debug for QcowImage {
     }
 }
 
+/// Witness rank for an image's state mutex. Ranks ascend front layer → base
+/// along a backing chain (a front layer holds its state mutex across backing
+/// reads, see `read_unmapped_run`), so an image ranks one *below* its backing
+/// image, clamped to the supported chain depth. Standalone images and images
+/// over raw (non-image) backing devices take the base rank.
+fn state_rank_for(backing: Option<&SharedDev>) -> u32 {
+    // Walk through pass-through decorators (counting, retry, read-only…)
+    // to find the backing *image*, if there is one.
+    let mut cur = backing;
+    while let Some(d) = cur {
+        if let Some(img) = d.as_any().and_then(|a| a.downcast_ref::<QcowImage>()) {
+            return img.state.rank().saturating_sub(1).max(lockrank::QCOW_STATE);
+        }
+        cur = d.inner_dev();
+    }
+    lockrank::QCOW_STATE_TOP
+}
+
 impl QcowImage {
     // ------------------------------------------------------------------
     // create / open / close
@@ -298,6 +316,7 @@ impl QcowImage {
             degraded_read_bytes: AtomicU64::new(0),
             obs,
         });
+        img.state.set_rank(state_rank_for(img.backing.as_ref()));
         // A freshly created image is durable before it is handed out: a
         // crash afterwards can tear later mutations but never the skeleton.
         img.barrier()?;
@@ -407,6 +426,7 @@ impl QcowImage {
             degraded_read_bytes: AtomicU64::new(0),
             obs,
         });
+        img.state.set_rank(state_rank_for(img.backing.as_ref()));
         if snaptab.count > 0 {
             let mut st = img.state.lock();
             img.recompute_frozen(&mut st)?;

@@ -63,11 +63,13 @@ impl NfsMount {
     pub fn new(export: Arc<NfsExport>, link: LinkId, opts: MountOpts) -> Arc<Self> {
         assert!(opts.client_page.is_power_of_two());
         assert!(opts.rwsize >= opts.client_page);
+        let cached = Mutex::new(HashSet::new());
+        cached.set_rank(parking_lot::lockrank::REMOTE_CACHED);
         Arc::new(Self {
             export,
             link,
             opts,
-            cached: Mutex::new(HashSet::new()),
+            cached,
         })
     }
 

@@ -171,7 +171,11 @@ pub fn local_disk_dev_cached(
             sync_penalty_ns: DEFAULT_SYNC_PENALTY_NS,
             page_cache,
             readahead: DEFAULT_READAHEAD,
-            last_read_end: Mutex::new(u64::MAX - (1 << 30)),
+            last_read_end: {
+                let m = Mutex::new(u64::MAX - (1 << 30));
+                m.set_rank(parking_lot::lockrank::REMOTE_STREAM);
+                m
+            },
         },
     ))
 }

@@ -55,9 +55,17 @@ struct WorldInner {
 /// Clone the `Arc` freely; one world is single-experiment scoped and its
 /// methods are called from a single driving thread at a time (the mutex
 /// makes cross-thread handoff safe, not concurrent pricing meaningful).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimWorld {
     inner: Arc<Mutex<WorldInner>>,
+}
+
+impl Default for SimWorld {
+    fn default() -> Self {
+        let inner = Arc::new(Mutex::new(WorldInner::default()));
+        inner.set_rank(parking_lot::lockrank::SIM_WORLD);
+        Self { inner }
+    }
 }
 
 impl SimWorld {
