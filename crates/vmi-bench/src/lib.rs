@@ -21,6 +21,7 @@ pub mod io_coalesce;
 pub mod obs_overhead;
 pub mod obs_report;
 pub mod saturation;
+pub mod scale_sweep;
 pub mod trace_report;
 
 pub use crash_sweep::{run_crash_sweep, run_crash_sweep_strided, CrashSweepReport, WorkloadSweep};
@@ -30,3 +31,7 @@ pub use figures::{
     CACHE_CLUSTER_BITS,
 };
 pub use obs_report::{render_telemetry, replay, replay_lines, replay_lines_strict, ReplaySummary};
+pub use scale_sweep::{
+    run_scale_sweep_full, run_scale_sweep_smoke, run_scale_sweep_with, ScaleSweepReport,
+    SweepConfig, SweepPoint,
+};

@@ -6,14 +6,43 @@
 //! level." A [`CachePool`] tracks the cache images stored on one medium
 //! (a compute node's cache partition, or the storage node's memory) and
 //! evicts least-recently-used entries to admit new ones.
+//!
+//! The pool is generic over its key ([`PoolKey`]). Human-driven paths keep
+//! `String` names (the default); the cloud controller's hot path keys by
+//! the VMI's integer id instead, so admitting and probing a cache never
+//! allocates or hashes a formatted name (DESIGN.md §16). Keys are rendered
+//! to names only inside the lazily-evaluated observability closures.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::hash::Hash;
 
 use vmi_obs::{met, Event, Obs};
 
 /// Logical clock for recency (supplied by the caller; any monotone counter
 /// or simulated time works).
 pub type Stamp = u64;
+
+/// A cache-pool key: hashable for lookup, ordered for deterministic victim
+/// ties, renderable for observability events.
+pub trait PoolKey: Clone + Eq + Hash + Ord {
+    /// Human-readable name used in emitted events.
+    fn render(&self) -> String;
+}
+
+impl PoolKey for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+/// Integer VMI ids as used by the cloud controller; rendered in its
+/// canonical `vmi-{id}` form.
+impl PoolKey for usize {
+    fn render(&self) -> String {
+        format!("vmi-{self}")
+    }
+}
 
 /// One stored cache image.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,15 +57,15 @@ pub struct CacheEntry {
     pub degraded: bool,
 }
 
-/// A bounded pool of cache images keyed by VMI name.
+/// A bounded pool of cache images keyed by VMI name or id.
 #[derive(Debug, Clone)]
-pub struct CachePool {
+pub struct CachePool<K: PoolKey = String> {
     capacity: u64,
     used: u64,
-    entries: HashMap<String, CacheEntry>,
+    entries: HashMap<K, CacheEntry>,
 }
 
-impl CachePool {
+impl<K: PoolKey> CachePool<K> {
     /// A pool holding at most `capacity` bytes of cache images.
     pub fn new(capacity: u64) -> Self {
         Self {
@@ -57,12 +86,20 @@ impl CachePool {
     }
 
     /// Whether a cache for `vmi` is present.
-    pub fn contains(&self, vmi: &str) -> bool {
+    pub fn contains<Q>(&self, vmi: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         self.entries.contains_key(vmi)
     }
 
     /// Mark a cache as used now (a VM booted from it).
-    pub fn touch(&mut self, vmi: &str, now: Stamp) -> bool {
+    pub fn touch<Q>(&mut self, vmi: &Q, now: Stamp) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         match self.entries.get_mut(vmi) {
             Some(e) => {
                 e.last_used = now;
@@ -75,7 +112,11 @@ impl CachePool {
     /// Mark a cache as degraded (its boot latched degraded mode). Degraded
     /// entries stop warming, so they are the cheapest space to reclaim: the
     /// LRU victim scan prefers them over healthy entries of any recency.
-    pub fn mark_degraded(&mut self, vmi: &str) -> bool {
+    pub fn mark_degraded<Q>(&mut self, vmi: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         match self.entries.get_mut(vmi) {
             Some(e) => {
                 e.degraded = true;
@@ -86,36 +127,39 @@ impl CachePool {
     }
 
     /// Whether the named cache is marked degraded.
-    pub fn is_degraded(&self, vmi: &str) -> bool {
+    pub fn is_degraded<Q>(&self, vmi: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         self.entries.get(vmi).is_some_and(|e| e.degraded)
     }
 
     /// The single eviction path: drop `vmi`, release its space, and emit
     /// the eviction event/metric. Both LRU pressure and explicit removal
     /// route through here so no eviction escapes observability.
-    fn evict_entry(&mut self, vmi: &str, obs: &Obs, node: u64) -> Option<CacheEntry> {
-        let e = self.entries.remove(vmi)?;
+    fn evict_entry<Q>(&mut self, vmi: &Q, obs: &Obs, node: u64) -> Option<CacheEntry>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let (key, e) = self.entries.remove_entry(vmi)?;
         self.used -= e.size;
         obs.count(met::CACHE_EVICTIONS, 1);
         let bytes = e.size;
         obs.emit(|| Event::CacheEvict {
             node,
-            vmi: vmi.to_string(),
+            vmi: key.render(),
             bytes,
         });
         Some(e)
     }
 
     /// Admit a cache of `size` bytes, evicting LRU entries as needed.
-    /// Returns the names evicted, or `Err(())` if `size` exceeds capacity
+    /// Returns the keys evicted, or `Err(())` if `size` exceeds capacity
     /// outright (nothing is changed in that case).
     #[allow(clippy::result_unit_err)]
-    pub fn admit(
-        &mut self,
-        vmi: impl Into<String>,
-        size: u64,
-        now: Stamp,
-    ) -> Result<Vec<String>, ()> {
+    pub fn admit(&mut self, vmi: impl Into<K>, size: u64, now: Stamp) -> Result<Vec<K>, ()> {
         self.admit_with_obs(vmi, size, now, &Obs::disabled(), 0)
     }
 
@@ -125,12 +169,12 @@ impl CachePool {
     #[allow(clippy::result_unit_err)]
     pub fn admit_with_obs(
         &mut self,
-        vmi: impl Into<String>,
+        vmi: impl Into<K>,
         size: u64,
         now: Stamp,
         obs: &Obs,
         node: u64,
-    ) -> Result<Vec<String>, ()> {
+    ) -> Result<Vec<K>, ()> {
         if size > self.capacity {
             return Err(());
         }
@@ -142,12 +186,12 @@ impl CachePool {
         let mut evicted = Vec::new();
         while self.used + size > self.capacity {
             // Degraded entries go first (they can never warm further);
-            // among equals, plain LRU with name as the deterministic tie.
+            // among equals, plain LRU with the key as the deterministic tie.
             let Some(victim) = self
                 .entries
                 .iter()
-                .min_by_key(|(name, e)| (!e.degraded, e.last_used, name.as_str().to_owned()))
-                .map(|(name, _)| name.clone())
+                .min_by_key(|(key, e)| (!e.degraded, e.last_used, (*key).clone()))
+                .map(|(key, _)| key.clone())
             else {
                 // used > 0 with no entries would mean the accounting broke;
                 // refuse the admit rather than loop forever.
@@ -172,19 +216,27 @@ impl CachePool {
 
     /// Remove a cache explicitly (VMI deregistered / base image changed —
     /// immutability means a changed base invalidates its caches, §3).
-    pub fn remove(&mut self, vmi: &str) -> Option<CacheEntry> {
+    pub fn remove<Q>(&mut self, vmi: &Q) -> Option<CacheEntry>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         self.remove_with_obs(vmi, &Obs::disabled(), 0)
     }
 
     /// [`CachePool::remove`] with an observability handle: the drop is
     /// reported exactly like an LRU eviction (same event, same counter).
-    pub fn remove_with_obs(&mut self, vmi: &str, obs: &Obs, node: u64) -> Option<CacheEntry> {
+    pub fn remove_with_obs<Q>(&mut self, vmi: &Q, obs: &Obs, node: u64) -> Option<CacheEntry>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         self.evict_entry(vmi, obs, node)
     }
 
-    /// Names currently stored, most recently used first.
-    pub fn names_by_recency(&self) -> Vec<String> {
-        let mut v: Vec<(&String, &CacheEntry)> = self.entries.iter().collect();
+    /// Keys currently stored, most recently used first.
+    pub fn names_by_recency(&self) -> Vec<K> {
+        let mut v: Vec<(&K, &CacheEntry)> = self.entries.iter().collect();
         v.sort_by(|a, b| b.1.last_used.cmp(&a.1.last_used).then(a.0.cmp(b.0)));
         v.into_iter().map(|(n, _)| n.clone()).collect()
     }
@@ -196,7 +248,7 @@ mod tests {
 
     #[test]
     fn admit_within_capacity() {
-        let mut p = CachePool::new(300);
+        let mut p = CachePool::<String>::new(300);
         assert_eq!(p.admit("a", 100, 1), Ok(vec![]));
         assert_eq!(p.admit("b", 100, 2), Ok(vec![]));
         assert_eq!(p.used(), 200);
@@ -205,7 +257,7 @@ mod tests {
 
     #[test]
     fn lru_eviction_on_pressure() {
-        let mut p = CachePool::new(250);
+        let mut p = CachePool::<String>::new(250);
         p.admit("a", 100, 1).unwrap();
         p.admit("b", 100, 2).unwrap();
         p.touch("a", 3); // b is now LRU
@@ -216,7 +268,7 @@ mod tests {
 
     #[test]
     fn oversized_admit_rejected_without_change() {
-        let mut p = CachePool::new(100);
+        let mut p = CachePool::<String>::new(100);
         p.admit("a", 60, 1).unwrap();
         assert!(p.admit("huge", 150, 2).is_err());
         assert!(p.contains("a"));
@@ -225,7 +277,7 @@ mod tests {
 
     #[test]
     fn replacing_entry_frees_old_space() {
-        let mut p = CachePool::new(200);
+        let mut p = CachePool::<String>::new(200);
         p.admit("a", 150, 1).unwrap();
         // Re-admit with a different size: no eviction of others needed.
         p.admit("a", 180, 2).unwrap();
@@ -234,7 +286,7 @@ mod tests {
 
     #[test]
     fn multiple_evictions_for_one_admit() {
-        let mut p = CachePool::new(400);
+        let mut p = CachePool::<String>::new(400);
         p.admit("a", 100, 1).unwrap();
         p.admit("b", 100, 2).unwrap();
         p.admit("c", 100, 3).unwrap();
@@ -246,7 +298,7 @@ mod tests {
 
     #[test]
     fn remove_frees_space() {
-        let mut p = CachePool::new(100);
+        let mut p = CachePool::<String>::new(100);
         p.admit("a", 80, 1).unwrap();
         assert!(p.remove("a").is_some());
         assert_eq!(p.used(), 0);
@@ -255,7 +307,7 @@ mod tests {
 
     #[test]
     fn recency_listing() {
-        let mut p = CachePool::new(1000);
+        let mut p = CachePool::<String>::new(1000);
         p.admit("a", 10, 5).unwrap();
         p.admit("b", 10, 9).unwrap();
         p.admit("c", 10, 7).unwrap();
@@ -264,13 +316,13 @@ mod tests {
 
     #[test]
     fn touch_missing_returns_false() {
-        let mut p = CachePool::new(10);
+        let mut p = CachePool::<String>::new(10);
         assert!(!p.touch("ghost", 1));
     }
 
     #[test]
     fn degraded_entries_are_preferred_victims() {
-        let mut p = CachePool::new(250);
+        let mut p = CachePool::<String>::new(250);
         p.admit("a", 100, 1).unwrap();
         p.admit("b", 100, 2).unwrap();
         // b is more recent, but degraded: it must go before LRU a.
@@ -283,7 +335,7 @@ mod tests {
 
     #[test]
     fn readmit_clears_degraded_flag() {
-        let mut p = CachePool::new(300);
+        let mut p = CachePool::<String>::new(300);
         p.admit("a", 100, 1).unwrap();
         p.mark_degraded("a");
         // A fresh admission is a rebuilt cache: healthy again.
@@ -297,7 +349,7 @@ mod tests {
         use vmi_obs::{ManualClock, RecorderHandle};
         let (rec, sink) = RecorderHandle::jsonl();
         let obs = rec.attach(Arc::new(ManualClock::new(0)));
-        let mut p = CachePool::new(100);
+        let mut p = CachePool::<String>::new(100);
         p.admit("a", 80, 1).unwrap();
         assert!(p.remove_with_obs("a", &obs, 3).is_some());
         assert_eq!(obs.counter_value(met::CACHE_EVICTIONS), 1);
@@ -312,8 +364,25 @@ mod tests {
 
     #[test]
     fn mark_degraded_missing_returns_false() {
-        let mut p = CachePool::new(10);
+        let mut p = CachePool::<String>::new(10);
         assert!(!p.mark_degraded("ghost"));
         assert!(!p.is_degraded("ghost"));
+    }
+
+    #[test]
+    fn integer_keys_render_canonical_names() {
+        use std::sync::Arc;
+        use vmi_obs::{ManualClock, RecorderHandle};
+        let (rec, sink) = RecorderHandle::jsonl();
+        let obs = rec.attach(Arc::new(ManualClock::new(0)));
+        let mut p = CachePool::<usize>::new(200);
+        p.admit_with_obs(7usize, 150, 1, &obs, 0).unwrap();
+        assert!(p.contains(&7usize));
+        let evicted = p.admit_with_obs(9usize, 100, 2, &obs, 0).unwrap();
+        assert_eq!(evicted, vec![7]);
+        assert!(
+            sink.lines().iter().any(|l| l.contains("\"vmi\":\"vmi-7\"")),
+            "integer keys must render as vmi-N in events"
+        );
     }
 }

@@ -232,7 +232,7 @@ fn advance_fleet(
     downed: &mut Vec<DownedCache>,
     now: Ns,
     seed: u64,
-    fleet: &mut [NodeState],
+    fleet: &mut [NodeState<usize>],
     running: &mut Vec<(usize, Ns)>,
     warm_local: &mut HashMap<(usize, usize), Arc<SparseDev>>,
     obs: &Obs,
@@ -291,7 +291,7 @@ fn advance_fleet(
 fn restart_node(
     node: usize,
     now: Ns,
-    fleet: &mut [NodeState],
+    fleet: &mut [NodeState<usize>],
     warm_local: &mut HashMap<(usize, usize), Arc<SparseDev>>,
     downed: &mut Vec<DownedCache>,
     obs: &Obs,
@@ -317,16 +317,13 @@ fn restart_node(
         let mut adopted = false;
         if rec.is_usable() {
             let size = container.len();
-            if let Ok(evicted) =
-                fleet[node]
-                    .caches
-                    .admit_with_obs(format!("vmi-{v}"), size, now, obs, node as u64)
+            if let Ok(evicted) = fleet[node]
+                .caches
+                .admit_with_obs(v, size, now, obs, node as u64)
             {
-                for name in evicted {
-                    if let Some(ev) = name.strip_prefix("vmi-").and_then(|s| s.parse().ok()) {
-                        warm_local.remove(&(node, ev));
-                        report.evictions += 1;
-                    }
+                for ev in evicted {
+                    warm_local.remove(&(node, ev));
+                    report.evictions += 1;
                 }
                 warm_local.insert((node, v), container);
                 adopted = true;
@@ -373,7 +370,9 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
     let mut compute: Vec<ComputeNode> = (0..cfg.nodes)
         .map(|i| ComputeNode::new(&world, i))
         .collect();
-    let mut fleet: Vec<NodeState> = (0..cfg.nodes)
+    // Integer-keyed cache pools: the per-request hot path below never
+    // formats or hashes a "vmi-N" string (names appear only in events).
+    let mut fleet: Vec<NodeState<usize>> = (0..cfg.nodes)
         .map(|i| NodeState::new(i, cfg.slots_per_node, cfg.node_cache_bytes))
         .collect();
     let sched = Scheduler::new(cfg.policy, cfg.cache_aware);
@@ -406,7 +405,6 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
     let mut restarts: Vec<(Ns, usize)> = Vec::new();
     let mut downed: Vec<DownedCache> = Vec::new();
     let mut boot_times: Vec<Ns> = Vec::new();
-    let vmi_name = |v: usize| format!("vmi-{v}");
 
     for (vm_id, req) in requests.iter().enumerate() {
         advance_fleet(
@@ -438,9 +436,7 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
         let mut start_at = req.at;
         let mut rescheduled_from: Option<usize> = None;
         let booted = loop {
-            let Some(decision) =
-                sched.place_with_obs(&mut fleet, &vmi_name(req.vmi), start_at, &obs)
-            else {
+            let Some(decision) = sched.place_with_obs(&mut fleet, &req.vmi, start_at, &obs) else {
                 break None;
             };
             let node_idx = decision.node;
@@ -557,13 +553,11 @@ pub fn run_cloud(cfg: &CloudConfig, requests: &[VmRequest]) -> Result<CloudRepor
                 .unwrap_or(cfg.quota);
             if let Ok(evicted) =
                 node.caches
-                    .admit_with_obs(vmi_name(req.vmi), size, req.at, &obs, node_idx as u64)
+                    .admit_with_obs(req.vmi, size, req.at, &obs, node_idx as u64)
             {
-                for name in evicted {
-                    if let Some(v) = name.strip_prefix("vmi-").and_then(|s| s.parse().ok()) {
-                        warm_local.remove(&(node_idx, v));
-                        report.evictions += 1;
-                    }
+                for v in evicted {
+                    warm_local.remove(&(node_idx, v));
+                    report.evictions += 1;
                 }
             }
         }

@@ -1,0 +1,117 @@
+//! String interning for hot simulation paths (DESIGN.md §16).
+//!
+//! The scale simulator and the cloud controller identify images and nodes
+//! millions of times per run. Carrying `String`s through those paths means
+//! an allocation per touch and `O(boots)` retained memory in telemetry
+//! maps. A [`SymTable`] converts each distinct name to a [`Sym`] — a `u32`
+//! handle — exactly once; the hot paths move handles, and names are
+//! resolved back only at report time.
+
+use std::collections::HashMap;
+
+/// A small integer handle for an interned string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The handle's raw index (dense, starting at 0 per table).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only string table: `intern` is idempotent, handles are dense
+/// indices in first-intern order (so interning a catalog in a fixed order
+/// yields deterministic handles).
+#[derive(Debug, Default, Clone)]
+pub struct SymTable {
+    names: Vec<String>,
+    index: HashMap<String, Sym>,
+}
+
+impl SymTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A table pre-sized for `n` distinct names.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            names: Vec::with_capacity(n),
+            index: HashMap::with_capacity(n),
+        }
+    }
+
+    /// Intern `name`, returning its stable handle.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.index.get(name) {
+            return s;
+        }
+        let s = Sym(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), s);
+        s
+    }
+
+    /// Look up a name without interning it.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolve a handle back to its name. Handles from *another* table
+    /// resolve to garbage or panic-free `None`.
+    pub fn resolve(&self, s: Sym) -> Option<&str> {
+        self.names.get(s.index()).map(|n| n.as_str())
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All names in handle order (index `i` is `Sym(i)`'s name).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t = SymTable::new();
+        let a = t.intern("img-a");
+        let b = t.intern("img-b");
+        assert_eq!(t.intern("img-a"), a);
+        assert_eq!(a, Sym(0));
+        assert_eq!(b, Sym(1));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = SymTable::with_capacity(8);
+        let s = t.intern("node-17");
+        assert_eq!(t.resolve(s), Some("node-17"));
+        assert_eq!(t.get("node-17"), Some(s));
+        assert_eq!(t.get("missing"), None);
+        assert_eq!(t.resolve(Sym(99)), None);
+    }
+
+    #[test]
+    fn handle_order_is_first_intern_order() {
+        let mut t = SymTable::new();
+        for name in ["c", "a", "b", "a"] {
+            t.intern(name);
+        }
+        assert_eq!(t.names(), &["c".to_string(), "a".into(), "b".into()]);
+    }
+}

@@ -36,24 +36,30 @@ pub mod cachepool;
 pub mod cloud;
 pub mod deploy;
 pub mod experiment;
+pub mod intern;
 pub mod mixed;
 pub mod node;
 pub mod placement;
+pub mod scale;
 pub mod sched;
 pub mod telemetry;
+pub mod topology;
 pub mod vm;
 
-pub use cachepool::{CacheEntry, CachePool};
+pub use cachepool::{CacheEntry, CachePool, PoolKey};
 pub use cloud::{generate_requests, run_cloud, CloudConfig, CloudReport, NodeFailure, VmRequest};
 pub use deploy::{build_chain, prepare_warm_cache, ChainSpec, Mode, Placement, WarmCache};
 pub use experiment::{
     run_experiment, run_experiment_parallel, ExperimentConfig, ExperimentOutcome, WarmStore,
 };
+pub use intern::{Sym, SymTable};
 pub use mixed::{
     build_hybrid_chain, run_hybrid_boot, run_mixed_experiment, MixedConfig, MixedOutcome,
 };
 pub use node::{ComputeNode, StorageNode};
 pub use placement::{choose_chain, ChainPlan, StorageCacheLocation, StorageCacheState};
+pub use scale::{run_scale, BootRecord, FillSource, ScaleConfig, ScaleReport};
 pub use sched::{NodeState, PlacementDecision, Policy, Scheduler};
 pub use telemetry::{CacheTelemetry, Telemetry};
+pub use topology::Topology;
 pub use vm::{run_boots, run_boots_with_obs, run_single, BootStats, VmOutcome, VmRun};

@@ -10,9 +10,12 @@
 //! nodes holding a warm cache for the requested VMI whenever any such node
 //! has capacity.
 
+use std::borrow::Borrow;
+use std::hash::Hash;
+
 use vmi_obs::{met, Event, Obs};
 
-use crate::cachepool::{CachePool, Stamp};
+use crate::cachepool::{CachePool, PoolKey, Stamp};
 
 /// Base placement strategy (the OpenNebula options of §3.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,9 +30,11 @@ pub enum Policy {
     LoadAware,
 }
 
-/// Scheduler's view of one compute node.
+/// Scheduler's view of one compute node. Generic over the cache-pool key:
+/// `String` VMI names by default, integer ids on the cloud controller's
+/// hot path (see [`PoolKey`]).
 #[derive(Debug)]
-pub struct NodeState {
+pub struct NodeState<K: PoolKey = String> {
     /// Stable node identifier.
     pub id: usize,
     /// VMs currently running.
@@ -42,10 +47,10 @@ pub struct NodeState {
     /// their caches are unreachable until the node is restored.
     pub up: bool,
     /// The node's local VMI-cache pool.
-    pub caches: CachePool,
+    pub caches: CachePool<K>,
 }
 
-impl NodeState {
+impl<K: PoolKey> NodeState<K> {
     /// A node with `capacity` VM slots and `cache_bytes` of cache space.
     pub fn new(id: usize, capacity: usize, cache_bytes: u64) -> Self {
         Self {
@@ -108,24 +113,34 @@ impl Scheduler {
 
     /// Place one VM booting from `vmi`. Updates the chosen node's VM count
     /// and cache recency. Returns `None` when no node has room.
-    pub fn place(
+    pub fn place<K, Q>(
         &self,
-        nodes: &mut [NodeState],
-        vmi: &str,
+        nodes: &mut [NodeState<K>],
+        vmi: &Q,
         now: Stamp,
-    ) -> Option<PlacementDecision> {
+    ) -> Option<PlacementDecision>
+    where
+        K: PoolKey + Borrow<Q>,
+        Q: Hash + Eq + ToOwned<Owned = K> + ?Sized,
+    {
         self.place_with_obs(nodes, vmi, now, &Obs::disabled())
     }
 
     /// [`Scheduler::place`] with an observability handle: each decision
     /// bumps [`met::SCHED_PLACEMENTS`] and emits a [`Event::SchedPlace`].
-    pub fn place_with_obs(
+    /// The VMI key is rendered to a name only inside the lazy event
+    /// closure, so the hot path stays allocation-free.
+    pub fn place_with_obs<K, Q>(
         &self,
-        nodes: &mut [NodeState],
-        vmi: &str,
+        nodes: &mut [NodeState<K>],
+        vmi: &Q,
         now: Stamp,
         obs: &Obs,
-    ) -> Option<PlacementDecision> {
+    ) -> Option<PlacementDecision>
+    where
+        K: PoolKey + Borrow<Q>,
+        Q: Hash + Eq + ToOwned<Owned = K> + ?Sized,
+    {
         let candidates: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].has_room()).collect();
         if candidates.is_empty() {
             return None;
@@ -157,7 +172,7 @@ impl Scheduler {
         obs.count(met::SCHED_PLACEMENTS, 1);
         let node_id = node.id;
         obs.emit(|| Event::SchedPlace {
-            vmi: vmi.to_string(),
+            vmi: vmi.to_owned().render(),
             node: node_id as u64,
             cache_hit,
         });
@@ -168,7 +183,7 @@ impl Scheduler {
     }
 
     /// Lower rank = preferred.
-    fn rank(&self, n: &NodeState) -> (f64, usize) {
+    fn rank<K: PoolKey>(&self, n: &NodeState<K>) -> (f64, usize) {
         match self.policy {
             // Packing prefers fuller nodes (but never full ones — filtered).
             Policy::Packing => (-(n.running_vms as f64), n.id),
@@ -178,7 +193,7 @@ impl Scheduler {
     }
 
     /// Release one VM slot on `node` (VM terminated).
-    pub fn release(nodes: &mut [NodeState], node: usize) {
+    pub fn release<K: PoolKey>(nodes: &mut [NodeState<K>], node: usize) {
         if let Some(n) = nodes.iter_mut().find(|n| n.id == node) {
             n.running_vms = n.running_vms.saturating_sub(1);
         }

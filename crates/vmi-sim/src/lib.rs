@@ -36,6 +36,7 @@ pub mod disk;
 pub mod net;
 pub mod pagecache;
 pub mod queue;
+pub mod shard;
 pub mod time;
 pub mod world;
 
@@ -43,5 +44,6 @@ pub use disk::{Disk, DiskSpec, DiskStats};
 pub use net::{Link, LinkDiscipline, LinkStats, NetSpec};
 pub use pagecache::{CacheOutcome, PageCache, PageKey};
 pub use queue::EventQueue;
+pub use shard::{EventKey, Shard, ShardedEventQueue};
 pub use time::{fmt_secs, transfer_ns, Ns, MSEC, SEC, USEC};
 pub use world::{CacheId, DiskId, LinkId, SimWorld, MEM_BW_BPS};

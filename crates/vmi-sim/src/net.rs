@@ -73,6 +73,43 @@ impl NetSpec {
         }
     }
 
+    /// A top-of-rack switch port as seen by one rack's compute nodes:
+    /// 25 GbE-class, ~3 GB/s effective, short intra-rack latency. Used for
+    /// the rack tier and compute-to-compute peer fetch of the hierarchical
+    /// topologies (DESIGN.md §16).
+    pub fn tor_25g() -> Self {
+        Self {
+            bw_bps: 3_000_000_000,
+            latency_ns: 5_000,
+            per_msg_ns: 1_000,
+            discipline: LinkDiscipline::Fifo,
+        }
+    }
+
+    /// A zone aggregation uplink: 100 GbE-class shared by a zone's racks,
+    /// ~12 GB/s effective.
+    pub fn agg_100g() -> Self {
+        Self {
+            bw_bps: 12_000_000_000,
+            latency_ns: 10_000,
+            per_msg_ns: 2_000,
+            discipline: LinkDiscipline::Fifo,
+        }
+    }
+
+    /// An effectively unconstrained hop (used to flatten tiers out of a
+    /// topology without special-casing the fill path): huge bandwidth,
+    /// minimal — but nonzero — latency so the conservative scheduler's
+    /// lookahead stays positive.
+    pub fn passthrough() -> Self {
+        Self {
+            bw_bps: u64::MAX / 4,
+            latency_ns: 1_000,
+            per_msg_ns: 0,
+            discipline: LinkDiscipline::Fifo,
+        }
+    }
+
     /// Human-readable label used in figure output.
     pub fn label(&self) -> &'static str {
         if self.bw_bps >= 1_000_000_000 {

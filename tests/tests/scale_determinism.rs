@@ -1,0 +1,130 @@
+//! Property-based determinism for the PR-10 sharded scale engine: for any
+//! small configuration, the sharded epoch runner must reproduce the serial
+//! reference **bit-for-bit** — same digest, same per-boot JSONL — at every
+//! shard count, and every completed fill must account for exactly one
+//! image's worth of bytes no matter how transfers degrade or truncate
+//! mid-flight.
+
+use proptest::prelude::*;
+use vmi_cluster::{run_scale, FillSource, ScaleConfig, Topology};
+use vmi_sim::SEC;
+
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    Flat,
+    Tiered,
+    TieredP2p,
+}
+
+#[derive(Debug, Clone)]
+struct Arb {
+    shape: Shape,
+    nodes: usize,
+    nodes_per_rack: usize,
+    waves: usize,
+    images: usize,
+    seed: u64,
+    degrade_ppm: u32,
+}
+
+fn arb_config() -> impl Strategy<Value = Arb> {
+    (
+        (
+            prop_oneof![
+                Just(Shape::Flat),
+                Just(Shape::Tiered),
+                Just(Shape::TieredP2p)
+            ],
+            8usize..64,
+            2usize..12,
+        ),
+        (
+            1usize..6,
+            1usize..8,
+            any::<u64>(),
+            prop_oneof![Just(0u32), Just(50_000), Just(400_000), Just(1_000_000)],
+        ),
+    )
+        .prop_map(
+            |((shape, nodes, nodes_per_rack), (waves, images, seed, degrade_ppm))| Arb {
+                shape,
+                nodes,
+                nodes_per_rack,
+                waves,
+                images,
+                seed,
+                degrade_ppm,
+            },
+        )
+}
+
+fn build(a: &Arb) -> ScaleConfig {
+    let topo = match a.shape {
+        Shape::Flat => Topology::flat(a.nodes),
+        Shape::Tiered => Topology::tiered(a.nodes, 64 << 20, 256 << 20),
+        Shape::TieredP2p => Topology::tiered_p2p(a.nodes, 64 << 20, 256 << 20),
+    }
+    .with_fanout(a.nodes_per_rack, 4);
+    let mut cfg = ScaleConfig::new(topo, a.images);
+    cfg.image_bytes = 8 << 20;
+    cfg.node_cache_bytes = 16 << 20; // two images: evictions happen
+    cfg.waves = a.waves;
+    cfg.wave_gap_ns = 5 * SEC;
+    cfg.seed = a.seed;
+    cfg.degrade_ppm = a.degrade_ppm;
+    cfg.keep_records = true;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Serial and sharded engines agree bit-for-bit on arbitrary small
+    /// configurations: identical digests and identical per-boot JSONL at
+    /// 1, 2, and 8 shards.
+    #[test]
+    fn sharded_matches_serial_bit_for_bit(a in arb_config()) {
+        let serial_cfg = build(&a);
+        let serial = run_scale(&serial_cfg);
+        let reference = serial.jsonl(&serial_cfg.catalog);
+        for shards in [1usize, 2, 8] {
+            let mut cfg = build(&a);
+            cfg.shards = shards;
+            let sharded = run_scale(&cfg);
+            prop_assert_eq!(
+                serial.digest, sharded.digest,
+                "digest diverged at {} shards (cfg {:?})", shards, a
+            );
+            prop_assert_eq!(
+                &reference, &sharded.jsonl(&cfg.catalog),
+                "jsonl diverged at {} shards (cfg {:?})", shards, a
+            );
+            prop_assert_eq!(serial.storage_link, sharded.storage_link);
+            prop_assert_eq!(serial.makespan_ns, sharded.makespan_ns);
+        }
+    }
+
+    /// Every boot that filled (rather than hitting warm cache or joining)
+    /// accounts for exactly one image of bytes, and the per-tier byte
+    /// totals sum to the fill total — truncated peer transfers re-source
+    /// the remainder without double counting.
+    #[test]
+    fn fills_conserve_image_bytes(a in arb_config()) {
+        let cfg = build(&a);
+        let rep = run_scale(&cfg);
+        for r in &rep.records {
+            match r.src {
+                FillSource::Warm | FillSource::Join => {
+                    prop_assert_eq!(r.fill_bytes, 0, "non-fill boot moved bytes: {:?}", r)
+                }
+                _ => prop_assert_eq!(
+                    r.fill_bytes, cfg.image_bytes,
+                    "fill bytes off for boot {:?}", r
+                ),
+            }
+        }
+        let tier_total: u64 = rep.tier_bytes.iter().sum();
+        prop_assert_eq!(tier_total, rep.fill_bytes);
+        prop_assert_eq!(rep.boots, cfg.boots());
+    }
+}
